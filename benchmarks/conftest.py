@@ -1,0 +1,42 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each benchmark regenerates one table or figure of the paper.  The
+regenerated artefact (the table rows / series the paper reports) is:
+
+- printed to stdout (visible with ``pytest -s``),
+- written to ``benchmarks/results/<name>.txt`` so a plain
+  ``pytest benchmarks/ --benchmark-only`` run still leaves the
+  artefacts on disk,
+- attached to the benchmark's ``extra_info`` where scalar.
+
+Environment knobs:
+
+- ``REPRO_TABLE5_TRIALS``: trials per Table V row (default 12, the
+  paper's sample size).  Lower it for quick smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def table5_trials() -> int:
+    return int(os.environ.get("REPRO_TABLE5_TRIALS", "12"))
+
+
+@pytest.fixture
+def record_artifact():
+    """Write an experiment artefact to the results directory."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n--- {name} ---\n{text}\n")
+
+    return write

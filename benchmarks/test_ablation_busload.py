@@ -1,0 +1,62 @@
+"""Ablation D: fuzzing under residual bus load.
+
+The fuzzer shares the wire with the vehicle's own traffic; its frames
+must win arbitration like any other node's.  This ablation measures
+the effective fuzz throughput and the bus utilisation with and
+without the residual traffic of the idling car, confirming the bus
+model degrades gracefully rather than ideally.
+"""
+
+from repro.fuzz import CampaignLimits, FuzzCampaign, FuzzConfig, \
+    RandomFrameGenerator
+from repro.sim.clock import SECOND
+from repro.sim.random import RandomStreams
+from repro.vehicle import TargetCar
+
+
+def fuzz_throughput(with_residual_traffic: bool):
+    car = TargetCar(seed=10)
+    if with_residual_traffic:
+        car.ignition_on()
+        car.run_seconds(1.0)
+    adapter = car.obd_adapter("powertrain")
+    generator = RandomFrameGenerator(
+        FuzzConfig.full_range(), RandomStreams(10).stream("fuzzer"))
+    campaign = FuzzCampaign(
+        car.sim, adapter, generator,
+        limits=CampaignLimits(max_duration=10 * SECOND,
+                              stop_on_finding=False))
+    result = campaign.run()
+    stats = car.powertrain_bus.stats
+    return result, stats.utilisation(car.sim.now), stats.frames_delivered
+
+
+def test_ablation_busload(benchmark, record_artifact):
+    def run_both():
+        return fuzz_throughput(False), fuzz_throughput(True)
+
+    (quiet, quiet_util, quiet_frames), \
+        (busy, busy_util, busy_frames) = benchmark.pedantic(
+            run_both, rounds=1, iterations=1)
+
+    lines = [
+        "Ablation D -- fuzz throughput under residual bus load (10 s)",
+        f"{'condition':<16} {'fuzz frames':>12} {'bus frames':>11} "
+        f"{'utilisation':>12}",
+        f"{'quiet bus':<16} {quiet.frames_sent:>12} {quiet_frames:>11} "
+        f"{quiet_util:>11.1%}",
+        f"{'idling car':<16} {busy.frames_sent:>12} {busy_frames:>11} "
+        f"{busy_util:>11.1%}",
+    ]
+    record_artifact("ablation_busload", "\n".join(lines))
+
+    benchmark.extra_info["quiet_util"] = round(quiet_util, 3)
+    benchmark.extra_info["busy_util"] = round(busy_util, 3)
+
+    # Shape checks: the residual traffic raises utilisation, and the
+    # fuzzer still sustains its 1 frame/ms budget (the bus has ample
+    # headroom at 500 kb/s -- ~25% from the fuzzer, ~8% residual).
+    assert busy_util > quiet_util + 0.04
+    assert quiet.frames_sent >= 9_900
+    assert busy.frames_sent >= 9_900
+    assert busy_frames > quiet_frames

@@ -1,0 +1,74 @@
+"""Ablation C: transmission rate vs time-to-unlock.
+
+The paper's fuzzer tops out at 1 frame/ms and Table III lists "Rate --
+vary transmission interval" as a fuzzable element.  This ablation
+varies the interval and confirms the expected inverse relationship:
+time-to-unlock in *wall (bus) time* scales linearly with the interval,
+while the number of frames needed stays constant.
+"""
+
+import statistics
+
+from repro.fuzz import (
+    CampaignLimits,
+    FuzzCampaign,
+    FuzzConfig,
+    PhysicalStateOracle,
+)
+from repro.fuzz.generator import TargetedFrameGenerator
+from repro.sim.clock import MS, SECOND
+from repro.sim.random import RandomStreams
+from repro.testbench import UnlockTestbench
+from repro.vehicle.database import BODY_COMMAND_ID
+
+INTERVALS_MS = (1, 2, 5, 10)
+TRIALS = 4
+
+
+def trial_frames_and_seconds(interval_ms: int, trial: int):
+    bench = UnlockTestbench(seed=55, check_mode="byte")
+    bench.power_on()
+    adapter = bench.attacker_adapter()
+    # Target the command id so each trial is quick; rate scaling is
+    # independent of the id pool.
+    generator = TargetedFrameGenerator(
+        (BODY_COMMAND_ID,), FuzzConfig.full_range(),
+        RandomStreams(55).fork(f"rate{interval_ms}-{trial}")
+        .stream("fuzzer"))
+    oracle = PhysicalStateOracle(lambda: bench.bcm.led_on, expected=False,
+                                 period=1 * MS)
+    campaign = FuzzCampaign(
+        bench.sim, adapter, generator,
+        limits=CampaignLimits(max_duration=3600 * SECOND),
+        oracles=[oracle], interval=interval_ms * MS)
+    result = campaign.run()
+    return result.frames_sent, result.first_finding_seconds
+
+
+def test_ablation_rate(benchmark, record_artifact):
+    def sweep():
+        rows = {}
+        for interval_ms in INTERVALS_MS:
+            rows[interval_ms] = [trial_frames_and_seconds(interval_ms, t)
+                                 for t in range(TRIALS)]
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["Ablation C -- transmission interval vs time-to-unlock "
+             f"(targeted id, {TRIALS} trials per rate)",
+             f"{'interval':>9} {'mean frames':>12} {'mean seconds':>13}"]
+    means = {}
+    for interval_ms, outcomes in rows.items():
+        frames = statistics.fmean(o[0] for o in outcomes)
+        seconds = statistics.fmean(o[1] for o in outcomes)
+        means[interval_ms] = (frames, seconds)
+        lines.append(f"{interval_ms:>7}ms {frames:>12.0f} {seconds:>13.1f}")
+    record_artifact("ablation_rate", "\n".join(lines))
+
+    # Shape checks: seconds ~ interval x frames; frames ~ constant.
+    frames_1, seconds_1 = means[1]
+    frames_10, seconds_10 = means[10]
+    assert 0.2 < frames_10 / frames_1 < 5.0        # same distribution
+    # Per-frame cost scales with the interval.
+    assert 5.0 < (seconds_10 / frames_10) / (seconds_1 / frames_1) < 15.0

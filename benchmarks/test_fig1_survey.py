@@ -1,0 +1,34 @@
+"""Fig 1: testing methods used in the automotive industry.
+
+Regenerates the bar-chart series (method, usage %) and checks the
+figure's load-bearing ordinal facts: functional methods dominate and
+fuzz testing ranks last.
+"""
+
+from repro.surveydata.altinger import (
+    TESTING_METHODS_SURVEY,
+    fuzzing_rank,
+    render_bar_chart,
+    survey_table,
+)
+
+
+def test_fig1_survey(benchmark, record_artifact):
+    def build():
+        return survey_table(), render_bar_chart()
+
+    table, chart = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    lines = ["Fig 1 -- Testing methods in the automotive industry",
+             "(series digitised from Altinger et al. [7])", ""]
+    lines += [f"{method:<32} {usage:5.1f} %" for method, usage in table]
+    lines += ["", chart]
+    record_artifact("fig1_survey", "\n".join(lines))
+
+    benchmark.extra_info["methods"] = len(table)
+    benchmark.extra_info["fuzzing_rank"] = fuzzing_rank()
+
+    # Shape checks: the claims the paper draws from the figure.
+    assert fuzzing_rank() == len(TESTING_METHODS_SURVEY)
+    assert table[0][1] > 80            # unit testing dominates
+    assert dict(table)["Fuzz testing"] < 10

@@ -1,0 +1,40 @@
+"""Fig 8: an inappropriate value on the vehicle simulator display.
+
+Spoofs an ENGINE_STATUS frame encoding a negative RPM and renders the
+simulator's display panel.  The shape claim: "the vehicle simulation
+handles physically invalid values in the same way as physically
+plausible ones" -- the negative RPM is displayed, not clamped.
+"""
+
+from repro.can.frame import CanFrame
+from repro.vehicle import TargetCar, VehicleSimulator
+from repro.vehicle.database import ENGINE_STATUS_ID
+
+
+def test_fig8_invalid_values(benchmark, record_artifact):
+    def spoof():
+        car = TargetCar(seed=8)
+        view = VehicleSimulator(car.database, [car.powertrain_bus])
+        car.ignition_on()
+        car.run_seconds(1.0)
+        car.engine.power_off()     # silence the honest sender
+        adapter = car.obd_adapter("powertrain")
+        payload = car.database.by_name("ENGINE_STATUS").encode(
+            {"EngineSpeed": -1250.0})
+        adapter.write(CanFrame(ENGINE_STATUS_ID, payload))
+        car.run_seconds(0.05)
+        return view
+
+    view = benchmark.pedantic(spoof, rounds=1, iterations=1)
+
+    panel = view.render_panel()
+    lines = ["Fig 8 -- Inappropriate value on the vehicle simulator "
+             "display via fuzzing", panel]
+    record_artifact("fig8_invalid_values", "\n".join(lines))
+
+    displayed = view.current_values()["EngineSpeed"]
+    benchmark.extra_info["displayed_rpm"] = displayed
+
+    # Shape checks: the physically impossible value is shown verbatim.
+    assert displayed == -1250.0
+    assert "-1250.0" in panel

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Reverse-engineering + targeted fuzzing workflow.
+
+The paper's §II observes that fuzzing's automotive value so far has
+been in *reverse engineering* ("the only way to determine what a
+particular CAN message does is to capture the network packets while
+operating a vehicle feature"), and §VII concludes the fuzz test's
+future is *targeted*: "fuzz testing in a specific message space, close
+to known messages, whether determined from design or data traffic
+capture".
+
+This example performs that full workflow against the simulated car:
+
+1. capture a baseline, operate the door-lock feature, capture again,
+2. diff the captures to find the command message (id + byte),
+3. profile the candidate id's payload bytes,
+4. bit-walk the discovered message (the Fig 3 single-bit mode) to map
+   which bit actually actuates the lock,
+5. run a targeted mutational campaign seeded from the capture and
+   compare its unlock speed against blind full-range fuzzing.
+
+Run:
+    python examples/targeted_fuzzing.py
+"""
+
+from repro.analysis import BusCapture, diff_captures, profile_id
+from repro.can.frame import CanFrame
+from repro.fuzz import (
+    BitWalkGenerator,
+    CampaignLimits,
+    FuzzCampaign,
+    FuzzConfig,
+    MutationalGenerator,
+    PhysicalStateOracle,
+    RandomFrameGenerator,
+)
+from repro.sim.clock import MS, SECOND
+from repro.sim.random import RandomStreams
+from repro.vehicle import TargetCar
+
+
+def main() -> None:
+    print("=== 1. Capture: baseline vs feature operation ===")
+    car = TargetCar(seed=9)
+    capture = BusCapture(car.body_bus, limit=50_000)
+    car.ignition_on()
+    car.run_seconds(2.0)
+
+    baseline = capture.stamped
+    capture.clear()
+    # Operate the feature: the owner presses lock/unlock in the app.
+    car.head_unit.request_unlock()
+    car.run_seconds(0.5)
+    car.head_unit.request_lock()
+    car.run_seconds(0.5)
+    operated = capture.stamped
+    print(f"baseline: {len(baseline)} frames; "
+          f"feature run: {len(operated)} frames")
+
+    print()
+    print("=== 2. Diff the captures ===")
+    diff = diff_captures(baseline, operated)
+    print(f"new ids while operating the feature: "
+          f"{[hex(i) for i in diff.new_ids]}")
+    candidate = diff.new_ids[0]
+    print(f"candidate command id: 0x{candidate:03X} "
+          f"(= {candidate} decimal; the paper's app used id 533)")
+
+    print()
+    print("=== 3. Profile the candidate message ===")
+    profile = profile_id(operated, candidate)
+    print(f"lengths seen: {profile.length_values}")
+    for position in profile.positions:
+        print(f"  byte {position.position}: {position.classification:<9}"
+              f" values {position.minimum:#04x}..{position.maximum:#04x}")
+    command_values = sorted(
+        {s.frame.data[0] for s in operated
+         if s.frame.can_id == candidate})
+    print(f"byte 0 carried the command codes: "
+          f"{[hex(v) for v in command_values]}")
+
+    print()
+    print("=== 4. Bit-walk the discovered message ===")
+    base = CanFrame(candidate, bytes(7))
+    walker = BitWalkGenerator(base)
+    actuating_bits = []
+    for bit in range(walker.total_bits):
+        frame = walker.next_frame()
+        before = car.bcm.locked
+        adapter = car.obd_adapter("body")
+        adapter.write(frame)
+        car.run_seconds(0.01)
+        if car.bcm.locked != before:
+            actuating_bits.append((bit, frame.data.hex()))
+        adapter.uninitialize()
+    print(f"bits whose single flip actuated the lock: "
+          f"{[(b, '0x' + h) for b, h in actuating_bits]}")
+    print("(bit 5 of byte 0 is the 0x20 unlock code; bit 4, the 0x10")
+    print(" lock code, shows no change because the car is already locked)")
+
+    print()
+    print("=== 5. Targeted mutational fuzz vs blind fuzz ===")
+    def time_to_unlock(generator_factory, label):
+        probe = TargetCar(seed=9)
+        probe.ignition_on()
+        probe.run_seconds(1.0)
+        adapter = probe.obd_adapter("body")
+        campaign = FuzzCampaign(
+            probe.sim, adapter, generator_factory(probe),
+            limits=CampaignLimits(max_duration=3600 * SECOND),
+            oracles=[PhysicalStateOracle(lambda: probe.bcm.locked,
+                                         expected=True, period=10 * MS)],
+            name=label)
+        result = campaign.run()
+        seconds = result.first_finding_seconds
+        print(f"  {label:<22} unlock after "
+              f"{seconds:8.1f} s ({result.frames_sent} frames)")
+        return seconds
+
+    seeds = [s.frame for s in operated
+             if s.frame.can_id == candidate]
+
+    blind = time_to_unlock(
+        lambda probe: RandomFrameGenerator(
+            FuzzConfig.full_range(), RandomStreams(31).stream("blind")),
+        "blind full-range")
+    targeted = time_to_unlock(
+        lambda probe: MutationalGenerator(
+            seeds, RandomStreams(31).stream("targeted")),
+        "targeted mutational")
+    print(f"  speed-up from targeting: {blind / targeted:.0f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Fuzzing the diagnostic (UDS) surface of an ECU.
+
+The paper highlights that "automotive ECUs have different operating
+modes" and that testers must cover all of them, because locked/
+unlocked diagnostic states "have been previously exploited" (§II).
+This example demonstrates exactly that effect on the simulated ECU:
+
+1. a legitimate diagnostic session (read VIN, unlock, reprogram),
+2. fuzzing the ECU in its *default* session -- the seeded defect is
+   unreachable and the ECU survives,
+3. fuzzing the same ECU in an *unlocked programming* session -- the
+   buffer overflow in the bootloader scratch writer is reachable and
+   the fuzzer crashes the ECU.
+
+Run:
+    python examples/uds_fuzzing.py
+"""
+
+import random
+
+from repro.can import CanBus
+from repro.ecu import Ecu
+from repro.sim import MS, Simulator
+from repro.uds import DataIdentifierFuzzer, UdsClient, UdsFuzzer, UdsServer
+from repro.uds.server import BOOTLOADER_SCRATCH_DID
+
+
+def fresh_rig():
+    sim = Simulator()
+    bus = CanBus(sim, name="diag")
+    ecu = Ecu(sim, bus, "body-controller", boot_time=20 * MS)
+    server = UdsServer(ecu)
+    ecu.power_on()
+    sim.run_for(50 * MS)
+    client = UdsClient(sim, bus, timeout=100 * MS)
+    return ecu, server, client
+
+
+def main() -> None:
+    print("=== 1. A legitimate diagnostic session ===")
+    ecu, server, client = fresh_rig()
+    vin = client.read_did(0xF190)
+    print(f"read VIN: {vin.message[3:].decode()}")
+    print(f"extended session: {client.change_session(0x03).positive}")
+    print(f"security unlock:  {client.security_unlock()}")
+    print(f"programming mode: {client.change_session(0x02).positive}")
+    write = client.write_did(BOOTLOADER_SCRATCH_DID, b"BOOT-PATCH-016B")
+    print(f"write scratch record (15 bytes): positive={write.positive}")
+
+    print()
+    print("=== 2. Fuzzing the DEFAULT session ===")
+    ecu, server, client = fresh_rig()
+    fuzzer = UdsFuzzer(client, random.Random(1))
+    report = fuzzer.run(150, stop_on_finding=True)
+    print(report.summary())
+    print(f"ECU state after fuzzing: {ecu.state.value} "
+          f"(the defect hides behind security access)")
+
+    print()
+    print("=== 3. Fuzzing the UNLOCKED PROGRAMMING session ===")
+    ecu, server, client = fresh_rig()
+    client.change_session(0x03)
+    client.security_unlock()
+    client.change_session(0x02)
+    print("session: programming, security unlocked")
+    # A protocol-aware fuzzer focuses on the ISO 14229 identification
+    # DID range with boundary-length records.
+    fuzzer = DataIdentifierFuzzer(client, random.Random(1))
+    report = fuzzer.run(2000, stop_on_finding=True)
+    print(report.summary())
+    for finding in report.findings:
+        print(f"FINDING: {finding.description}")
+        print(f"         after {finding.requests_before} requests")
+    print(f"ECU state after fuzzing: {ecu.state.value}")
+    print()
+    print("Lesson (paper §II): 'it is important for system testers to "
+          "cover all the states of an ECU'.")
+
+
+if __name__ == "__main__":
+    main()

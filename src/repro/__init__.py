@@ -1,0 +1,35 @@
+"""repro: a reproduction of "Fuzz Testing for Automotive Cyber-security"
+(Fowler, Bryans, Shaikh, Wooderson -- DSN Workshops 2018).
+
+The package provides the paper's custom CAN fuzzer together with every
+substrate the experiments need, all in pure Python:
+
+- :mod:`repro.sim` -- discrete-event kernel (the virtual clock all
+  hardware runs on),
+- :mod:`repro.can` -- bit-timing-accurate virtual CAN bus, controllers
+  and a PCAN-style adapter API,
+- :mod:`repro.ecu` -- ECU framework with operating modes, watchdogs
+  and fault models,
+- :mod:`repro.vehicle` -- the simulated target car (two buses, six
+  ECUs, signal database, instrument cluster) and the Vector-style
+  vehicle simulator front-end,
+- :mod:`repro.uds` -- ISO-TP + UDS diagnostics,
+- :mod:`repro.fuzz` -- the paper's contribution: fuzz configuration,
+  generators, campaign runner, oracle framework, statistics,
+  coverage math and trace minimisation,
+- :mod:`repro.analysis` -- capture and reverse-engineering helpers,
+- :mod:`repro.testbench` -- the bench-top remote-unlock experiment
+  (Table V),
+- :mod:`repro.surveydata` -- Fig 1 source data.
+
+Quickstart::
+
+    from repro.testbench import UnlockExperiment
+
+    row = UnlockExperiment(check_mode="byte", seed=7).run_trials(3)
+    print(row.format())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,150 @@
+"""PCAN-Basic-style adapter API.
+
+The paper connects its C# fuzzer to the bus through a PEAK PCAN-USB
+device whose API exposes *channels* that are initialised, written,
+read and queried for status.  This module reproduces that surface so
+the fuzzer's code path (open channel -> write frames -> poll reads ->
+check status) is the same as against the real hardware, and so the
+paper's proposed extension "fuzz the API for the PEAK USB CAN adaptor"
+has an API to fuzz.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.can.bus import CanBus
+from repro.can.errors import BusOffError, CanError, ErrorState
+from repro.can.frame import CanFrame, FrameError, TimestampedFrame
+from repro.can.node import CanController
+
+
+class AdapterStatus(enum.Enum):
+    """Status codes mirroring the PCAN-Basic ``TPCANStatus`` values."""
+
+    OK = "PCAN_ERROR_OK"
+    QRCVEMPTY = "PCAN_ERROR_QRCVEMPTY"     # receive queue empty
+    QXMTFULL = "PCAN_ERROR_QXMTFULL"       # transmit queue full
+    BUSWARNING = "PCAN_ERROR_BUSWARNING"   # error counters >= 96
+    BUSPASSIVE = "PCAN_ERROR_BUSPASSIVE"   # error-passive state
+    BUSOFF = "PCAN_ERROR_BUSOFF"           # bus-off state
+    INITIALIZE = "PCAN_ERROR_INITIALIZE"   # channel not initialised
+    ILLDATA = "PCAN_ERROR_ILLDATA"         # invalid frame parameters
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Result of :meth:`PcanStyleAdapter.read`."""
+
+    status: AdapterStatus
+    message: TimestampedFrame | None = None
+
+
+class PcanStyleAdapter:
+    """A USB-to-CAN adaptor with a PCAN-Basic-like API.
+
+    The adapter owns a :class:`CanController` wired to the target bus;
+    nothing is delivered or accepted until :meth:`initialize` is called,
+    matching the hardware's behaviour when the channel is closed.
+    """
+
+    def __init__(self, bus: CanBus, *, channel: str = "PCAN_USBBUS1") -> None:
+        self.channel = channel
+        self._bus = bus
+        self._controller = CanController(f"adapter:{channel}")
+        self._controller.attach(bus)
+        self._controller.enabled = False
+        self._initialised = False
+
+    @property
+    def controller(self) -> CanController:
+        """The underlying controller (for tests and advanced wiring)."""
+        return self._controller
+
+    @property
+    def initialised(self) -> bool:
+        return self._initialised
+
+    def initialize(self) -> AdapterStatus:
+        """Open the channel; frames start flowing into the RX queue."""
+        self._controller.reset()
+        self._initialised = True
+        return AdapterStatus.OK
+
+    def uninitialize(self) -> AdapterStatus:
+        """Close the channel; pending queues are discarded."""
+        self._controller.disable()
+        self._initialised = False
+        return AdapterStatus.OK
+
+    def reset(self) -> AdapterStatus:
+        """Reset the channel, clearing queues and error counters."""
+        if not self._initialised:
+            return AdapterStatus.INITIALIZE
+        self._controller.reset()
+        return AdapterStatus.OK
+
+    def write(self, frame: CanFrame) -> AdapterStatus:
+        """Queue a frame for transmission.
+
+        Invalid parameters surface as ``ILLDATA`` rather than raising,
+        mirroring the C status-code style of the real API; the fuzzer's
+        transmit loop branches on these codes.
+        """
+        if not self._initialised:
+            return AdapterStatus.INITIALIZE
+        if not isinstance(frame, CanFrame):
+            return AdapterStatus.ILLDATA
+        try:
+            self._controller.send(frame)
+        except BusOffError:
+            return AdapterStatus.BUSOFF
+        except CanError:
+            return AdapterStatus.QXMTFULL
+        return AdapterStatus.OK
+
+    def write_raw(self, can_id: int, data: bytes, *,
+                  extended: bool = False) -> AdapterStatus:
+        """Build and write a frame from raw parameters.
+
+        This is the entry point the adapter-API fuzz test targets: id
+        and payload come straight from untrusted input.
+        """
+        try:
+            frame = CanFrame(can_id, bytes(data), extended=extended)
+        except (FrameError, TypeError, ValueError):
+            return AdapterStatus.ILLDATA
+        return self.write(frame)
+
+    def read(self) -> ReadResult:
+        """Pop one received frame, or report an empty queue."""
+        if not self._initialised:
+            return ReadResult(AdapterStatus.INITIALIZE)
+        stamped = self._controller.read()
+        if stamped is None:
+            return ReadResult(AdapterStatus.QRCVEMPTY)
+        return ReadResult(AdapterStatus.OK, stamped)
+
+    def drain(self) -> list[TimestampedFrame]:
+        """Read until the queue is empty (monitoring convenience)."""
+        frames = []
+        while True:
+            result = self.read()
+            if result.message is None:
+                break
+            frames.append(result.message)
+        return frames
+
+    def get_status(self) -> AdapterStatus:
+        """Channel status derived from controller error state."""
+        if not self._initialised:
+            return AdapterStatus.INITIALIZE
+        state = self._controller.counters.state
+        if state is ErrorState.BUS_OFF:
+            return AdapterStatus.BUSOFF
+        if state is ErrorState.ERROR_PASSIVE:
+            return AdapterStatus.BUSPASSIVE
+        if self._controller.counters.warning:
+            return AdapterStatus.BUSWARNING
+        return AdapterStatus.OK

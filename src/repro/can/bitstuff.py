@@ -1,0 +1,253 @@
+"""Bit-level frame layout and bit-stuffing.
+
+CAN inserts a complementary *stuff bit* after every run of five equal
+bits in the region from start-of-frame through the CRC field, so two
+frames with the same DLC can occupy different amounts of bus time.  The
+paper's combinatorial-explosion arithmetic (§V) and our bus-load
+accounting both need the exact on-wire bit count, so we build the real
+bit sequence (including the computed CRC-15) and count stuff bits
+rather than using a worst-case formula.
+"""
+
+from __future__ import annotations
+
+from repro.can.crc import bytes_to_bits, crc15, int_to_bits
+from repro.can.frame import CanFrame
+
+#: Bits after the stuffed region: CRC delimiter, ACK slot, ACK delimiter,
+#: end-of-frame (7 recessive bits).
+FRAME_TAIL_BITS = 10
+
+#: Interframe space (3 recessive bits) before the next frame may start.
+INTERFRAME_BITS = 3
+
+# ----------------------------------------------------------------------
+# Fast path: table-driven CRC and stuff counting
+#
+# The bus computes a frame duration for every transmission, and a fuzz
+# campaign transmits millions of frames; the bit-by-bit reference
+# implementation below is kept for clarity and as the property-test
+# oracle, while the hot path processes whole payload bytes through
+# precomputed tables.
+# ----------------------------------------------------------------------
+from repro.can.crc import CRC15_MASK, CRC15_POLY
+
+
+def _build_crc_table() -> list[int]:
+    table = []
+    for byte in range(256):
+        register = byte << 7
+        for _ in range(8):
+            msb = register & 0x4000
+            register = (register << 1) & CRC15_MASK
+            if msb:
+                register ^= CRC15_POLY
+        table.append(register)
+    return table
+
+
+_CRC_TABLE = _build_crc_table()
+
+# Stuffing state machine over whole bytes.  A state is (run_value,
+# run_length) with run_value 2 meaning "no bits seen yet"; encoded as
+# run_value * 5 + run_length.  _STUFF_TABLE[state * 256 + byte] gives
+# (stuff_bits_added, next_state).
+_STATE_START = 2 * 5 + 0
+
+
+def _build_stuff_table() -> list[tuple[int, int]]:
+    table: list[tuple[int, int]] = [(0, 0)] * (15 * 256)
+    for state in range(15):
+        run_value, run_length = divmod(state, 5)
+        if run_value == 2 and run_length != 0:
+            continue  # unreachable encodings
+        for byte in range(256):
+            value, length = run_value, run_length
+            stuffed = 0
+            for shift in range(7, -1, -1):
+                bit = (byte >> shift) & 1
+                if bit == value:
+                    length += 1
+                else:
+                    value, length = bit, 1
+                if length == 5:
+                    stuffed += 1
+                    value, length = 1 - value, 1
+            table[state * 256 + byte] = (stuffed, value * 5 + length)
+    return table
+
+
+_STUFF_TABLE = _build_stuff_table()
+
+
+def _crc15_over(value: int, width: int) -> int:
+    """CRC-15 of the ``width``-bit big-endian bitstring in ``value``.
+
+    Leading ``width % 8`` bits go through the bitwise form (matching
+    :func:`repro.can.crc.crc15`); the byte-aligned remainder goes
+    through the table.
+    """
+    lead = width % 8
+    register = 0
+    for shift in range(width - 1, width - 1 - lead, -1):
+        bit = (value >> shift) & 1
+        msb = (register >> 14) & 1
+        register = (register << 1) & CRC15_MASK
+        if bit ^ msb:
+            register ^= CRC15_POLY
+    remaining = width - lead
+    while remaining:
+        remaining -= 8
+        byte = (value >> remaining) & 0xFF
+        register = (((register << 8) & CRC15_MASK)
+                    ^ _CRC_TABLE[((register >> 7) ^ byte) & 0xFF])
+    return register
+
+
+def _stuff_count_over(value: int, width: int) -> int:
+    """Stuff bits for the ``width``-bit bitstring in ``value``."""
+    lead = width % 8
+    run_value, run_length = 2, 0
+    stuffed = 0
+    for shift in range(width - 1, width - 1 - lead, -1):
+        bit = (value >> shift) & 1
+        if bit == run_value:
+            run_length += 1
+        else:
+            run_value, run_length = bit, 1
+        if run_length == 5:
+            stuffed += 1
+            run_value, run_length = 1 - run_value, 1
+    state = run_value * 5 + run_length
+    remaining = width - lead
+    table = _STUFF_TABLE
+    while remaining:
+        remaining -= 8
+        byte = (value >> remaining) & 0xFF
+        added, state = table[state * 256 + byte]
+        stuffed += added
+    return stuffed
+
+
+def _classic_header(frame: CanFrame) -> tuple[int, int]:
+    """(bits-as-int, width) for SOF through DLC of a classic frame."""
+    rtr = 1 if frame.remote else 0
+    if frame.extended:
+        base = frame.can_id >> 18
+        ext = frame.can_id & 0x3FFFF
+        # SOF(0) base(11) SRR(1) IDE(1) ext(18) RTR r1(0) r0(0) DLC(4)
+        value = ((base << 27) | (0b11 << 25) | (ext << 7)
+                 | (rtr << 6) | frame.dlc)
+        return value, 39
+    # SOF(0) id(11) RTR IDE(0) r0(0) DLC(4)
+    value = (frame.can_id << 7) | (rtr << 6) | frame.dlc
+    return value, 19
+
+
+def frame_stuffable_bits(frame: CanFrame) -> list[int]:
+    """The frame's bits from SOF through CRC, before stuffing.
+
+    Classic CAN only; FD frames use a different CRC and stuffing scheme
+    and are handled by :func:`fd_frame_bit_length` as an approximation.
+    """
+    if frame.fd:
+        raise ValueError("frame_stuffable_bits models classic CAN only")
+    bits: list[int] = [0]  # start of frame (dominant)
+    rtr = 1 if frame.remote else 0
+    if frame.extended:
+        bits += int_to_bits(frame.can_id >> 18, 11)   # base identifier
+        bits += [1, 1]                                # SRR, IDE (recessive)
+        bits += int_to_bits(frame.can_id & 0x3FFFF, 18)
+        bits += [rtr, 0, 0]                           # RTR, r1, r0
+    else:
+        bits += int_to_bits(frame.can_id, 11)
+        bits += [rtr, 0, 0]                           # RTR, IDE, r0
+    bits += int_to_bits(frame.dlc, 4)
+    if not frame.remote:
+        bits += bytes_to_bits(frame.data)
+    bits += int_to_bits(crc15(bits), 15)
+    return bits
+
+
+def count_stuff_bits(bits: list[int]) -> int:
+    """Number of stuff bits the transmitter inserts into ``bits``.
+
+    Stuff bits themselves participate in the run-length counting, which
+    is why this walks the sequence statefully instead of counting
+    five-bit runs arithmetically.
+    """
+    stuffed = 0
+    run_value = None
+    run_length = 0
+    for bit in bits:
+        if bit == run_value:
+            run_length += 1
+        else:
+            run_value = bit
+            run_length = 1
+        if run_length == 5:
+            stuffed += 1
+            # The inserted stuff bit is the complement and starts a new run.
+            run_value = 1 - bit
+            run_length = 1
+    return stuffed
+
+
+def frame_bit_length(frame: CanFrame, *, include_ifs: bool = True) -> int:
+    """Total on-wire bit count of a classic frame, including stuffing.
+
+    Args:
+        include_ifs: include the 3-bit interframe space; the bus model
+            uses ``True`` so back-to-back frames are spaced correctly.
+    """
+    if frame.fd:
+        raise ValueError(
+            "FD frames split into two bit-rate phases; "
+            "use fd_frame_bit_length()"
+        )
+    value, width = _classic_header(frame)
+    if not frame.remote:
+        for byte in frame.data:
+            value = (value << 8) | byte
+            width += 8
+    crc = _crc15_over(value, width)
+    value = (value << 15) | crc
+    width += 15
+    length = width + _stuff_count_over(value, width) + FRAME_TAIL_BITS
+    if include_ifs:
+        length += INTERFRAME_BITS
+    return length
+
+
+def frame_bit_length_reference(frame: CanFrame, *,
+                               include_ifs: bool = True) -> int:
+    """Bit-by-bit reference for :func:`frame_bit_length`.
+
+    Kept as the property-test oracle for the table-driven fast path.
+    """
+    bits = frame_stuffable_bits(frame)
+    length = len(bits) + count_stuff_bits(bits) + FRAME_TAIL_BITS
+    if include_ifs:
+        length += INTERFRAME_BITS
+    return length
+
+
+def fd_frame_bit_length(frame: CanFrame, *, include_ifs: bool = True) -> tuple[int, int]:
+    """(arbitration-phase bits, data-phase bits) for a CAN FD frame.
+
+    This is an engineering approximation -- FD uses CRC-17/21 and fixed
+    stuff bits -- sized so bus-load figures are within a few percent:
+
+    - arbitration phase: SOF + id + control ≈ 30 bits (standard id),
+      49 bits (extended), plus tail + IFS at nominal rate when the
+      frame does not switch bitrate.
+    - data phase: data bytes + CRC-17/21 + ~10% stuffing overhead.
+    """
+    arb = 49 if frame.extended else 30
+    crc_bits = 17 if frame.dlc <= 16 else 21
+    data_phase = frame.dlc * 8 + crc_bits
+    data_phase += data_phase // 10  # stuffing overhead
+    tail = FRAME_TAIL_BITS + (INTERFRAME_BITS if include_ifs else 0)
+    if frame.brs:
+        return (arb + tail, data_phase)
+    return (arb + tail + data_phase, 0)

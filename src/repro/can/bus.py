@@ -1,0 +1,185 @@
+"""The shared CAN medium: arbitration, delivery, errors, statistics.
+
+The bus is modelled at frame granularity with bit-accurate durations:
+when the medium goes idle, every controller with pending traffic
+contends and the frame with the lowest arbitration key wins (CSMA/CR,
+exactly the priority behaviour of the wire).  Losers keep their frames
+queued and contend again at the next idle point -- so under fuzzer
+load, low-priority residual traffic is delayed and shed the same way
+it is on a real vehicle bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.can.errors import ErrorFrameRecord
+from repro.can.frame import CanFrame, TimestampedFrame
+from repro.can.identifiers import arbitration_key
+from repro.can.node import CanController
+from repro.can.timing import BitTiming, CAN_500K
+from repro.sim.kernel import Simulator
+
+Tap = Callable[[TimestampedFrame], None]
+ErrorTap = Callable[[ErrorFrameRecord], None]
+#: Decides whether a given transmission is corrupted on the wire.
+FaultInjector = Callable[[CanFrame], bool]
+
+
+@dataclass
+class BusStats:
+    """Running statistics for one bus."""
+
+    frames_delivered: int = 0
+    error_frames: int = 0
+    busy_ticks: int = 0
+    arbitration_rounds: int = 0
+    per_id: dict[int, int] = field(default_factory=dict)
+
+    def utilisation(self, now: int) -> float:
+        """Fraction of elapsed time the bus was transmitting."""
+        if now <= 0:
+            return 0.0
+        return min(1.0, self.busy_ticks / now)
+
+
+class CanBus:
+    """A single CAN bus segment.
+
+    Args:
+        sim: the simulation executive providing time.
+        timing: bit timing (defaults to the paper's 500 kb/s).
+        name: bus name for traces ("powertrain", "body", "bench").
+    """
+
+    def __init__(self, sim: Simulator, *, timing: BitTiming = CAN_500K,
+                 name: str = "can0") -> None:
+        self.sim = sim
+        self.timing = timing
+        self.name = name
+        self.stats = BusStats()
+        self.fault_injector: FaultInjector | None = None
+        self._nodes: list[CanController] = []
+        self._taps: list[Tap] = []
+        self._error_taps: list[ErrorTap] = []
+        self._busy = False
+        # Event labels, precomputed: this is the hottest scheduling
+        # path in the whole simulator.
+        self._label_eof = f"{name}:eof"
+        self._label_error = f"{name}:error"
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def _register(self, controller: CanController) -> None:
+        self._nodes.append(controller)
+
+    @property
+    def nodes(self) -> tuple[CanController, ...]:
+        return tuple(self._nodes)
+
+    def add_tap(self, tap: Tap) -> None:
+        """Observe every successfully delivered frame (capture devices,
+        the fuzzer's traffic monitor, gateways and oracles use taps)."""
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: Tap) -> None:
+        self._taps.remove(tap)
+
+    def add_error_tap(self, tap: ErrorTap) -> None:
+        """Observe error frames (used by error-frame oracles)."""
+        self._error_taps.append(tap)
+
+    # ------------------------------------------------------------------
+    # Arbitration and transmission
+    # ------------------------------------------------------------------
+    def request_arbitration(self) -> None:
+        """Ask the bus to start a transmission as soon as it is idle.
+
+        Called by controllers when traffic is queued.  When the bus is
+        idle, arbitration runs immediately (synchronously) -- one fewer
+        scheduled event on the hottest path in the simulator.  Frames
+        queued while a transmission is in flight contend at the next
+        end-of-frame, exactly as on the wire.
+        """
+        if self._busy:
+            return
+        self._arbitrate()
+
+    def _contenders(self) -> list[tuple[CanController, CanFrame]]:
+        contenders = []
+        for node in self._nodes:
+            frame = node.peek_tx()
+            if frame is not None:
+                contenders.append((node, frame))
+        return contenders
+
+    def _arbitrate(self) -> None:
+        if self._busy:
+            return
+        contenders = self._contenders()
+        if not contenders:
+            return
+        self.stats.arbitration_rounds += 1
+        sender, frame = min(contenders, key=lambda c: arbitration_key(c[1]))
+        self._busy = True
+        corrupted = (self.fault_injector is not None
+                     and self.fault_injector(frame))
+        if corrupted:
+            # The error is detected mid-frame; approximate the wasted
+            # time as half the frame plus the error frame itself.
+            wasted = (self.timing.frame_duration(frame) // 2
+                      + self.timing.error_frame_duration())
+            self.sim.call_after(
+                wasted, lambda: self._complete_error(sender, frame),
+                priority=Simulator.BUS_PRIORITY,
+                label=self._label_error)
+            self.stats.busy_ticks += wasted
+        else:
+            duration = self.timing.frame_duration(frame)
+            self.sim.call_after(
+                duration, lambda: self._complete_ok(sender, frame),
+                priority=Simulator.BUS_PRIORITY,
+                label=self._label_eof)
+            self.stats.busy_ticks += duration
+
+    def _complete_ok(self, sender: CanController, frame: CanFrame) -> None:
+        self._busy = False
+        if not sender._tx_try_remove(frame):
+            # The transmitter was reset or disabled mid-frame; on the
+            # wire that truncates the frame, so nobody receives it.
+            self.request_arbitration()
+            return
+        sender._on_tx_success()
+        self.stats.frames_delivered += 1
+        self.stats.per_id[frame.can_id] = (
+            self.stats.per_id.get(frame.can_id, 0) + 1)
+        stamped = TimestampedFrame(time=self.sim.now, frame=frame,
+                                   channel=self.name, sender=sender.name)
+        for node in self._nodes:
+            if node is not sender:
+                node._on_delivery(stamped)
+        for tap in list(self._taps):
+            tap(stamped)
+        self.request_arbitration()
+
+    def _complete_error(self, sender: CanController,
+                        frame: CanFrame) -> None:
+        self._busy = False
+        self.stats.error_frames += 1
+        sender._on_tx_error()
+        for node in self._nodes:
+            if node is not sender:
+                node.counters.on_receive_error()
+        record = ErrorFrameRecord(time=self.sim.now, reporter=sender.name,
+                                  reason=f"corrupted frame {frame.id_hex()}")
+        for tap in list(self._error_taps):
+            tap(record)
+        # The sender retransmits automatically (frame still queued)
+        # unless the error drove it to bus-off, which cleared its queue.
+        self.request_arbitration()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CanBus({self.name!r}, nodes={len(self._nodes)}, "
+                f"delivered={self.stats.frames_delivered})")

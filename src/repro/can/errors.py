@@ -1,0 +1,101 @@
+"""CAN error handling: error states, counters and exceptions.
+
+Implements the CAN 2.0 fault-confinement rules in the simplified form
+used by the bus model: a transmit error bumps the transmitter's TEC by
+8 and each receiver's REC by 1; successful traffic decrements.  The
+error-active / error-passive / bus-off thresholds are per the spec
+(96 warning, 128 passive, 256 bus-off).
+
+Bricking an ECU by fuzzing (paper §VI: "previous car hacking research
+has shown that permanent damage to vehicles is possible") shows up in
+this model as a node driven to bus-off that never recovers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class CanError(RuntimeError):
+    """Base class for CAN-layer runtime errors."""
+
+
+class BusOffError(CanError):
+    """Raised when transmitting through a controller that is bus-off."""
+
+
+class ErrorState(enum.Enum):
+    """Fault-confinement state of a CAN node (CAN 2.0 §6)."""
+
+    ERROR_ACTIVE = "error-active"
+    ERROR_PASSIVE = "error-passive"
+    BUS_OFF = "bus-off"
+
+
+ERROR_WARNING_LIMIT = 96
+ERROR_PASSIVE_LIMIT = 128
+BUS_OFF_LIMIT = 256
+
+
+@dataclass
+class ErrorCounters:
+    """Transmit (TEC) and receive (REC) error counters for one node."""
+
+    tec: int = 0
+    rec: int = 0
+    bus_off_latched: bool = field(default=False)
+
+    @property
+    def state(self) -> ErrorState:
+        if self.bus_off_latched or self.tec >= BUS_OFF_LIMIT:
+            return ErrorState.BUS_OFF
+        if self.tec >= ERROR_PASSIVE_LIMIT or self.rec >= ERROR_PASSIVE_LIMIT:
+            return ErrorState.ERROR_PASSIVE
+        return ErrorState.ERROR_ACTIVE
+
+    @property
+    def warning(self) -> bool:
+        """True when either counter has crossed the warning limit."""
+        return (self.tec >= ERROR_WARNING_LIMIT
+                or self.rec >= ERROR_WARNING_LIMIT)
+
+    def on_transmit_error(self) -> None:
+        """Transmitter detected an error in its own frame (TEC += 8)."""
+        self.tec += 8
+        if self.tec >= BUS_OFF_LIMIT:
+            self.bus_off_latched = True
+
+    def on_receive_error(self) -> None:
+        """Receiver detected an error in an incoming frame (REC += 1)."""
+        self.rec += 1
+
+    def on_transmit_success(self) -> None:
+        """Successful transmission (TEC -= 1, floor 0)."""
+        if self.tec > 0:
+            self.tec -= 1
+
+    def on_receive_success(self) -> None:
+        """Successful reception (REC -= 1, floor 0)."""
+        if self.rec > 0:
+            self.rec -= 1
+
+    def reset(self) -> None:
+        """Controller re-initialisation (e.g. power cycle).
+
+        Clears the counters and the bus-off latch; matches the paper's
+        observation that power-cycling the instrument cluster cleared
+        its warning state.
+        """
+        self.tec = 0
+        self.rec = 0
+        self.bus_off_latched = False
+
+
+@dataclass(frozen=True)
+class ErrorFrameRecord:
+    """An error frame observed on the bus (for traces and oracles)."""
+
+    time: int
+    reporter: str
+    reason: str

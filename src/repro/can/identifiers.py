@@ -1,0 +1,85 @@
+"""Identifier ordering and acceptance filtering.
+
+CAN arbitration is decided bit-by-bit on the wire: a dominant (0) bit
+beats a recessive (1) bit, so numerically lower identifiers win.  Where
+a standard and an extended frame share the same leading 11 bits, the
+standard frame wins (its SRR/IDE bits are dominant earlier), and a data
+frame beats a remote frame with the same identifier (RTR is recessive).
+``arbitration_key`` encodes exactly that ordering as a sortable tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.can.frame import CanFrame, MAX_EXTENDED_ID, MAX_STANDARD_ID
+
+
+def arbitration_key(frame: CanFrame) -> tuple[int, int, int, int]:
+    """Total order on frames matching on-wire arbitration priority.
+
+    Lower tuples win arbitration.  Components, in comparison order:
+
+    1. the 11 most-significant identifier bits (the base id),
+    2. IDE: standard (0) beats extended (1) on a base-id tie,
+    3. the 18 extension bits (0 for standard frames),
+    4. RTR: data (0) beats remote (1).
+    """
+    if frame.extended:
+        base = frame.can_id >> 18
+        extension = frame.can_id & 0x3FFFF
+        ide = 1
+    else:
+        base = frame.can_id
+        extension = 0
+        ide = 0
+    return (base, ide, extension, 1 if frame.remote else 0)
+
+
+@dataclass(frozen=True)
+class AcceptanceFilter:
+    """A mask/code acceptance filter as implemented by CAN controllers.
+
+    A frame is accepted when ``(frame.can_id & mask) == (code & mask)``
+    and the frame kind (standard/extended) matches.  The default filter
+    accepts everything, which is how the fuzzer's monitor port and the
+    capture equipment operate.
+    """
+
+    code: int = 0
+    mask: int = 0
+    extended: bool = False
+
+    def __post_init__(self) -> None:
+        limit = MAX_EXTENDED_ID if self.extended else MAX_STANDARD_ID
+        if not 0 <= self.code <= limit:
+            raise ValueError(f"filter code 0x{self.code:X} out of range")
+        if not 0 <= self.mask <= limit:
+            raise ValueError(f"filter mask 0x{self.mask:X} out of range")
+
+    def matches(self, frame: CanFrame) -> bool:
+        if frame.extended != self.extended:
+            return False
+        return (frame.can_id & self.mask) == (self.code & self.mask)
+
+    @classmethod
+    def exact(cls, can_id: int, *, extended: bool = False) -> "AcceptanceFilter":
+        """A filter matching exactly one identifier."""
+        mask = MAX_EXTENDED_ID if extended else MAX_STANDARD_ID
+        return cls(code=can_id, mask=mask, extended=extended)
+
+    @classmethod
+    def accept_all(cls, *, extended: bool = False) -> "AcceptanceFilter":
+        """A filter matching every identifier of the given kind."""
+        return cls(code=0, mask=0, extended=extended)
+
+
+def accepts(filters: list[AcceptanceFilter], frame: CanFrame) -> bool:
+    """True when any filter matches (controllers OR their filter banks).
+
+    An empty filter bank accepts everything, matching controller
+    power-on defaults.
+    """
+    if not filters:
+        return True
+    return any(f.matches(frame) for f in filters)

@@ -1,0 +1,189 @@
+"""CAN controller model — one node's interface to the bus.
+
+Mirrors the behaviour of a real controller chip (the paper: "the CAN
+transceiver chips in a node handle the protocol automatically,
+providing the id, data length and data bytes to the higher level
+application"): applications hand frames to :meth:`CanController.send`
+and receive already-validated frames through a callback or RX queue;
+arbitration, retransmission after lost arbitration and fault
+confinement are invisible to them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+from repro.can.errors import BusOffError, CanError, ErrorCounters
+from repro.can.frame import CanFrame, TimestampedFrame
+from repro.can.identifiers import AcceptanceFilter, accepts, arbitration_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.can.bus import CanBus
+
+RxHandler = Callable[[TimestampedFrame], None]
+
+
+class CanController:
+    """A node's CAN controller.
+
+    Attributes:
+        name: identifies the node in traces and error records.
+        counters: fault-confinement error counters.
+        tx_queue_limit: hardware mailbox depth; a full queue drops the
+            oldest pending frame (matching "overwrite" mailbox policy)
+            and counts it in :attr:`tx_dropped`.
+    """
+
+    def __init__(self, name: str, *, tx_queue_limit: int = 64) -> None:
+        if tx_queue_limit < 1:
+            raise ValueError("tx_queue_limit must be at least 1")
+        self.name = name
+        self.bus: "CanBus | None" = None
+        self.counters = ErrorCounters()
+        self.tx_queue_limit = tx_queue_limit
+        self.filters: list[AcceptanceFilter] = []
+        self.enabled = True
+        self.tx_count = 0
+        self.rx_count = 0
+        self.tx_dropped = 0
+        self._tx_queue: deque[CanFrame] = deque()
+        self._rx_handler: RxHandler | None = None
+        self._rx_queue: deque[TimestampedFrame] = deque()
+        self._rx_queue_limit = 1024
+        self.rx_overruns = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, bus: "CanBus") -> None:
+        """Connect this controller to ``bus`` (a node joins one bus)."""
+        if self.bus is not None:
+            raise CanError(f"controller {self.name!r} is already attached")
+        self.bus = bus
+        bus._register(self)
+
+    def set_rx_handler(self, handler: RxHandler | None) -> None:
+        """Deliver accepted frames to ``handler`` instead of the RX queue."""
+        self._rx_handler = handler
+
+    def add_filter(self, acceptance: AcceptanceFilter) -> None:
+        """Add an acceptance filter (empty bank = accept everything)."""
+        self.filters.append(acceptance)
+
+    # ------------------------------------------------------------------
+    # Transmit
+    # ------------------------------------------------------------------
+    def send(self, frame: CanFrame) -> None:
+        """Queue ``frame`` for transmission.
+
+        Raises:
+            BusOffError: the controller has latched bus-off.
+            CanError: the controller is not attached to a bus.
+        """
+        if self.bus is None:
+            raise CanError(f"controller {self.name!r} is not attached")
+        if self.counters.bus_off_latched:
+            raise BusOffError(
+                f"controller {self.name!r} is bus-off; reset required")
+        if not self.enabled:
+            raise CanError(f"controller {self.name!r} is disabled")
+        if len(self._tx_queue) >= self.tx_queue_limit:
+            self._tx_queue.popleft()
+            self.tx_dropped += 1
+        self._tx_queue.append(frame)
+        self.bus.request_arbitration()
+
+    def peek_tx(self) -> CanFrame | None:
+        """The frame this node would contend with (its highest priority).
+
+        Real controllers arbitrate with their highest-priority pending
+        mailbox, not strict FIFO; ties keep queue order.
+        """
+        if not self.enabled or not self._tx_queue:
+            return None
+        return min(self._tx_queue, key=arbitration_key)
+
+    def pending_tx(self) -> int:
+        """Number of frames waiting to transmit."""
+        return len(self._tx_queue)
+
+    def clear_tx(self) -> int:
+        """Drop all pending frames; returns how many were dropped."""
+        dropped = len(self._tx_queue)
+        self._tx_queue.clear()
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Receive
+    # ------------------------------------------------------------------
+    def read(self) -> TimestampedFrame | None:
+        """Pop the oldest received frame, or ``None`` when empty."""
+        if self._rx_queue:
+            return self._rx_queue.popleft()
+        return None
+
+    def rx_pending(self) -> int:
+        """Number of frames waiting in the RX queue."""
+        return len(self._rx_queue)
+
+    # ------------------------------------------------------------------
+    # Power / reset
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Re-initialise the controller (clears queues, counters, bus-off)."""
+        self._tx_queue.clear()
+        self._rx_queue.clear()
+        self.counters.reset()
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Take the node off the bus (powered-down ECU)."""
+        self.enabled = False
+        self._tx_queue.clear()
+
+    # ------------------------------------------------------------------
+    # Bus-side interface (called by CanBus only)
+    # ------------------------------------------------------------------
+    def _tx_try_remove(self, frame: CanFrame) -> bool:
+        """Remove a completed frame from the queue.
+
+        Returns ``False`` when the frame is gone -- the controller was
+        reset, disabled or driven bus-off while its frame was on the
+        wire.  The bus treats that as an aborted transmission.
+        """
+        try:
+            self._tx_queue.remove(frame)
+        except ValueError:
+            return False
+        return True
+
+    def _on_delivery(self, stamped: TimestampedFrame) -> None:
+        if not self.enabled:
+            return
+        if not accepts(self.filters, stamped.frame):
+            return
+        self.rx_count += 1
+        self.counters.on_receive_success()
+        if self._rx_handler is not None:
+            self._rx_handler(stamped)
+        else:
+            if len(self._rx_queue) >= self._rx_queue_limit:
+                self._rx_queue.popleft()
+                self.rx_overruns += 1
+            self._rx_queue.append(stamped)
+
+    def _on_tx_success(self) -> None:
+        self.tx_count += 1
+        self.counters.on_transmit_success()
+
+    def _on_tx_error(self) -> None:
+        self.counters.on_transmit_error()
+        if self.counters.bus_off_latched:
+            # Bus-off drops all pending traffic; the application must
+            # reset the controller to talk again.
+            self._tx_queue.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CanController({self.name!r}, tx={self.tx_count}, "
+                f"rx={self.rx_count}, state={self.counters.state.value})")

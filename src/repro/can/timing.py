@@ -1,0 +1,80 @@
+"""Bit timing: bitrates and frame durations.
+
+The target vehicle's buses run classic CAN at 500 kb/s (the common
+automotive rate the paper cites); one bit therefore occupies 2 µs and a
+full 8-byte frame roughly 260 µs once stuffing is counted.  Durations
+are rounded up to whole microsecond ticks -- rounding *up* keeps the
+modelled bus load a (tight) upper bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.can.bitstuff import fd_frame_bit_length, frame_bit_length
+from repro.can.frame import CanFrame
+from repro.sim.clock import SECOND
+
+#: Error frames: 6 flag bits + up to 6 echoed flag bits + 8 delimiter
+#: bits + 3-bit interframe space.
+ERROR_FRAME_BITS = 23
+
+
+@dataclass(frozen=True)
+class BitTiming:
+    """Bus bit timing.
+
+    Attributes:
+        bitrate: nominal bitrate in bits/s (arbitration phase for FD).
+        data_bitrate: FD data-phase bitrate; defaults to the nominal
+            rate, i.e. FD without bit-rate switching.
+    """
+
+    bitrate: int = 500_000
+    data_bitrate: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.bitrate <= 0:
+            raise ValueError(f"bitrate must be positive, got {self.bitrate}")
+        if self.data_bitrate is not None and self.data_bitrate < self.bitrate:
+            raise ValueError(
+                "FD data bitrate must be at least the nominal bitrate"
+            )
+
+    @property
+    def bit_time_us(self) -> float:
+        """Duration of one nominal bit in microseconds."""
+        return SECOND / self.bitrate
+
+    def bits_to_ticks(self, bits: int, *, data_phase: bool = False) -> int:
+        """Duration of ``bits`` in clock ticks, rounded up."""
+        rate = self.bitrate
+        if data_phase and self.data_bitrate is not None:
+            rate = self.data_bitrate
+        return -(-bits * SECOND // rate)  # ceiling division
+
+    def frame_duration(self, frame: CanFrame, *,
+                       include_ifs: bool = True) -> int:
+        """On-wire duration of ``frame`` in clock ticks."""
+        if frame.fd:
+            arb_bits, data_bits = fd_frame_bit_length(
+                frame, include_ifs=include_ifs)
+            return (self.bits_to_ticks(arb_bits)
+                    + self.bits_to_ticks(data_bits, data_phase=True))
+        return self.bits_to_ticks(
+            frame_bit_length(frame, include_ifs=include_ifs))
+
+    def error_frame_duration(self) -> int:
+        """Duration of an active error frame plus interframe space."""
+        return self.bits_to_ticks(ERROR_FRAME_BITS)
+
+
+#: The paper's bus rate ("a common transmission speed used in cars is
+#: 500kb/s").
+CAN_500K = BitTiming(bitrate=500_000)
+
+#: Lower-speed body/comfort bus rate common on second vehicle buses.
+CAN_125K = BitTiming(bitrate=125_000)
+
+#: High-speed rate; the CAN maximum the paper mentions (1 Mb/s).
+CAN_1M = BitTiming(bitrate=1_000_000)

@@ -1,0 +1,218 @@
+"""Command-line interface: the fuzzer's command-and-control surface.
+
+The paper's C# fuzzer carried "UI screens for command and control"
+(Fig 3).  This CLI is our equivalent: each subcommand configures and
+runs one of the reproduced workflows.
+
+Subcommands:
+
+- ``survey``       print the Fig 1 testing-methods chart,
+- ``capture``      boot the simulated car and print captured traffic,
+- ``byte-stats``   Fig 4/5 byte-position statistics,
+- ``coverage``     the §V combinatorial-explosion arithmetic,
+- ``fuzz-bench``   one blind-fuzz campaign against the unlock bench,
+- ``table5``       a full Table V row (N trials),
+- ``obd-scan``     scan the car's OBD PIDs and stored DTCs.
+
+Run ``repro <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.sim.clock import MS, SECOND
+
+
+def _cmd_survey(_args: argparse.Namespace) -> int:
+    from repro.surveydata.altinger import render_bar_chart
+
+    print("Testing methods in the automotive industry (Fig 1):")
+    print(render_bar_chart())
+    return 0
+
+
+def _cmd_capture(args: argparse.Namespace) -> int:
+    from repro.analysis import BusCapture
+    from repro.can.log import format_candump, format_csv
+    from repro.vehicle import TargetCar
+
+    car = TargetCar(seed=args.seed)
+    capture = BusCapture(car.bus(args.bus), limit=args.limit)
+    car.ignition_on()
+    car.run_seconds(args.seconds)
+    records = capture.records()
+    if args.format == "candump":
+        print(format_candump(records))
+    elif args.format == "csv":
+        print(format_csv(records), end="")
+    else:
+        print(capture.as_paper_table(head=args.head))
+    return 0
+
+
+def _cmd_byte_stats(args: argparse.Namespace) -> int:
+    from repro.fuzz import FuzzConfig, RandomFrameGenerator, \
+        byte_position_means
+    from repro.sim.random import RandomStreams
+
+    generator = RandomFrameGenerator(
+        FuzzConfig.full_range(), RandomStreams(args.seed).stream("fuzzer"))
+    stats = byte_position_means(generator.frames(args.frames))
+    print(f"byte-position means over {args.frames} fuzzer frames:")
+    for position, count, mean in stats.rows():
+        if count:
+            print(f"  position {position}: {mean:6.1f}  ({count} samples)")
+    print(f"overall mean: {stats.overall_mean:.1f} (uniform ideal 127.5)")
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    from repro.fuzz.coverage import combination_count, \
+        time_to_exhaust_seconds
+
+    combos = combination_count(args.id_bits, args.payload_bytes)
+    seconds = time_to_exhaust_seconds(combos, args.interval_ms * MS)
+    print(f"{args.id_bits}-bit id x {args.payload_bytes} payload byte(s): "
+          f"{combos:,} combinations")
+    if seconds < 3600:
+        print(f"exhaustive transmission at 1/{args.interval_ms} ms: "
+              f"{seconds / 60:.1f} minutes")
+    else:
+        print(f"exhaustive transmission at 1/{args.interval_ms} ms: "
+              f"{seconds / 86400:.2f} days")
+    return 0
+
+
+def _cmd_fuzz_bench(args: argparse.Namespace) -> int:
+    from repro.fuzz import (AckMessageOracle, CampaignLimits, FuzzCampaign,
+                            FuzzConfig, PhysicalStateOracle,
+                            RandomFrameGenerator)
+    from repro.sim.random import RandomStreams
+    from repro.testbench import UNLOCK_ACK_ID, UnlockTestbench
+
+    bench = UnlockTestbench(seed=args.seed, check_mode=args.check_mode)
+    bench.power_on()
+    adapter = bench.attacker_adapter()
+    generator = RandomFrameGenerator(
+        FuzzConfig.full_range(),
+        RandomStreams(args.seed).stream("fuzzer"))
+    oracles = [
+        AckMessageOracle(bench.bus, UNLOCK_ACK_ID,
+                         predicate=lambda f: f.data[:1] == b"\x01",
+                         exclude_sender=adapter.controller.name,
+                         name="unlock-ack"),
+        PhysicalStateOracle(lambda: bench.bcm.led_on, expected=False,
+                            period=20 * MS, name="led"),
+    ]
+    campaign = FuzzCampaign(
+        bench.sim, adapter, generator,
+        limits=CampaignLimits(
+            max_duration=round(args.max_seconds * SECOND)),
+        oracles=oracles, name="cli-fuzz-bench")
+    result = campaign.run()
+    print(result.summary())
+    print(f"lock LED: {'ON (unlocked)' if bench.bcm.led_on else 'off'}")
+    return 0 if result.findings else 1
+
+
+def _cmd_table5(args: argparse.Namespace) -> int:
+    from repro.testbench import UnlockExperiment
+
+    experiment = UnlockExperiment(check_mode=args.check_mode,
+                                  seed=args.seed)
+    row = experiment.run_trials(args.trials)
+    print(row.format())
+    if row.timeouts:
+        print(f"({row.timeouts} trial(s) hit the per-trial cap)")
+    return 0
+
+
+def _cmd_obd_scan(args: argparse.Namespace) -> int:
+    from repro.obd import ObdScanner, Pid
+    from repro.vehicle import TargetCar
+
+    car = TargetCar(seed=args.seed)
+    car.ignition_on()
+    car.run_seconds(2.0)
+    scanner = ObdScanner(car.sim, car.powertrain_bus)
+    print("OBD-II scan of the simulated vehicle:")
+    for pid in (Pid.ENGINE_RPM, Pid.VEHICLE_SPEED, Pid.COOLANT_TEMP,
+                Pid.THROTTLE_POSITION, Pid.FUEL_LEVEL):
+        value = scanner.read_pid(pid)
+        rendered = "no response" if value is None else f"{value:.1f}"
+        print(f"  {pid.name:<18} {rendered}")
+    count, codes = scanner.read_dtcs()
+    print(f"  stored DTCs: {count} "
+          f"{['%04X' % c for c in codes] if codes else ''}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Fuzz Testing for Automotive "
+                    "Cyber-security' (DSN 2018)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("survey", help="print the Fig 1 chart") \
+        .set_defaults(func=_cmd_survey)
+
+    capture = sub.add_parser("capture",
+                             help="capture traffic from the simulated car")
+    capture.add_argument("--bus", choices=("powertrain", "body"),
+                         default="powertrain")
+    capture.add_argument("--seconds", type=float, default=2.0)
+    capture.add_argument("--seed", type=int, default=0)
+    capture.add_argument("--limit", type=int, default=10_000)
+    capture.add_argument("--head", type=int, default=20,
+                         help="rows to print in paper format")
+    capture.add_argument("--format",
+                         choices=("paper", "candump", "csv"),
+                         default="paper")
+    capture.set_defaults(func=_cmd_capture)
+
+    stats = sub.add_parser("byte-stats",
+                           help="Fig 5 byte statistics of fuzzer output")
+    stats.add_argument("--frames", type=int, default=66_144)
+    stats.add_argument("--seed", type=int, default=0)
+    stats.set_defaults(func=_cmd_byte_stats)
+
+    coverage = sub.add_parser("coverage",
+                              help="combinatorial-explosion arithmetic")
+    coverage.add_argument("--id-bits", type=int, default=11)
+    coverage.add_argument("--payload-bytes", type=int, default=1)
+    coverage.add_argument("--interval-ms", type=int, default=1)
+    coverage.set_defaults(func=_cmd_coverage)
+
+    bench = sub.add_parser("fuzz-bench",
+                           help="blind-fuzz the unlock bench once")
+    bench.add_argument("--check-mode", default="byte",
+                       choices=("byte", "byte+dlc", "two-byte"))
+    bench.add_argument("--seed", type=int, default=19)
+    bench.add_argument("--max-seconds", type=float, default=3600.0,
+                       help="simulated-time budget")
+    bench.set_defaults(func=_cmd_fuzz_bench)
+
+    table5 = sub.add_parser("table5", help="run a Table V row")
+    table5.add_argument("--check-mode", default="byte",
+                        choices=("byte", "byte+dlc", "two-byte"))
+    table5.add_argument("--trials", type=int, default=12)
+    table5.add_argument("--seed", type=int, default=0)
+    table5.set_defaults(func=_cmd_table5)
+
+    obd = sub.add_parser("obd-scan", help="OBD-II scan the simulated car")
+    obd.add_argument("--seed", type=int, default=0)
+    obd.set_defaults(func=_cmd_obd_scan)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

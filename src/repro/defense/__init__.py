@@ -1,0 +1,34 @@
+"""Defensive measures, and the machinery to evaluate them by fuzzing.
+
+The paper's discussion (§VII) draws two engineering conclusions:
+
+1. "vehicle systems need additional logic to ignore nonsensical CAN
+   message values, and sequences of such values" -- implemented here
+   as :class:`~repro.defense.plausibility.PlausibilityGuard`;
+2. protection of the CAN bus is now a functional requirement, with
+   message authentication the canonical mechanism (the paper cites
+   Nowdehi et al.'s criteria for in-vehicle CAN authentication) --
+   implemented as :class:`~repro.defense.authentication.CanAuthenticator`.
+
+And its further-work list asks to "use the fuzz test to determine the
+effectiveness of protection measures" -- the ablation benchmarks fuzz
+protected and unprotected targets side by side.
+"""
+
+from repro.defense.authentication import (
+    AuthError,
+    AuthVerdict,
+    CanAuthenticator,
+)
+from repro.defense.plausibility import (
+    PlausibilityGuard,
+    PlausibilityVerdict,
+)
+
+__all__ = [
+    "CanAuthenticator",
+    "AuthVerdict",
+    "AuthError",
+    "PlausibilityGuard",
+    "PlausibilityVerdict",
+]

@@ -1,0 +1,159 @@
+"""CAN message authentication (truncated-MAC scheme).
+
+A lightweight in-payload authentication scheme of the family the
+paper's reference [24] (Nowdehi et al.) evaluates: the sender appends
+a monotonically increasing freshness counter and a truncated
+HMAC-SHA256 tag over ``(id, counter, payload)``.  The receiver checks
+the tag and enforces a counter window against replay.
+
+Design constraints the scheme honours (the industrial criteria from
+[24]):
+
+- **backward compatibility**: tag and counter ride in ordinary CAN
+  payload bytes; the frame stays a standard frame,
+- **cost**: no extra frames; one shared key per message id,
+- **payload overhead**: ``counter_bytes + tag_bytes`` payload bytes
+  are consumed, so an 8-byte message can protect at most
+  ``8 - overhead`` bytes of application data (the real deployment
+  blocker the paper alludes to: "no scheme meets all the criteria").
+
+Truncated tags are the realistic compromise -- and the evaluation
+benchmark quantifies what a 2-byte tag still does to a blind fuzzer:
+the unlock probability drops by 2^16.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import hmac
+
+from repro.can.frame import CanFrame, MAX_DATA_CLASSIC
+
+
+class AuthError(ValueError):
+    """Raised for configuration errors (not for bad frames)."""
+
+
+class AuthVerdict(enum.Enum):
+    """Receiver-side verification outcome."""
+
+    AUTHENTIC = "authentic"
+    BAD_TAG = "bad-tag"
+    REPLAYED = "replayed"
+    MALFORMED = "malformed"
+
+
+class CanAuthenticator:
+    """Sender/receiver state for one authenticated message id.
+
+    Args:
+        key: shared secret.
+        can_id: the protected identifier.
+        tag_bytes: truncated MAC length (1-4 typical; [24] discusses
+            the tag-size/bus-load trade-off).
+        counter_bytes: freshness counter width.
+        counter_window: how far ahead of the last accepted counter a
+            frame may be (tolerates lost frames without desync).
+    """
+
+    def __init__(self, key: bytes, can_id: int, *,
+                 tag_bytes: int = 2, counter_bytes: int = 1,
+                 counter_window: int = 32) -> None:
+        if not key:
+            raise AuthError("key must not be empty")
+        if not 1 <= tag_bytes <= 8:
+            raise AuthError("tag_bytes must be 1-8")
+        if not 1 <= counter_bytes <= 4:
+            raise AuthError("counter_bytes must be 1-4")
+        if counter_window < 1:
+            raise AuthError("counter_window must be >= 1")
+        self.key = bytes(key)
+        self.can_id = can_id
+        self.tag_bytes = tag_bytes
+        self.counter_bytes = counter_bytes
+        self.counter_window = counter_window
+        self._tx_counter = 0
+        self._last_rx_counter = -1
+        self.accepted = 0
+        self.rejected = 0
+
+    @property
+    def overhead(self) -> int:
+        """Payload bytes consumed by counter + tag."""
+        return self.counter_bytes + self.tag_bytes
+
+    @property
+    def max_data(self) -> int:
+        """Application bytes that still fit a classic frame."""
+        return MAX_DATA_CLASSIC - self.overhead
+
+    # ------------------------------------------------------------------
+    # MAC
+    # ------------------------------------------------------------------
+    def _tag(self, counter: int, data: bytes) -> bytes:
+        message = (self.can_id.to_bytes(4, "big")
+                   + counter.to_bytes(self.counter_bytes, "big")
+                   + data)
+        digest = hmac.new(self.key, message, hashlib.sha256).digest()
+        return digest[:self.tag_bytes]
+
+    # ------------------------------------------------------------------
+    # Sender
+    # ------------------------------------------------------------------
+    def protect(self, data: bytes) -> CanFrame:
+        """Build the authenticated frame for application ``data``.
+
+        Layout: ``data || counter || tag``.
+        """
+        if len(data) > self.max_data:
+            raise AuthError(
+                f"{len(data)} data bytes + {self.overhead} overhead "
+                f"exceed the classic CAN payload")
+        counter = self._tx_counter
+        self._tx_counter = (self._tx_counter + 1) % (
+            1 << (8 * self.counter_bytes))
+        payload = (bytes(data)
+                   + counter.to_bytes(self.counter_bytes, "big")
+                   + self._tag(counter, bytes(data)))
+        return CanFrame(self.can_id, payload)
+
+    # ------------------------------------------------------------------
+    # Receiver
+    # ------------------------------------------------------------------
+    def verify(self, frame: CanFrame) -> tuple[AuthVerdict, bytes | None]:
+        """Check a received frame; returns (verdict, application data).
+
+        A frame with the right id but any authentication failure is
+        dropped -- this is exactly the "ignore nonsensical values"
+        logic the paper recommends, with cryptographic teeth.
+        """
+        if frame.can_id != self.can_id:
+            return AuthVerdict.MALFORMED, None
+        if len(frame.data) < self.overhead:
+            self.rejected += 1
+            return AuthVerdict.MALFORMED, None
+        data = frame.data[:-self.overhead]
+        counter = int.from_bytes(
+            frame.data[len(data):len(data) + self.counter_bytes], "big")
+        tag = frame.data[len(data) + self.counter_bytes:]
+        if not hmac.compare_digest(tag, self._tag(counter, data)):
+            self.rejected += 1
+            return AuthVerdict.BAD_TAG, None
+        if not self._counter_fresh(counter):
+            self.rejected += 1
+            return AuthVerdict.REPLAYED, None
+        self._last_rx_counter = counter
+        self.accepted += 1
+        return AuthVerdict.AUTHENTIC, data
+
+    def _counter_fresh(self, counter: int) -> bool:
+        if self._last_rx_counter < 0:
+            return True
+        modulus = 1 << (8 * self.counter_bytes)
+        ahead = (counter - self._last_rx_counter) % modulus
+        return 1 <= ahead <= self.counter_window
+
+    def resync(self) -> None:
+        """Receiver-side resync after its ECU reboots."""
+        self._last_rx_counter = -1

@@ -1,0 +1,158 @@
+"""Plausibility filtering for received CAN messages.
+
+The paper's §VII: "it suggests that vehicle systems need additional
+logic to ignore nonsensical CAN message values, and sequences of such
+values."  :class:`PlausibilityGuard` is that logic, as a reusable
+component an ECU consults before acting on a frame:
+
+- **DLC check**: the frame length must match the database spec (the
+  hardened Table V variant, generalised to every message),
+- **range check**: every decoded signal must sit inside its
+  documented physical range,
+- **rate-of-change check**: consecutive values of a signal must not
+  jump faster than a configured slew limit ("sequences of such
+  values"),
+- **timing check**: cyclic messages arriving far faster than their
+  specified cycle time are flagged (a fuzzer floods; a sensor does
+  not).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.can.frame import CanFrame
+from repro.sim.clock import MS
+from repro.vehicle.signals import SignalDatabase
+
+
+class PlausibilityVerdict(enum.Enum):
+    """Why a frame was accepted or dropped."""
+
+    ACCEPTED = "accepted"
+    UNKNOWN_ID = "unknown-id"
+    BAD_DLC = "bad-dlc"
+    OUT_OF_RANGE = "out-of-range"
+    IMPLAUSIBLE_SLEW = "implausible-slew"
+    TOO_FREQUENT = "too-frequent"
+
+
+@dataclass
+class GuardStats:
+    """Accept/reject accounting, per verdict."""
+
+    counts: dict[PlausibilityVerdict, int] = field(default_factory=dict)
+
+    def record(self, verdict: PlausibilityVerdict) -> None:
+        self.counts[verdict] = self.counts.get(verdict, 0) + 1
+
+    @property
+    def accepted(self) -> int:
+        return self.counts.get(PlausibilityVerdict.ACCEPTED, 0)
+
+    @property
+    def rejected(self) -> int:
+        return sum(count for verdict, count in self.counts.items()
+                   if verdict is not PlausibilityVerdict.ACCEPTED)
+
+
+class PlausibilityGuard:
+    """Message-validity filter driven by the signal database.
+
+    Args:
+        database: message/signal specifications (lengths, ranges,
+            cycle times).
+        slew_limits: per-signal maximum change per second of simulated
+            time (e.g. ``{"EngineSpeed": 4000.0}``); signals without a
+            limit skip the slew check.
+        min_interval_fraction: a cyclic message arriving faster than
+            this fraction of its specified cycle is TOO_FREQUENT.
+        drop_unknown_ids: reject ids absent from the database (strict
+            allowlisting; off by default because event ids legitimately
+            come and go).
+    """
+
+    def __init__(self, database: SignalDatabase, *,
+                 slew_limits: dict[str, float] | None = None,
+                 min_interval_fraction: float = 0.1,
+                 drop_unknown_ids: bool = False) -> None:
+        if not 0.0 <= min_interval_fraction <= 1.0:
+            raise ValueError("min_interval_fraction must be in [0, 1]")
+        self._database = database
+        self.slew_limits = dict(slew_limits or {})
+        self.min_interval_fraction = min_interval_fraction
+        self.drop_unknown_ids = drop_unknown_ids
+        self.stats = GuardStats()
+        self._last_values: dict[str, tuple[int, float]] = {}
+        self._last_arrival: dict[int, int] = {}
+
+    def check(self, frame: CanFrame, now: int) -> PlausibilityVerdict:
+        """Judge one received frame at simulation time ``now``."""
+        verdict = self._judge(frame, now)
+        self.stats.record(verdict)
+        return verdict
+
+    def accepts(self, frame: CanFrame, now: int) -> bool:
+        """Convenience wrapper: True when the frame should be acted on."""
+        return self.check(frame, now) is PlausibilityVerdict.ACCEPTED
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+    def _judge(self, frame: CanFrame, now: int) -> PlausibilityVerdict:
+        if frame.can_id not in self._database:
+            return (PlausibilityVerdict.UNKNOWN_ID
+                    if self.drop_unknown_ids
+                    else PlausibilityVerdict.ACCEPTED)
+        message = self._database.by_id(frame.can_id)
+
+        if frame.dlc != message.length:
+            return PlausibilityVerdict.BAD_DLC
+
+        if not self._arrival_ok(message, frame.can_id, now):
+            return PlausibilityVerdict.TOO_FREQUENT
+
+        values = message.decode(frame.data)
+        for sig in message.signals:
+            value = values.get(sig.name)
+            if value is None:
+                continue
+            low, high = sig.minimum, sig.maximum
+            if (low is not None and value < low) or \
+                    (high is not None and value > high):
+                return PlausibilityVerdict.OUT_OF_RANGE
+            if not self._slew_ok(sig.name, value, now):
+                return PlausibilityVerdict.IMPLAUSIBLE_SLEW
+
+        # Only an accepted frame updates the tracking state: rejected
+        # frames must not poison the baselines.
+        self._last_arrival[frame.can_id] = now
+        for name, value in values.items():
+            self._last_values[name] = (now, value)
+        return PlausibilityVerdict.ACCEPTED
+
+    def _arrival_ok(self, message, can_id: int, now: int) -> bool:
+        if message.cycle_time_ms is None:
+            return True
+        last = self._last_arrival.get(can_id)
+        if last is None:
+            return True
+        minimum = message.cycle_time_ms * MS * self.min_interval_fraction
+        return (now - last) >= minimum
+
+    def _slew_ok(self, name: str, value: float, now: int) -> bool:
+        limit_per_second = self.slew_limits.get(name)
+        if limit_per_second is None:
+            return True
+        previous = self._last_values.get(name)
+        if previous is None:
+            return True
+        last_time, last_value = previous
+        elapsed_seconds = max((now - last_time) / 1_000_000, 1e-6)
+        return abs(value - last_value) <= limit_per_second * elapsed_seconds
+
+    def reset(self) -> None:
+        """Forget history (e.g. after the host ECU reboots)."""
+        self._last_values.clear()
+        self._last_arrival.clear()

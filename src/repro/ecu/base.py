@@ -1,0 +1,263 @@
+"""Base class for simulated ECUs.
+
+An :class:`Ecu` owns one CAN controller, a set of cyclic transmit
+tasks, id-dispatched receive handlers, an operating-mode manager, an
+optional watchdog, and a fault model of latent vulnerabilities.  The
+lifecycle mirrors a real control unit:
+
+- ``OFF`` -> ``BOOTING`` (boot delay) -> ``RUNNING``,
+- ``CRASHED`` when a vulnerability fires (recoverable by power cycle
+  or watchdog),
+- ``BRICKED`` permanently (the damage class the paper warns about).
+
+Latched fault flags model non-volatile memory: they survive power
+cycles, reproducing the instrument-cluster display that kept showing
+"crash" after the fuzz run (§VI, Fig 9).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.can.bus import CanBus
+from repro.can.errors import BusOffError, CanError
+from repro.can.frame import CanFrame, TimestampedFrame
+from repro.can.node import CanController
+from repro.ecu.faults import FaultEffect, FaultModel, Vulnerability
+from repro.ecu.modes import ModeManager
+from repro.ecu.watchdog import Watchdog
+from repro.sim.clock import MS
+from repro.sim.kernel import Simulator
+from repro.sim.process import PeriodicProcess
+
+RxCallback = Callable[[TimestampedFrame], None]
+
+
+class EcuState(enum.Enum):
+    """Lifecycle state of an ECU."""
+
+    OFF = "off"
+    BOOTING = "booting"
+    RUNNING = "running"
+    CRASHED = "crashed"
+    BRICKED = "bricked"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A vulnerability that fired, for the run record."""
+
+    time: int
+    ecu: str
+    vulnerability: str
+    effect: FaultEffect
+    frame: CanFrame
+
+
+class Ecu:
+    """A simulated electronic control unit.
+
+    Args:
+        sim: simulation executive.
+        bus: the CAN bus this ECU is wired to.
+        name: node name for traces.
+        boot_time: ticks from power-on to the first cyclic transmit.
+        fault_model: latent vulnerabilities (default: none).
+        watchdog_timeout: if set, a watchdog reboots the ECU after this
+            many ticks without a healthy main loop.
+    """
+
+    def __init__(self, sim: Simulator, bus: CanBus, name: str, *,
+                 boot_time: int = 50 * MS,
+                 fault_model: FaultModel | None = None,
+                 watchdog_timeout: int | None = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.state = EcuState.OFF
+        self.boot_time = boot_time
+        self.fault_model = fault_model or FaultModel()
+        self.modes = ModeManager()
+        self.controller = CanController(name)
+        self.controller.attach(bus)
+        self.controller.enabled = False
+        self.controller.set_rx_handler(self._rx)
+        self.latched_flags: set[str] = set()
+        self.fault_events: list[FaultEvent] = []
+        #: Optional input filter consulted before ANY frame processing
+        #: (including the fault model): ``guard(frame, now) -> bool``.
+        #: This models the paper's recommended fix -- "additional
+        #: logic to ignore nonsensical CAN message values" -- patched
+        #: in front of the vulnerable parser.
+        self.rx_guard: Callable[[CanFrame, int], bool] | None = None
+        self.power_cycles = 0
+        self.watchdog_resets = 0
+        self._tasks: list[PeriodicProcess] = []
+        self._handlers: dict[int, list[RxCallback]] = {}
+        self._any_handlers: list[RxCallback] = []
+        self._boot_event = None
+        self.watchdog: Watchdog | None = None
+        if watchdog_timeout is not None:
+            self.watchdog = Watchdog(
+                sim, watchdog_timeout, self._watchdog_reset,
+                label=f"{name}:watchdog")
+            # A healthy main loop kicks well inside the deadline.
+            self.every(max(1, watchdog_timeout // 4), self._kick_watchdog,
+                       label=f"{name}:wdg-kick")
+
+    # ------------------------------------------------------------------
+    # Configuration (called by subclasses, usually in __init__)
+    # ------------------------------------------------------------------
+    def every(self, period: int, action: Callable[[], None], *,
+              phase: int = 0, label: str = "") -> PeriodicProcess:
+        """Register a cyclic task that runs while the ECU is running."""
+        task = PeriodicProcess(
+            self.sim, period, action, phase=phase,
+            label=label or f"{self.name}:task")
+        self._tasks.append(task)
+        return task
+
+    def on_id(self, can_id: int, callback: RxCallback) -> None:
+        """Dispatch received frames with ``can_id`` to ``callback``."""
+        self._handlers.setdefault(can_id, []).append(callback)
+
+    def on_any(self, callback: RxCallback) -> None:
+        """Dispatch every received frame to ``callback``."""
+        self._any_handlers.append(callback)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def power_on(self) -> None:
+        """Apply power.  Bricked ECUs stay dead; latched flags persist."""
+        if self.state is EcuState.BRICKED:
+            return
+        if self.state is not EcuState.OFF:
+            return
+        self.state = EcuState.BOOTING
+        self.controller.reset()
+        self._boot_event = self.sim.call_after(
+            self.boot_time, self._boot_complete,
+            label=f"{self.name}:boot")
+
+    def power_off(self) -> None:
+        """Remove power.  Clears a crash, keeps non-volatile latches."""
+        if self.state is EcuState.BRICKED:
+            return
+        if self._boot_event is not None:
+            self.sim.cancel(self._boot_event)
+            self._boot_event = None
+        self._stop_tasks()
+        if self.watchdog is not None:
+            self.watchdog.disable()
+        self.controller.disable()
+        self.modes.reset()
+        self.state = EcuState.OFF
+
+    def power_cycle(self) -> None:
+        """Power off then straight back on (counted for diagnostics)."""
+        self.power_off()
+        self.power_cycles += 1
+        self.power_on()
+
+    def _boot_complete(self) -> None:
+        self._boot_event = None
+        self.state = EcuState.RUNNING
+        for task in self._tasks:
+            task.start()
+        if self.watchdog is not None:
+            self.watchdog.enable()
+        self.on_boot()
+
+    def on_boot(self) -> None:
+        """Subclass hook: runs when the ECU reaches ``RUNNING``."""
+
+    @property
+    def running(self) -> bool:
+        return self.state is EcuState.RUNNING
+
+    # ------------------------------------------------------------------
+    # Traffic
+    # ------------------------------------------------------------------
+    def send(self, frame: CanFrame) -> bool:
+        """Transmit ``frame`` if the ECU is running.
+
+        Returns ``True`` when the frame was queued.  Bus-off and other
+        controller errors are swallowed and reported as ``False``
+        because a real application task cannot do anything else with
+        them mid-cycle.
+        """
+        if self.state is not EcuState.RUNNING:
+            return False
+        try:
+            self.controller.send(frame)
+        except (BusOffError, CanError):
+            return False
+        return True
+
+    def _rx(self, stamped: TimestampedFrame) -> None:
+        if self.state is not EcuState.RUNNING:
+            return
+        if (self.rx_guard is not None
+                and not self.rx_guard(stamped.frame, stamped.time)):
+            return
+        vulnerability = self.fault_model.check(stamped.frame)
+        if vulnerability is not None:
+            self._apply_fault(vulnerability, stamped.frame)
+            if vulnerability.effect in (FaultEffect.CRASH, FaultEffect.BRICK,
+                                        FaultEffect.RESET):
+                return  # the handler never ran; the ECU fell over first
+        for callback in self._any_handlers:
+            callback(stamped)
+        for callback in self._handlers.get(stamped.frame.can_id, ()):
+            callback(stamped)
+
+    # ------------------------------------------------------------------
+    # Faults
+    # ------------------------------------------------------------------
+    def _apply_fault(self, vulnerability: Vulnerability,
+                     frame: CanFrame) -> None:
+        self.fault_events.append(FaultEvent(
+            time=self.sim.now, ecu=self.name,
+            vulnerability=vulnerability.name,
+            effect=vulnerability.effect, frame=frame))
+        if vulnerability.effect is FaultEffect.CRASH:
+            self._crash()
+        elif vulnerability.effect is FaultEffect.BRICK:
+            self._brick()
+        elif vulnerability.effect is FaultEffect.LATCH:
+            self.latched_flags.add(vulnerability.name)
+        elif vulnerability.effect is FaultEffect.RESET:
+            self.power_cycle()
+
+    def _crash(self) -> None:
+        """Stop the main loop; cyclic messages cease, watchdog may fire."""
+        self._stop_tasks()
+        self.state = EcuState.CRASHED
+
+    def _brick(self) -> None:
+        """Permanent death; power cycling does not help."""
+        self._stop_tasks()
+        if self.watchdog is not None:
+            self.watchdog.disable()
+        self.controller.disable()
+        self.state = EcuState.BRICKED
+
+    def _stop_tasks(self) -> None:
+        for task in self._tasks:
+            task.stop()
+
+    def _kick_watchdog(self) -> None:
+        if self.watchdog is not None and self.state is EcuState.RUNNING:
+            self.watchdog.kick()
+
+    def _watchdog_reset(self) -> None:
+        """The hardware watchdog rebooting a wedged processor."""
+        if self.state in (EcuState.OFF, EcuState.BRICKED):
+            return
+        self.watchdog_resets += 1
+        self.power_cycle()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Ecu({self.name!r}, state={self.state.value})"

@@ -1,0 +1,138 @@
+"""Vulnerability and fault models for simulated ECUs.
+
+A :class:`Vulnerability` is a latent defect: a predicate over received
+frames plus the effect triggering it has on the ECU.  The effects are
+the failure modes the paper observed or cites:
+
+- ``CRASH`` -- the ECU stops responding until power-cycled (the bench
+  cluster's erratic behaviour; booFuzz-style "system failure").
+- ``LATCH`` -- a state flag sticks even across power cycles (the
+  cluster display that kept showing "crash", §VI).
+- ``BRICK`` -- permanent death (Checkoway et al.'s bricked ECUs [25]).
+- ``RESET`` -- spontaneous reboot (watchdog-style recovery).
+
+The fuzzer has no knowledge of these predicates; finding them through
+random input is the experiment.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.can.frame import CanFrame
+
+Trigger = Callable[[CanFrame], bool]
+
+
+class FaultEffect(enum.Enum):
+    """What happens to the ECU when a vulnerability fires."""
+
+    CRASH = "crash"
+    LATCH = "latch"
+    BRICK = "brick"
+    RESET = "reset"
+
+
+@dataclass(frozen=True)
+class Vulnerability:
+    """A latent defect reachable via bus input.
+
+    Attributes:
+        name: label used in findings and traces.
+        trigger: predicate over a received frame.
+        effect: consequence when the predicate is true.
+        detail: free-form description (which register overflows, etc.).
+    """
+
+    name: str
+    trigger: Trigger
+    effect: FaultEffect
+    detail: str = ""
+
+    def fires_on(self, frame: CanFrame) -> bool:
+        return self.trigger(frame)
+
+
+@dataclass
+class FaultModel:
+    """The set of vulnerabilities baked into one ECU."""
+
+    vulnerabilities: list[Vulnerability] = field(default_factory=list)
+
+    def add(self, vulnerability: Vulnerability) -> None:
+        self.vulnerabilities.append(vulnerability)
+
+    def check(self, frame: CanFrame) -> Vulnerability | None:
+        """First vulnerability triggered by ``frame``, or ``None``."""
+        for vulnerability in self.vulnerabilities:
+            if vulnerability.fires_on(frame):
+                return vulnerability
+        return None
+
+
+# ----------------------------------------------------------------------
+# Trigger builders for the defect classes the paper discusses
+# ----------------------------------------------------------------------
+def payload_byte_trigger(can_id: int, position: int,
+                         value: int) -> Trigger:
+    """Fires on a specific byte value at a position in a specific id.
+
+    This is the shape of the bench unlock check ("testing for a
+    specific byte value in byte position one in a message with a
+    specific id", §VI).
+    """
+    def trigger(frame: CanFrame) -> bool:
+        return (frame.can_id == can_id
+                and len(frame.data) > position
+                and frame.data[position] == value)
+    return trigger
+
+
+def id_and_payload_trigger(can_id: int, payload: bytes, *,
+                           require_length: bool = False) -> Trigger:
+    """Fires on an id with a payload prefix (optionally exact length).
+
+    ``require_length`` models the paper's hardened variant: "when the
+    code was changed to include a test for the length of the data
+    packet, the mean time increased".
+    """
+    def trigger(frame: CanFrame) -> bool:
+        if frame.can_id != can_id:
+            return False
+        if require_length and len(frame.data) != len(payload):
+            return False
+        return frame.data[:len(payload)] == payload
+    return trigger
+
+
+def dlc_mismatch_trigger(can_id: int, expected_length: int) -> Trigger:
+    """Fires when a known id arrives with an unexpected length.
+
+    Handlers indexing fixed byte positions without a length check are
+    a classic CAN parsing defect; a short frame triggers the
+    out-of-bounds path.
+    """
+    def trigger(frame: CanFrame) -> bool:
+        return (frame.can_id == can_id
+                and len(frame.data) < expected_length)
+    return trigger
+
+
+def random_sensitivity_trigger(can_id_mask: int, can_id_code: int,
+                               byte_xor_target: int) -> Trigger:
+    """Fires when the XOR of all payload bytes hits a target value for
+    a masked id range -- a diffuse defect with no simple signature,
+    used in tests to confirm the fuzzer finds non-obvious conditions.
+    """
+    def trigger(frame: CanFrame) -> bool:
+        if (frame.can_id & can_id_mask) != can_id_code:
+            return False
+        if not frame.data:
+            return False
+        xor = 0
+        for byte in frame.data:
+            xor ^= byte
+        return xor == byte_xor_target
+    return trigger

@@ -1,0 +1,97 @@
+"""ECU operating modes.
+
+The paper notes (§II) that "automotive ECUs have different operating
+modes ... during vehicle servicing an ECU can be locked or unlocked for
+software updates via UDS.  It is important for system testers to cover
+all the states of an ECU, as these different states have been
+previously exploited."  This module models those session states; the
+UDS server (:mod:`repro.uds.server`) drives the transitions.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+
+class OperatingMode(enum.Enum):
+    """UDS-style diagnostic sessions."""
+
+    NORMAL = "default-session"
+    DIAGNOSTIC = "extended-diagnostic-session"
+    PROGRAMMING = "programming-session"
+
+
+#: Legal session transitions (ISO 14229 allows returning to default
+#: from anywhere; programming is only reachable from extended).
+_ALLOWED = {
+    OperatingMode.NORMAL: {OperatingMode.NORMAL, OperatingMode.DIAGNOSTIC},
+    OperatingMode.DIAGNOSTIC: {
+        OperatingMode.NORMAL,
+        OperatingMode.DIAGNOSTIC,
+        OperatingMode.PROGRAMMING,
+    },
+    OperatingMode.PROGRAMMING: {
+        OperatingMode.NORMAL,
+        OperatingMode.PROGRAMMING,
+    },
+}
+
+
+class ModeTransitionError(RuntimeError):
+    """Raised on an illegal session transition request."""
+
+
+class ModeManager:
+    """Tracks the active session and the security-access lock.
+
+    The lock models the seed/key unlock an ECU requires before
+    reprogramming; fuzzing an ECU in each mode exercises different
+    handler code, which is why the campaign API lets the caller pick
+    the mode under test.
+    """
+
+    def __init__(self) -> None:
+        self.mode = OperatingMode.NORMAL
+        self.security_unlocked = False
+        self._listeners: list[Callable[[OperatingMode], None]] = []
+
+    def on_change(self, listener: Callable[[OperatingMode], None]) -> None:
+        """Register a callback fired after each successful transition."""
+        self._listeners.append(listener)
+
+    def request(self, target: OperatingMode) -> None:
+        """Transition to ``target``.
+
+        Raises:
+            ModeTransitionError: the transition is not allowed from the
+                current session, or programming was requested while the
+                security lock is still engaged.
+        """
+        if target not in _ALLOWED[self.mode]:
+            raise ModeTransitionError(
+                f"cannot move from {self.mode.value} to {target.value}")
+        if (target is OperatingMode.PROGRAMMING
+                and not self.security_unlocked):
+            raise ModeTransitionError(
+                "programming session requires security access")
+        previous = self.mode
+        self.mode = target
+        if target is OperatingMode.NORMAL:
+            # Leaving diagnostics always re-locks the ECU.
+            self.security_unlocked = False
+        if target is not previous:
+            for listener in self._listeners:
+                listener(target)
+
+    def unlock(self) -> None:
+        """Grant security access (valid until return to default session)."""
+        if self.mode is OperatingMode.NORMAL:
+            raise ModeTransitionError(
+                "security access is only available in a diagnostic session")
+        self.security_unlocked = True
+
+    def reset(self) -> None:
+        """Return to the power-on state (default session, locked)."""
+        self.mode = OperatingMode.NORMAL
+        self.security_unlocked = False

@@ -1,0 +1,65 @@
+"""Watchdog timer.
+
+Real ECUs carry an independent watchdog that reboots the processor if
+the main loop stops kicking it.  In the fuzzing context the watchdog
+matters for the oracle problem: a crashed ECU with a watchdog comes
+back by itself, so the only observable symptom is a gap in its cyclic
+messages -- one of the signals the paper's oracle framework monitors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.kernel import Simulator
+from repro.sim.process import OneShot
+
+
+class Watchdog:
+    """A deadline timer reset by :meth:`kick`.
+
+    Args:
+        sim: simulation executive.
+        timeout: ticks of silence before :attr:`on_timeout` fires.
+        on_timeout: callback (typically the ECU's reset routine).
+    """
+
+    def __init__(self, sim: Simulator, timeout: int,
+                 on_timeout: Callable[[], None], *,
+                 label: str = "watchdog") -> None:
+        if timeout <= 0:
+            raise ValueError(f"watchdog timeout must be positive: {timeout}")
+        self._sim = sim
+        self.timeout = timeout
+        self.on_timeout = on_timeout
+        self.timeouts = 0
+        self._shot = OneShot(sim, label=label)
+        self._enabled = False
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        """Start supervision; the first deadline is one timeout away."""
+        self._enabled = True
+        self._arm()
+
+    def disable(self) -> None:
+        """Stop supervision (e.g. ECU powered off)."""
+        self._enabled = False
+        self._shot.disarm()
+
+    def kick(self) -> None:
+        """Reset the deadline; called from the ECU's healthy main loop."""
+        if self._enabled:
+            self._arm()
+
+    def _arm(self) -> None:
+        self._shot.arm(self.timeout, self._expired)
+
+    def _expired(self) -> None:
+        if not self._enabled:
+            return
+        self.timeouts += 1
+        self.on_timeout()

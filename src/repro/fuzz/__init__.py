@@ -1,0 +1,82 @@
+"""The paper's contribution: a CAN-bus fuzzer for automotive testing.
+
+Components, mapped to the paper's fuzzer design (§V: "the major
+functional items for the software fuzzer program are the UI screens
+for command and control, a timing thread for regular CAN data
+transmission, a random bytes generator for the fuzzed CAN messages, a
+communications API handling module, and a CAN bus traffic monitor"):
+
+- :mod:`~repro.fuzz.config` -- command and control (the UI substitute):
+  every Table III parameter.
+- :mod:`~repro.fuzz.generator` / :mod:`~repro.fuzz.mutator` -- the
+  random bytes generator, plus targeted / bit-walk / mutational modes.
+- :mod:`~repro.fuzz.campaign` -- the timing thread and run loop.
+- :mod:`~repro.fuzz.oracle` -- the traffic monitor and test-oracle
+  framework (the CPS oracle problem, §II/§III).
+- :mod:`~repro.fuzz.stats` -- data-integrity analysis (Figs 4/5).
+- :mod:`~repro.fuzz.coverage` -- the combinatorial-explosion arithmetic
+  (§V).
+- :mod:`~repro.fuzz.minimize` -- delta-debugging a failure trace.
+- :mod:`~repro.fuzz.session` -- run records and findings.
+"""
+
+from repro.fuzz.campaign import CampaignLimits, FuzzCampaign
+from repro.fuzz.config import FuzzConfig
+from repro.fuzz.coverage import (
+    combination_count,
+    coverage_fraction,
+    expected_frames_to_hit,
+    time_to_exhaust_seconds,
+)
+from repro.fuzz.generator import (
+    BitWalkGenerator,
+    FrameGenerator,
+    RandomFrameGenerator,
+    SweepGenerator,
+    TargetedFrameGenerator,
+)
+from repro.fuzz.minimize import minimize_frame_bytes, minimize_trace
+from repro.fuzz.mutator import MutationalGenerator
+from repro.fuzz.replay import Replayer
+from repro.fuzz.oracle import (
+    AckMessageOracle,
+    CompositeOracle,
+    ErrorFrameOracle,
+    Finding,
+    Oracle,
+    PhysicalStateOracle,
+    SignalRangeOracle,
+    SilenceOracle,
+)
+from repro.fuzz.session import FuzzResult
+from repro.fuzz.stats import ByteColumnStats, byte_position_means
+
+__all__ = [
+    "FuzzConfig",
+    "FrameGenerator",
+    "RandomFrameGenerator",
+    "TargetedFrameGenerator",
+    "BitWalkGenerator",
+    "SweepGenerator",
+    "MutationalGenerator",
+    "FuzzCampaign",
+    "CampaignLimits",
+    "FuzzResult",
+    "Oracle",
+    "Finding",
+    "AckMessageOracle",
+    "SilenceOracle",
+    "ErrorFrameOracle",
+    "PhysicalStateOracle",
+    "SignalRangeOracle",
+    "CompositeOracle",
+    "ByteColumnStats",
+    "byte_position_means",
+    "combination_count",
+    "time_to_exhaust_seconds",
+    "coverage_fraction",
+    "expected_frames_to_hit",
+    "minimize_trace",
+    "minimize_frame_bytes",
+    "Replayer",
+]

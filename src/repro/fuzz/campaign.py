@@ -1,0 +1,221 @@
+"""The fuzz campaign: timing loop, monitoring, recording, stop logic.
+
+Implements the paper's test cycle (§I.A):
+
+- random input is sent to the system's interface (the CAN adaptor),
+- the system response is monitored (oracles),
+- if a failure occurs the conditions that caused it are recorded (the
+  recent transmit window is attached to the finding) and the system is
+  reset (the optional reset hook),
+- the process repeats a large number of times (limits).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.can.adapter import AdapterStatus, PcanStyleAdapter
+from repro.can.frame import CanFrame
+from repro.fuzz.generator import FrameGenerator
+from repro.fuzz.oracle import Finding, Oracle
+from repro.fuzz.session import FuzzResult
+from repro.sim.clock import MS
+from repro.sim.kernel import Simulator
+from repro.sim.process import PeriodicProcess
+
+
+@dataclass(frozen=True)
+class CampaignLimits:
+    """When to stop fuzzing.
+
+    At least one bound must be set; an unbounded random campaign would
+    run forever (the §V combinatorial explosion in loop form).
+    """
+
+    max_frames: int | None = None
+    max_duration: int | None = None
+    stop_on_finding: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_frames is None and self.max_duration is None:
+            raise ValueError(
+                "set max_frames and/or max_duration; an unbounded fuzz "
+                "campaign never terminates")
+        if self.max_frames is not None and self.max_frames <= 0:
+            raise ValueError("max_frames must be positive")
+        if self.max_duration is not None and self.max_duration <= 0:
+            raise ValueError("max_duration must be positive")
+
+
+class FuzzCampaign:
+    """One configured fuzzing run against a target.
+
+    Args:
+        sim: the simulation executive (shared with the target).
+        adapter: initialised CAN adaptor wired to the target bus.
+        generator: frame source (random, targeted, bit-walk, ...).
+        limits: stop conditions.
+        oracles: detectors bound to this campaign's findings list.
+        interval: ticks between transmissions (default the paper's
+            1 frame/ms maximum rate).
+        interval_jitter: extra uniform random delay per frame; the
+            paper's Table IV timestamps show ~1.7 ms mean spacing,
+            i.e. 1 ms base plus jitter.
+        rng: stream for jitter (only needed when jitter > 0).
+        reset_target: called after a finding when the campaign
+            continues (power-cycle the SUT, §I.A's "the system is
+            reset").
+        recent_window: transmit frames remembered for finding context.
+    """
+
+    def __init__(self, sim: Simulator, adapter: PcanStyleAdapter,
+                 generator: FrameGenerator, *,
+                 limits: CampaignLimits,
+                 oracles: list[Oracle] | None = None,
+                 interval: int = 1 * MS,
+                 interval_jitter: int = 0,
+                 rng: random.Random | None = None,
+                 reset_target: Callable[[], None] | None = None,
+                 recent_window: int = 32,
+                 name: str = "fuzz-campaign") -> None:
+        if interval < 1 * MS:
+            raise ValueError(
+                "the fuzzer's maximum rate is one frame per millisecond "
+                "(paper §VI); interval must be >= 1 ms")
+        if interval_jitter < 0:
+            raise ValueError("interval_jitter must be >= 0")
+        if interval_jitter > 0 and rng is None:
+            raise ValueError("interval_jitter needs an rng stream")
+        self.sim = sim
+        self.adapter = adapter
+        self.generator = generator
+        self.limits = limits
+        self.oracles = list(oracles or [])
+        self.interval = interval
+        self.interval_jitter = interval_jitter
+        self.name = name
+        self._rng = rng
+        self._reset_target = reset_target
+        self._recent: deque[CanFrame] = deque(maxlen=recent_window)
+        self._findings: list[Finding] = []
+        self._write_errors: dict[str, int] = {}
+        self.frames_sent = 0
+        self._stop_reason = ""
+        self._running = False
+        self._tx_event = None
+        self._label_tx = f"{name}:tx"
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> FuzzResult:
+        """Execute the campaign to completion and return the record."""
+        started_at = self.sim.now
+        for oracle in self.oracles:
+            oracle.bind(self._on_finding)
+            oracle.start(self.sim)
+        self._running = True
+        self._schedule_next(first=True)
+        deadline = self._deadline(started_at)
+        self.sim.run_until(deadline)
+        if self._running:
+            self._finish("time limit reached")
+        return FuzzResult(
+            name=self.name,
+            seed_label=getattr(
+                getattr(self.generator, "config", None), "seed_label",
+                type(self.generator).__name__),
+            started_at=started_at,
+            ended_at=self.sim.now,
+            frames_sent=self.frames_sent,
+            findings=list(self._findings),
+            write_errors=dict(self._write_errors),
+            stop_reason=self._stop_reason,
+            config_rows=self._config_rows(),
+        )
+
+    def _config_rows(self) -> list[tuple[str, str, str]]:
+        config = getattr(self.generator, "config", None)
+        if config is not None and hasattr(config, "describe"):
+            return config.describe()
+        return []
+
+    def _deadline(self, started_at: int) -> int:
+        candidates = []
+        if self.limits.max_duration is not None:
+            candidates.append(started_at + self.limits.max_duration)
+        if self.limits.max_frames is not None:
+            # Worst-case span of max_frames sends plus settle time for
+            # in-flight responses and oracle sampling.
+            span = self.limits.max_frames * (
+                self.interval + self.interval_jitter)
+            candidates.append(started_at + span + 100 * MS)
+        return min(candidates)
+
+    def _schedule_next(self, *, first: bool = False) -> None:
+        delay = self.interval
+        if self.interval_jitter > 0:
+            delay += self._rng.randint(0, self.interval_jitter)
+        if first:
+            delay = 0
+        self._tx_event = self.sim.call_after(
+            delay, self._transmit, label=self._label_tx)
+
+    def _transmit(self) -> None:
+        if not self._running:
+            return
+        if (self.limits.max_frames is not None
+                and self.frames_sent >= self.limits.max_frames):
+            self._finish("frame limit reached")
+            return
+        try:
+            frame = self.generator.next_frame()
+        except StopIteration:
+            self._finish("generator exhausted")
+            return
+        status = self.adapter.write(frame)
+        if status is AdapterStatus.OK:
+            self.frames_sent += 1
+            self._recent.append(frame)
+        else:
+            key = status.value
+            self._write_errors[key] = self._write_errors.get(key, 0) + 1
+            if status is AdapterStatus.BUSOFF:
+                self._finish("adapter bus-off")
+                return
+        self._schedule_next()
+
+    # ------------------------------------------------------------------
+    # Findings
+    # ------------------------------------------------------------------
+    def _on_finding(self, finding: Finding) -> None:
+        enriched = Finding(
+            time=finding.time,
+            oracle=finding.oracle,
+            description=finding.description,
+            recent_frames=tuple(self._recent),
+        )
+        self._findings.append(enriched)
+        if self.limits.stop_on_finding:
+            self._finish(f"finding from oracle {finding.oracle!r}")
+        elif self._reset_target is not None:
+            self._reset_target()
+
+    @property
+    def findings(self) -> list[Finding]:
+        return list(self._findings)
+
+    def _finish(self, reason: str) -> None:
+        if not self._running:
+            return
+        self._running = False
+        self._stop_reason = reason
+        if self._tx_event is not None:
+            self.sim.cancel(self._tx_event)
+            self._tx_event = None
+        for oracle in self.oracles:
+            oracle.stop()
+        self.sim.stop()

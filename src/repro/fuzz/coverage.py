@@ -1,0 +1,133 @@
+"""Input-space combinatorics: §V's explosion arithmetic, executable.
+
+The paper: "A standard CAN packet with a 11-bit id and a one byte
+payload has half a million packet combinations (2^19).  At a 1 ms
+transmission frequency ... it is over eight minutes to transmit all
+combinations.  Add another data byte and all combinations transmit
+over 1.5 days."  These functions reproduce those numbers and power
+the coverage accounting in campaign reports.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sim.clock import MS, SECOND
+
+
+def combination_count(id_bits: int = 11, payload_bytes: int = 1) -> int:
+    """Number of distinct (id, payload) combinations.
+
+    >>> combination_count(11, 1)    # the paper's 2**19
+    524288
+    """
+    if id_bits <= 0:
+        raise ValueError("id_bits must be positive")
+    if payload_bytes < 0:
+        raise ValueError("payload_bytes must be >= 0")
+    return (2 ** id_bits) * (256 ** payload_bytes)
+
+
+def time_to_exhaust_seconds(combinations: int,
+                            interval_ticks: int = 1 * MS) -> float:
+    """Seconds to transmit every combination at a fixed interval.
+
+    >>> round(time_to_exhaust_seconds(combination_count(11, 1)) / 60, 1)
+    8.7
+    """
+    if combinations < 0:
+        raise ValueError("combinations must be >= 0")
+    if interval_ticks <= 0:
+        raise ValueError("interval_ticks must be positive")
+    return combinations * interval_ticks / SECOND
+
+
+def coverage_fraction(frames_sent: int, combinations: int) -> float:
+    """Expected fraction of the space touched by uniform random draws.
+
+    With replacement, the expected coverage after ``n`` uniform draws
+    from a space of size ``m`` is ``1 - (1 - 1/m)^n``.
+    """
+    if combinations <= 0:
+        raise ValueError("combinations must be positive")
+    if frames_sent < 0:
+        raise ValueError("frames_sent must be >= 0")
+    return 1.0 - (1.0 - 1.0 / combinations) ** frames_sent
+
+
+def expected_frames_to_hit(hit_probability: float) -> float:
+    """Mean frames until the first success of a per-frame Bernoulli.
+
+    The geometric-distribution mean behind our Table V analysis: with
+    per-frame hit probability ``p`` the expected wait is ``1/p``.
+    """
+    if not 0.0 < hit_probability <= 1.0:
+        raise ValueError("hit_probability must be in (0, 1]")
+    return 1.0 / hit_probability
+
+
+def unlock_hit_probability(*, id_count: int = 2048, dlc_count: int = 9,
+                           byte_values: int = 256,
+                           byte_position: int = 0,
+                           require_exact_dlc: bool = False,
+                           spec_dlc: int = 7,
+                           value_bytes: int = 1) -> float:
+    """Per-frame probability of triggering the bench unlock.
+
+    Models the two Table V oracles (and the paper's hypothesised
+    two-byte variant):
+
+    - the id must match: ``1/id_count``;
+    - without the DLC check, any generated length that *contains* the
+      checked byte position(s) qualifies;
+    - with the DLC check, exactly the specification length qualifies:
+      ``1/dlc_count``;
+    - each checked byte must match: ``(1/byte_values) ** value_bytes``.
+    """
+    if id_count <= 0 or dlc_count <= 0 or byte_values <= 0:
+        raise ValueError("counts must be positive")
+    if value_bytes < 1:
+        raise ValueError("value_bytes must be >= 1")
+    p_id = 1.0 / id_count
+    min_len = byte_position + value_bytes
+    if require_exact_dlc:
+        if spec_dlc < min_len:
+            raise ValueError(
+                f"spec DLC {spec_dlc} cannot contain {value_bytes} "
+                f"byte(s) at position {byte_position}")
+        p_len = 1.0 / dlc_count
+    else:
+        qualifying = dlc_count - min_len  # lengths min_len..dlc_max
+        if qualifying <= 0:
+            return 0.0
+        p_len = qualifying / dlc_count
+    p_bytes = (1.0 / byte_values) ** value_bytes
+    return p_id * p_len * p_bytes
+
+
+def expected_unlock_seconds(*, require_exact_dlc: bool = False,
+                            value_bytes: int = 1,
+                            interval_ticks: int = 1 * MS) -> float:
+    """Analytic mean time-to-unlock for the Table V experiment."""
+    probability = unlock_hit_probability(
+        require_exact_dlc=require_exact_dlc, value_bytes=value_bytes)
+    frames = expected_frames_to_hit(probability)
+    return frames * interval_ticks / SECOND
+
+
+def birthday_collision_probability(frames_sent: int,
+                                   combinations: int) -> float:
+    """Probability at least one duplicate frame was generated.
+
+    Useful when arguing whether a sweep beats random sampling for a
+    small space (ablation commentary).
+    """
+    if combinations <= 0:
+        raise ValueError("combinations must be positive")
+    if frames_sent <= 1:
+        return 0.0
+    if frames_sent > combinations:
+        return 1.0
+    log_no_collision = sum(
+        math.log1p(-i / combinations) for i in range(frames_sent))
+    return 1.0 - math.exp(log_no_collision)

@@ -1,0 +1,179 @@
+"""Fuzz frame generators.
+
+Four strategies, all behind the :class:`FrameGenerator` protocol:
+
+- :class:`RandomFrameGenerator` -- the paper's random bytes generator:
+  uniform id, uniform DLC, uniform payload bytes (what produced the
+  flat Fig 5 distribution with mean 127).
+- :class:`TargetedFrameGenerator` -- random payloads on known ids
+  (the restricted mode used against the real vehicle).
+- :class:`BitWalkGenerator` -- the Fig 3 UI's deterministic mode:
+  "a variation on a single bit in a single message, to every bit in
+  every message".
+- :class:`SweepGenerator` -- exhaustive enumeration of a small
+  id x payload space (the §V combinatorics made executable).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Protocol
+
+from repro.can.frame import CanFrame, fd_round_size
+from repro.fuzz.config import FuzzConfig
+
+
+class FrameGenerator(Protocol):
+    """Anything that yields the next fuzz frame."""
+
+    def next_frame(self) -> CanFrame:
+        """Produce the next frame to inject."""
+        ...
+
+
+class RandomFrameGenerator:
+    """Uniform random frames per the configuration.
+
+    Draws, per frame: one identifier from the id pool, one length from
+    the DLC pool, then that many payload bytes from the byte range --
+    the exact sampling model behind the paper's Table IV output and
+    Fig 5 distribution, and the model our Table V analysis assumes.
+    """
+
+    def __init__(self, config: FuzzConfig, rng: random.Random) -> None:
+        self.config = config
+        self._rng = rng
+        self._ids = config.identifier_pool()
+        self._dlcs = config.dlc_pool()
+        # Fast path for the common full-byte range: rng.randbytes draws
+        # the same uniform bytes as per-byte randint, in one call.
+        self._full_byte_range = (config.byte_min == 0
+                                 and config.byte_max == 255)
+        self.generated = 0
+
+    def next_frame(self) -> CanFrame:
+        rng = self._rng
+        config = self.config
+        can_id = self._ids[rng.randrange(len(self._ids))]
+        dlc = self._dlcs[rng.randrange(len(self._dlcs))]
+        if config.fd:
+            dlc = fd_round_size(dlc)
+        if self._full_byte_range:
+            data = rng.randbytes(dlc)
+        else:
+            data = bytes(rng.randint(config.byte_min, config.byte_max)
+                         for _ in range(dlc))
+        self.generated += 1
+        return CanFrame(can_id, data, extended=config.extended_ids,
+                        fd=config.fd)
+
+    def frames(self, count: int) -> list[CanFrame]:
+        """Generate ``count`` frames eagerly (analysis convenience)."""
+        return [self.next_frame() for _ in range(count)]
+
+
+class TargetedFrameGenerator(RandomFrameGenerator):
+    """Random payloads restricted to observed/known identifiers.
+
+    Exactly a :class:`RandomFrameGenerator` whose id pool is the known
+    set; the subclass exists so campaign records name the strategy.
+    """
+
+    def __init__(self, known_ids: tuple[int, ...],
+                 config: FuzzConfig, rng: random.Random) -> None:
+        narrowed = FuzzConfig.targeted(
+            known_ids,
+            dlc_min=config.dlc_min, dlc_max=config.dlc_max,
+            dlc_choices=config.dlc_choices,
+            byte_min=config.byte_min, byte_max=config.byte_max,
+            interval=config.interval, extended_ids=config.extended_ids,
+            fd=config.fd, seed_label=config.seed_label)
+        super().__init__(narrowed, rng)
+
+
+class BitWalkGenerator:
+    """Deterministic single-bit variations of a base message.
+
+    Walks every bit position of the payload (and optionally the
+    identifier), emitting the base frame with exactly that bit
+    flipped.  After the last bit it wraps around, so the generator
+    never exhausts -- matching a fuzzer UI configured "to generate a
+    variation on a single bit in a single message".
+    """
+
+    def __init__(self, base: CanFrame, *, include_id_bits: bool = False) -> None:
+        self.base = base
+        self.include_id_bits = include_id_bits
+        self._payload_bits = len(base.data) * 8
+        self._id_bits = (29 if base.extended else 11) if include_id_bits else 0
+        if self._payload_bits + self._id_bits == 0:
+            raise ValueError(
+                "base frame has no bits to walk (empty payload and id "
+                "walking disabled)")
+        self._cursor = 0
+        self.generated = 0
+
+    @property
+    def total_bits(self) -> int:
+        return self._payload_bits + self._id_bits
+
+    def next_frame(self) -> CanFrame:
+        cursor = self._cursor
+        self._cursor = (self._cursor + 1) % self.total_bits
+        self.generated += 1
+        if cursor < self._payload_bits:
+            byte_index, bit_index = divmod(cursor, 8)
+            data = bytearray(self.base.data)
+            data[byte_index] ^= 1 << bit_index
+            return self.base.replace_data(bytes(data))
+        id_bit = cursor - self._payload_bits
+        flipped = self.base.can_id ^ (1 << id_bit)
+        return CanFrame(flipped, self.base.data,
+                        extended=self.base.extended)
+
+
+class SweepGenerator:
+    """Exhaustive enumeration of a small message space.
+
+    Iterates every (id, payload) combination for fixed-length payloads
+    -- usable only for the tiny spaces §V's arithmetic says are
+    tractable (one payload byte: 2^19 combinations).  Raises
+    :class:`StopIteration` from :meth:`next_frame` when complete, which
+    the campaign treats as a clean end of input.
+    """
+
+    def __init__(self, ids: tuple[int, ...] | range,
+                 payload_length: int, *,
+                 byte_min: int = 0, byte_max: int = 255) -> None:
+        if payload_length < 0:
+            raise ValueError("payload_length must be >= 0")
+        if payload_length > 2:
+            raise ValueError(
+                f"refusing to sweep {payload_length} payload bytes: "
+                f"the space is combinatorially impractical (paper §V); "
+                f"use RandomFrameGenerator")
+        self._iterator = self._generate(tuple(ids), payload_length,
+                                        byte_min, byte_max)
+        self.generated = 0
+
+    @staticmethod
+    def _generate(ids: tuple[int, ...], length: int,
+                  byte_min: int, byte_max: int) -> Iterator[CanFrame]:
+        values = range(byte_min, byte_max + 1)
+        if length == 0:
+            for can_id in ids:
+                yield CanFrame(can_id, b"")
+        elif length == 1:
+            for can_id in ids:
+                for b0 in values:
+                    yield CanFrame(can_id, bytes((b0,)))
+        else:
+            for can_id in ids:
+                for b0 in values:
+                    for b1 in values:
+                        yield CanFrame(can_id, bytes((b0, b1)))
+
+    def next_frame(self) -> CanFrame:
+        frame = next(self._iterator)  # StopIteration ends the campaign
+        self.generated += 1
+        return frame

@@ -1,0 +1,102 @@
+"""Failure-trace minimisation (delta debugging).
+
+When an oracle fires, the campaign attaches the recent transmit window
+to the finding -- but which of those frames actually triggered the
+failure?  ``minimize_trace`` applies ddmin over the frame sequence
+against a replay predicate, and ``minimize_frame_bytes`` shrinks a
+single frame's payload, zeroing bytes that do not matter.  Together
+they turn "the conditions that caused it are recorded" into the
+*minimal* conditions, which is what a triager needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.can.frame import CanFrame
+
+TraceTest = Callable[[list[CanFrame]], bool]
+FrameTest = Callable[[CanFrame], bool]
+
+
+def minimize_trace(frames: Sequence[CanFrame], still_fails: TraceTest, *,
+                   max_tests: int = 10_000) -> list[CanFrame]:
+    """ddmin: the smallest subsequence for which ``still_fails`` holds.
+
+    Args:
+        frames: the recorded window, in transmit order.
+        still_fails: replays a candidate subsequence against a fresh
+            target and reports whether the failure reproduces.  It
+            must be deterministic for minimisation to make sense.
+        max_tests: safety bound on replay invocations.
+
+    Returns:
+        A 1-minimal subsequence (removing any single remaining chunk
+        no longer reproduces the failure).
+
+    Raises:
+        ValueError: the full trace does not reproduce the failure --
+            the replay harness is broken, and minimising against a
+            flaky predicate would produce garbage.
+    """
+    trace = list(frames)
+    if not still_fails(trace):
+        raise ValueError(
+            "the full trace does not reproduce the failure; fix the "
+            "replay harness before minimising")
+    tests_used = 1
+    granularity = 2
+    while len(trace) >= 2:
+        chunk_size = max(1, len(trace) // granularity)
+        chunks = [trace[i:i + chunk_size]
+                  for i in range(0, len(trace), chunk_size)]
+        reduced = False
+        for index in range(len(chunks)):
+            candidate = [frame
+                         for j, chunk in enumerate(chunks) if j != index
+                         for frame in chunk]
+            if not candidate:
+                continue
+            tests_used += 1
+            if tests_used > max_tests:
+                return trace
+            if still_fails(candidate):
+                trace = candidate
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(trace):
+                break
+            granularity = min(len(trace), granularity * 2)
+    return trace
+
+
+def minimize_frame_bytes(frame: CanFrame, still_fails: FrameTest, *,
+                         filler: int = 0) -> CanFrame:
+    """Zero out payload bytes that are irrelevant to the failure.
+
+    Tries, for each byte position, replacing the byte with ``filler``
+    and keeps the substitution when the failure still reproduces; then
+    tries truncating trailing filler bytes.  The result shows exactly
+    which bytes the target actually parses (e.g. the bench unlock
+    checks only byte 0).
+    """
+    if not still_fails(frame):
+        raise ValueError(
+            "the frame does not reproduce the failure; cannot minimise")
+    data = bytearray(frame.data)
+    for index in range(len(data)):
+        if data[index] == filler:
+            continue
+        original = data[index]
+        data[index] = filler
+        if not still_fails(frame.replace_data(bytes(data))):
+            data[index] = original
+    # Truncate trailing filler if the shorter frame still fails.
+    while data and data[-1] == filler:
+        shorter = frame.replace_data(bytes(data[:-1]))
+        if not still_fails(shorter):
+            break
+        data.pop()
+    return frame.replace_data(bytes(data))

@@ -1,0 +1,309 @@
+"""Test-oracle framework: detecting that the fuzz did something.
+
+The oracle problem -- "how to determine, or not, the correct responses
+of a system" -- is the central CPS fuzzing challenge the paper
+discusses (§II, §III).  The oracles here implement the monitoring
+approaches catalogued from the related work, adapted to our simulated
+substrate:
+
+- :class:`AckMessageOracle` -- network communication monitoring: watch
+  for a response frame (the bench's unlock acknowledgement message).
+- :class:`SilenceOracle` -- a supervised cyclic message going quiet
+  (how a crashed ECU shows up on the wire).
+- :class:`ErrorFrameOracle` -- protocol-level error storms.
+- :class:`SignalRangeOracle` -- a decoded signal leaving its
+  documented physical range (Fig 8's negative RPM as a detector).
+- :class:`PhysicalStateOracle` -- sampling a modelled physical output
+  (LED, gauge, door actuator); the simulation-world equivalent of the
+  paper's proposed OpenCV camera watching the device.
+
+Each oracle reports :class:`Finding` objects to the campaign, which
+attaches the recent transmit window ("the conditions that caused it
+are recorded").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.can.bus import CanBus
+from repro.can.errors import ErrorFrameRecord
+from repro.can.frame import CanFrame, TimestampedFrame
+from repro.sim.clock import MS
+from repro.sim.kernel import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.vehicle.signals import SignalDatabase
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detection: the oracle fired at a point in the campaign."""
+
+    time: int
+    oracle: str
+    description: str
+    #: Frames the fuzzer transmitted shortly before the detection; the
+    #: raw material for :func:`repro.fuzz.minimize.minimize_trace`.
+    recent_frames: tuple[CanFrame, ...] = ()
+
+
+ReportSink = Callable[[Finding], None]
+
+
+class Oracle:
+    """Base oracle: owns a name and a report sink set by the campaign."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._sink: ReportSink | None = None
+        self.findings_reported = 0
+
+    def bind(self, sink: ReportSink) -> None:
+        """Called by the campaign before the run starts."""
+        self._sink = sink
+
+    def start(self, sim: Simulator) -> None:
+        """Hook: begin any periodic sampling."""
+
+    def stop(self) -> None:
+        """Hook: stop sampling."""
+
+    def report(self, time: int, description: str) -> None:
+        if self._sink is None:
+            raise RuntimeError(
+                f"oracle {self.name!r} reported before being bound to a "
+                f"campaign")
+        self.findings_reported += 1
+        self._sink(Finding(time=time, oracle=self.name,
+                           description=description))
+
+
+class AckMessageOracle(Oracle):
+    """Fires when a matching frame appears on the monitored bus.
+
+    Args:
+        bus: bus to watch.
+        can_id: identifier of the response message.
+        predicate: optional payload test; default any payload.
+        once: report only the first match (the unlock experiment stops
+            at the first acknowledgement).
+        exclude_sender: controller name whose frames are ignored --
+            normally the fuzzer's own adaptor.  A blind random fuzzer
+            occasionally generates the response id itself; counting
+            its own injection as a detection would be a false
+            positive.
+    """
+
+    def __init__(self, bus: CanBus, can_id: int, *,
+                 predicate: Callable[[CanFrame], bool] | None = None,
+                 once: bool = True, exclude_sender: str = "",
+                 name: str = "ack-message") -> None:
+        super().__init__(name)
+        self.can_id = can_id
+        self.predicate = predicate
+        self.once = once
+        self.exclude_sender = exclude_sender
+        self.first_match_time: int | None = None
+        bus.add_tap(self._on_frame)
+
+    def _on_frame(self, stamped: TimestampedFrame) -> None:
+        if self.once and self.first_match_time is not None:
+            return
+        if self.exclude_sender and stamped.sender == self.exclude_sender:
+            return
+        frame = stamped.frame
+        if frame.can_id != self.can_id:
+            return
+        if self.predicate is not None and not self.predicate(frame):
+            return
+        if self.first_match_time is None:
+            self.first_match_time = stamped.time
+        self.report(stamped.time,
+                    f"response frame {frame.id_hex()} observed "
+                    f"({frame.data_hex() or 'no data'})")
+
+
+class SilenceOracle(Oracle):
+    """Fires when a supervised cyclic message stops arriving.
+
+    A crashed ECU cannot be asked how it feels; its cyclic messages
+    just stop.  This oracle samples every ``check_period`` and reports
+    when the supervised id has been silent for ``timeout``.
+    """
+
+    def __init__(self, bus: CanBus, can_id: int, timeout: int, *,
+                 check_period: int = 50 * MS,
+                 name: str = "silence") -> None:
+        super().__init__(name)
+        self.can_id = can_id
+        self.timeout = timeout
+        self.check_period = check_period
+        self._last_seen: int | None = None
+        self._reported_gap = False
+        self._process: PeriodicProcess | None = None
+        bus.add_tap(self._on_frame)
+
+    def _on_frame(self, stamped: TimestampedFrame) -> None:
+        if stamped.frame.can_id == self.can_id:
+            self._last_seen = stamped.time
+            self._reported_gap = False
+
+    def start(self, sim: Simulator) -> None:
+        self._process = PeriodicProcess(
+            sim, self.check_period, lambda: self._check(sim),
+            label=f"oracle:{self.name}")
+        self._process.start()
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.stop()
+
+    def _check(self, sim: Simulator) -> None:
+        if self._last_seen is None or self._reported_gap:
+            return
+        gap = sim.now - self._last_seen
+        if gap > self.timeout:
+            self._reported_gap = True
+            self.report(sim.now,
+                        f"cyclic message 0x{self.can_id:X} silent for "
+                        f"{gap / MS:.0f} ms (timeout {self.timeout / MS:.0f} ms)")
+
+
+class ErrorFrameOracle(Oracle):
+    """Fires when error frames exceed a threshold within the run."""
+
+    def __init__(self, bus: CanBus, *, threshold: int = 1,
+                 name: str = "error-frames") -> None:
+        super().__init__(name)
+        self.threshold = threshold
+        self.count = 0
+        self._fired = False
+        bus.add_error_tap(self._on_error)
+
+    def _on_error(self, record: ErrorFrameRecord) -> None:
+        self.count += 1
+        if not self._fired and self.count >= self.threshold:
+            self._fired = True
+            self.report(record.time,
+                        f"{self.count} error frame(s) on the bus "
+                        f"(latest from {record.reporter}: {record.reason})")
+
+
+class SignalRangeOracle(Oracle):
+    """Fires when a decoded signal leaves its documented range.
+
+    Uses the database's ``minimum``/``maximum`` documentation fields --
+    the ranges are *not* enforced by the simulator display (Fig 8),
+    but an oracle may still use them as an invariant.
+    """
+
+    def __init__(self, bus: CanBus, database: SignalDatabase,
+                 signal_name: str, *, name: str = "") -> None:
+        super().__init__(name or f"range:{signal_name}")
+        self.signal_name = signal_name
+        self._database = database
+        self._definition = None
+        self._message = None
+        for message in database.messages:
+            for sig in message.signals:
+                if sig.name == signal_name:
+                    self._definition = sig
+                    self._message = message
+        if self._definition is None:
+            raise KeyError(f"signal {signal_name!r} not in database")
+        if (self._definition.minimum is None
+                and self._definition.maximum is None):
+            raise ValueError(
+                f"signal {signal_name!r} documents no range to check")
+        self.violations = 0
+        bus.add_tap(self._on_frame)
+
+    def _on_frame(self, stamped: TimestampedFrame) -> None:
+        if stamped.frame.can_id != self._message.can_id:
+            return
+        values = self._message.decode(stamped.frame.data)
+        value = values.get(self.signal_name)
+        if value is None:
+            return
+        low = self._definition.minimum
+        high = self._definition.maximum
+        if (low is not None and value < low) or (
+                high is not None and value > high):
+            self.violations += 1
+            if self.violations == 1:
+                self.report(stamped.time,
+                            f"{self.signal_name} = {value:g} "
+                            f"{self._definition.unit} outside "
+                            f"[{low}, {high}]")
+
+
+class PhysicalStateOracle(Oracle):
+    """Samples a physical output and fires on an unexpected state.
+
+    The simulation-world stand-in for the paper's proposed camera
+    ("use video processing software, for example OpenCV, to monitor
+    the cyber-physical actions") and for "monitoring of the physical
+    responses of the system with external sensors".
+
+    Args:
+        probe: reads the physical state (e.g. ``lambda: bcm.locked``).
+        expected: the normal value; any other sample is a finding.
+        period: sampling interval -- a camera frame period.
+    """
+
+    def __init__(self, probe: Callable[[], object], expected: object, *,
+                 period: int = 20 * MS, once: bool = True,
+                 name: str = "physical-state") -> None:
+        super().__init__(name)
+        self.probe = probe
+        self.expected = expected
+        self.period = period
+        self.once = once
+        self.first_deviation_time: int | None = None
+        self._process: PeriodicProcess | None = None
+        self._sim: Simulator | None = None
+
+    def start(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._process = PeriodicProcess(
+            sim, self.period, self._sample, label=f"oracle:{self.name}")
+        self._process.start()
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.stop()
+
+    def _sample(self) -> None:
+        if self.once and self.first_deviation_time is not None:
+            return
+        observed = self.probe()
+        if observed != self.expected:
+            assert self._sim is not None
+            if self.first_deviation_time is None:
+                self.first_deviation_time = self._sim.now
+            self.report(self._sim.now,
+                        f"physical state changed: expected "
+                        f"{self.expected!r}, observed {observed!r}")
+
+
+class CompositeOracle(Oracle):
+    """Groups oracles so the campaign can manage them as one."""
+
+    def __init__(self, oracles: list[Oracle],
+                 name: str = "composite") -> None:
+        super().__init__(name)
+        self.oracles = list(oracles)
+
+    def bind(self, sink: ReportSink) -> None:
+        super().bind(sink)
+        for oracle in self.oracles:
+            oracle.bind(sink)
+
+    def start(self, sim: Simulator) -> None:
+        for oracle in self.oracles:
+            oracle.start(sim)
+
+    def stop(self) -> None:
+        for oracle in self.oracles:
+            oracle.stop()

@@ -1,0 +1,82 @@
+"""Replay recorded fuzz traffic against a fresh target.
+
+Closes the fuzzing loop the paper describes ("if a system failure
+occurs the conditions that caused it are recorded and the system is
+reset"): a recorded window -- from a finding, a capture or a saved
+:class:`~repro.fuzz.session.FuzzResult` -- is retransmitted with the
+original pacing against a newly built target, and the oracles judge
+whether the failure reproduces.
+
+``Replayer`` is also the bridge into
+:mod:`repro.fuzz.minimize`: its :meth:`probe` method is a ready-made
+``still_fails`` predicate for ``minimize_trace``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.can.adapter import PcanStyleAdapter
+from repro.can.frame import CanFrame
+from repro.sim.clock import MS
+from repro.sim.kernel import Simulator
+
+#: Builds a fresh target and returns (simulator, attacker adapter,
+#: failure probe).  The probe reports whether the failure state is
+#: present after the replay.
+TargetFactory = Callable[[], tuple[Simulator, PcanStyleAdapter,
+                                   Callable[[], bool]]]
+
+
+class Replayer:
+    """Replays frame sequences against freshly built targets.
+
+    Args:
+        target_factory: builds an isolated target per replay; replays
+            must not share state or the verdicts are meaningless.
+        interval: pacing between replayed frames (defaults to the
+            fuzzer's 1 ms grid).
+        settle: extra simulated time after the last frame before the
+            failure probe is evaluated (lets acks, resets and
+            watchdogs land).
+    """
+
+    def __init__(self, target_factory: TargetFactory, *,
+                 interval: int = 1 * MS, settle: int = 50 * MS) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if settle < 0:
+            raise ValueError("settle must be >= 0")
+        self._target_factory = target_factory
+        self.interval = interval
+        self.settle = settle
+        self.replays = 0
+
+    def probe(self, frames: Sequence[CanFrame]) -> bool:
+        """Replay ``frames`` on a fresh target; True if it fails.
+
+        Usable directly as ``minimize_trace``'s ``still_fails``.
+        """
+        sim, adapter, failed = self._target_factory()
+        self.replays += 1
+        for frame in frames:
+            adapter.write(frame)
+            sim.run_for(self.interval)
+        sim.run_for(self.settle)
+        return bool(failed())
+
+    def minimize(self, frames: Sequence[CanFrame], *,
+                 max_tests: int = 10_000) -> list[CanFrame]:
+        """Shrink ``frames`` to a 1-minimal failing subsequence."""
+        from repro.fuzz.minimize import minimize_trace
+
+        return minimize_trace(frames, self.probe, max_tests=max_tests)
+
+    def minimize_frame(self, frame: CanFrame, *,
+                       filler: int = 0) -> CanFrame:
+        """Shrink a single frame's payload to the parsed bytes."""
+        from repro.fuzz.minimize import minimize_frame_bytes
+
+        return minimize_frame_bytes(
+            frame, lambda candidate: self.probe([candidate]),
+            filler=filler)

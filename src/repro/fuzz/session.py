@@ -1,0 +1,129 @@
+"""Run records: the fuzzer's output artefacts.
+
+A campaign produces a :class:`FuzzResult`: what was sent, what the
+oracles detected, and enough metadata (seed, configuration rows) to
+re-run the identical campaign -- the reproducibility the paper's
+methodology needs for its Table V trials.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.fuzz.oracle import Finding
+from repro.sim.clock import SECOND
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one fuzz campaign run."""
+
+    name: str
+    seed_label: str
+    started_at: int
+    ended_at: int
+    frames_sent: int
+    findings: list[Finding] = field(default_factory=list)
+    write_errors: dict[str, int] = field(default_factory=dict)
+    stop_reason: str = ""
+    config_rows: list[tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def duration_seconds(self) -> float:
+        return (self.ended_at - self.started_at) / SECOND
+
+    @property
+    def first_finding_seconds(self) -> float | None:
+        """Seconds from campaign start to the first detection.
+
+        This is the paper's Table V measurement: "the mean time to
+        cause the unlock response".
+        """
+        if not self.findings:
+            return None
+        return (self.findings[0].time - self.started_at) / SECOND
+
+    @property
+    def frames_per_second(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.frames_sent / self.duration_seconds
+
+    def summary(self) -> str:
+        """One-paragraph human-readable outcome."""
+        lines = [
+            f"campaign {self.name!r}: {self.frames_sent} frames over "
+            f"{self.duration_seconds:.1f} s "
+            f"({self.frames_per_second:.0f} frames/s), "
+            f"{len(self.findings)} finding(s), "
+            f"stopped because {self.stop_reason or 'unspecified'}",
+        ]
+        for finding in self.findings[:10]:
+            seconds = (finding.time - self.started_at) / SECOND
+            lines.append(f"  [{seconds:9.3f}s] {finding.oracle}: "
+                         f"{finding.description}")
+        if len(self.findings) > 10:
+            lines.append(f"  ... and {len(self.findings) - 10} more")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialise (findings keep id/data as hex strings)."""
+        payload = {
+            "name": self.name,
+            "seed_label": self.seed_label,
+            "started_at": self.started_at,
+            "ended_at": self.ended_at,
+            "frames_sent": self.frames_sent,
+            "stop_reason": self.stop_reason,
+            "write_errors": self.write_errors,
+            "config_rows": [list(row) for row in self.config_rows],
+            "findings": [
+                {
+                    "time": f.time,
+                    "oracle": f.oracle,
+                    "description": f.description,
+                    "recent_frames": [
+                        {"id": frame.can_id,
+                         "data": frame.data.hex(),
+                         "extended": frame.extended}
+                        for frame in f.recent_frames
+                    ],
+                }
+                for f in self.findings
+            ],
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FuzzResult":
+        from repro.can.frame import CanFrame
+
+        payload = json.loads(text)
+        findings = [
+            Finding(
+                time=item["time"],
+                oracle=item["oracle"],
+                description=item["description"],
+                recent_frames=tuple(
+                    CanFrame(f["id"], bytes.fromhex(f["data"]),
+                             extended=f["extended"])
+                    for f in item["recent_frames"]),
+            )
+            for item in payload["findings"]
+        ]
+        return cls(
+            name=payload["name"],
+            seed_label=payload["seed_label"],
+            started_at=payload["started_at"],
+            ended_at=payload["ended_at"],
+            frames_sent=payload["frames_sent"],
+            findings=findings,
+            write_errors=dict(payload.get("write_errors", {})),
+            stop_reason=payload.get("stop_reason", ""),
+            config_rows=[tuple(row) for row in payload.get(
+                "config_rows", [])],
+        )

@@ -1,0 +1,37 @@
+"""LIN bus substrate (ISO 17987 / LIN 2.x subset).
+
+The paper lists LIN among the networks found in vehicles ("FlexRay,
+Media Oriented Systems Transport (MOST), Local Interconnect Network
+(LIN)..."), and its reference [10] -- Hoppe & Dittman's electric
+window lift -- is the canonical LIN-attached body subsystem.  This
+package models the master/slave schedule-table protocol:
+
+- :mod:`~repro.lin.frame` -- protected identifiers (parity bits) and
+  the enhanced checksum,
+- :mod:`~repro.lin.bus` -- master-driven slot schedule, publisher /
+  subscriber nodes,
+- :mod:`~repro.lin.windowlift` -- the window-lift slave of [10], used
+  to demonstrate that CAN-side fuzzing propagates into LIN-attached
+  actuators through the body controller.
+"""
+
+from repro.lin.bus import LinBus, LinMaster, LinNode, ScheduleEntry
+from repro.lin.frame import (
+    LinFrameError,
+    enhanced_checksum,
+    protected_id,
+    verify_protected_id,
+)
+from repro.lin.windowlift import WindowLiftSlave
+
+__all__ = [
+    "protected_id",
+    "verify_protected_id",
+    "enhanced_checksum",
+    "LinFrameError",
+    "LinBus",
+    "LinMaster",
+    "LinNode",
+    "ScheduleEntry",
+    "WindowLiftSlave",
+]

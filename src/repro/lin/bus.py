@@ -1,0 +1,156 @@
+"""LIN bus: master-driven schedule, publishers and subscribers.
+
+LIN is a single-master protocol: the master walks a schedule table,
+transmitting a header (the protected identifier) for each slot; the
+one node that publishes that frame id answers with data + checksum,
+and every subscribing node picks the response up.  No arbitration
+exists -- timing is entirely the master's.
+
+The model keeps LIN's failure behaviour: responses carry checksums,
+a corrupted response (fault injector) is dropped by subscribers, and
+a slot whose publisher is dead simply stays empty (a "no response"
+error the master counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.lin.frame import checksum_ok, enhanced_checksum, protected_id
+from repro.sim.clock import MS
+from repro.sim.kernel import Simulator
+
+Publisher = Callable[[], bytes]
+Subscriber = Callable[[bytes], None]
+#: Optionally corrupts a response: (frame_id, data) -> corrupted data
+#: or None to keep it intact.
+ResponseCorruptor = Callable[[int, bytes], bytes | None]
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One slot of the master's schedule table."""
+
+    frame_id: int
+    slot_ms: int = 10
+
+    def __post_init__(self) -> None:
+        if self.slot_ms <= 0:
+            raise ValueError("slot time must be positive")
+        protected_id(self.frame_id)  # validates the id range
+
+
+class LinNode:
+    """A LIN node: publishes some frame ids, subscribes to others."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.alive = True
+        self._publishers: dict[int, Publisher] = {}
+        self._subscribers: dict[int, list[Subscriber]] = {}
+
+    def publish(self, frame_id: int, source: Publisher) -> None:
+        """Answer headers for ``frame_id`` with ``source()`` bytes."""
+        protected_id(frame_id)
+        self._publishers[frame_id] = source
+
+    def subscribe(self, frame_id: int, sink: Subscriber) -> None:
+        """Receive validated responses for ``frame_id``."""
+        protected_id(frame_id)
+        self._subscribers.setdefault(frame_id, []).append(sink)
+
+
+class LinBus:
+    """The shared LIN wire: delivers one slot's exchange."""
+
+    def __init__(self, sim: Simulator, *, name: str = "lin0") -> None:
+        self.sim = sim
+        self.name = name
+        self.corruptor: ResponseCorruptor | None = None
+        self._nodes: list[LinNode] = []
+        self.responses_delivered = 0
+        self.checksum_drops = 0
+        self.empty_slots = 0
+
+    def attach(self, node: LinNode) -> None:
+        self._nodes.append(node)
+
+    def run_slot(self, frame_id: int) -> bool:
+        """Execute one header/response exchange.
+
+        Returns True when a valid response was delivered.
+        """
+        pid = protected_id(frame_id)
+        publisher = None
+        for node in self._nodes:
+            source = node._publishers.get(frame_id)
+            if source is not None and node.alive:
+                publisher = source
+                break
+        if publisher is None:
+            self.empty_slots += 1
+            return False
+        data = bytes(publisher())
+        checksum = enhanced_checksum(pid, data)
+        if self.corruptor is not None:
+            corrupted = self.corruptor(frame_id, data)
+            if corrupted is not None:
+                data = bytes(corrupted)
+        if not checksum_ok(pid, data, checksum):
+            self.checksum_drops += 1
+            return False
+        for node in self._nodes:
+            if not node.alive:
+                continue
+            for sink in node._subscribers.get(frame_id, ()):
+                sink(data)
+        self.responses_delivered += 1
+        return True
+
+
+class LinMaster(LinNode):
+    """The schedule-table master.
+
+    Args:
+        sim: simulation executive.
+        bus: the LIN segment this master drives.
+        schedule: slot sequence, repeated cyclically.
+    """
+
+    def __init__(self, sim: Simulator, bus: LinBus,
+                 schedule: list[ScheduleEntry], *,
+                 name: str = "lin-master") -> None:
+        super().__init__(name)
+        if not schedule:
+            raise ValueError("schedule table must not be empty")
+        self.sim = sim
+        self.bus = bus
+        self.schedule = list(schedule)
+        self.no_response_errors = 0
+        self._cursor = 0
+        self._running = False
+        self._event = None
+        bus.attach(self)
+
+    def start(self) -> None:
+        if not self._running:
+            self._running = True
+            self._event = self.sim.call_after(0, self._tick,
+                                              label=f"{self.name}:slot")
+
+    def stop(self) -> None:
+        self._running = False
+        if self._event is not None:
+            self.sim.cancel(self._event)
+            self._event = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        entry = self.schedule[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self.schedule)
+        if not self.bus.run_slot(entry.frame_id):
+            self.no_response_errors += 1
+        self._event = self.sim.call_after(
+            entry.slot_ms * MS, self._tick, label=f"{self.name}:slot")

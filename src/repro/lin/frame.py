@@ -1,0 +1,68 @@
+"""LIN frame primitives: protected identifiers and checksums.
+
+LIN identifiers are 6 bits (0-63); the on-wire *protected identifier*
+adds two parity bits (LIN 2.x §2.3.1.3):
+
+- P0 = ID0 ^ ID1 ^ ID2 ^ ID4
+- P1 = ~(ID1 ^ ID3 ^ ID4 ^ ID5)
+
+The enhanced checksum (LIN 2.x) is the inverted carry-wrapped sum of
+the protected id and all data bytes.
+"""
+
+from __future__ import annotations
+
+MAX_FRAME_ID = 0x3F
+#: Ids 0x3C/0x3D are diagnostic; 0x3E/0x3F reserved.
+DIAGNOSTIC_MASTER_REQUEST = 0x3C
+DIAGNOSTIC_SLAVE_RESPONSE = 0x3D
+
+
+class LinFrameError(ValueError):
+    """Raised for out-of-range identifiers or malformed data."""
+
+
+def protected_id(frame_id: int) -> int:
+    """The 8-bit protected identifier for a 6-bit frame id."""
+    if not 0 <= frame_id <= MAX_FRAME_ID:
+        raise LinFrameError(f"LIN frame id {frame_id} out of 0..63")
+    bit = [(frame_id >> i) & 1 for i in range(6)]
+    p0 = bit[0] ^ bit[1] ^ bit[2] ^ bit[4]
+    p1 = 1 - (bit[1] ^ bit[3] ^ bit[4] ^ bit[5])
+    return frame_id | (p0 << 6) | (p1 << 7)
+
+
+def verify_protected_id(pid: int) -> int:
+    """Validate parity; returns the bare frame id.
+
+    Raises:
+        LinFrameError: parity mismatch (a corrupted header).
+    """
+    if not 0 <= pid <= 0xFF:
+        raise LinFrameError(f"protected id {pid} out of byte range")
+    frame_id = pid & MAX_FRAME_ID
+    if protected_id(frame_id) != pid:
+        raise LinFrameError(
+            f"parity error in protected id 0x{pid:02X}")
+    return frame_id
+
+
+def enhanced_checksum(pid: int, data: bytes) -> int:
+    """LIN 2.x enhanced checksum over protected id + data."""
+    if not 1 <= len(data) <= 8:
+        raise LinFrameError(
+            f"LIN frames carry 1-8 data bytes, got {len(data)}")
+    total = pid
+    for byte in data:
+        total += byte
+        if total >= 256:
+            total -= 255
+    return (~total) & 0xFF
+
+
+def checksum_ok(pid: int, data: bytes, checksum: int) -> bool:
+    """Receiver-side checksum validation."""
+    try:
+        return enhanced_checksum(pid, data) == checksum
+    except LinFrameError:
+        return False

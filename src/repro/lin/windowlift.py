@@ -1,0 +1,95 @@
+"""The electric window lift: a LIN slave actuator.
+
+Hoppe & Dittman's window-lift attack (the paper's reference [10]) is
+the original in-vehicle network exploitation demo.  Here the lift is
+a LIN slave under the body controller:
+
+- it subscribes to the master's command frame (``WINDOW_COMMAND_ID``):
+  byte 0 = 0 stop, 1 up, 2 down,
+- it publishes its status frame (``WINDOW_STATUS_ID``): position
+  percent and motion state,
+- physical motion advances with simulated time and the lift has an
+  anti-pinch safety stop on sustained up-drive (the safety property a
+  spoofed command stream can violate).
+"""
+
+from __future__ import annotations
+
+from repro.lin.bus import LinNode
+from repro.sim.clock import MS
+from repro.sim.kernel import Simulator
+from repro.sim.process import PeriodicProcess
+
+WINDOW_COMMAND_ID = 0x21
+WINDOW_STATUS_ID = 0x22
+
+STOP, UP, DOWN = 0, 1, 2
+
+#: Percent of travel per second of motor drive.
+TRAVEL_RATE = 25.0
+#: Sustained up-drive beyond this (seconds) with the window already
+#: closed trips the anti-pinch monitor.
+PINCH_LIMIT_SECONDS = 1.0
+
+
+class WindowLiftSlave(LinNode):
+    """The driver-door window lift.
+
+    Attributes:
+        position: 0.0 (open) to 100.0 (closed).
+        motion: STOP/UP/DOWN.
+        pinch_events: times the anti-pinch monitor tripped.
+    """
+
+    def __init__(self, sim: Simulator, *, step_ms: int = 20,
+                 name: str = "window-lift") -> None:
+        super().__init__(name)
+        self.sim = sim
+        self.position = 100.0           # starts closed
+        self.motion = STOP
+        self.pinch_events = 0
+        self.commands_received = 0
+        self._closed_drive_seconds = 0.0
+        self._step_seconds = step_ms / 1000.0
+        self.subscribe(WINDOW_COMMAND_ID, self._on_command)
+        self.publish(WINDOW_STATUS_ID, self._status)
+        self._motor = PeriodicProcess(sim, step_ms * MS, self._step,
+                                      label=f"{name}:motor")
+        self._motor.start()
+
+    # ------------------------------------------------------------------
+    # LIN interface
+    # ------------------------------------------------------------------
+    def _on_command(self, data: bytes) -> None:
+        if not data:
+            return
+        command = data[0]
+        if command in (STOP, UP, DOWN):
+            self.commands_received += 1
+            self.motion = command
+
+    def _status(self) -> bytes:
+        return bytes((round(self.position), self.motion))
+
+    # ------------------------------------------------------------------
+    # Physics
+    # ------------------------------------------------------------------
+    def _step(self) -> None:
+        if self.motion == UP:
+            if self.position >= 100.0:
+                self._closed_drive_seconds += self._step_seconds
+                if self._closed_drive_seconds >= PINCH_LIMIT_SECONDS:
+                    # Anti-pinch: reverse and stop.
+                    self.pinch_events += 1
+                    self.position = max(0.0, self.position - 20.0)
+                    self.motion = STOP
+                    self._closed_drive_seconds = 0.0
+            else:
+                self.position = min(
+                    100.0, self.position + TRAVEL_RATE * self._step_seconds)
+        elif self.motion == DOWN:
+            self._closed_drive_seconds = 0.0
+            self.position = max(
+                0.0, self.position - TRAVEL_RATE * self._step_seconds)
+        else:
+            self._closed_drive_seconds = 0.0

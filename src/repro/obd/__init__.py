@@ -1,0 +1,27 @@
+"""OBD-II (SAE J1979) diagnostics substrate.
+
+The paper's fuzzer physically attaches through "the open, in-cabin
+On-board Diagnostics (OBD) port"; the same port normally speaks the
+standardised OBD-II request/response protocol (functional queries on
+CAN id 0x7DF, responses on 0x7E8+).  This package implements the
+subset a scan tool uses -- mode 01 live data and mode 03 stored
+trouble codes -- both as a realistic piece of residual attack surface
+and as another fuzzable interface.
+
+- :mod:`~repro.obd.pids` -- PID encodings (RPM, speed, temperature...).
+- :mod:`~repro.obd.service` -- the responder inside the engine ECU.
+- :mod:`~repro.obd.scanner` -- a tester-side scan tool.
+"""
+
+from repro.obd.pids import Pid, decode_pid, encode_pid
+from repro.obd.scanner import ObdScanner
+from repro.obd.service import OBD_REQUEST_ID, ObdResponder
+
+__all__ = [
+    "Pid",
+    "encode_pid",
+    "decode_pid",
+    "ObdResponder",
+    "ObdScanner",
+    "OBD_REQUEST_ID",
+]

@@ -1,0 +1,77 @@
+"""SAE J1979 mode-01 parameter ids and their encodings.
+
+Each PID has the standard scaling from the J1979 tables; encode/decode
+are exact inverses over the encodable range, which the property tests
+verify.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Pid(enum.IntEnum):
+    """The mode-01 PIDs the engine responder supports."""
+
+    SUPPORTED_01_20 = 0x00
+    COOLANT_TEMP = 0x05
+    ENGINE_RPM = 0x0C
+    VEHICLE_SPEED = 0x0D
+    THROTTLE_POSITION = 0x11
+    FUEL_LEVEL = 0x2F
+
+
+class PidError(ValueError):
+    """Raised for unknown PIDs or out-of-range physical values."""
+
+
+def _check_range(pid: Pid, value: float, low: float, high: float) -> None:
+    if not low <= value <= high:
+        raise PidError(
+            f"{pid.name} value {value} outside encodable [{low}, {high}]")
+
+
+def encode_pid(pid: Pid, value: float) -> bytes:
+    """Physical value -> J1979 data bytes."""
+    if pid == Pid.COOLANT_TEMP:
+        _check_range(pid, value, -40.0, 215.0)       # A - 40
+        return bytes((round(value) + 40,))
+    if pid == Pid.ENGINE_RPM:
+        _check_range(pid, value, 0.0, 16383.75)      # (256A + B) / 4
+        raw = round(value * 4)
+        return bytes((raw >> 8, raw & 0xFF))
+    if pid == Pid.VEHICLE_SPEED:
+        _check_range(pid, value, 0.0, 255.0)         # A
+        return bytes((round(value),))
+    if pid == Pid.THROTTLE_POSITION:
+        _check_range(pid, value, 0.0, 100.0)         # 100A / 255
+        return bytes((round(value * 255 / 100),))
+    if pid == Pid.FUEL_LEVEL:
+        _check_range(pid, value, 0.0, 100.0)         # 100A / 255
+        return bytes((round(value * 255 / 100),))
+    raise PidError(f"no encoder for PID 0x{int(pid):02X}")
+
+
+def decode_pid(pid: Pid, data: bytes) -> float:
+    """J1979 data bytes -> physical value."""
+    if pid == Pid.COOLANT_TEMP and len(data) >= 1:
+        return data[0] - 40.0
+    if pid == Pid.ENGINE_RPM and len(data) >= 2:
+        return ((data[0] << 8) | data[1]) / 4.0
+    if pid == Pid.VEHICLE_SPEED and len(data) >= 1:
+        return float(data[0])
+    if pid == Pid.THROTTLE_POSITION and len(data) >= 1:
+        return data[0] * 100.0 / 255.0
+    if pid == Pid.FUEL_LEVEL and len(data) >= 1:
+        return data[0] * 100.0 / 255.0
+    raise PidError(
+        f"cannot decode PID 0x{int(pid):02X} from {data.hex() or 'nothing'}")
+
+
+def supported_bitmask(pids: list[Pid]) -> bytes:
+    """The PID-0x00 capability bitmap for PIDs 0x01-0x20."""
+    mask = 0
+    for pid in pids:
+        if 0x01 <= int(pid) <= 0x20:
+            mask |= 1 << (32 - int(pid))
+    return mask.to_bytes(4, "big")

@@ -1,0 +1,129 @@
+"""OBD-II responder embedded in the engine ECU.
+
+Answers functional requests on 0x7DF (and its physical id) with
+single-frame ISO-TP responses on 0x7E8 -- the exchange every consumer
+scan tool performs.  Mode 01 values come live from the shared
+:class:`~repro.vehicle.dynamics.VehicleDynamics`; mode 03 reports the
+diagnostic trouble codes the ECU accumulated (fault events recorded
+by the ECU framework surface here, so a scan tool "sees" the damage a
+fuzz run caused).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.can.frame import CanFrame, TimestampedFrame
+from repro.ecu.base import Ecu
+from repro.obd.pids import Pid, PidError, encode_pid, supported_bitmask
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    # repro.vehicle.car wires an ObdResponder into the engine ECU, so
+    # a runtime import here would be circular.
+    from repro.vehicle.dynamics import VehicleDynamics
+
+#: Functional (broadcast) request identifier.
+OBD_REQUEST_ID = 0x7DF
+#: This responder's physical request/response identifiers.
+OBD_PHYSICAL_REQUEST_ID = 0x7E0
+OBD_RESPONSE_ID = 0x7E8
+
+MODE_CURRENT_DATA = 0x01
+MODE_STORED_DTCS = 0x03
+MODE_CLEAR_DTCS = 0x04
+
+SUPPORTED_PIDS = [Pid.COOLANT_TEMP, Pid.ENGINE_RPM, Pid.VEHICLE_SPEED,
+                  Pid.THROTTLE_POSITION, Pid.FUEL_LEVEL]
+
+
+class ObdResponder:
+    """SAE J1979 responder bound to an ECU with access to dynamics.
+
+    Args:
+        ecu: host ECU (the engine controller in the assembled car).
+        dynamics: live vehicle state for mode-01 answers.
+    """
+
+    def __init__(self, ecu: Ecu, dynamics: "VehicleDynamics") -> None:
+        self.ecu = ecu
+        self.dynamics = dynamics
+        self.requests_answered = 0
+        #: Stored DTCs as (letter-coded) 2-byte values, e.g. 0x0113.
+        self.trouble_codes: list[int] = []
+        ecu.on_id(OBD_REQUEST_ID, self._on_request)
+        ecu.on_id(OBD_PHYSICAL_REQUEST_ID, self._on_request)
+
+    # ------------------------------------------------------------------
+    # DTC management
+    # ------------------------------------------------------------------
+    def store_dtc(self, code: int) -> None:
+        """Record a trouble code (deduplicated, capped at 8)."""
+        if code not in self.trouble_codes and len(self.trouble_codes) < 8:
+            self.trouble_codes.append(code)
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def _on_request(self, stamped: TimestampedFrame) -> None:
+        data = stamped.frame.data
+        # Single-frame ISO-TP: [length, mode, pid?]
+        if len(data) < 2:
+            return
+        length = data[0] & 0x0F
+        if length < 1 or length > len(data) - 1:
+            return
+        mode = data[1]
+        if mode == MODE_CURRENT_DATA and length >= 2:
+            self._answer_mode01(data[2])
+        elif mode == MODE_STORED_DTCS:
+            self._answer_mode03()
+        elif mode == MODE_CLEAR_DTCS:
+            self.trouble_codes.clear()
+            self._send(bytes((0x44,)))
+
+    def _answer_mode01(self, pid_byte: int) -> None:
+        if pid_byte == int(Pid.SUPPORTED_01_20):
+            payload = supported_bitmask(SUPPORTED_PIDS)
+            self._send(bytes((0x41, pid_byte)) + payload)
+            return
+        try:
+            pid = Pid(pid_byte)
+        except ValueError:
+            return  # unsupported PIDs are simply not answered
+        value = self._live_value(pid)
+        if value is None:
+            return
+        try:
+            payload = encode_pid(pid, value)
+        except PidError:
+            # Live value outside the PID's encodable range: clamp to
+            # the nearest bound, as production ECUs do.
+            payload = encode_pid(pid, max(0.0, min(value, 16383.75))
+                                 if pid == Pid.ENGINE_RPM else 0.0)
+        self._send(bytes((0x41, pid_byte)) + payload)
+
+    def _live_value(self, pid: Pid) -> float | None:
+        dyn = self.dynamics
+        if pid == Pid.COOLANT_TEMP:
+            return max(-40.0, min(215.0, dyn.coolant_temp))
+        if pid == Pid.ENGINE_RPM:
+            return max(0.0, min(16383.75, dyn.rpm))
+        if pid == Pid.VEHICLE_SPEED:
+            return max(0.0, min(255.0, dyn.speed_kmh))
+        if pid == Pid.THROTTLE_POSITION:
+            return max(0.0, min(100.0, dyn.throttle * 100.0))
+        if pid == Pid.FUEL_LEVEL:
+            return max(0.0, min(100.0, dyn.fuel_level))
+        return None
+
+    def _answer_mode03(self) -> None:
+        codes = self.trouble_codes[:2]  # fits one single frame
+        payload = bytes((0x43, len(self.trouble_codes)))
+        for code in codes:
+            payload += bytes((code >> 8, code & 0xFF))
+        self._send(payload)
+
+    def _send(self, payload: bytes) -> None:
+        self.requests_answered += 1
+        frame_data = bytes((len(payload),)) + payload
+        self.ecu.send(CanFrame(OBD_RESPONSE_ID, frame_data[:8]))

@@ -1,0 +1,36 @@
+"""Discrete-event simulation kernel.
+
+Every hardware element of the paper's test setup (CAN bus, ECUs, the
+vehicle, the fuzzer's transmit timer) runs on simulated time supplied by
+this kernel.  Time is kept as an integer number of **microseconds** so
+that event ordering is exact and runs are bit-for-bit reproducible.
+
+The public surface is:
+
+- :class:`~repro.sim.clock.SimClock` -- the virtual clock.
+- :class:`~repro.sim.kernel.Simulator` -- event scheduling and execution.
+- :class:`~repro.sim.process.PeriodicProcess` -- periodic task helper.
+- :class:`~repro.sim.random.RandomStreams` -- reproducible per-component RNG.
+- Time-unit constants :data:`US`, :data:`MS`, :data:`SECOND`.
+"""
+
+from repro.sim.clock import MS, SECOND, US, SimClock, format_time
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.process import OneShot, PeriodicProcess
+from repro.sim.random import RandomStreams
+
+__all__ = [
+    "US",
+    "MS",
+    "SECOND",
+    "SimClock",
+    "format_time",
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "SimulationError",
+    "PeriodicProcess",
+    "OneShot",
+    "RandomStreams",
+]

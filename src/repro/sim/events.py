@@ -1,0 +1,101 @@
+"""Event objects and the pending-event queue.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence
+number makes ordering *stable*: two events scheduled for the same tick
+at the same priority fire in the order they were scheduled, which keeps
+runs deterministic regardless of heap internals.
+
+The heap stores bare ``(time, priority, seq, event)`` tuples rather
+than comparable Event objects: tuple comparison is the single hottest
+operation in a fuzzing run (millions of frames, several events each),
+and avoiding a generated dataclass ``__lt__`` measurably speeds up
+whole campaigns.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(slots=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: absolute simulation time (microsecond ticks) to fire at.
+        priority: tie-break between events at the same tick; lower fires
+            first.  The CAN bus uses priority 0 for bus-state updates so
+            that frame delivery is observed before same-tick application
+            timers (priority 10) run.
+        seq: monotonically increasing sequence number, assigned by the
+            queue; final tie-break.
+        action: zero-argument callable executed when the event fires.
+        label: free-form description used in error messages and traces.
+    """
+
+    time: int
+    priority: int
+    seq: int
+    action: Callable[[], None]
+    label: str = field(default="")
+    cancelled: bool = field(default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so that it is skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A heap of pending :class:`Event` objects.
+
+    Cancellation is lazy: cancelled events stay in the heap and are
+    dropped when they reach the front.  This is O(1) per cancel and is
+    the standard approach for simulators with frequent timer resets
+    (ECU watchdogs and retransmit timers cancel constantly).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, int, Event]] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events."""
+        return self._live
+
+    def push(self, time: int, action: Callable[[], None], *,
+             priority: int = 10, label: str = "") -> Event:
+        """Schedule ``action`` at absolute ``time`` and return the event."""
+        self._seq += 1
+        event = Event(time=time, priority=priority, seq=self._seq,
+                      action=action, label=label)
+        heapq.heappush(self._heap, (time, priority, self._seq, event))
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event (idempotent)."""
+        if not event.cancelled:
+            event.cancelled = True
+            self._live -= 1
+
+    def peek_time(self) -> int | None:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        if not heap:
+            return None
+        return heap[0][0]
+
+    def pop(self) -> Event | None:
+        """Remove and return the next live event, or ``None`` if empty."""
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
+            if not event.cancelled:
+                self._live -= 1
+                return event
+        return None

@@ -1,0 +1,159 @@
+"""The simulation executive.
+
+:class:`Simulator` owns the clock and the event queue and provides the
+scheduling API used by every other subsystem (CAN bus, ECUs, fuzzer).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.clock import SECOND, SimClock, format_time
+from repro.sim.events import Event, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling misuse (negative delays, past deadlines)."""
+
+
+class Simulator:
+    """Discrete-event executive.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.call_after(1000, lambda: print("1 ms elapsed"))
+        sim.run_for(10_000)
+
+    Events fire in ``(time, priority, insertion-order)`` order.  The
+    executive is single-threaded and re-entrant: actions may schedule
+    and cancel further events freely, including at the current tick.
+    """
+
+    #: Priority used by bus-level events so that wire state resolves
+    #: before application timers at the same tick.
+    BUS_PRIORITY = 0
+    #: Default priority for application events.
+    APP_PRIORITY = 10
+
+    def __init__(self, start: int = 0) -> None:
+        self.clock = SimClock(start)
+        self._queue = EventQueue()
+        self._running = False
+        self._stop_requested = False
+        self._events_fired = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in microsecond ticks."""
+        return self.clock.now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far (for diagnostics)."""
+        return self._events_fired
+
+    def call_at(self, when: int, action: Callable[[], None], *,
+                priority: int = APP_PRIORITY, label: str = "") -> Event:
+        """Schedule ``action`` at absolute time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule {label or action!r} at {format_time(when)}; "
+                f"it is already {format_time(self.now)}"
+            )
+        return self._queue.push(when, action, priority=priority, label=label)
+
+    def call_after(self, delay: int, action: Callable[[], None], *,
+                   priority: int = APP_PRIORITY, label: str = "") -> Event:
+        """Schedule ``action`` ``delay`` ticks from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for {label!r}")
+        return self._queue.push(self.now + delay, action,
+                                priority=priority, label=label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (safe to call more than once)."""
+        self._queue.cancel(event)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single next event.
+
+        Returns:
+            ``True`` if an event was executed, ``False`` if the queue
+            was empty (time does not advance in that case).
+        """
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        self._events_fired += 1
+        event.action()
+        return True
+
+    def run_until(self, deadline: int) -> None:
+        """Run events up to and including ``deadline``, then stop.
+
+        The clock finishes exactly at ``deadline`` even if the queue
+        drains early, so callers can rely on ``sim.now == deadline``.
+        """
+        if deadline < self.now:
+            raise SimulationError(
+                f"deadline {format_time(deadline)} is in the past "
+                f"(now {format_time(self.now)})"
+            )
+        self._running = True
+        self._stop_requested = False
+        try:
+            while not self._stop_requested:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > deadline:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if not self._stop_requested:
+            self.clock.advance_to(deadline)
+
+    def run_for(self, duration: int) -> None:
+        """Run for ``duration`` ticks of simulated time."""
+        self.run_until(self.now + duration)
+
+    def run_until_idle(self, max_time: int | None = None) -> None:
+        """Run until no events remain (or ``max_time`` is reached).
+
+        Args:
+            max_time: safety limit in absolute ticks; without it a
+                periodic process would make this loop run forever.
+        """
+        self._running = True
+        self._stop_requested = False
+        try:
+            while not self._stop_requested:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if max_time is not None and next_time > max_time:
+                    self.clock.advance_to(max_time)
+                    break
+                self.step()
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Request that the current ``run_*`` call return after this event."""
+        self._stop_requested = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Simulator(now={format_time(self.now)}, "
+                f"pending={len(self._queue)}, fired={self._events_fired})")
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to ticks, rounding to the nearest microsecond."""
+    return round(value * SECOND)

@@ -1,0 +1,94 @@
+"""Process helpers built on the event queue.
+
+ECUs transmit most CAN messages cyclically (every 10/20/100 ms); the
+fuzzer transmits on a fixed interval too (1 ms minimum in the paper).
+:class:`PeriodicProcess` captures that pattern once so every component
+does not re-implement self-rescheduling timers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.events import Event
+from repro.sim.kernel import SimulationError, Simulator
+
+
+class PeriodicProcess:
+    """A callback fired every ``period`` ticks while started.
+
+    The action runs first at ``start() + phase`` and then every
+    ``period`` ticks.  ``phase`` staggers ECU transmit schedules the way
+    real nodes come up at slightly different times, which prevents the
+    unrealistic situation of every periodic frame contending for
+    arbitration at exactly the same tick.
+    """
+
+    def __init__(self, sim: Simulator, period: int,
+                 action: Callable[[], None], *,
+                 phase: int = 0, label: str = "") -> None:
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        if phase < 0:
+            raise SimulationError(f"phase must be >= 0, got {phase}")
+        self._sim = sim
+        self.period = period
+        self.phase = phase
+        self.label = label
+        self._action = action
+        self._event: Event | None = None
+        self._fired = 0
+
+    @property
+    def running(self) -> bool:
+        return self._event is not None
+
+    @property
+    def fired(self) -> int:
+        """Number of times the action has run."""
+        return self._fired
+
+    def start(self) -> None:
+        """Begin firing; idempotent."""
+        if self._event is None:
+            self._event = self._sim.call_after(
+                self.phase, self._tick, label=self.label)
+
+    def stop(self) -> None:
+        """Stop firing; idempotent.  A later ``start`` resumes cleanly."""
+        if self._event is not None:
+            self._sim.cancel(self._event)
+            self._event = None
+
+    def _tick(self) -> None:
+        self._event = self._sim.call_after(
+            self.period, self._tick, label=self.label)
+        self._fired += 1
+        self._action()
+
+
+class OneShot:
+    """A cancellable single delayed action (e.g. a watchdog deadline)."""
+
+    def __init__(self, sim: Simulator, *, label: str = "") -> None:
+        self._sim = sim
+        self.label = label
+        self._event: Event | None = None
+
+    @property
+    def pending(self) -> bool:
+        return self._event is not None
+
+    def arm(self, delay: int, action: Callable[[], None]) -> None:
+        """Schedule ``action`` after ``delay``, replacing any pending shot."""
+        self.disarm()
+        def fire() -> None:
+            self._event = None
+            action()
+        self._event = self._sim.call_after(delay, fire, label=self.label)
+
+    def disarm(self) -> None:
+        """Cancel the pending action if any (idempotent)."""
+        if self._event is not None:
+            self._sim.cancel(self._event)
+            self._event = None

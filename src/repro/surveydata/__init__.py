@@ -1,0 +1,15 @@
+"""Static survey data behind the paper's Fig 1."""
+
+from repro.surveydata.altinger import (
+    SurveyEntry,
+    TESTING_METHODS_SURVEY,
+    fuzzing_rank,
+    survey_table,
+)
+
+__all__ = [
+    "SurveyEntry",
+    "TESTING_METHODS_SURVEY",
+    "survey_table",
+    "fuzzing_rank",
+]

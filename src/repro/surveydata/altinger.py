@@ -1,0 +1,79 @@
+"""Fig 1 source data: testing methods used in the automotive industry.
+
+The paper's Fig 1 is a bar chart "derived from data from [7]"
+(Altinger, Wotawa, Schurius, *Testing methods used in the automotive
+industry: results from a survey*, JAMAICA 2014).  The survey asked
+automotive engineers which testing methods they employ.
+
+The percentages below are digitised from the paper's figure (the
+original survey reports responder counts; the figure normalises
+them).  The load-bearing facts the reproduction relies on -- and the
+only claims the paper draws from the figure -- are ordinal:
+
+1. conventional functional methods (unit/integration/HIL/SIL) dominate,
+2. security-oriented dynamic methods sit at the bottom,
+3. **the fuzz test is the least-used method of all** ("its use in
+   general testing of automotive systems is low").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SurveyEntry:
+    """One bar of Fig 1."""
+
+    method: str
+    usage_percent: float
+    category: str  # "functional" | "static" | "security"
+
+
+#: The Fig 1 bars, highest to lowest usage.
+TESTING_METHODS_SURVEY: tuple[SurveyEntry, ...] = (
+    SurveyEntry("Unit testing", 86.0, "functional"),
+    SurveyEntry("Integration testing", 76.0, "functional"),
+    SurveyEntry("System testing", 74.0, "functional"),
+    SurveyEntry("Hardware-in-the-loop (HIL)", 67.0, "functional"),
+    SurveyEntry("Regression testing", 62.0, "functional"),
+    SurveyEntry("Software-in-the-loop (SIL)", 55.0, "functional"),
+    SurveyEntry("Model-in-the-loop (MIL)", 48.0, "functional"),
+    SurveyEntry("Code review", 45.0, "static"),
+    SurveyEntry("Static code analysis", 43.0, "static"),
+    SurveyEntry("Back-to-back testing", 29.0, "functional"),
+    SurveyEntry("Mutation testing", 12.0, "functional"),
+    SurveyEntry("Penetration testing", 10.0, "security"),
+    SurveyEntry("Fuzz testing", 5.0, "security"),
+)
+
+
+def survey_table() -> list[tuple[str, float]]:
+    """(method, usage %) rows, highest first -- the Fig 1 series."""
+    return [(entry.method, entry.usage_percent)
+            for entry in TESTING_METHODS_SURVEY]
+
+
+def fuzzing_rank() -> int:
+    """1-based rank of fuzz testing among all methods (lowest = last).
+
+    The paper's point is that this equals the number of methods: fuzz
+    testing is in last place.
+    """
+    ordered = sorted(TESTING_METHODS_SURVEY,
+                     key=lambda e: e.usage_percent, reverse=True)
+    for index, entry in enumerate(ordered, start=1):
+        if entry.method == "Fuzz testing":
+            return index
+    raise LookupError("fuzz testing missing from the survey data")
+
+
+def render_bar_chart(width: int = 50) -> str:
+    """ASCII rendering of Fig 1."""
+    longest = max(len(e.method) for e in TESTING_METHODS_SURVEY)
+    lines = []
+    for entry in TESTING_METHODS_SURVEY:
+        bar = "#" * round(entry.usage_percent / 100 * width)
+        lines.append(f"{entry.method:<{longest}} "
+                     f"{bar} {entry.usage_percent:.0f}%")
+    return "\n".join(lines)

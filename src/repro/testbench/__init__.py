@@ -1,0 +1,22 @@
+"""Bench-top remote-unlock testbench (§VI, Figs 10-13, Table V).
+
+The paper built a three-node CAN bench from Arduino SBCs: a head unit
+receiving app commands, a body control module whose LED shows the lock
+state, and a monitor.  The fuzzer joins as a malicious fourth node and
+must activate the unlock blind.  This package is that bench in
+simulation, plus the Table V experiment harness.
+"""
+
+from repro.testbench.app import LockApp
+from repro.testbench.bcm import BenchBcm, UNLOCK_ACK_ID
+from repro.testbench.bench import UnlockTestbench
+from repro.testbench.experiment import TableVRow, UnlockExperiment
+
+__all__ = [
+    "UnlockTestbench",
+    "BenchBcm",
+    "UNLOCK_ACK_ID",
+    "LockApp",
+    "UnlockExperiment",
+    "TableVRow",
+]

@@ -1,0 +1,29 @@
+"""The PC lock/unlock app (paper Fig 13).
+
+"For this experiment a PC app acts as the smartphone app, sending the
+lock and unlock command as a proxy for the infotainment ECU."  The
+app's two buttons are two methods; each press makes the head unit
+transmit the command frame on the bench bus.
+"""
+
+from __future__ import annotations
+
+from repro.vehicle.infotainment import HeadUnit
+
+
+class LockApp:
+    """The two-button app driving the bench head unit."""
+
+    def __init__(self, head_unit: HeadUnit) -> None:
+        self._head_unit = head_unit
+        self.presses = 0
+
+    def press_lock(self) -> bool:
+        """Press 'Lock'.  Returns True if the command went out."""
+        self.presses += 1
+        return self._head_unit.request_lock()
+
+    def press_unlock(self) -> bool:
+        """Press 'Unlock'."""
+        self.presses += 1
+        return self._head_unit.request_unlock()

@@ -1,0 +1,124 @@
+"""Bench body control module: the LED node.
+
+"One of the ECUs acts as a Body Control Module (BCM), with a Light
+Emitting Diode (LED) representing the lock status of the vehicle (off
+for locked, on for unlocked)."
+
+The unlock-recognition code is configurable in exactly the ways the
+paper varied it for Table V:
+
+- ``"byte"``: a specific byte value at a byte position in a specific
+  id (the original 431 s-mean configuration),
+- ``"byte+dlc"``: additionally require the specification data length
+  (the hardened 1959 s-mean configuration),
+- ``"two-byte"``: require a second byte value too (the paper's "if
+  the change had been to check for a two byte value the time increase
+  would have been even greater").
+"""
+
+from __future__ import annotations
+
+from repro.can.bus import CanBus
+from repro.can.frame import CanFrame, TimestampedFrame
+from repro.ecu.base import Ecu
+from repro.sim.clock import MS
+from repro.sim.kernel import Simulator
+from repro.vehicle.database import (
+    BODY_COMMAND_ID,
+    COMMAND_CHANNEL,
+    LOCK_COMMAND,
+    UNLOCK_COMMAND,
+)
+
+#: The unlock-acknowledgement message the paper added: "to aid with the
+#: detection of the unlock state the testbench was augmented to
+#: transmit an unlock acknowledgement CAN message."
+UNLOCK_ACK_ID = 0x3A5
+
+#: Specification length of the command frame (Fig 13 shows DLC 7).
+COMMAND_SPEC_DLC = 7
+
+#: Supported unlock-check configurations.
+CHECK_MODES = ("byte", "byte+dlc", "two-byte")
+
+
+class BenchBcm(Ecu):
+    """The bench BCM with its lock-status LED.
+
+    Attributes:
+        led_on: the physical LED -- ``True`` means unlocked.
+        check_mode: which unlock-recognition code is compiled in.
+    """
+
+    def __init__(self, sim: Simulator, bus: CanBus, *,
+                 check_mode: str = "byte",
+                 authenticator=None) -> None:
+        if check_mode not in CHECK_MODES:
+            raise ValueError(
+                f"check_mode must be one of {CHECK_MODES}, "
+                f"got {check_mode!r}")
+        super().__init__(sim, bus, "bench-bcm", boot_time=10 * MS)
+        self.check_mode = check_mode
+        #: Optional :class:`repro.defense.CanAuthenticator`; when set,
+        #: the BCM only acts on cryptographically authentic commands
+        #: (the protection-measure evaluation of §VII).
+        self.authenticator = authenticator
+        self.locked = True
+        self.unlock_count = 0
+        self.lock_count = 0
+        self._ack_counter = 0
+        self.on_id(BODY_COMMAND_ID, self._on_command)
+        # A light periodic status message: the bench carried "a small
+        # subset of those transmitted on the target vehicle's CAN bus".
+        self.every(100 * MS, self._send_status, phase=9 * MS,
+                   label="bench-bcm:status")
+
+    @property
+    def led_on(self) -> bool:
+        """The LED: off for locked, on for unlocked."""
+        return not self.locked
+
+    # ------------------------------------------------------------------
+    # Command recognition
+    # ------------------------------------------------------------------
+    def _matches(self, frame: CanFrame, code: int) -> bool:
+        data = frame.data
+        if self.check_mode == "byte":
+            return len(data) >= 1 and data[0] == code
+        if self.check_mode == "byte+dlc":
+            return frame.dlc == COMMAND_SPEC_DLC and data[0] == code
+        # two-byte: value check on bytes 0 and 1 (no DLC requirement,
+        # isolating the value-width effect).
+        return (len(data) >= 2 and data[0] == code
+                and data[1] == COMMAND_CHANNEL)
+
+    def _on_command(self, stamped: TimestampedFrame) -> None:
+        frame = stamped.frame
+        if self.authenticator is not None:
+            from repro.defense.authentication import AuthVerdict
+
+            verdict, data = self.authenticator.verify(frame)
+            if verdict is not AuthVerdict.AUTHENTIC or not data:
+                return
+            # The authenticated payload carries the command byte.
+            frame = frame.replace_data(data)
+        if self._matches(frame, UNLOCK_COMMAND):
+            self.locked = False
+            self.unlock_count += 1
+            self._send_ack(unlocked=True)
+        elif self._matches(frame, LOCK_COMMAND):
+            self.locked = True
+            self.lock_count += 1
+            self._send_ack(unlocked=False)
+
+    # ------------------------------------------------------------------
+    # Transmit
+    # ------------------------------------------------------------------
+    def _send_ack(self, *, unlocked: bool) -> None:
+        self._ack_counter = (self._ack_counter + 1) % 256
+        payload = bytes((0x01 if unlocked else 0x00, self._ack_counter))
+        self.send(CanFrame(UNLOCK_ACK_ID, payload))
+
+    def _send_status(self) -> None:
+        payload = bytes((0x00 if self.locked else 0x01, 0x5A, 0x00))
+        self.send(CanFrame(0x4F2, payload))

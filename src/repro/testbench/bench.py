@@ -1,0 +1,100 @@
+"""The assembled three-node bench (paper Fig 11/12).
+
+Nodes on one CAN bus:
+
+1. head unit (receives app commands, transmits the command frame),
+2. bench BCM (lock LED, unlock acknowledgement),
+3. monitor (a bounded capture, standing in for the third SBC).
+
+The fuzzer attaches through a PCAN-style adaptor as "a malicious unit
+connected to the vehicle network (via the OBD port or a compromised
+ECU)".
+"""
+
+from __future__ import annotations
+
+from repro.analysis.capture import BusCapture
+from repro.can.adapter import PcanStyleAdapter
+from repro.can.bus import CanBus
+from repro.can.timing import BitTiming, CAN_500K
+from repro.sim.clock import SECOND
+from repro.sim.kernel import Simulator
+from repro.sim.random import RandomStreams
+from repro.testbench.app import LockApp
+from repro.testbench.bcm import BenchBcm
+from repro.vehicle.database import target_vehicle_database
+from repro.vehicle.infotainment import HeadUnit
+
+
+class UnlockTestbench:
+    """The bench-top remote-unlock target.
+
+    Args:
+        seed: root seed for the bench's random streams.
+        check_mode: BCM unlock-recognition code ("byte", "byte+dlc",
+            "two-byte").
+        timing: bus bit timing.
+        monitor_limit: frames retained by the monitor node (bounded so
+            multi-hour fuzz runs do not grow memory without bound).
+    """
+
+    def __init__(self, *, seed: int = 0, check_mode: str = "byte",
+                 timing: BitTiming = CAN_500K,
+                 monitor_limit: int = 10_000,
+                 authenticated: bool = False) -> None:
+        self.sim = Simulator()
+        self.streams = RandomStreams(seed)
+        self.database = target_vehicle_database()
+        self.bus = CanBus(self.sim, timing=timing, name="bench")
+        self.authenticated = authenticated
+        self._tx_auth = None
+        bcm_auth = None
+        if authenticated:
+            from repro.defense.authentication import CanAuthenticator
+            from repro.vehicle.database import BODY_COMMAND_ID
+
+            key = b"bench-shared-key"
+            bcm_auth = CanAuthenticator(key, BODY_COMMAND_ID)
+            self._tx_auth = CanAuthenticator(key, BODY_COMMAND_ID)
+        self.bcm = BenchBcm(self.sim, self.bus, check_mode=check_mode,
+                            authenticator=bcm_auth)
+        self.head_unit = HeadUnit(self.sim, self.bus, self.database)
+        self.monitor = BusCapture(self.bus, limit=monitor_limit)
+        self.app = LockApp(self.head_unit)
+        self._secure_tx = None
+        if authenticated:
+            from repro.can.node import CanController
+
+            self._secure_tx = CanController("head-unit-secure")
+            self._secure_tx.attach(self.bus)
+
+    def power_on(self, *, settle_seconds: float = 0.5) -> None:
+        """Power the bench nodes and let the bus settle."""
+        self.bcm.power_on()
+        self.head_unit.power_on()
+        self.run_seconds(settle_seconds)
+
+    def secure_command(self, code: int) -> None:
+        """Transmit an authenticated lock/unlock command.
+
+        Only available on an ``authenticated=True`` bench; stands in
+        for head-unit firmware holding the shared key.
+        """
+        if self._tx_auth is None or self._secure_tx is None:
+            raise RuntimeError("this bench is not authenticated; use "
+                               "the app instead")
+        frame = self._tx_auth.protect(bytes((code,)))
+        self._secure_tx.send(frame)
+
+    def attacker_adapter(self) -> PcanStyleAdapter:
+        """The fuzzer's attachment point (initialised and ready)."""
+        adapter = PcanStyleAdapter(self.bus, channel="PCAN_USBBUS_BENCH")
+        adapter.initialize()
+        return adapter
+
+    def run_seconds(self, duration: float) -> None:
+        self.sim.run_for(round(duration * SECOND))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"UnlockTestbench(check={self.bcm.check_mode!r}, "
+                f"led={'on' if self.bcm.led_on else 'off'})")

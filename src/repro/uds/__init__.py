@@ -1,0 +1,41 @@
+"""UDS diagnostics substrate (ISO 14229 subset over ISO-TP).
+
+The paper's related work fuzzes "Unified Diagnostics Services (UDS),
+used for ECU diagnostics" [13], and §II stresses that ECUs must be
+tested in all their operating modes because the diagnostic states
+"have been previously exploited".  This package provides:
+
+- :mod:`~repro.uds.isotp` -- ISO 15765-2 transport (segmentation,
+  flow control) over the simulated CAN bus,
+- :mod:`~repro.uds.services` -- service ids and negative response
+  codes,
+- :mod:`~repro.uds.server` -- a UDS server embedded in an ECU, with
+  session control, security access and a seeded vulnerability,
+- :mod:`~repro.uds.client` -- a tester-side client,
+- :mod:`~repro.uds.fuzzer` -- a Bayer/Ptok-style UDS fuzzer.
+"""
+
+from repro.uds.client import UdsClient, UdsResponse
+from repro.uds.fuzzer import (
+    DataIdentifierFuzzer,
+    UdsFinding,
+    UdsFuzzer,
+    UdsFuzzReport,
+)
+from repro.uds.isotp import IsoTpEndpoint, IsoTpError
+from repro.uds.server import UdsServer
+from repro.uds.services import NegativeResponse, ServiceId
+
+__all__ = [
+    "IsoTpEndpoint",
+    "IsoTpError",
+    "ServiceId",
+    "NegativeResponse",
+    "UdsServer",
+    "UdsClient",
+    "UdsResponse",
+    "UdsFuzzer",
+    "DataIdentifierFuzzer",
+    "UdsFuzzReport",
+    "UdsFinding",
+]

@@ -1,0 +1,126 @@
+"""Tester-side UDS client.
+
+Drives request/response exchanges over ISO-TP from a dedicated tester
+node (the role a diagnostic tool -- or a fuzzer -- plays on the bus).
+The client owns the simulation loop during a request, which is the
+natural shape for tester scripts and for the UDS fuzzer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.can.bus import CanBus
+from repro.can.node import CanController
+from repro.sim.clock import MS
+from repro.sim.kernel import Simulator
+from repro.uds.isotp import IsoTpEndpoint
+from repro.uds.server import (
+    DEFAULT_RX_ID,
+    DEFAULT_TX_ID,
+    SECURITY_XOR_SECRET,
+)
+from repro.uds.services import SECURITY_REQUEST_SEED, SECURITY_SEND_KEY
+
+
+@dataclass(frozen=True)
+class UdsResponse:
+    """Outcome of one request."""
+
+    message: bytes | None
+
+    @property
+    def timed_out(self) -> bool:
+        return self.message is None
+
+    @property
+    def positive(self) -> bool:
+        return (self.message is not None and len(self.message) >= 1
+                and self.message[0] != 0x7F)
+
+    @property
+    def nrc(self) -> int | None:
+        """Negative response code, if this is a negative response."""
+        if self.message is not None and len(self.message) >= 3 \
+                and self.message[0] == 0x7F:
+            return self.message[2]
+        return None
+
+
+class UdsClient:
+    """A diagnostic tester attached to a bus."""
+
+    def __init__(self, sim: Simulator, bus: CanBus, *,
+                 request_id: int = DEFAULT_RX_ID,
+                 response_id: int = DEFAULT_TX_ID,
+                 timeout: int = 200 * MS,
+                 name: str = "tester") -> None:
+        self.sim = sim
+        self.timeout = timeout
+        self._controller = CanController(name)
+        self._controller.attach(bus)
+        self.endpoint = IsoTpEndpoint(
+            sim, self._send_frame, tx_id=request_id, rx_id=response_id)
+        self.endpoint.on_message(self._on_response)
+        self._controller.set_rx_handler(self.endpoint.handle_frame)
+        self._responses: list[bytes] = []
+
+    def _send_frame(self, frame) -> bool:
+        try:
+            self._controller.send(frame)
+        except Exception:
+            return False
+        return True
+
+    def _on_response(self, payload: bytes) -> None:
+        self._responses.append(payload)
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def request(self, payload: bytes,
+                timeout: int | None = None) -> UdsResponse:
+        """Send a request and run the simulation until the response.
+
+        Returns a timed-out response if the server stays silent --
+        which, for a fuzzer, is the signal that the server died.
+        """
+        timeout = self.timeout if timeout is None else timeout
+        self._responses.clear()
+        self.endpoint.send(bytes(payload))
+        deadline = self.sim.now + timeout
+        while self.sim.now < deadline and not self._responses:
+            before = self.sim.now
+            # Advance in small slices so we stop soon after the reply.
+            self.sim.run_for(min(1 * MS, deadline - self.sim.now))
+            if self.sim.now == before:
+                break
+        if not self._responses:
+            return UdsResponse(None)
+        return UdsResponse(self._responses[0])
+
+    # ------------------------------------------------------------------
+    # Convenience services
+    # ------------------------------------------------------------------
+    def change_session(self, session: int) -> UdsResponse:
+        return self.request(bytes((0x10, session)))
+
+    def tester_present(self) -> UdsResponse:
+        return self.request(bytes((0x3E, 0x00)))
+
+    def read_did(self, did: int) -> UdsResponse:
+        return self.request(bytes((0x22, did >> 8, did & 0xFF)))
+
+    def write_did(self, did: int, record: bytes) -> UdsResponse:
+        return self.request(
+            bytes((0x2E, did >> 8, did & 0xFF)) + bytes(record))
+
+    def security_unlock(self) -> bool:
+        """Perform the toy seed/key exchange; True when unlocked."""
+        seed_response = self.request(bytes((0x27, SECURITY_REQUEST_SEED)))
+        if not seed_response.positive or len(seed_response.message) < 3:
+            return False
+        seed = seed_response.message[2]
+        key = seed ^ SECURITY_XOR_SECRET
+        key_response = self.request(bytes((0x27, SECURITY_SEND_KEY, key)))
+        return key_response.positive

@@ -1,0 +1,164 @@
+"""UDS fuzzer: random diagnostic requests with a liveness oracle.
+
+The Bayer/Ptok related work [13] fuzzes a UDS implementation and finds
+weaknesses; the fuzzers here do the same against :class:`UdsServer`:
+
+- :class:`UdsFuzzer` -- broad random requests (random SIDs, boundary
+  payload lengths),
+- :class:`DataIdentifierFuzzer` -- protocol-aware read/write fuzzing
+  concentrated on the ISO 14229 identification DID range, the
+  strategy that reaches buffer-size defects a blind fuzzer almost
+  never finds.
+
+After each request a ``TesterPresent`` probe checks the server is
+still alive; silence is a crash finding.  The response-code
+distribution is recorded, which is the coverage signal a protocol
+fuzzer actually has.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.uds.client import UdsClient
+
+#: SIDs the broad generator favours (implemented surface + neighbours).
+INTERESTING_SIDS = (0x10, 0x11, 0x22, 0x27, 0x2E, 0x31, 0x3E,
+                    0x19, 0x28, 0x85)
+
+#: Payload lengths probed preferentially (boundaries of typical buffers).
+BOUNDARY_LENGTHS = (0, 1, 2, 3, 7, 8, 15, 16, 17, 32, 63, 64, 128)
+
+
+@dataclass(frozen=True)
+class UdsFinding:
+    """A request after which the server stopped responding."""
+
+    request: bytes
+    requests_before: int
+    description: str
+
+
+@dataclass
+class UdsFuzzReport:
+    """Outcome of a UDS fuzz run."""
+
+    requests_sent: int = 0
+    timeouts: int = 0
+    positive_responses: int = 0
+    nrc_counts: dict[int, int] = field(default_factory=dict)
+    findings: list[UdsFinding] = field(default_factory=list)
+
+    def summary(self) -> str:
+        nrcs = ", ".join(f"0x{nrc:02X}:{count}"
+                         for nrc, count in sorted(self.nrc_counts.items()))
+        return (f"{self.requests_sent} requests, "
+                f"{self.positive_responses} positive, "
+                f"{self.timeouts} timeouts, NRCs {{{nrcs}}}, "
+                f"{len(self.findings)} finding(s)")
+
+
+def run_fuzz(client: UdsClient, next_request: Callable[[], bytes],
+             request_count: int, *,
+             stop_on_finding: bool = True) -> UdsFuzzReport:
+    """The fuzz loop shared by every UDS fuzzing strategy.
+
+    Sends ``request_count`` requests from ``next_request``, probing
+    liveness with ``TesterPresent`` after every silent request.
+    """
+    report = UdsFuzzReport()
+    for _ in range(request_count):
+        request = next_request()
+        response = client.request(request)
+        report.requests_sent += 1
+        if response.timed_out:
+            report.timeouts += 1
+            # Distinguish "service ignored the garbage" from "the
+            # server died": probe with TesterPresent.
+            probe = client.tester_present()
+            if probe.timed_out:
+                report.findings.append(UdsFinding(
+                    request=request,
+                    requests_before=report.requests_sent,
+                    description=(
+                        f"server silent after request "
+                        f"{request[:8].hex()}... ({len(request)} bytes)")))
+                if stop_on_finding:
+                    break
+        elif response.positive:
+            report.positive_responses += 1
+        else:
+            nrc = response.nrc
+            if nrc is not None:
+                report.nrc_counts[nrc] = report.nrc_counts.get(nrc, 0) + 1
+    return report
+
+
+class UdsFuzzer:
+    """Broad random fuzzing of a UDS server.
+
+    Args:
+        client: the tester client (owns the sim while fuzzing).
+        rng: random stream.
+        max_payload: cap on generated request length.
+    """
+
+    def __init__(self, client: UdsClient, rng: random.Random, *,
+                 max_payload: int = 160) -> None:
+        self.client = client
+        self._rng = rng
+        self.max_payload = max_payload
+
+    def next_request(self) -> bytes:
+        """One random UDS request."""
+        rng = self._rng
+        if rng.random() < 0.8:
+            sid = rng.choice(INTERESTING_SIDS)
+        else:
+            sid = rng.randrange(256)
+        if rng.random() < 0.6:
+            length = rng.choice(BOUNDARY_LENGTHS)
+        else:
+            length = rng.randrange(self.max_payload + 1)
+        return bytes((sid,)) + rng.randbytes(length)
+
+    def run(self, request_count: int, *,
+            stop_on_finding: bool = True) -> UdsFuzzReport:
+        """Send ``request_count`` random requests, probing liveness."""
+        return run_fuzz(self.client, self.next_request, request_count,
+                        stop_on_finding=stop_on_finding)
+
+
+class DataIdentifierFuzzer:
+    """Protocol-aware fuzzing of read/write-by-identifier services.
+
+    A pure random fuzzer almost never hits an interesting 16-bit data
+    identifier (1 in 65536); a protocol-aware fuzzer reads ISO 14229
+    and knows the ``0xF1xx`` block is the standard identification
+    range where real ECUs put their writable records.  This fuzzer
+    concentrates there and probes each DID with boundary-length
+    records -- the strategy that actually reaches buffer-size defects
+    like the seeded bootloader-scratch overflow.
+    """
+
+    #: ISO 14229 vehicle/ECU identification DID range.
+    DID_RANGE = (0xF100, 0xF1FF)
+
+    def __init__(self, client: UdsClient, rng: random.Random) -> None:
+        self.client = client
+        self._rng = rng
+
+    def next_request(self) -> bytes:
+        rng = self._rng
+        did = rng.randint(*self.DID_RANGE)
+        if rng.random() < 0.3:
+            return bytes((0x22, did >> 8, did & 0xFF))  # read
+        length = rng.choice(BOUNDARY_LENGTHS[1:])       # never empty
+        return bytes((0x2E, did >> 8, did & 0xFF)) + rng.randbytes(length)
+
+    def run(self, request_count: int, *,
+            stop_on_finding: bool = True) -> UdsFuzzReport:
+        return run_fuzz(self.client, self.next_request, request_count,
+                        stop_on_finding=stop_on_finding)

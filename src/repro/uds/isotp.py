@@ -1,0 +1,284 @@
+"""ISO-TP (ISO 15765-2) transport over classic CAN.
+
+Segments payloads up to 4095 bytes into single/first/consecutive
+frames with flow control, the transport every UDS exchange rides on.
+
+Frame types (first PCI nibble):
+
+- ``0`` single frame: PCI ``0x0L``, L = payload length (1-7),
+- ``1`` first frame: PCI ``0x1L LL`` carrying the 12-bit total length
+  and the first 6 bytes,
+- ``2`` consecutive frame: PCI ``0x2N`` with a 4-bit wrapping sequence
+  number and up to 7 bytes,
+- ``3`` flow control: ``0x3S BS STmin`` (S: 0 continue, 1 wait,
+  2 overflow).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.can.frame import CanFrame, TimestampedFrame
+from repro.sim.clock import MS, SECOND
+from repro.sim.kernel import Simulator
+from repro.sim.process import OneShot
+
+MAX_PAYLOAD = 4095
+
+SendFrame = Callable[[CanFrame], bool]
+MessageHandler = Callable[[bytes], None]
+ErrorHandler = Callable[[str], None]
+
+
+class IsoTpError(RuntimeError):
+    """Protocol violation or timeout on an ISO-TP channel."""
+
+
+class IsoTpEndpoint:
+    """One side of an ISO-TP channel.
+
+    Args:
+        sim: simulation executive (for CF pacing and timeouts).
+        send_frame: transmits a CAN frame (returns success).
+        tx_id: identifier for frames we send.
+        rx_id: identifier we listen on (wire :meth:`handle_frame` into
+            the owner's receive dispatch for this id).
+        block_size: flow-control block size we advertise (0 = all).
+        st_min: minimum CF separation we advertise, in ticks.
+        timeout: N_Bs/N_Cr supervision timeout.
+    """
+
+    def __init__(self, sim: Simulator, send_frame: SendFrame,
+                 tx_id: int, rx_id: int, *,
+                 block_size: int = 0, st_min: int = 1 * MS,
+                 timeout: int = 1 * SECOND) -> None:
+        if not 0 <= block_size <= 255:
+            raise ValueError("block_size must be 0-255")
+        self.sim = sim
+        self.send_frame = send_frame
+        self.tx_id = tx_id
+        self.rx_id = rx_id
+        self.block_size = block_size
+        self.st_min = st_min
+        self.timeout = timeout
+        self._on_message: MessageHandler | None = None
+        self._on_error: ErrorHandler | None = None
+        # Transmit state
+        self._tx_payload: bytes | None = None
+        self._tx_offset = 0
+        self._tx_sequence = 0
+        self._peer_block_size = 0
+        self._peer_st_min = 1 * MS
+        self._tx_frames_until_fc = 0
+        self._tx_done: Callable[[], None] | None = None
+        self._tx_timer = OneShot(sim, label="isotp:tx-timeout")
+        self._cf_timer = OneShot(sim, label="isotp:cf-pacing")
+        # Receive state
+        self._rx_buffer = bytearray()
+        self._rx_expected = 0
+        self._rx_sequence = 0
+        self._rx_cfs_in_block = 0
+        self._rx_timer = OneShot(sim, label="isotp:rx-timeout")
+        # Statistics
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def on_message(self, handler: MessageHandler) -> None:
+        """Deliver every reassembled payload to ``handler``."""
+        self._on_message = handler
+
+    def on_error(self, handler: ErrorHandler) -> None:
+        """Report protocol errors/timeouts to ``handler``."""
+        self._on_error = handler
+
+    # ------------------------------------------------------------------
+    # Transmit path
+    # ------------------------------------------------------------------
+    def send(self, payload: bytes,
+             on_complete: Callable[[], None] | None = None) -> None:
+        """Send ``payload``, segmenting as needed.
+
+        Raises:
+            IsoTpError: payload too large, or a transmission is
+                already in progress (ISO-TP channels are half-duplex
+                per direction).
+        """
+        if len(payload) > MAX_PAYLOAD:
+            raise IsoTpError(
+                f"payload of {len(payload)} bytes exceeds ISO-TP maximum "
+                f"{MAX_PAYLOAD}")
+        if self._tx_payload is not None:
+            raise IsoTpError("transmission already in progress")
+        if len(payload) <= 7:
+            frame = CanFrame(self.tx_id,
+                             bytes((len(payload),)) + bytes(payload))
+            self.send_frame(frame)
+            self.messages_sent += 1
+            if on_complete is not None:
+                on_complete()
+            return
+        self._tx_payload = bytes(payload)
+        self._tx_offset = 6
+        self._tx_sequence = 1
+        self._tx_done = on_complete
+        length = len(payload)
+        first = bytes((0x10 | (length >> 8), length & 0xFF)) + payload[:6]
+        self.send_frame(CanFrame(self.tx_id, first))
+        self._tx_timer.arm(self.timeout,
+                           lambda: self._fail("flow control timeout (N_Bs)"))
+
+    def _continue_tx(self) -> None:
+        if self._tx_payload is None:
+            return  # stale pacing tick after completion or failure
+        self._cf_timer.disarm()
+        payload = self._tx_payload
+        if self._tx_offset >= len(payload):
+            self._finish_tx()
+            return
+        if self._peer_block_size and self._tx_frames_until_fc == 0:
+            # Block exhausted; wait for the peer's next flow control.
+            self._tx_timer.arm(
+                self.timeout,
+                lambda: self._fail("flow control timeout (N_Bs)"))
+            return
+        chunk = payload[self._tx_offset:self._tx_offset + 7]
+        frame = CanFrame(self.tx_id,
+                         bytes((0x20 | self._tx_sequence,)) + chunk)
+        self.send_frame(frame)
+        self._tx_offset += len(chunk)
+        self._tx_sequence = (self._tx_sequence + 1) % 16
+        if self._tx_frames_until_fc > 0:
+            self._tx_frames_until_fc -= 1
+        if self._tx_offset >= len(payload):
+            self._finish_tx()
+        else:
+            self._cf_timer.arm(max(1, self._peer_st_min), self._continue_tx)
+
+    def _finish_tx(self) -> None:
+        self._tx_timer.disarm()
+        self._tx_payload = None
+        self.messages_sent += 1
+        if self._tx_done is not None:
+            done, self._tx_done = self._tx_done, None
+            done()
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def handle_frame(self, stamped: TimestampedFrame) -> None:
+        """Feed a received CAN frame into the transport."""
+        frame = stamped.frame
+        if frame.can_id != self.rx_id or not frame.data:
+            return
+        pci = frame.data[0] >> 4
+        if pci == 0x0:
+            self._handle_single(frame)
+        elif pci == 0x1:
+            self._handle_first(frame)
+        elif pci == 0x2:
+            self._handle_consecutive(frame)
+        elif pci == 0x3:
+            self._handle_flow_control(frame)
+        # Unknown PCI nibbles are ignored, as real stacks do.
+
+    def _handle_single(self, frame: CanFrame) -> None:
+        length = frame.data[0] & 0x0F
+        if length == 0 or length > len(frame.data) - 1:
+            self._protocol_error("single frame length field invalid")
+            return
+        self._deliver(bytes(frame.data[1:1 + length]))
+
+    def _handle_first(self, frame: CanFrame) -> None:
+        if len(frame.data) < 2:
+            self._protocol_error("truncated first frame")
+            return
+        self._rx_expected = ((frame.data[0] & 0x0F) << 8) | frame.data[1]
+        if self._rx_expected <= 7:
+            self._protocol_error("first frame with single-frame length")
+            return
+        self._rx_buffer = bytearray(frame.data[2:])
+        self._rx_sequence = 1
+        self._rx_cfs_in_block = 0
+        self._send_flow_control()
+        self._rx_timer.arm(self.timeout,
+                           lambda: self._fail("consecutive frame timeout "
+                                              "(N_Cr)"))
+
+    def _send_flow_control(self) -> None:
+        """Continue-to-send with our advertised BS and STmin."""
+        st_min_ms = min(127, self.st_min // MS)
+        self.send_frame(CanFrame(self.tx_id, bytes(
+            (0x30, self.block_size, st_min_ms))))
+
+    def _handle_consecutive(self, frame: CanFrame) -> None:
+        if self._rx_expected == 0:
+            return  # CF without FF; ignore
+        sequence = frame.data[0] & 0x0F
+        if sequence != self._rx_sequence:
+            self._protocol_error(
+                f"sequence error: expected {self._rx_sequence}, "
+                f"got {sequence}")
+            return
+        self._rx_sequence = (self._rx_sequence + 1) % 16
+        self._rx_buffer.extend(frame.data[1:])
+        if len(self._rx_buffer) >= self._rx_expected:
+            self._rx_timer.disarm()
+            payload = bytes(self._rx_buffer[:self._rx_expected])
+            self._rx_expected = 0
+            self._deliver(payload)
+            return
+        self._rx_cfs_in_block += 1
+        if self.block_size and self._rx_cfs_in_block >= self.block_size:
+            # Block complete: invite the next one.
+            self._rx_cfs_in_block = 0
+            self._send_flow_control()
+        self._rx_timer.arm(
+            self.timeout,
+            lambda: self._fail("consecutive frame timeout (N_Cr)"))
+
+    def _handle_flow_control(self, frame: CanFrame) -> None:
+        if self._tx_payload is None:
+            return
+        status = frame.data[0] & 0x0F
+        if status == 2:  # overflow
+            self._fail("peer reported buffer overflow")
+            return
+        if status == 1:  # wait
+            self._tx_timer.arm(
+                self.timeout,
+                lambda: self._fail("flow control timeout (N_Bs)"))
+            return
+        self._tx_timer.disarm()
+        block_size = frame.data[1] if len(frame.data) > 1 else 0
+        st_min_raw = frame.data[2] if len(frame.data) > 2 else 0
+        self._peer_st_min = min(st_min_raw, 127) * MS
+        self._peer_block_size = block_size
+        self._tx_frames_until_fc = block_size if block_size else 0
+        self._continue_tx()
+
+    # ------------------------------------------------------------------
+    # Internal
+    # ------------------------------------------------------------------
+    def _deliver(self, payload: bytes) -> None:
+        self.messages_received += 1
+        if self._on_message is not None:
+            self._on_message(payload)
+
+    def _protocol_error(self, reason: str) -> None:
+        self.errors += 1
+        self._rx_expected = 0
+        if self._on_error is not None:
+            self._on_error(reason)
+
+    def _fail(self, reason: str) -> None:
+        self.errors += 1
+        self._tx_timer.disarm()
+        self._rx_timer.disarm()
+        self._tx_payload = None
+        self._rx_expected = 0
+        if self._on_error is not None:
+            self._on_error(reason)

@@ -1,0 +1,218 @@
+"""UDS server embedded in an ECU.
+
+Implements the diagnostic surface the paper's related work fuzzes
+([13]: "fuzzing in-vehicular networks" against a UDS implementation)
+and the mode machinery §II highlights: sessions, security access and
+reprogramming state all live here, driven over ISO-TP.
+
+The server ships with one deliberate defect of the kind UDS fuzzers
+find: ``WriteDataByIdentifier`` to the bootloader scratch DID with an
+oversized record overflows a fixed buffer and crashes the ECU.  The
+defect is only reachable in an unlocked programming session -- the
+paper's point that "it is important for system testers to cover all
+the states of an ECU".
+"""
+
+from __future__ import annotations
+
+from repro.ecu.base import Ecu
+from repro.ecu.modes import ModeTransitionError, OperatingMode
+from repro.uds.isotp import IsoTpEndpoint
+from repro.uds.services import (
+    NegativeResponse,
+    SECURITY_REQUEST_SEED,
+    SECURITY_SEND_KEY,
+    SESSION_DEFAULT,
+    SESSION_EXTENDED,
+    SESSION_PROGRAMMING,
+    ServiceId,
+    negative_response,
+    positive_response,
+)
+
+#: Conventional physical request/response identifiers.
+DEFAULT_RX_ID = 0x7E0
+DEFAULT_TX_ID = 0x7E8
+
+#: The DID whose oversized write crashes the ECU (the seeded defect).
+BOOTLOADER_SCRATCH_DID = 0xF1A0
+#: Size of the scratch buffer the defective handler writes into.
+SCRATCH_BUFFER_SIZE = 16
+
+#: XOR secret for the toy seed/key security algorithm.
+SECURITY_XOR_SECRET = 0xA5
+
+
+class UdsServer:
+    """ISO 14229 server bound to one ECU.
+
+    Args:
+        ecu: the host ECU; sessions drive ``ecu.modes`` and the seeded
+            defect crashes the ECU through its normal crash path.
+        rx_id / tx_id: request/response CAN identifiers.
+    """
+
+    def __init__(self, ecu: Ecu, *, rx_id: int = DEFAULT_RX_ID,
+                 tx_id: int = DEFAULT_TX_ID) -> None:
+        self.ecu = ecu
+        self.rx_id = rx_id
+        self.tx_id = tx_id
+        self.endpoint = IsoTpEndpoint(ecu.sim, ecu.send, tx_id, rx_id)
+        self.endpoint.on_message(self._on_request)
+        ecu.on_id(rx_id, self.endpoint.handle_frame)
+        self._pending_seed: int | None = None
+        self.failed_key_attempts = 0
+        self.requests_handled = 0
+        #: Readable data identifiers (VIN-style examples).
+        self.data_identifiers: dict[int, bytes] = {
+            0xF190: b"REPRO-VIN-0123456",      # VIN
+            0xF18C: b"ECU-SN-000042",          # serial number
+            0xF195: b"SW v1.2.3",              # software version
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _on_request(self, request: bytes) -> None:
+        if not self.ecu.running or not request:
+            return
+        self.requests_handled += 1
+        sid = request[0]
+        handlers = {
+            ServiceId.DIAGNOSTIC_SESSION_CONTROL: self._session_control,
+            ServiceId.ECU_RESET: self._ecu_reset,
+            ServiceId.READ_DATA_BY_IDENTIFIER: self._read_did,
+            ServiceId.SECURITY_ACCESS: self._security_access,
+            ServiceId.WRITE_DATA_BY_IDENTIFIER: self._write_did,
+            ServiceId.TESTER_PRESENT: self._tester_present,
+        }
+        handler = handlers.get(sid)
+        if handler is None:
+            self._respond(negative_response(
+                sid, NegativeResponse.SERVICE_NOT_SUPPORTED))
+            return
+        response = handler(request)
+        if response is not None:
+            self._respond(response)
+
+    def _respond(self, message: bytes) -> None:
+        self.endpoint.send(message)
+
+    # ------------------------------------------------------------------
+    # Services
+    # ------------------------------------------------------------------
+    def _session_control(self, request: bytes) -> bytes:
+        sid = request[0]
+        if len(request) != 2:
+            return negative_response(
+                sid, NegativeResponse.INCORRECT_MESSAGE_LENGTH)
+        targets = {
+            SESSION_DEFAULT: OperatingMode.NORMAL,
+            SESSION_EXTENDED: OperatingMode.DIAGNOSTIC,
+            SESSION_PROGRAMMING: OperatingMode.PROGRAMMING,
+        }
+        target = targets.get(request[1])
+        if target is None:
+            return negative_response(
+                sid, NegativeResponse.SUB_FUNCTION_NOT_SUPPORTED)
+        try:
+            self.ecu.modes.request(target)
+        except ModeTransitionError:
+            return negative_response(
+                sid, NegativeResponse.CONDITIONS_NOT_CORRECT)
+        return positive_response(sid, bytes((request[1],)))
+
+    def _ecu_reset(self, request: bytes) -> bytes | None:
+        sid = request[0]
+        if len(request) != 2:
+            return negative_response(
+                sid, NegativeResponse.INCORRECT_MESSAGE_LENGTH)
+        if request[1] != 0x01:  # hard reset only
+            return negative_response(
+                sid, NegativeResponse.SUB_FUNCTION_NOT_SUPPORTED)
+        self._respond(positive_response(sid, bytes((0x01,))))
+        # The reset happens after the response goes out.
+        self.ecu.sim.call_after(10_000, self.ecu.power_cycle,
+                                label="uds:reset")
+        return None
+
+    def _read_did(self, request: bytes) -> bytes:
+        sid = request[0]
+        if len(request) != 3:
+            return negative_response(
+                sid, NegativeResponse.INCORRECT_MESSAGE_LENGTH)
+        did = (request[1] << 8) | request[2]
+        value = self.data_identifiers.get(did)
+        if value is None:
+            return negative_response(
+                sid, NegativeResponse.REQUEST_OUT_OF_RANGE)
+        return positive_response(sid, request[1:3] + value)
+
+    def _security_access(self, request: bytes) -> bytes:
+        sid = request[0]
+        if len(request) < 2:
+            return negative_response(
+                sid, NegativeResponse.INCORRECT_MESSAGE_LENGTH)
+        if self.ecu.modes.mode is OperatingMode.NORMAL:
+            return negative_response(
+                sid, NegativeResponse.CONDITIONS_NOT_CORRECT)
+        sub = request[1]
+        if sub == SECURITY_REQUEST_SEED:
+            if self.failed_key_attempts >= 3:
+                return negative_response(
+                    sid, NegativeResponse.EXCEEDED_NUMBER_OF_ATTEMPTS)
+            # A deterministic seed keyed to sim time; good enough for a
+            # toy algorithm, and reproducible.
+            self._pending_seed = (self.ecu.sim.now >> 4) & 0xFF or 0x5A
+            return positive_response(sid, bytes((sub, self._pending_seed)))
+        if sub == SECURITY_SEND_KEY:
+            if self._pending_seed is None:
+                return negative_response(
+                    sid, NegativeResponse.REQUEST_SEQUENCE_ERROR)
+            if len(request) != 3:
+                return negative_response(
+                    sid, NegativeResponse.INCORRECT_MESSAGE_LENGTH)
+            expected = self._pending_seed ^ SECURITY_XOR_SECRET
+            self._pending_seed = None
+            if request[2] != expected:
+                self.failed_key_attempts += 1
+                return negative_response(sid, NegativeResponse.INVALID_KEY)
+            self.failed_key_attempts = 0
+            self.ecu.modes.unlock()
+            return positive_response(sid, bytes((sub,)))
+        return negative_response(
+            sid, NegativeResponse.SUB_FUNCTION_NOT_SUPPORTED)
+
+    def _write_did(self, request: bytes) -> bytes:
+        sid = request[0]
+        if len(request) < 4:
+            return negative_response(
+                sid, NegativeResponse.INCORRECT_MESSAGE_LENGTH)
+        did = (request[1] << 8) | request[2]
+        record = request[3:]
+        if did == BOOTLOADER_SCRATCH_DID:
+            if (self.ecu.modes.mode is not OperatingMode.PROGRAMMING
+                    or not self.ecu.modes.security_unlocked):
+                return negative_response(
+                    sid, NegativeResponse.SECURITY_ACCESS_DENIED)
+            if len(record) > SCRATCH_BUFFER_SIZE:
+                # THE SEEDED DEFECT: the handler memcpy()s the record
+                # into a 16-byte buffer without a length check.  The
+                # overflow corrupts the stack and the ECU goes down.
+                self.ecu._crash()
+                return negative_response(
+                    sid, NegativeResponse.GENERAL_PROGRAMMING_FAILURE)
+            self.data_identifiers[did] = bytes(record)
+            return positive_response(sid, request[1:3])
+        if did in self.data_identifiers:
+            return negative_response(
+                sid, NegativeResponse.SECURITY_ACCESS_DENIED)
+        return negative_response(
+            sid, NegativeResponse.REQUEST_OUT_OF_RANGE)
+
+    def _tester_present(self, request: bytes) -> bytes:
+        sid = request[0]
+        if len(request) != 2 or request[1] != 0x00:
+            return negative_response(
+                sid, NegativeResponse.SUB_FUNCTION_NOT_SUPPORTED)
+        return positive_response(sid, bytes((0x00,)))

@@ -1,0 +1,75 @@
+"""UDS service identifiers and negative response codes (ISO 14229)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class ServiceId(enum.IntEnum):
+    """The ISO 14229 services our server implements."""
+
+    DIAGNOSTIC_SESSION_CONTROL = 0x10
+    ECU_RESET = 0x11
+    READ_DATA_BY_IDENTIFIER = 0x22
+    SECURITY_ACCESS = 0x27
+    WRITE_DATA_BY_IDENTIFIER = 0x2E
+    ROUTINE_CONTROL = 0x31
+    TESTER_PRESENT = 0x3E
+
+
+#: Positive responses echo the service id plus this offset.
+POSITIVE_RESPONSE_OFFSET = 0x40
+
+#: First byte of every negative response.
+NEGATIVE_RESPONSE_SID = 0x7F
+
+
+class NegativeResponse(enum.IntEnum):
+    """Negative response codes (NRCs) the server can return."""
+
+    SERVICE_NOT_SUPPORTED = 0x11
+    SUB_FUNCTION_NOT_SUPPORTED = 0x12
+    INCORRECT_MESSAGE_LENGTH = 0x13
+    CONDITIONS_NOT_CORRECT = 0x22
+    REQUEST_SEQUENCE_ERROR = 0x24
+    REQUEST_OUT_OF_RANGE = 0x31
+    SECURITY_ACCESS_DENIED = 0x33
+    INVALID_KEY = 0x35
+    EXCEEDED_NUMBER_OF_ATTEMPTS = 0x36
+    GENERAL_PROGRAMMING_FAILURE = 0x72
+
+
+#: Sub-functions of DiagnosticSessionControl.
+SESSION_DEFAULT = 0x01
+SESSION_PROGRAMMING = 0x02
+SESSION_EXTENDED = 0x03
+
+#: Sub-functions of SecurityAccess (level 1).
+SECURITY_REQUEST_SEED = 0x01
+SECURITY_SEND_KEY = 0x02
+
+
+def positive_response(sid: int, payload: bytes = b"") -> bytes:
+    """Build a positive-response message for ``sid``."""
+    return bytes((sid + POSITIVE_RESPONSE_OFFSET,)) + payload
+
+
+def negative_response(sid: int, nrc: NegativeResponse) -> bytes:
+    """Build a negative-response message for ``sid``."""
+    return bytes((NEGATIVE_RESPONSE_SID, sid, nrc))
+
+
+def is_negative(message: bytes) -> bool:
+    """True when ``message`` is a negative response."""
+    return len(message) >= 1 and message[0] == NEGATIVE_RESPONSE_SID
+
+
+def parse_negative(message: bytes) -> tuple[int, int]:
+    """(rejected sid, NRC) from a negative response.
+
+    Raises:
+        ValueError: the message is not a well-formed negative response.
+    """
+    if len(message) < 3 or message[0] != NEGATIVE_RESPONSE_SID:
+        raise ValueError(f"not a negative response: {message.hex()}")
+    return message[1], message[2]

@@ -1,0 +1,47 @@
+"""Vehicle substrate: the simulated target car and vehicle simulator.
+
+Replaces the paper's Vector vehicle-simulator rig and target vehicle.
+The pieces:
+
+- :mod:`~repro.vehicle.signals` -- DBC-like signal database and codecs.
+- :mod:`~repro.vehicle.database` -- the target vehicle's message set
+  (including the Table II identifiers).
+- :mod:`~repro.vehicle.dynamics` -- physics-lite vehicle model.
+- :mod:`~repro.vehicle.powertrain` / :mod:`~repro.vehicle.body` --
+  the transmitting ECUs (residual bus simulation).
+- :mod:`~repro.vehicle.cluster` -- instrument cluster with the paper's
+  observed failure modes.
+- :mod:`~repro.vehicle.gateway` -- two-bus gateway with optional
+  firewall (a paper further-work item).
+- :mod:`~repro.vehicle.car` -- the assembled two-bus target car.
+- :mod:`~repro.vehicle.simulator` -- signal tracing and the display
+  panel (Figs 6-8).
+"""
+
+from repro.vehicle.car import TargetCar
+from repro.vehicle.cluster import InstrumentCluster
+from repro.vehicle.database import target_vehicle_database
+from repro.vehicle.dynamics import DrivingProfile, VehicleDynamics
+from repro.vehicle.signals import (
+    DecodedMessage,
+    MessageDef,
+    SignalDatabase,
+    SignalDef,
+    SignalCodecError,
+)
+from repro.vehicle.simulator import SignalTrace, VehicleSimulator
+
+__all__ = [
+    "SignalDef",
+    "MessageDef",
+    "SignalDatabase",
+    "DecodedMessage",
+    "SignalCodecError",
+    "target_vehicle_database",
+    "VehicleDynamics",
+    "DrivingProfile",
+    "InstrumentCluster",
+    "TargetCar",
+    "VehicleSimulator",
+    "SignalTrace",
+]

@@ -1,0 +1,115 @@
+"""Gateway ECU bridging the powertrain and body buses.
+
+The paper (§VII): "the use of a gateway ECU in newer vehicles
+indicates that manufacturers are responding to the issue."  Our
+gateway does plain id-based forwarding by default and optionally
+enforces an **allowlist firewall** -- the protection measure the
+paper's further-work list proposes evaluating with the fuzzer
+(implemented as ablation bench ``test_ablation_firewall``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.can.bus import CanBus
+from repro.can.errors import BusOffError, CanError
+from repro.can.frame import CanFrame, TimestampedFrame
+from repro.can.node import CanController
+from repro.sim.clock import MS
+from repro.sim.kernel import Simulator
+
+
+@dataclass
+class GatewayStats:
+    """Forwarding statistics per direction."""
+
+    forwarded: int = 0
+    blocked: int = 0
+    dropped: int = 0
+    per_id_blocked: dict[int, int] = field(default_factory=dict)
+
+
+class GatewayEcu:
+    """A two-port CAN gateway.
+
+    Not built on :class:`~repro.ecu.base.Ecu` because it owns two
+    controllers; its lifecycle is a simple on/off.
+
+    Args:
+        forward_to_b / forward_to_a: id allowlists per direction.
+            ``None`` forwards everything (the paper's target vehicle
+            behaved as if un-firewalled: fuzzing on the OBD bus upset
+            the cluster).  An empty tuple forwards nothing.
+        latency: store-and-forward processing delay.
+    """
+
+    def __init__(self, sim: Simulator, bus_a: CanBus, bus_b: CanBus, *,
+                 forward_to_b: tuple[int, ...] | None = None,
+                 forward_to_a: tuple[int, ...] | None = None,
+                 latency: int = 1 * MS, name: str = "gateway") -> None:
+        self.sim = sim
+        self.name = name
+        self.latency = latency
+        self.stats_a_to_b = GatewayStats()
+        self.stats_b_to_a = GatewayStats()
+        self._allow_to_b = None if forward_to_b is None else set(forward_to_b)
+        self._allow_to_a = None if forward_to_a is None else set(forward_to_a)
+        self._port_a = CanController(f"{name}:a")
+        self._port_a.attach(bus_a)
+        self._port_b = CanController(f"{name}:b")
+        self._port_b.attach(bus_b)
+        self._port_a.set_rx_handler(self._from_a)
+        self._port_b.set_rx_handler(self._from_b)
+        self._on = False
+
+    def power_on(self) -> None:
+        self._port_a.reset()
+        self._port_b.reset()
+        self._on = True
+
+    def power_off(self) -> None:
+        self._on = False
+        self._port_a.disable()
+        self._port_b.disable()
+
+    # ------------------------------------------------------------------
+    # Firewall configuration
+    # ------------------------------------------------------------------
+    def set_firewall(self, *, to_b: tuple[int, ...] | None,
+                     to_a: tuple[int, ...] | None) -> None:
+        """Replace the per-direction allowlists (``None`` = allow all)."""
+        self._allow_to_b = None if to_b is None else set(to_b)
+        self._allow_to_a = None if to_a is None else set(to_a)
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    def _from_a(self, stamped: TimestampedFrame) -> None:
+        self._forward(stamped.frame, self._allow_to_b, self._port_b,
+                      self.stats_a_to_b)
+
+    def _from_b(self, stamped: TimestampedFrame) -> None:
+        self._forward(stamped.frame, self._allow_to_a, self._port_a,
+                      self.stats_b_to_a)
+
+    def _forward(self, frame: CanFrame, allowlist: set[int] | None,
+                 out_port: CanController, stats: GatewayStats) -> None:
+        if not self._on:
+            return
+        if allowlist is not None and frame.can_id not in allowlist:
+            stats.blocked += 1
+            stats.per_id_blocked[frame.can_id] = (
+                stats.per_id_blocked.get(frame.can_id, 0) + 1)
+            return
+        def transmit() -> None:
+            if not self._on:
+                return
+            try:
+                out_port.send(frame)
+            except (BusOffError, CanError):
+                stats.dropped += 1
+                return
+            stats.forwarded += 1
+        self.sim.call_after(self.latency, transmit,
+                            label=f"{self.name}:forward")

@@ -1,0 +1,101 @@
+"""Tests for the bus-load timeline analysis."""
+
+import pytest
+
+from repro.analysis.busload import (
+    frame_bits,
+    load_timeline,
+    mean_frame_rate,
+    peak_load,
+)
+from repro.analysis.capture import BusCapture
+from repro.can.frame import CanFrame, TimestampedFrame
+from repro.can.timing import CAN_500K
+from repro.sim.clock import MS, SECOND
+from repro.vehicle import TargetCar
+
+
+def stamp(time_ms, can_id=0x100, length=8):
+    return TimestampedFrame(round(time_ms * MS),
+                            CanFrame(can_id, bytes(length)))
+
+
+class TestLoadTimeline:
+    def test_empty_capture(self):
+        assert load_timeline([]) == []
+
+    def test_single_window(self):
+        samples = load_timeline([stamp(100), stamp(200)],
+                                window_seconds=1.0)
+        assert len(samples) == 1
+        assert samples[0].frames == 2
+        assert samples[0].load > 0.0
+
+    def test_windows_cover_gaps(self):
+        samples = load_timeline([stamp(100), stamp(3100)],
+                                window_seconds=1.0)
+        assert len(samples) == 4
+        assert [s.frames for s in samples] == [1, 0, 0, 1]
+
+    def test_load_matches_bit_arithmetic(self):
+        frames = [stamp(i) for i in range(100)]  # 100 frames in 100 ms
+        samples = load_timeline(frames, window_seconds=0.1)
+        expected_bits = sum(frame_bits(f) for f in frames)
+        busy = CAN_500K.bits_to_ticks(expected_bits)
+        assert samples[0].load == pytest.approx(busy / (0.1 * SECOND),
+                                                abs=0.01)
+
+    def test_load_saturates_at_one(self):
+        # 1000 full frames inside 10 ms is physically over-full.
+        frames = [stamp(i / 100) for i in range(1000)]
+        samples = load_timeline(frames, window_seconds=0.01)
+        assert peak_load(samples) == 1.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            load_timeline([stamp(1)], window_seconds=0)
+
+
+class TestSummaries:
+    def test_peak_and_mean(self):
+        samples = load_timeline([stamp(100), stamp(200), stamp(1100)],
+                                window_seconds=1.0)
+        assert peak_load(samples) == samples[0].load
+        assert mean_frame_rate(samples) == pytest.approx(1.5)
+
+    def test_empty_summaries_raise(self):
+        with pytest.raises(ValueError):
+            peak_load([])
+        with pytest.raises(ValueError):
+            mean_frame_rate([])
+
+
+class TestAgainstTheCar:
+    def test_idle_car_load_is_single_digit_percent(self):
+        car = TargetCar(seed=40)
+        capture = BusCapture(car.powertrain_bus, limit=50_000)
+        car.ignition_on()
+        car.run_seconds(5.0)
+        samples = load_timeline(capture.stamped, window_seconds=1.0)
+        steady = samples[1:]  # skip the boot window
+        assert all(0.02 < s.load < 0.15 for s in steady)
+
+    def test_fuzzing_visibly_raises_the_load(self):
+        from repro.fuzz import (CampaignLimits, FuzzCampaign, FuzzConfig,
+                                RandomFrameGenerator)
+        from repro.sim.random import RandomStreams
+
+        car = TargetCar(seed=41)
+        capture = BusCapture(car.powertrain_bus, limit=50_000)
+        car.ignition_on()
+        car.run_seconds(2.0)
+        adapter = car.obd_adapter("powertrain")
+        generator = RandomFrameGenerator(
+            FuzzConfig.full_range(), RandomStreams(41).stream("fuzzer"))
+        FuzzCampaign(car.sim, adapter, generator,
+                     limits=CampaignLimits(max_duration=2 * SECOND,
+                                           stop_on_finding=False)).run()
+        samples = load_timeline(capture.stamped, window_seconds=1.0)
+        quiet = samples[1].load
+        fuzzed = samples[-1].load
+        assert fuzzed > quiet + 0.05

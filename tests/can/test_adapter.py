@@ -1,0 +1,111 @@
+"""Tests for the PCAN-style adapter API."""
+
+import pytest
+
+from repro.can.adapter import AdapterStatus, PcanStyleAdapter
+from repro.can.frame import CanFrame
+from repro.can.node import CanController
+from repro.sim.clock import MS
+
+
+@pytest.fixture
+def peer(bus):
+    node = CanController("peer")
+    node.attach(bus)
+    return node
+
+
+@pytest.fixture
+def adapter(bus):
+    return PcanStyleAdapter(bus)
+
+
+class TestLifecycle:
+    def test_uninitialised_write_refused(self, adapter):
+        assert adapter.write(CanFrame(1)) is AdapterStatus.INITIALIZE
+
+    def test_uninitialised_read_refused(self, adapter):
+        assert adapter.read().status is AdapterStatus.INITIALIZE
+
+    def test_initialize_enables_traffic(self, sim, adapter, peer):
+        adapter.initialize()
+        assert adapter.write(CanFrame(0x100)) is AdapterStatus.OK
+        sim.run_for(1 * MS)
+        assert peer.rx_count == 1
+
+    def test_uninitialize_stops_reception(self, sim, adapter, peer):
+        adapter.initialize()
+        adapter.uninitialize()
+        peer.send(CanFrame(0x100))
+        sim.run_for(1 * MS)
+        assert adapter.read().status is AdapterStatus.INITIALIZE
+
+    def test_reset_requires_initialised(self, adapter):
+        assert adapter.reset() is AdapterStatus.INITIALIZE
+        adapter.initialize()
+        assert adapter.reset() is AdapterStatus.OK
+
+
+class TestReadWrite:
+    def test_read_returns_received_frame(self, sim, adapter, peer):
+        adapter.initialize()
+        peer.send(CanFrame(0x43A, b"\x1c\x21"))
+        sim.run_for(1 * MS)
+        result = adapter.read()
+        assert result.status is AdapterStatus.OK
+        assert result.message.frame.can_id == 0x43A
+
+    def test_read_empty_queue(self, adapter):
+        adapter.initialize()
+        assert adapter.read().status is AdapterStatus.QRCVEMPTY
+
+    def test_drain_reads_everything(self, sim, adapter, peer):
+        adapter.initialize()
+        for i in range(4):
+            peer.send(CanFrame(0x100 + i))
+        sim.run_for(5 * MS)
+        assert len(adapter.drain()) == 4
+        assert adapter.drain() == []
+
+    def test_write_raw_valid(self, sim, adapter, peer):
+        adapter.initialize()
+        assert adapter.write_raw(0x215, b"\x20\x5f") is AdapterStatus.OK
+
+    def test_write_raw_invalid_id_is_illdata(self, adapter):
+        adapter.initialize()
+        assert adapter.write_raw(0x800, b"") is AdapterStatus.ILLDATA
+        assert adapter.write_raw(-1, b"") is AdapterStatus.ILLDATA
+
+    def test_write_raw_oversize_payload_is_illdata(self, adapter):
+        adapter.initialize()
+        assert adapter.write_raw(0x100, bytes(9)) is AdapterStatus.ILLDATA
+
+    def test_write_non_frame_is_illdata(self, adapter):
+        adapter.initialize()
+        assert adapter.write("not a frame") is AdapterStatus.ILLDATA
+
+    def test_write_when_bus_off(self, adapter):
+        adapter.initialize()
+        adapter.controller.counters.bus_off_latched = True
+        assert adapter.write(CanFrame(1)) is AdapterStatus.BUSOFF
+
+
+class TestStatus:
+    def test_status_ok_when_healthy(self, adapter):
+        adapter.initialize()
+        assert adapter.get_status() is AdapterStatus.OK
+
+    def test_status_warning(self, adapter):
+        adapter.initialize()
+        adapter.controller.counters.tec = 100
+        assert adapter.get_status() is AdapterStatus.BUSWARNING
+
+    def test_status_passive(self, adapter):
+        adapter.initialize()
+        adapter.controller.counters.tec = 130
+        assert adapter.get_status() is AdapterStatus.BUSPASSIVE
+
+    def test_status_bus_off(self, adapter):
+        adapter.initialize()
+        adapter.controller.counters.bus_off_latched = True
+        assert adapter.get_status() is AdapterStatus.BUSOFF

@@ -1,0 +1,86 @@
+"""Fuzzing the adapter API itself (paper further-work item 4).
+
+"Fuzz the APIs for vehicle engineering tools (e.g. CAN interface
+devices) to ensure their resilience.  For example fuzz the API for
+the PEAK USB CAN adaptor used in [the] study."
+
+The resilience property: no input to the raw-parameter entry points
+may escape as an exception -- everything must come back as a status
+code, the contract C callers rely on.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.can.adapter import AdapterStatus, PcanStyleAdapter
+from repro.can.bus import CanBus
+from repro.sim.kernel import Simulator
+
+wild_ints = st.integers(min_value=-2**40, max_value=2**40)
+wild_payloads = st.binary(max_size=64)
+
+
+def fresh_adapter():
+    sim = Simulator()
+    bus = CanBus(sim, name="fuzz-target")
+    adapter = PcanStyleAdapter(bus)
+    adapter.initialize()
+    return sim, adapter
+
+
+class TestWriteRawFuzz:
+    @settings(max_examples=300)
+    @given(can_id=wild_ints, data=wild_payloads, extended=st.booleans())
+    def test_never_raises_always_status(self, can_id, data, extended):
+        _, adapter = fresh_adapter()
+        status = adapter.write_raw(can_id, data, extended=extended)
+        assert isinstance(status, AdapterStatus)
+
+    @given(can_id=st.integers(0, 0x7FF), data=st.binary(max_size=8))
+    def test_valid_inputs_accepted(self, can_id, data):
+        _, adapter = fresh_adapter()
+        assert adapter.write_raw(can_id, data) is AdapterStatus.OK
+
+    @settings(max_examples=100)
+    @given(can_id=wild_ints.filter(lambda i: not 0 <= i <= 0x7FF),
+           data=wild_payloads)
+    def test_invalid_ids_rejected_as_illdata(self, can_id, data):
+        _, adapter = fresh_adapter()
+        assert adapter.write_raw(can_id, data) is AdapterStatus.ILLDATA
+
+    @given(data=st.binary(min_size=9, max_size=64))
+    def test_oversize_payloads_rejected_as_illdata(self, data):
+        _, adapter = fresh_adapter()
+        assert adapter.write_raw(0x100, data) is AdapterStatus.ILLDATA
+
+
+class TestWriteObjectFuzz:
+    @settings(max_examples=100)
+    @given(garbage=st.one_of(st.none(), st.integers(), st.text(),
+                             st.binary(), st.lists(st.integers())))
+    def test_non_frame_objects_are_illdata(self, garbage):
+        _, adapter = fresh_adapter()
+        assert adapter.write(garbage) is AdapterStatus.ILLDATA
+
+
+class TestStateMachineFuzz:
+    @settings(max_examples=60)
+    @given(operations=st.lists(
+        st.sampled_from(["init", "uninit", "reset", "write", "read"]),
+        max_size=30))
+    def test_any_call_sequence_is_safe(self, operations):
+        """Random API call orders never raise and never wedge."""
+        sim = Simulator()
+        bus = CanBus(sim, name="seq")
+        adapter = PcanStyleAdapter(bus)
+        for op in operations:
+            if op == "init":
+                adapter.initialize()
+            elif op == "uninit":
+                adapter.uninitialize()
+            elif op == "reset":
+                adapter.reset()
+            elif op == "write":
+                adapter.write_raw(0x123, b"\x01")
+            else:
+                adapter.read()
+            assert isinstance(adapter.get_status(), AdapterStatus)

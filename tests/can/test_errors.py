@@ -1,0 +1,74 @@
+"""Tests for CAN fault confinement."""
+
+from repro.can.errors import (
+    BUS_OFF_LIMIT,
+    ERROR_PASSIVE_LIMIT,
+    ErrorCounters,
+    ErrorState,
+)
+
+
+class TestErrorCounters:
+    def test_starts_error_active(self):
+        assert ErrorCounters().state is ErrorState.ERROR_ACTIVE
+
+    def test_transmit_errors_accumulate_by_eight(self):
+        counters = ErrorCounters()
+        counters.on_transmit_error()
+        assert counters.tec == 8
+
+    def test_error_passive_threshold(self):
+        counters = ErrorCounters()
+        for _ in range(ERROR_PASSIVE_LIMIT // 8):
+            counters.on_transmit_error()
+        assert counters.state is ErrorState.ERROR_PASSIVE
+
+    def test_receive_errors_drive_passive_too(self):
+        counters = ErrorCounters()
+        for _ in range(ERROR_PASSIVE_LIMIT):
+            counters.on_receive_error()
+        assert counters.state is ErrorState.ERROR_PASSIVE
+
+    def test_bus_off_threshold(self):
+        counters = ErrorCounters()
+        for _ in range(BUS_OFF_LIMIT // 8):
+            counters.on_transmit_error()
+        assert counters.state is ErrorState.BUS_OFF
+        assert counters.bus_off_latched
+
+    def test_bus_off_latches_even_if_tec_would_decay(self):
+        counters = ErrorCounters()
+        for _ in range(BUS_OFF_LIMIT // 8):
+            counters.on_transmit_error()
+        for _ in range(300):
+            counters.on_transmit_success()
+        assert counters.state is ErrorState.BUS_OFF
+
+    def test_success_decrements_to_floor(self):
+        counters = ErrorCounters()
+        counters.on_transmit_error()
+        for _ in range(20):
+            counters.on_transmit_success()
+        assert counters.tec == 0
+
+    def test_receive_success_decrements_rec(self):
+        counters = ErrorCounters()
+        counters.on_receive_error()
+        counters.on_receive_success()
+        assert counters.rec == 0
+
+    def test_warning_flag(self):
+        counters = ErrorCounters()
+        assert not counters.warning
+        for _ in range(12):
+            counters.on_transmit_error()
+        assert counters.warning
+
+    def test_reset_clears_everything(self):
+        counters = ErrorCounters()
+        for _ in range(BUS_OFF_LIMIT // 8):
+            counters.on_transmit_error()
+        counters.reset()
+        assert counters.state is ErrorState.ERROR_ACTIVE
+        assert counters.tec == 0
+        assert not counters.bus_off_latched

@@ -1,0 +1,101 @@
+"""CAN FD support (paper further-work: 'apply the techniques to the
+Flexible Data-rate version of CAN')."""
+
+import random
+
+import pytest
+
+from repro.can.bus import CanBus
+from repro.can.frame import CanFrame
+from repro.can.node import CanController
+from repro.can.timing import BitTiming
+from repro.fuzz.config import FuzzConfig
+from repro.fuzz.generator import RandomFrameGenerator
+from repro.sim.clock import MS
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def fd_bus(sim):
+    return CanBus(sim, timing=BitTiming(bitrate=500_000,
+                                        data_bitrate=2_000_000),
+                  name="fd-bus")
+
+
+@pytest.fixture
+def fd_pair(fd_bus):
+    a = CanController("fd-a")
+    a.attach(fd_bus)
+    b = CanController("fd-b")
+    b.attach(fd_bus)
+    return a, b
+
+
+class TestFdOnTheBus:
+    def test_fd_frame_delivered(self, sim, fd_pair):
+        a, b = fd_pair
+        got = []
+        b.set_rx_handler(got.append)
+        a.send(CanFrame(0x123, bytes(range(64)), fd=True, brs=True))
+        sim.run_for(5 * MS)
+        assert len(got) == 1
+        assert got[0].frame.dlc == 64
+
+    def test_brs_frame_faster_than_nominal(self, sim, fd_pair):
+        a, _ = fd_pair
+        bus = a.bus
+        slow = bus.timing.frame_duration(
+            CanFrame(0x123, bytes(48), fd=True))
+        fast = bus.timing.frame_duration(
+            CanFrame(0x123, bytes(48), fd=True, brs=True))
+        assert fast < slow
+
+    def test_fd_and_classic_coexist(self, sim, fd_pair):
+        a, b = fd_pair
+        got = []
+        b.set_rx_handler(got.append)
+        a.send(CanFrame(0x100, b"\x01"))
+        a.send(CanFrame(0x200, bytes(16), fd=True, brs=True))
+        sim.run_for(5 * MS)
+        assert [s.frame.fd for s in got] == [False, True]
+
+    def test_classic_wins_arbitration_by_id(self, sim, fd_pair):
+        a, b = fd_pair
+        order = []
+        a.bus.add_tap(lambda s: order.append(s.frame.can_id))
+        a.send(CanFrame(0x700, bytes(8)))             # occupies the bus
+        a.send(CanFrame(0x300, bytes(16), fd=True))
+        b.send(CanFrame(0x100, b"\x01"))
+        sim.run_for(10 * MS)
+        assert order == [0x700, 0x100, 0x300]
+
+
+class TestFdFuzzing:
+    def test_fd_generator_through_campaign(self, sim, fd_bus):
+        from repro.can.adapter import PcanStyleAdapter
+        from repro.fuzz.campaign import CampaignLimits, FuzzCampaign
+
+        receiver = CanController("fd-target")
+        receiver.attach(fd_bus)
+        seen = []
+        receiver.set_rx_handler(lambda s: seen.append(s.frame))
+
+        adapter = PcanStyleAdapter(fd_bus)
+        adapter.initialize()
+        generator = RandomFrameGenerator(
+            FuzzConfig(fd=True, dlc_max=64), random.Random(3))
+        campaign = FuzzCampaign(sim, adapter, generator,
+                                limits=CampaignLimits(max_frames=300))
+        result = campaign.run()
+
+        assert result.frames_sent == 300
+        assert len(seen) == 300
+        assert all(f.fd for f in seen)
+        # FD's larger payloads actually occur.
+        assert max(f.dlc for f in seen) > 8
+
+    def test_fd_payloads_always_valid_sizes(self):
+        generator = RandomFrameGenerator(
+            FuzzConfig(fd=True, dlc_max=64), random.Random(4))
+        valid = {0, 1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 20, 24, 32, 48, 64}
+        assert {f.dlc for f in generator.frames(500)} <= valid

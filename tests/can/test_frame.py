@@ -1,0 +1,142 @@
+"""Tests for CAN frame construction and validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.can.frame import (
+    CanFrame,
+    FrameError,
+    MAX_DATA_CLASSIC,
+    MAX_EXTENDED_ID,
+    MAX_STANDARD_ID,
+    TimestampedFrame,
+    fd_round_size,
+)
+
+
+class TestConstruction:
+    def test_minimal_frame(self):
+        frame = CanFrame(0x123)
+        assert frame.can_id == 0x123
+        assert frame.data == b""
+        assert frame.dlc == 0
+
+    def test_data_is_copied_to_bytes(self):
+        frame = CanFrame(1, bytearray(b"\x01\x02"))
+        assert isinstance(frame.data, bytes)
+        assert frame.data == b"\x01\x02"
+
+    def test_max_standard_id(self):
+        assert CanFrame(MAX_STANDARD_ID).can_id == 0x7FF
+
+    def test_standard_id_overflow_rejected(self):
+        with pytest.raises(FrameError):
+            CanFrame(MAX_STANDARD_ID + 1)
+
+    def test_extended_id(self):
+        frame = CanFrame(0x1ABCDE00, extended=True)
+        assert frame.extended
+
+    def test_extended_id_overflow_rejected(self):
+        with pytest.raises(FrameError):
+            CanFrame(MAX_EXTENDED_ID + 1, extended=True)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(FrameError):
+            CanFrame(-1)
+
+    def test_classic_payload_limit(self):
+        CanFrame(1, bytes(MAX_DATA_CLASSIC))
+        with pytest.raises(FrameError):
+            CanFrame(1, bytes(MAX_DATA_CLASSIC + 1))
+
+    def test_remote_frame_carries_no_data(self):
+        with pytest.raises(FrameError):
+            CanFrame(1, b"\x01", remote=True)
+
+    def test_fd_remote_rejected(self):
+        with pytest.raises(FrameError):
+            CanFrame(1, fd=True, remote=True)
+
+    def test_fd_valid_size(self):
+        frame = CanFrame(1, bytes(64), fd=True)
+        assert frame.dlc == 64
+
+    def test_fd_invalid_size_rejected(self):
+        with pytest.raises(FrameError):
+            CanFrame(1, bytes(9), fd=True)
+
+    def test_brs_requires_fd(self):
+        with pytest.raises(FrameError):
+            CanFrame(1, brs=True)
+
+    def test_frames_are_immutable(self):
+        frame = CanFrame(1, b"\x01")
+        with pytest.raises(AttributeError):
+            frame.can_id = 2
+
+
+class TestFormatting:
+    def test_id_hex_matches_paper_style(self):
+        assert CanFrame(0x43A).id_hex() == "043A"
+
+    def test_extended_id_hex_is_wider(self):
+        assert CanFrame(0x43A, extended=True).id_hex() == "0000043A"
+
+    def test_data_hex(self):
+        frame = CanFrame(1, bytes.fromhex("1c21177117"))
+        assert frame.data_hex() == "1C 21 17 71 17"
+
+    def test_str_contains_id_and_data(self):
+        text = str(CanFrame(0x215, b"\x20\x5f"))
+        assert "0215" in text
+        assert "20 5F" in text
+
+
+class TestReplaceData:
+    def test_replace_keeps_identity_fields(self):
+        original = CanFrame(0x1FFFFF, b"\x01", extended=True)
+        changed = original.replace_data(b"\x02\x03")
+        assert changed.can_id == original.can_id
+        assert changed.extended
+        assert changed.data == b"\x02\x03"
+
+
+class TestFdRoundSize:
+    @pytest.mark.parametrize("size,expected", [
+        (0, 0), (8, 8), (9, 12), (13, 16), (21, 24), (25, 32),
+        (33, 48), (49, 64), (64, 64),
+    ])
+    def test_rounding(self, size, expected):
+        assert fd_round_size(size) == expected
+
+    def test_oversize_rejected(self):
+        with pytest.raises(FrameError):
+            fd_round_size(65)
+
+
+@given(can_id=st.integers(0, MAX_STANDARD_ID),
+       data=st.binary(max_size=8))
+def test_property_valid_standard_frames_always_construct(can_id, data):
+    frame = CanFrame(can_id, data)
+    assert frame.dlc == len(data)
+    assert frame.data == data
+
+
+@given(can_id=st.integers(0, MAX_EXTENDED_ID),
+       data=st.binary(max_size=8))
+def test_property_valid_extended_frames_always_construct(can_id, data):
+    frame = CanFrame(can_id, data, extended=True)
+    assert frame.can_id == can_id
+
+
+class TestTimestampedFrame:
+    def test_fields(self):
+        stamped = TimestampedFrame(1000, CanFrame(1), channel="body",
+                                   sender="bcm")
+        assert stamped.time == 1000
+        assert stamped.sender == "bcm"
+
+    def test_str_shows_milliseconds(self):
+        stamped = TimestampedFrame(5328009, CanFrame(0x43A))
+        assert "5328.009ms" in str(stamped)

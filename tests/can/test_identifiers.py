@@ -1,0 +1,81 @@
+"""Tests for arbitration ordering and acceptance filters."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.can.frame import CanFrame
+from repro.can.identifiers import AcceptanceFilter, accepts, arbitration_key
+
+
+class TestArbitrationKey:
+    def test_lower_id_wins(self):
+        assert arbitration_key(CanFrame(0x100)) < arbitration_key(
+            CanFrame(0x200))
+
+    def test_standard_beats_extended_on_base_tie(self):
+        std = CanFrame(0x100)
+        ext = CanFrame(0x100 << 18, extended=True)  # same base 11 bits
+        assert arbitration_key(std) < arbitration_key(ext)
+
+    def test_extended_with_lower_base_beats_standard(self):
+        ext = CanFrame(0x0FF << 18, extended=True)
+        std = CanFrame(0x100)
+        assert arbitration_key(ext) < arbitration_key(std)
+
+    def test_data_beats_remote_same_id(self):
+        data = CanFrame(0x100, b"\x00")
+        remote = CanFrame(0x100, remote=True)
+        assert arbitration_key(data) < arbitration_key(remote)
+
+    @given(a=st.integers(0, 0x7FF), b=st.integers(0, 0x7FF))
+    def test_property_standard_order_is_numeric(self, a, b):
+        ka = arbitration_key(CanFrame(a))
+        kb = arbitration_key(CanFrame(b))
+        assert (ka < kb) == (a < b)
+
+    @given(a=st.integers(0, 0x1FFFFFFF), b=st.integers(0, 0x1FFFFFFF))
+    def test_property_extended_order_is_numeric(self, a, b):
+        ka = arbitration_key(CanFrame(a, extended=True))
+        kb = arbitration_key(CanFrame(b, extended=True))
+        assert (ka < kb) == (a < b)
+
+
+class TestAcceptanceFilter:
+    def test_exact_filter(self):
+        exact = AcceptanceFilter.exact(0x215)
+        assert exact.matches(CanFrame(0x215))
+        assert not exact.matches(CanFrame(0x216))
+
+    def test_accept_all(self):
+        catch_all = AcceptanceFilter.accept_all()
+        assert catch_all.matches(CanFrame(0x000))
+        assert catch_all.matches(CanFrame(0x7FF))
+
+    def test_kind_must_match(self):
+        std_filter = AcceptanceFilter.accept_all()
+        assert not std_filter.matches(CanFrame(1, extended=True))
+
+    def test_masked_range(self):
+        # Match ids 0x700-0x70F.
+        ranged = AcceptanceFilter(code=0x700, mask=0x7F0)
+        assert ranged.matches(CanFrame(0x705))
+        assert not ranged.matches(CanFrame(0x710))
+
+    def test_out_of_range_code_rejected(self):
+        with pytest.raises(ValueError):
+            AcceptanceFilter(code=0x800)
+
+    def test_out_of_range_mask_rejected(self):
+        with pytest.raises(ValueError):
+            AcceptanceFilter(mask=0x800)
+
+
+class TestAcceptsBank:
+    def test_empty_bank_accepts_everything(self):
+        assert accepts([], CanFrame(0x7FF))
+
+    def test_bank_is_or_of_filters(self):
+        bank = [AcceptanceFilter.exact(0x100), AcceptanceFilter.exact(0x200)]
+        assert accepts(bank, CanFrame(0x100))
+        assert accepts(bank, CanFrame(0x200))
+        assert not accepts(bank, CanFrame(0x300))

@@ -1,0 +1,123 @@
+"""Tests for the CAN controller."""
+
+import pytest
+
+from repro.can.bus import CanBus
+from repro.can.errors import BusOffError, CanError
+from repro.can.frame import CanFrame
+from repro.can.identifiers import AcceptanceFilter
+from repro.can.node import CanController
+from repro.sim.clock import MS
+
+
+class TestAttachment:
+    def test_send_before_attach_rejected(self):
+        lone = CanController("lone")
+        with pytest.raises(CanError):
+            lone.send(CanFrame(1))
+
+    def test_double_attach_rejected(self, bus):
+        controller = CanController("x")
+        controller.attach(bus)
+        with pytest.raises(CanError):
+            controller.attach(bus)
+
+
+class TestTxQueue:
+    def test_pending_counts(self, sim, node_pair):
+        a, _ = node_pair
+        a.send(CanFrame(0x100, bytes(8)))
+        a.send(CanFrame(0x200))
+        a.send(CanFrame(0x300))
+        # First frame is on the wire (popped at completion); the
+        # others queue.
+        assert a.pending_tx() >= 2
+
+    def test_queue_overflow_drops_oldest(self, sim, bus):
+        small = CanController("small", tx_queue_limit=2)
+        small.attach(bus)
+        # Saturate: these all queue behind each other.
+        for i in range(5):
+            small.send(CanFrame(0x100 + i))
+        assert small.tx_dropped > 0
+        assert small.pending_tx() <= 2
+
+    def test_clear_tx(self, sim, node_pair):
+        a, _ = node_pair
+        a.send(CanFrame(0x100, bytes(8)))
+        a.send(CanFrame(0x200))
+        dropped = a.clear_tx()
+        assert dropped >= 1
+        assert a.pending_tx() == 0
+
+    def test_invalid_queue_limit_rejected(self):
+        with pytest.raises(ValueError):
+            CanController("bad", tx_queue_limit=0)
+
+
+class TestRxPath:
+    def test_rx_queue_when_no_handler(self, sim, node_pair):
+        a, b = node_pair
+        a.send(CanFrame(0x123, b"\x01"))
+        sim.run_for(1 * MS)
+        assert b.rx_pending() == 1
+        stamped = b.read()
+        assert stamped.frame.can_id == 0x123
+        assert b.read() is None
+
+    def test_filters_drop_unwanted_ids(self, sim, node_pair):
+        a, b = node_pair
+        b.add_filter(AcceptanceFilter.exact(0x200))
+        a.send(CanFrame(0x100))
+        a.send(CanFrame(0x200))
+        sim.run_for(2 * MS)
+        assert b.rx_pending() == 1
+        assert b.read().frame.can_id == 0x200
+
+    def test_disabled_controller_receives_nothing(self, sim, node_pair):
+        a, b = node_pair
+        b.disable()
+        a.send(CanFrame(0x100))
+        sim.run_for(1 * MS)
+        assert b.rx_pending() == 0
+
+    def test_rx_overrun_drops_oldest(self, sim, node_pair):
+        a, b = node_pair
+        b._rx_queue_limit = 3
+        for i in range(5):
+            a.send(CanFrame(0x100 + i))
+        sim.run_for(5 * MS)
+        assert b.rx_overruns == 2
+        assert b.rx_pending() == 3
+        # Oldest dropped: first retained frame is the third sent.
+        assert b.read().frame.can_id == 0x102
+
+
+class TestCounters:
+    def test_tx_rx_counts(self, sim, node_pair):
+        a, b = node_pair
+        a.send(CanFrame(0x100))
+        a.send(CanFrame(0x101))
+        sim.run_for(2 * MS)
+        assert a.tx_count == 2
+        assert b.rx_count == 2
+
+    def test_send_when_bus_off_raises(self, sim, node_pair):
+        a, _ = node_pair
+        a.counters.bus_off_latched = True
+        with pytest.raises(BusOffError):
+            a.send(CanFrame(0x100))
+
+    def test_reset_recovers_from_bus_off(self, sim, node_pair):
+        a, b = node_pair
+        a.counters.bus_off_latched = True
+        a.reset()
+        a.send(CanFrame(0x100))
+        sim.run_for(1 * MS)
+        assert b.rx_count == 1
+
+    def test_disabled_send_raises(self, sim, node_pair):
+        a, _ = node_pair
+        a.disable()
+        with pytest.raises(CanError):
+            a.send(CanFrame(0x100))

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.can.bus import CanBus
+from repro.can.node import CanController
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def bus(sim: Simulator) -> CanBus:
+    return CanBus(sim, name="test-bus")
+
+
+@pytest.fixture
+def node_pair(bus: CanBus) -> tuple[CanController, CanController]:
+    """Two controllers attached to the same bus."""
+    a = CanController("node-a")
+    a.attach(bus)
+    b = CanController("node-b")
+    b.attach(bus)
+    return a, b

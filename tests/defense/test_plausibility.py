@@ -1,0 +1,182 @@
+"""Tests for the plausibility guard."""
+
+import pytest
+
+from repro.can.frame import CanFrame
+from repro.defense.plausibility import PlausibilityGuard, PlausibilityVerdict
+from repro.sim.clock import MS, SECOND
+from repro.vehicle.database import (
+    ENGINE_STATUS_ID,
+    VEHICLE_SPEED_ID,
+    target_vehicle_database,
+)
+
+
+@pytest.fixture
+def db():
+    return target_vehicle_database()
+
+
+def engine_frame(db, rpm, **extra):
+    payload = db.by_name("ENGINE_STATUS").encode(
+        {"EngineSpeed": rpm, **extra})
+    return CanFrame(ENGINE_STATUS_ID, payload)
+
+
+class TestDlcCheck:
+    def test_spec_length_accepted(self, db):
+        guard = PlausibilityGuard(db)
+        frame = engine_frame(db, 900.0)
+        assert guard.check(frame, 0) is PlausibilityVerdict.ACCEPTED
+
+    def test_short_frame_rejected(self, db):
+        """The short-frame crash trigger never reaches a guarded parser."""
+        guard = PlausibilityGuard(db)
+        frame = CanFrame(VEHICLE_SPEED_ID, b"\x01")
+        assert guard.check(frame, 0) is PlausibilityVerdict.BAD_DLC
+
+    def test_zero_dlc_rejected(self, db):
+        guard = PlausibilityGuard(db)
+        frame = CanFrame(0x43A, b"")
+        assert guard.check(frame, 0) is PlausibilityVerdict.BAD_DLC
+
+
+class TestRangeCheck:
+    def test_negative_rpm_rejected(self, db):
+        guard = PlausibilityGuard(db)
+        frame = engine_frame(db, -1250.0)
+        assert guard.check(frame, 0) is PlausibilityVerdict.OUT_OF_RANGE
+
+    def test_over_redline_rejected(self, db):
+        guard = PlausibilityGuard(db)
+        frame = engine_frame(db, 8190.0)
+        assert guard.check(frame, 0) is PlausibilityVerdict.OUT_OF_RANGE
+
+
+class TestSlewCheck:
+    def test_plausible_ramp_accepted(self, db):
+        guard = PlausibilityGuard(db, slew_limits={"EngineSpeed": 4000.0})
+        now = 0
+        for rpm in (900.0, 930.0, 960.0):
+            assert guard.check(engine_frame(db, rpm), now) \
+                is PlausibilityVerdict.ACCEPTED
+            now += 10 * MS
+
+    def test_teleporting_value_rejected(self, db):
+        guard = PlausibilityGuard(db, slew_limits={"EngineSpeed": 4000.0})
+        assert guard.check(engine_frame(db, 900.0), 0) \
+            is PlausibilityVerdict.ACCEPTED
+        # 900 -> 6000 rpm in 10 ms is a 510000 rpm/s slew.
+        assert guard.check(engine_frame(db, 6000.0), 10 * MS) \
+            is PlausibilityVerdict.IMPLAUSIBLE_SLEW
+
+    def test_rejected_frames_do_not_poison_baseline(self, db):
+        guard = PlausibilityGuard(db, slew_limits={"EngineSpeed": 4000.0})
+        guard.check(engine_frame(db, 900.0), 0)
+        guard.check(engine_frame(db, 6000.0), 10 * MS)   # rejected
+        # The baseline is still 900: a follow-up near 900 is fine, a
+        # follow-up near the rejected 6000 is not.
+        assert guard.check(engine_frame(db, 920.0), 20 * MS) \
+            is PlausibilityVerdict.ACCEPTED
+
+
+class TestTimingCheck:
+    def test_flood_rejected(self, db):
+        guard = PlausibilityGuard(db, min_interval_fraction=0.5)
+        frame = engine_frame(db, 900.0)
+        assert guard.check(frame, 0) is PlausibilityVerdict.ACCEPTED
+        # ENGINE_STATUS cycles at 10 ms; another copy after 1 ms is a
+        # flood.
+        assert guard.check(frame, 1 * MS) \
+            is PlausibilityVerdict.TOO_FREQUENT
+
+    def test_normal_cycle_accepted(self, db):
+        guard = PlausibilityGuard(db, min_interval_fraction=0.5)
+        frame = engine_frame(db, 900.0)
+        guard.check(frame, 0)
+        assert guard.check(frame, 10 * MS) \
+            is PlausibilityVerdict.ACCEPTED
+
+
+class TestUnknownIds:
+    def test_permissive_by_default(self, db):
+        guard = PlausibilityGuard(db)
+        assert guard.check(CanFrame(0x7AA, b"\x01"), 0) \
+            is PlausibilityVerdict.ACCEPTED
+
+    def test_strict_allowlist(self, db):
+        guard = PlausibilityGuard(db, drop_unknown_ids=True)
+        assert guard.check(CanFrame(0x7AA, b"\x01"), 0) \
+            is PlausibilityVerdict.UNKNOWN_ID
+
+
+class TestStats:
+    def test_accounting(self, db):
+        guard = PlausibilityGuard(db)
+        guard.check(engine_frame(db, 900.0), 0)
+        guard.check(CanFrame(VEHICLE_SPEED_ID, b"\x01"), 1 * MS)
+        assert guard.stats.accepted == 1
+        assert guard.stats.rejected == 1
+
+    def test_reset_clears_history(self, db):
+        guard = PlausibilityGuard(db, slew_limits={"EngineSpeed": 100.0})
+        guard.check(engine_frame(db, 900.0), 0)
+        guard.reset()
+        # Without the reset this would be an implausible slew.
+        assert guard.check(engine_frame(db, 2000.0), 1 * MS) \
+            is PlausibilityVerdict.ACCEPTED
+
+    def test_invalid_fraction_rejected(self, db):
+        with pytest.raises(ValueError):
+            PlausibilityGuard(db, min_interval_fraction=1.5)
+
+
+class TestGuardedCluster:
+    """End-to-end: a guarded cluster survives the fuzz run that breaks
+    the unguarded one."""
+
+    def build_car_with_guarded_cluster(self):
+        from repro.defense import PlausibilityGuard
+        from repro.vehicle import TargetCar
+        from repro.vehicle.cluster import InstrumentCluster
+
+        car = TargetCar(seed=30)
+        guard = PlausibilityGuard(car.database)
+        guarded = InstrumentCluster(car.sim, car.body_bus, car.database,
+                                    guard=guard)
+        return car, guarded, guard
+
+    def fuzz_body(self, car, seconds, seed):
+        from repro.fuzz import (CampaignLimits, FuzzCampaign, FuzzConfig,
+                                RandomFrameGenerator)
+        from repro.sim.random import RandomStreams
+
+        adapter = car.obd_adapter("body")
+        generator = RandomFrameGenerator(
+            FuzzConfig.full_range(), RandomStreams(seed).stream("fuzzer"))
+        FuzzCampaign(car.sim, adapter, generator,
+                     limits=CampaignLimits(
+                         max_duration=seconds * SECOND,
+                         stop_on_finding=False)).run()
+
+    def test_guarded_cluster_survives_the_fig9_fuzz(self):
+        car, guarded, guard = self.build_car_with_guarded_cluster()
+        car.ignition_on()
+        guarded.power_on()
+        car.run_seconds(1.0)
+        self.fuzz_body(car, seconds=8, seed=4)   # breaks the stock cluster
+        assert guarded.running
+        assert guarded.latched_flags == set()
+        assert guard.stats.rejected > 0
+
+    def test_unguarded_twin_breaks_under_same_fuzz(self):
+        from repro.vehicle import TargetCar
+        from repro.vehicle.cluster import CRASH_DISPLAY_FAULT
+
+        car = TargetCar(seed=30)
+        car.ignition_on()
+        car.run_seconds(1.0)
+        self.fuzz_body(car, seconds=8, seed=4)
+        stock = car.cluster
+        assert (CRASH_DISPLAY_FAULT in stock.latched_flags
+                or stock.watchdog_resets > 0 or stock.mils)

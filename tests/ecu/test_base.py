@@ -1,0 +1,215 @@
+"""Tests for the ECU base class: lifecycle, tasks, dispatch, faults."""
+
+import pytest
+
+from repro.can.frame import CanFrame
+from repro.can.node import CanController
+from repro.ecu.base import Ecu, EcuState
+from repro.ecu.faults import FaultEffect, FaultModel, Vulnerability
+from repro.sim.clock import MS
+
+
+@pytest.fixture
+def tester(bus):
+    node = CanController("tester")
+    node.attach(bus)
+    return node
+
+
+def make_ecu(sim, bus, **kwargs):
+    return Ecu(sim, bus, "unit-under-test", boot_time=10 * MS, **kwargs)
+
+
+class TestLifecycle:
+    def test_starts_off(self, sim, bus):
+        assert make_ecu(sim, bus).state is EcuState.OFF
+
+    def test_boot_sequence(self, sim, bus):
+        ecu = make_ecu(sim, bus)
+        ecu.power_on()
+        assert ecu.state is EcuState.BOOTING
+        sim.run_for(10 * MS)
+        assert ecu.state is EcuState.RUNNING
+
+    def test_power_on_is_idempotent(self, sim, bus):
+        ecu = make_ecu(sim, bus)
+        ecu.power_on()
+        ecu.power_on()
+        sim.run_for(20 * MS)
+        assert ecu.state is EcuState.RUNNING
+
+    def test_power_off_during_boot_cancels(self, sim, bus):
+        ecu = make_ecu(sim, bus)
+        ecu.power_on()
+        sim.run_for(5 * MS)
+        ecu.power_off()
+        sim.run_for(50 * MS)
+        assert ecu.state is EcuState.OFF
+
+    def test_on_boot_hook_called(self, sim, bus):
+        booted = []
+
+        class Hooked(Ecu):
+            def on_boot(self):
+                booted.append(self.sim.now)
+
+        ecu = Hooked(sim, bus, "hooked", boot_time=10 * MS)
+        ecu.power_on()
+        sim.run_for(20 * MS)
+        assert booted == [10 * MS]
+
+    def test_power_cycle_counts(self, sim, bus):
+        ecu = make_ecu(sim, bus)
+        ecu.power_on()
+        sim.run_for(20 * MS)
+        ecu.power_cycle()
+        sim.run_for(20 * MS)
+        assert ecu.power_cycles == 1
+        assert ecu.state is EcuState.RUNNING
+
+
+class TestCyclicTasks:
+    def test_tasks_run_only_while_running(self, sim, bus):
+        ecu = make_ecu(sim, bus)
+        ticks = []
+        ecu.every(10 * MS, lambda: ticks.append(sim.now))
+        sim.run_for(50 * MS)
+        assert ticks == []  # still off
+        ecu.power_on()
+        sim.run_for(35 * MS)
+        assert len(ticks) >= 3
+        count = len(ticks)
+        ecu.power_off()
+        sim.run_for(50 * MS)
+        assert len(ticks) == count
+
+    def test_cyclic_transmit(self, sim, bus, tester):
+        ecu = make_ecu(sim, bus)
+        ecu.every(10 * MS, lambda: ecu.send(CanFrame(0x111, b"\x01")))
+        ecu.power_on()
+        sim.run_for(100 * MS)
+        assert tester.rx_count >= 8
+
+
+class TestRxDispatch:
+    def test_on_id_dispatch(self, sim, bus, tester):
+        ecu = make_ecu(sim, bus)
+        got = []
+        ecu.on_id(0x215, lambda s: got.append(s.frame.data))
+        ecu.power_on()
+        sim.run_for(15 * MS)
+        tester.send(CanFrame(0x215, b"\x20"))
+        tester.send(CanFrame(0x216, b"\xff"))
+        sim.run_for(5 * MS)
+        assert got == [b"\x20"]
+
+    def test_on_any_sees_everything(self, sim, bus, tester):
+        ecu = make_ecu(sim, bus)
+        got = []
+        ecu.on_any(lambda s: got.append(s.frame.can_id))
+        ecu.power_on()
+        sim.run_for(15 * MS)
+        tester.send(CanFrame(0x100))
+        tester.send(CanFrame(0x200))
+        sim.run_for(5 * MS)
+        assert got == [0x100, 0x200]
+
+    def test_no_dispatch_while_off(self, sim, bus, tester):
+        ecu = make_ecu(sim, bus)
+        got = []
+        ecu.on_any(lambda s: got.append(1))
+        tester.send(CanFrame(0x100))
+        sim.run_for(5 * MS)
+        assert got == []
+
+    def test_send_while_off_returns_false(self, sim, bus):
+        ecu = make_ecu(sim, bus)
+        assert ecu.send(CanFrame(0x100)) is False
+
+
+class TestFaultEffects:
+    def _ecu_with(self, sim, bus, effect):
+        model = FaultModel([Vulnerability(
+            name="test-vuln",
+            trigger=lambda f: f.can_id == 0x666,
+            effect=effect)])
+        ecu = make_ecu(sim, bus, fault_model=model)
+        ecu.power_on()
+        sim.run_for(15 * MS)
+        return ecu
+
+    def test_crash_stops_ecu(self, sim, bus, tester):
+        ecu = self._ecu_with(sim, bus, FaultEffect.CRASH)
+        tester.send(CanFrame(0x666))
+        sim.run_for(5 * MS)
+        assert ecu.state is EcuState.CRASHED
+        assert len(ecu.fault_events) == 1
+
+    def test_crash_recovers_on_power_cycle(self, sim, bus, tester):
+        ecu = self._ecu_with(sim, bus, FaultEffect.CRASH)
+        tester.send(CanFrame(0x666))
+        sim.run_for(5 * MS)
+        ecu.power_cycle()
+        sim.run_for(15 * MS)
+        assert ecu.state is EcuState.RUNNING
+
+    def test_brick_is_permanent(self, sim, bus, tester):
+        ecu = self._ecu_with(sim, bus, FaultEffect.BRICK)
+        tester.send(CanFrame(0x666))
+        sim.run_for(5 * MS)
+        assert ecu.state is EcuState.BRICKED
+        ecu.power_cycle()
+        sim.run_for(50 * MS)
+        assert ecu.state is EcuState.BRICKED
+
+    def test_latch_survives_power_cycle(self, sim, bus, tester):
+        ecu = self._ecu_with(sim, bus, FaultEffect.LATCH)
+        tester.send(CanFrame(0x666))
+        sim.run_for(5 * MS)
+        assert "test-vuln" in ecu.latched_flags
+        assert ecu.state is EcuState.RUNNING  # latch does not stop it
+        ecu.power_cycle()
+        sim.run_for(15 * MS)
+        assert "test-vuln" in ecu.latched_flags
+
+    def test_reset_effect_reboots(self, sim, bus, tester):
+        ecu = self._ecu_with(sim, bus, FaultEffect.RESET)
+        tester.send(CanFrame(0x666))
+        sim.run_for(15 * MS)
+        assert ecu.power_cycles == 1
+        assert ecu.state is EcuState.RUNNING
+
+    def test_crashing_frame_skips_handlers(self, sim, bus, tester):
+        handled = []
+        model = FaultModel([Vulnerability(
+            "v", lambda f: f.can_id == 0x666, FaultEffect.CRASH)])
+        ecu = make_ecu(sim, bus, fault_model=model)
+        ecu.on_id(0x666, lambda s: handled.append(1))
+        ecu.power_on()
+        sim.run_for(15 * MS)
+        tester.send(CanFrame(0x666))
+        sim.run_for(5 * MS)
+        assert handled == []
+
+
+class TestWatchdogIntegration:
+    def test_watchdog_recovers_crashed_ecu(self, sim, bus, tester):
+        model = FaultModel([Vulnerability(
+            "v", lambda f: f.can_id == 0x666, FaultEffect.CRASH)])
+        ecu = Ecu(sim, bus, "watched", boot_time=10 * MS,
+                  fault_model=model, watchdog_timeout=100 * MS)
+        ecu.power_on()
+        sim.run_for(20 * MS)
+        tester.send(CanFrame(0x666))
+        sim.run_for(10 * MS)
+        assert ecu.state is EcuState.CRASHED
+        sim.run_for(300 * MS)
+        assert ecu.state is EcuState.RUNNING
+        assert ecu.watchdog_resets == 1
+
+    def test_healthy_ecu_never_watchdog_resets(self, sim, bus):
+        ecu = Ecu(sim, bus, "healthy", boot_time=10 * MS,
+                  watchdog_timeout=50 * MS)
+        ecu.power_on()
+        sim.run_for(1000 * MS)
+        assert ecu.watchdog_resets == 0

@@ -1,0 +1,98 @@
+"""Tests for UDS-style operating modes."""
+
+import pytest
+
+from repro.ecu.modes import ModeManager, ModeTransitionError, OperatingMode
+
+
+class TestTransitions:
+    def test_starts_normal_and_locked(self):
+        modes = ModeManager()
+        assert modes.mode is OperatingMode.NORMAL
+        assert not modes.security_unlocked
+
+    def test_normal_to_diagnostic(self):
+        modes = ModeManager()
+        modes.request(OperatingMode.DIAGNOSTIC)
+        assert modes.mode is OperatingMode.DIAGNOSTIC
+
+    def test_normal_to_programming_forbidden(self):
+        modes = ModeManager()
+        with pytest.raises(ModeTransitionError):
+            modes.request(OperatingMode.PROGRAMMING)
+
+    def test_programming_requires_security(self):
+        modes = ModeManager()
+        modes.request(OperatingMode.DIAGNOSTIC)
+        with pytest.raises(ModeTransitionError):
+            modes.request(OperatingMode.PROGRAMMING)
+        modes.unlock()
+        modes.request(OperatingMode.PROGRAMMING)
+        assert modes.mode is OperatingMode.PROGRAMMING
+
+    def test_return_to_normal_always_allowed(self):
+        modes = ModeManager()
+        modes.request(OperatingMode.DIAGNOSTIC)
+        modes.unlock()
+        modes.request(OperatingMode.PROGRAMMING)
+        modes.request(OperatingMode.NORMAL)
+        assert modes.mode is OperatingMode.NORMAL
+
+    def test_returning_to_normal_relocks(self):
+        modes = ModeManager()
+        modes.request(OperatingMode.DIAGNOSTIC)
+        modes.unlock()
+        modes.request(OperatingMode.NORMAL)
+        assert not modes.security_unlocked
+
+    def test_self_transition_is_allowed(self):
+        modes = ModeManager()
+        modes.request(OperatingMode.NORMAL)
+        assert modes.mode is OperatingMode.NORMAL
+
+    def test_programming_to_diagnostic_forbidden(self):
+        modes = ModeManager()
+        modes.request(OperatingMode.DIAGNOSTIC)
+        modes.unlock()
+        modes.request(OperatingMode.PROGRAMMING)
+        with pytest.raises(ModeTransitionError):
+            modes.request(OperatingMode.DIAGNOSTIC)
+
+
+class TestSecurity:
+    def test_unlock_in_normal_forbidden(self):
+        modes = ModeManager()
+        with pytest.raises(ModeTransitionError):
+            modes.unlock()
+
+    def test_unlock_in_diagnostic(self):
+        modes = ModeManager()
+        modes.request(OperatingMode.DIAGNOSTIC)
+        modes.unlock()
+        assert modes.security_unlocked
+
+
+class TestListeners:
+    def test_listener_fires_on_change(self):
+        modes = ModeManager()
+        seen = []
+        modes.on_change(seen.append)
+        modes.request(OperatingMode.DIAGNOSTIC)
+        assert seen == [OperatingMode.DIAGNOSTIC]
+
+    def test_listener_not_fired_on_self_transition(self):
+        modes = ModeManager()
+        seen = []
+        modes.on_change(seen.append)
+        modes.request(OperatingMode.NORMAL)
+        assert seen == []
+
+
+class TestReset:
+    def test_reset_returns_to_power_on_state(self):
+        modes = ModeManager()
+        modes.request(OperatingMode.DIAGNOSTIC)
+        modes.unlock()
+        modes.reset()
+        assert modes.mode is OperatingMode.NORMAL
+        assert not modes.security_unlocked

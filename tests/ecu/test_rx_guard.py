@@ -1,0 +1,76 @@
+"""Tests for the ECU input guard hook (defense integration point)."""
+
+import pytest
+
+from repro.can.frame import CanFrame
+from repro.can.node import CanController
+from repro.ecu.base import Ecu, EcuState
+from repro.ecu.faults import FaultEffect, FaultModel, Vulnerability
+from repro.sim.clock import MS
+
+
+@pytest.fixture
+def tester(bus):
+    node = CanController("tester")
+    node.attach(bus)
+    return node
+
+
+def vulnerable_ecu(sim, bus):
+    model = FaultModel([Vulnerability(
+        "kill-switch", lambda f: f.can_id == 0x666, FaultEffect.CRASH)])
+    ecu = Ecu(sim, bus, "guarded", boot_time=10 * MS, fault_model=model)
+    ecu.power_on()
+    sim.run_for(20 * MS)
+    return ecu
+
+
+class TestGuardOrdering:
+    def test_guard_runs_before_the_fault_model(self, sim, bus, tester):
+        """A guard that drops the trigger frame prevents the crash --
+        the whole point of patching validation in front of the parser."""
+        ecu = vulnerable_ecu(sim, bus)
+        ecu.rx_guard = lambda frame, now: frame.can_id != 0x666
+        tester.send(CanFrame(0x666))
+        sim.run_for(10 * MS)
+        assert ecu.state is EcuState.RUNNING
+        assert ecu.fault_events == []
+
+    def test_without_guard_the_crash_happens(self, sim, bus, tester):
+        ecu = vulnerable_ecu(sim, bus)
+        tester.send(CanFrame(0x666))
+        sim.run_for(10 * MS)
+        assert ecu.state is EcuState.CRASHED
+
+    def test_guard_also_gates_handlers(self, sim, bus, tester):
+        ecu = vulnerable_ecu(sim, bus)
+        handled = []
+        ecu.on_id(0x100, lambda s: handled.append(s.frame.can_id))
+        ecu.rx_guard = lambda frame, now: False   # drop everything
+        tester.send(CanFrame(0x100))
+        sim.run_for(10 * MS)
+        assert handled == []
+
+    def test_guard_receives_frame_and_time(self, sim, bus, tester):
+        ecu = vulnerable_ecu(sim, bus)
+        seen = []
+
+        def guard(frame, now):
+            seen.append((frame.can_id, now))
+            return True
+
+        ecu.rx_guard = guard
+        tester.send(CanFrame(0x123))
+        sim.run_for(10 * MS)
+        assert len(seen) == 1
+        assert seen[0][0] == 0x123
+        assert seen[0][1] > 0
+
+    def test_permissive_guard_changes_nothing(self, sim, bus, tester):
+        ecu = vulnerable_ecu(sim, bus)
+        handled = []
+        ecu.on_id(0x100, lambda s: handled.append(1))
+        ecu.rx_guard = lambda frame, now: True
+        tester.send(CanFrame(0x100))
+        sim.run_for(10 * MS)
+        assert handled == [1]

@@ -1,0 +1,52 @@
+"""Tests for the watchdog timer."""
+
+import pytest
+
+from repro.ecu.watchdog import Watchdog
+from repro.sim.clock import MS
+
+
+class TestWatchdog:
+    def test_fires_without_kicks(self, sim):
+        fired = []
+        dog = Watchdog(sim, 100 * MS, lambda: fired.append(sim.now))
+        dog.enable()
+        sim.run_for(150 * MS)
+        assert fired == [100 * MS]
+        assert dog.timeouts == 1
+
+    def test_kicks_postpone_timeout(self, sim):
+        fired = []
+        dog = Watchdog(sim, 100 * MS, lambda: fired.append(sim.now))
+        dog.enable()
+        for _ in range(5):
+            sim.run_for(50 * MS)
+            dog.kick()
+        assert fired == []
+        sim.run_for(150 * MS)
+        assert len(fired) == 1
+
+    def test_disabled_watchdog_never_fires(self, sim):
+        fired = []
+        dog = Watchdog(sim, 100 * MS, lambda: fired.append(1))
+        dog.enable()
+        sim.run_for(50 * MS)
+        dog.disable()
+        sim.run_for(500 * MS)
+        assert fired == []
+
+    def test_kick_before_enable_is_noop(self, sim):
+        dog = Watchdog(sim, 100 * MS, lambda: None)
+        dog.kick()  # must not raise or arm anything
+        sim.run_for(500 * MS)
+        assert dog.timeouts == 0
+
+    def test_invalid_timeout_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Watchdog(sim, 0, lambda: None)
+
+    def test_enabled_property(self, sim):
+        dog = Watchdog(sim, 10, lambda: None)
+        assert not dog.enabled
+        dog.enable()
+        assert dog.enabled

@@ -1,0 +1,119 @@
+"""Tests for trace minimisation and result persistence."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.can.frame import CanFrame
+from repro.fuzz.minimize import minimize_frame_bytes, minimize_trace
+from repro.fuzz.oracle import Finding
+from repro.fuzz.session import FuzzResult
+from repro.sim.clock import SECOND
+
+
+class TestMinimizeTrace:
+    def test_single_culprit_found(self):
+        culprit = CanFrame(0x215, b"\x20")
+        noise = [CanFrame(0x100 + i, bytes((i,))) for i in range(20)]
+        trace = noise[:10] + [culprit] + noise[10:]
+        minimal = minimize_trace(trace, lambda t: culprit in t)
+        assert minimal == [culprit]
+
+    def test_pair_of_culprits_kept(self):
+        first = CanFrame(0x111, b"\x01")
+        second = CanFrame(0x222, b"\x02")
+        noise = [CanFrame(0x300 + i) for i in range(15)]
+        trace = [first] + noise[:7] + [second] + noise[7:]
+
+        def still_fails(candidate):
+            return first in candidate and second in candidate
+
+        minimal = minimize_trace(trace, still_fails)
+        assert set(minimal) == {first, second}
+
+    def test_non_reproducing_trace_rejected(self):
+        with pytest.raises(ValueError):
+            minimize_trace([CanFrame(1)], lambda t: False)
+
+    def test_order_preserved(self):
+        a, b = CanFrame(0x1, b"\x01"), CanFrame(0x2, b"\x02")
+        trace = [CanFrame(0x300), a, CanFrame(0x301), b]
+        minimal = minimize_trace(
+            trace, lambda t: a in t and b in t
+            and t.index(a) < t.index(b))
+        assert minimal == [a, b]
+
+    @settings(max_examples=30, deadline=None)
+    @given(position=st.integers(0, 29))
+    def test_property_single_culprit_any_position(self, position):
+        frames = [CanFrame(0x100 + i) for i in range(30)]
+        culprit = frames[position]
+        minimal = minimize_trace(frames, lambda t: culprit in t)
+        assert minimal == [culprit]
+
+
+class TestMinimizeFrameBytes:
+    def test_irrelevant_bytes_zeroed(self):
+        frame = CanFrame(0x215, bytes((0x20, 0x5F, 0x01, 0x00, 0x00,
+                                       0x01, 0x40)))
+        # The target only parses byte 0 (the bench BCM's weak check).
+        minimal = minimize_frame_bytes(
+            frame, lambda f: len(f.data) >= 1 and f.data[0] == 0x20)
+        assert minimal.data == b"\x20"
+
+    def test_two_checked_bytes_survive(self):
+        frame = CanFrame(0x215, bytes((0x20, 0x5F, 0x99, 0x98)))
+        minimal = minimize_frame_bytes(
+            frame,
+            lambda f: len(f.data) >= 2 and f.data[0] == 0x20
+            and f.data[1] == 0x5F)
+        assert minimal.data == b"\x20\x5f"
+
+    def test_length_sensitive_check_keeps_length(self):
+        frame = CanFrame(0x215, bytes((0x20, 0, 0, 0, 0, 0, 0)))
+        minimal = minimize_frame_bytes(
+            frame, lambda f: f.dlc == 7 and f.data[0] == 0x20)
+        assert minimal.dlc == 7
+
+    def test_non_reproducing_frame_rejected(self):
+        with pytest.raises(ValueError):
+            minimize_frame_bytes(CanFrame(1, b"\x01"), lambda f: False)
+
+
+class TestFuzzResult:
+    def make_result(self):
+        return FuzzResult(
+            name="demo", seed_label="fuzzer",
+            started_at=0, ended_at=10 * SECOND, frames_sent=10_000,
+            findings=[Finding(
+                time=5 * SECOND, oracle="ack", description="unlock seen",
+                recent_frames=(CanFrame(0x215, b"\x20"),))],
+            write_errors={"PCAN_ERROR_QXMTFULL": 2},
+            stop_reason="finding from oracle 'ack'",
+            config_rows=[("CAN Id", "{0, ..., 2047}", "All ids")])
+
+    def test_derived_metrics(self):
+        result = self.make_result()
+        assert result.duration_seconds == 10.0
+        assert result.first_finding_seconds == 5.0
+        assert result.frames_per_second == 1000.0
+
+    def test_no_findings_first_time_is_none(self):
+        result = self.make_result()
+        result.findings = []
+        assert result.first_finding_seconds is None
+
+    def test_json_roundtrip(self):
+        result = self.make_result()
+        restored = FuzzResult.from_json(result.to_json())
+        assert restored.name == result.name
+        assert restored.frames_sent == result.frames_sent
+        assert restored.findings[0].description == "unlock seen"
+        assert restored.findings[0].recent_frames[0] == CanFrame(
+            0x215, b"\x20")
+        assert restored.write_errors == result.write_errors
+        assert restored.config_rows == result.config_rows
+
+    def test_summary_text(self):
+        text = self.make_result().summary()
+        assert "10000 frames" in text
+        assert "unlock seen" in text

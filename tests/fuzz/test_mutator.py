@@ -1,0 +1,82 @@
+"""Tests for mutational fuzzing."""
+
+import random
+
+import pytest
+
+from repro.can.frame import CanFrame
+from repro.fuzz.mutator import MutationalGenerator
+
+
+SEEDS = [CanFrame(0x43A, bytes.fromhex("1c21177117 71ffff".replace(" ", ""))),
+         CanFrame(0x215, bytes.fromhex("001c010000 0140".replace(" ", "")))]
+
+
+class TestConstruction:
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            MutationalGenerator([], random.Random(1))
+
+    def test_seeds_deduplicated(self):
+        generator = MutationalGenerator(SEEDS + SEEDS, random.Random(1))
+        assert len(generator.seeds) == 2
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            MutationalGenerator(SEEDS, random.Random(1),
+                                max_byte_mutations=0)
+        with pytest.raises(ValueError):
+            MutationalGenerator(SEEDS, random.Random(1),
+                                mutate_dlc_probability=1.5)
+        with pytest.raises(ValueError):
+            MutationalGenerator(SEEDS, random.Random(1),
+                                mutate_id_probability=-0.1)
+
+
+class TestMutation:
+    def test_output_stays_close_to_seeds(self):
+        """Most frames keep the seed id (the 'close to known messages'
+        strategy)."""
+        generator = MutationalGenerator(SEEDS, random.Random(2),
+                                        mutate_id_probability=0.05)
+        seed_ids = {s.can_id for s in SEEDS}
+        frames = [generator.next_frame() for _ in range(300)]
+        on_seed_ids = sum(1 for f in frames if f.can_id in seed_ids)
+        assert on_seed_ids > 250
+
+    def test_mutations_actually_change_payloads(self):
+        generator = MutationalGenerator(SEEDS, random.Random(3),
+                                        mutate_dlc_probability=0.0)
+        seed_payloads = {s.data for s in SEEDS}
+        frames = [generator.next_frame() for _ in range(100)]
+        changed = sum(1 for f in frames if f.data not in seed_payloads)
+        assert changed > 80
+
+    def test_dlc_mutation_produces_short_and_long_frames(self):
+        generator = MutationalGenerator(SEEDS, random.Random(4),
+                                        mutate_dlc_probability=1.0)
+        lengths = {generator.next_frame().dlc for _ in range(200)}
+        seed_lengths = {s.dlc for s in SEEDS}
+        assert lengths - seed_lengths  # some non-seed lengths appeared
+        assert max(lengths) <= 8
+
+    def test_frames_always_valid(self):
+        generator = MutationalGenerator(SEEDS, random.Random(5),
+                                        mutate_dlc_probability=0.5,
+                                        mutate_id_probability=0.5)
+        for _ in range(500):
+            frame = generator.next_frame()  # CanFrame validates itself
+            assert 0 <= frame.can_id <= 0x7FF
+            assert frame.dlc <= 8
+
+    def test_seed_determinism(self):
+        a = MutationalGenerator(SEEDS, random.Random(6))
+        b = MutationalGenerator(SEEDS, random.Random(6))
+        assert [a.next_frame() for _ in range(30)] == \
+               [b.next_frame() for _ in range(30)]
+
+    def test_generated_counter(self):
+        generator = MutationalGenerator(SEEDS, random.Random(7))
+        for _ in range(9):
+            generator.next_frame()
+        assert generator.generated == 9

@@ -1,0 +1,174 @@
+"""Tests for the LIN substrate: frames, schedule, window lift."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lin.bus import LinBus, LinMaster, LinNode, ScheduleEntry
+from repro.lin.frame import (
+    LinFrameError,
+    checksum_ok,
+    enhanced_checksum,
+    protected_id,
+    verify_protected_id,
+)
+from repro.lin.windowlift import (
+    DOWN,
+    STOP,
+    UP,
+    WINDOW_COMMAND_ID,
+    WINDOW_STATUS_ID,
+    WindowLiftSlave,
+)
+from repro.sim.clock import SECOND
+
+
+class TestProtectedId:
+    def test_known_parity_values(self):
+        # LIN spec examples: id 0x00 -> PID 0x80, id 0x3C -> PID 0x3C.
+        assert protected_id(0x00) == 0x80
+        assert protected_id(0x3C) == 0x3C
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(LinFrameError):
+            protected_id(64)
+
+    @given(frame_id=st.integers(0, 63))
+    def test_property_roundtrip(self, frame_id):
+        assert verify_protected_id(protected_id(frame_id)) == frame_id
+
+    @given(frame_id=st.integers(0, 63), flip=st.integers(6, 7))
+    def test_property_parity_bit_corruption_detected(self, frame_id, flip):
+        corrupted = protected_id(frame_id) ^ (1 << flip)
+        with pytest.raises(LinFrameError):
+            verify_protected_id(corrupted)
+
+
+class TestChecksum:
+    def test_known_checksum_stability(self):
+        pid = protected_id(0x21)
+        assert enhanced_checksum(pid, b"\x01") == \
+            enhanced_checksum(pid, b"\x01")
+
+    def test_length_bounds(self):
+        with pytest.raises(LinFrameError):
+            enhanced_checksum(0x80, b"")
+        with pytest.raises(LinFrameError):
+            enhanced_checksum(0x80, bytes(9))
+
+    @given(data=st.binary(min_size=1, max_size=8))
+    def test_property_checksum_validates_roundtrip(self, data):
+        pid = protected_id(0x10)
+        assert checksum_ok(pid, data, enhanced_checksum(pid, data))
+
+    @given(data=st.binary(min_size=1, max_size=8),
+           position=st.integers(0, 7), bit=st.integers(0, 7))
+    def test_property_single_byte_corruption_detected(self, data,
+                                                      position, bit):
+        if position >= len(data):
+            position = position % len(data)
+        pid = protected_id(0x10)
+        checksum = enhanced_checksum(pid, data)
+        corrupted = bytearray(data)
+        corrupted[position] ^= 1 << bit
+        assert not checksum_ok(pid, bytes(corrupted), checksum)
+
+
+class TestScheduleAndBus:
+    def make_rig(self, sim):
+        bus = LinBus(sim)
+        master = LinMaster(sim, bus, [
+            ScheduleEntry(WINDOW_COMMAND_ID, slot_ms=10),
+            ScheduleEntry(WINDOW_STATUS_ID, slot_ms=10),
+        ])
+        lift = WindowLiftSlave(sim)
+        bus.attach(lift)
+        return bus, master, lift
+
+    def test_master_polls_schedule(self, sim):
+        bus, master, lift = self.make_rig(sim)
+        command = [STOP]
+        master.publish(WINDOW_COMMAND_ID, lambda: bytes((command[0],)))
+        statuses = []
+        master.subscribe(WINDOW_STATUS_ID, statuses.append)
+        master.start()
+        sim.run_for(1 * SECOND)
+        assert len(statuses) >= 40        # ~50 status slots per second
+        assert statuses[-1][0] == 100     # closed
+
+    def test_command_moves_the_window(self, sim):
+        bus, master, lift = self.make_rig(sim)
+        command = [DOWN]
+        master.publish(WINDOW_COMMAND_ID, lambda: bytes((command[0],)))
+        master.start()
+        sim.run_for(2 * SECOND)
+        assert lift.position < 100.0
+        command[0] = STOP
+        sim.run_for(1 * SECOND)
+        frozen = lift.position
+        sim.run_for(1 * SECOND)
+        assert lift.position == frozen
+
+    def test_empty_slot_counts_no_response(self, sim):
+        bus = LinBus(sim)
+        master = LinMaster(sim, bus, [ScheduleEntry(0x10, slot_ms=10)])
+        master.start()
+        sim.run_for(100_000)
+        assert master.no_response_errors > 0
+
+    def test_dead_slave_goes_silent(self, sim):
+        bus, master, lift = self.make_rig(sim)
+        master.start()
+        sim.run_for(200_000)
+        healthy = bus.responses_delivered
+        lift.alive = False
+        sim.run_for(200_000)
+        assert master.no_response_errors > 0
+        assert bus.responses_delivered - healthy == 0
+
+    def test_corrupted_responses_dropped_by_checksum(self, sim):
+        bus, master, lift = self.make_rig(sim)
+        bus.corruptor = lambda frame_id, data: bytes(
+            (data[0] ^ 0xFF,)) + data[1:]
+        statuses = []
+        master.subscribe(WINDOW_STATUS_ID, statuses.append)
+        master.start()
+        sim.run_for(1 * SECOND)
+        assert statuses == []
+        assert bus.checksum_drops > 0
+
+    def test_empty_schedule_rejected(self, sim):
+        with pytest.raises(ValueError):
+            LinMaster(sim, LinBus(sim), [])
+
+
+class TestWindowLiftSafety:
+    def test_anti_pinch_trips_on_sustained_up_drive(self, sim):
+        """The [10] attack shape: a spoofed continuous 'up' command
+        stream against a closed window trips the safety monitor."""
+        bus = LinBus(sim)
+        master = LinMaster(sim, bus, [
+            ScheduleEntry(WINDOW_COMMAND_ID, slot_ms=10)])
+        lift = WindowLiftSlave(sim)
+        bus.attach(lift)
+        master.publish(WINDOW_COMMAND_ID, lambda: bytes((UP,)))
+        master.start()
+        sim.run_for(3 * SECOND)
+        assert lift.pinch_events >= 1
+        assert lift.position < 100.0   # the monitor backed it off
+
+    def test_normal_close_does_not_trip(self, sim):
+        bus = LinBus(sim)
+        master = LinMaster(sim, bus, [
+            ScheduleEntry(WINDOW_COMMAND_ID, slot_ms=10)])
+        lift = WindowLiftSlave(sim)
+        lift.position = 0.0
+        bus.attach(lift)
+        commands = [UP]
+        master.publish(WINDOW_COMMAND_ID,
+                       lambda: bytes((commands[0],)))
+        master.start()
+        sim.run_for(4 * SECOND)       # 100% travel takes 4 s
+        commands[0] = STOP
+        sim.run_for(200_000)
+        assert lift.position == 100.0
+        assert lift.pinch_events == 0

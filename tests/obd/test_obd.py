@@ -1,0 +1,116 @@
+"""Tests for the OBD-II substrate: PIDs, responder, scanner."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.obd.pids import Pid, PidError, decode_pid, encode_pid, \
+    supported_bitmask
+from repro.obd.scanner import ObdScanner
+from repro.vehicle import TargetCar
+
+
+class TestPidCodecs:
+    def test_rpm_roundtrip(self):
+        assert decode_pid(Pid.ENGINE_RPM,
+                          encode_pid(Pid.ENGINE_RPM, 850.0)) == 850.0
+
+    def test_coolant_offset(self):
+        assert encode_pid(Pid.COOLANT_TEMP, 90.0) == bytes((130,))
+        assert decode_pid(Pid.COOLANT_TEMP, bytes((130,))) == 90.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PidError):
+            encode_pid(Pid.VEHICLE_SPEED, 300.0)
+        with pytest.raises(PidError):
+            encode_pid(Pid.COOLANT_TEMP, -50.0)
+
+    def test_decode_short_data_rejected(self):
+        with pytest.raises(PidError):
+            decode_pid(Pid.ENGINE_RPM, b"\x01")
+
+    @given(rpm=st.integers(0, 16383))
+    def test_property_rpm_roundtrip_within_quantisation(self, rpm):
+        decoded = decode_pid(Pid.ENGINE_RPM,
+                             encode_pid(Pid.ENGINE_RPM, float(rpm)))
+        assert abs(decoded - rpm) <= 0.125
+
+    @given(percent=st.floats(0, 100, allow_nan=False))
+    def test_property_throttle_roundtrip_within_step(self, percent):
+        decoded = decode_pid(Pid.THROTTLE_POSITION,
+                             encode_pid(Pid.THROTTLE_POSITION, percent))
+        assert abs(decoded - percent) <= 100 / 255 / 2 + 1e-9
+
+    def test_supported_bitmask_bits(self):
+        mask = supported_bitmask([Pid.COOLANT_TEMP, Pid.ENGINE_RPM])
+        value = int.from_bytes(mask, "big")
+        assert value & (1 << (32 - 0x05))
+        assert value & (1 << (32 - 0x0C))
+        assert not value & (1 << (32 - 0x0D))
+
+
+@pytest.fixture
+def running_car():
+    car = TargetCar(seed=13)
+    car.ignition_on()
+    car.run_seconds(2.0)
+    return car
+
+
+class TestScannerAgainstCar:
+    def test_read_live_rpm(self, running_car):
+        scanner = ObdScanner(running_car.sim,
+                             running_car.powertrain_bus)
+        rpm = scanner.read_pid(Pid.ENGINE_RPM)
+        assert rpm == pytest.approx(running_car.dynamics.rpm, abs=30)
+
+    def test_read_vehicle_speed(self, running_car):
+        scanner = ObdScanner(running_car.sim, running_car.powertrain_bus)
+        assert scanner.read_pid(Pid.VEHICLE_SPEED) == 0.0  # idling
+
+    def test_supported_pid_discovery(self, running_car):
+        scanner = ObdScanner(running_car.sim, running_car.powertrain_bus)
+        supported = scanner.supported_pids()
+        assert {Pid.ENGINE_RPM, Pid.VEHICLE_SPEED,
+                Pid.COOLANT_TEMP} <= supported
+        # FUEL_LEVEL is PID 0x2F: outside the 0x01-0x20 capability
+        # window this bitmap describes.
+        assert Pid.FUEL_LEVEL not in supported
+
+    def test_fuel_level_still_readable(self, running_car):
+        scanner = ObdScanner(running_car.sim, running_car.powertrain_bus)
+        fuel = scanner.read_pid(Pid.FUEL_LEVEL)
+        assert fuel == pytest.approx(running_car.dynamics.fuel_level,
+                                     abs=0.5)
+
+    def test_unsupported_pid_times_out(self, running_car):
+        scanner = ObdScanner(running_car.sim, running_car.powertrain_bus)
+        # PID 0x0A (fuel pressure) is not implemented: silence.
+        response = scanner._query(bytes((0x01, 0x0A)))
+        assert response is None
+
+    def test_dtc_lifecycle(self, running_car):
+        responder = running_car.obd_responder
+        responder.store_dtc(0x0113)
+        responder.store_dtc(0x0113)   # deduplicated
+        responder.store_dtc(0x0455)
+        scanner = ObdScanner(running_car.sim, running_car.powertrain_bus)
+        count, codes = scanner.read_dtcs()
+        assert count == 2
+        assert codes == [0x0113, 0x0455]
+        assert scanner.clear_dtcs()
+        count, codes = scanner.read_dtcs()
+        assert count == 0 and codes == []
+
+    def test_silent_when_ignition_off(self):
+        car = TargetCar(seed=13)
+        scanner = ObdScanner(car.sim, car.powertrain_bus)
+        assert scanner.read_pid(Pid.ENGINE_RPM) is None
+
+    def test_malformed_requests_ignored(self, running_car):
+        """Garbage on the OBD ids must not raise or wedge the engine."""
+        adapter = running_car.obd_adapter("powertrain")
+        from repro.can.frame import CanFrame
+        for payload in (b"", b"\x00", b"\x0f\x01", b"\xff" * 8):
+            adapter.write(CanFrame(0x7DF, payload))
+        running_car.run_seconds(0.1)
+        assert running_car.engine.running

@@ -1,0 +1,82 @@
+"""Tests for the event queue: ordering, stability, cancellation."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.events import EventQueue
+
+
+def drain(queue: EventQueue) -> list:
+    events = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            return events
+        events.append(event)
+
+
+class TestOrdering:
+    def test_time_order(self):
+        queue = EventQueue()
+        queue.push(30, lambda: None, label="c")
+        queue.push(10, lambda: None, label="a")
+        queue.push(20, lambda: None, label="b")
+        assert [e.label for e in drain(queue)] == ["a", "b", "c"]
+
+    def test_priority_breaks_time_ties(self):
+        queue = EventQueue()
+        queue.push(10, lambda: None, priority=10, label="app")
+        queue.push(10, lambda: None, priority=0, label="bus")
+        assert [e.label for e in drain(queue)] == ["bus", "app"]
+
+    def test_insertion_order_breaks_full_ties(self):
+        queue = EventQueue()
+        for index in range(10):
+            queue.push(5, lambda: None, label=str(index))
+        assert [e.label for e in drain(queue)] == [str(i) for i in range(10)]
+
+    @given(st.lists(st.tuples(st.integers(0, 100), st.integers(0, 5)),
+                    min_size=1, max_size=60))
+    def test_pop_sequence_is_sorted(self, entries):
+        queue = EventQueue()
+        for time, priority in entries:
+            queue.push(time, lambda: None, priority=priority)
+        popped = [(e.time, e.priority, e.seq) for e in drain(queue)]
+        assert popped == sorted(popped)
+
+
+class TestCancellation:
+    def test_cancelled_event_not_popped(self):
+        queue = EventQueue()
+        keep = queue.push(10, lambda: None, label="keep")
+        drop = queue.push(5, lambda: None, label="drop")
+        queue.cancel(drop)
+        assert queue.pop() is keep
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.push(5, lambda: None)
+        queue.push(6, lambda: None)
+        queue.cancel(event)
+        queue.cancel(event)
+        assert len(queue) == 1
+
+    def test_len_counts_live_only(self):
+        queue = EventQueue()
+        events = [queue.push(i, lambda: None) for i in range(5)]
+        queue.cancel(events[2])
+        assert len(queue) == 4
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1, lambda: None)
+        queue.push(2, lambda: None)
+        queue.cancel(first)
+        assert queue.peek_time() == 2
+
+
+class TestEmpty:
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek_time() is None

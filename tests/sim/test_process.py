@@ -1,0 +1,123 @@
+"""Tests for periodic processes and one-shots."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError
+from repro.sim.process import OneShot, PeriodicProcess
+
+
+class TestPeriodicProcess:
+    def test_fires_every_period(self, sim):
+        times = []
+        process = PeriodicProcess(sim, 10, lambda: times.append(sim.now))
+        process.start()
+        sim.run_for(35)
+        assert times == [0, 10, 20, 30]
+
+    def test_phase_offsets_first_firing(self, sim):
+        times = []
+        process = PeriodicProcess(sim, 10, lambda: times.append(sim.now),
+                                  phase=3)
+        process.start()
+        sim.run_for(25)
+        assert times == [3, 13, 23]
+
+    def test_stop_halts_firing(self, sim):
+        times = []
+        process = PeriodicProcess(sim, 10, lambda: times.append(sim.now))
+        process.start()
+        sim.run_for(15)
+        process.stop()
+        sim.run_for(50)
+        assert times == [0, 10]
+
+    def test_restart_resumes(self, sim):
+        times = []
+        process = PeriodicProcess(sim, 10, lambda: times.append(sim.now))
+        process.start()
+        sim.run_for(5)
+        process.stop()
+        sim.run_for(100)
+        process.start()
+        sim.run_for(1)
+        assert times == [0, 105]
+
+    def test_start_is_idempotent(self, sim):
+        times = []
+        process = PeriodicProcess(sim, 10, lambda: times.append(sim.now))
+        process.start()
+        process.start()
+        sim.run_for(10)
+        assert times == [0, 10]
+
+    def test_fired_counter(self, sim):
+        process = PeriodicProcess(sim, 10, lambda: None)
+        process.start()
+        sim.run_for(100)
+        assert process.fired == 11
+
+    def test_running_property(self, sim):
+        process = PeriodicProcess(sim, 10, lambda: None)
+        assert not process.running
+        process.start()
+        assert process.running
+        process.stop()
+        assert not process.running
+
+    def test_zero_period_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            PeriodicProcess(sim, 0, lambda: None)
+
+    def test_negative_phase_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            PeriodicProcess(sim, 10, lambda: None, phase=-1)
+
+    def test_action_exception_propagates(self, sim):
+        def boom():
+            raise RuntimeError("task failed")
+
+        process = PeriodicProcess(sim, 10, boom)
+        process.start()
+        with pytest.raises(RuntimeError):
+            sim.run_for(10)
+
+
+class TestOneShot:
+    def test_fires_once(self, sim):
+        fired = []
+        shot = OneShot(sim)
+        shot.arm(10, lambda: fired.append(sim.now))
+        sim.run_for(100)
+        assert fired == [10]
+
+    def test_rearm_replaces_pending(self, sim):
+        fired = []
+        shot = OneShot(sim)
+        shot.arm(10, lambda: fired.append("first"))
+        shot.arm(20, lambda: fired.append("second"))
+        sim.run_for(100)
+        assert fired == ["second"]
+
+    def test_disarm_cancels(self, sim):
+        fired = []
+        shot = OneShot(sim)
+        shot.arm(10, lambda: fired.append(1))
+        shot.disarm()
+        sim.run_for(100)
+        assert fired == []
+
+    def test_pending_flag(self, sim):
+        shot = OneShot(sim)
+        assert not shot.pending
+        shot.arm(10, lambda: None)
+        assert shot.pending
+        sim.run_for(10)
+        assert not shot.pending
+
+    def test_disarm_is_idempotent(self, sim):
+        shot = OneShot(sim)
+        shot.disarm()
+        shot.arm(5, lambda: None)
+        shot.disarm()
+        shot.disarm()
+        assert not shot.pending

@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSurvey:
+    def test_prints_chart(self, capsys):
+        assert main(["survey"]) == 0
+        out = capsys.readouterr().out
+        assert "Fuzz testing" in out
+
+
+class TestCapture:
+    def test_paper_format(self, capsys):
+        assert main(["capture", "--seconds", "1", "--head", "5"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("Time (ms)")
+
+    def test_candump_format(self, capsys):
+        assert main(["capture", "--seconds", "1",
+                     "--format", "candump"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out and "powertrain" in out
+
+    def test_csv_format(self, capsys):
+        assert main(["capture", "--seconds", "1", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("time_ms,")
+
+    def test_body_bus(self, capsys):
+        assert main(["capture", "--seconds", "1", "--bus", "body",
+                     "--format", "candump"]) == 0
+        assert "body" in capsys.readouterr().out
+
+
+class TestByteStats:
+    def test_uniform_output(self, capsys):
+        assert main(["byte-stats", "--frames", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "overall mean: 127" in out
+
+
+class TestCoverage:
+    def test_paper_numbers(self, capsys):
+        assert main(["coverage"]) == 0
+        out = capsys.readouterr().out
+        assert "524,288" in out
+        assert "8.7 minutes" in out
+
+    def test_two_bytes_in_days(self, capsys):
+        assert main(["coverage", "--payload-bytes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "days" in out
+
+
+class TestFuzzBench:
+    def test_unlocks_with_known_seed(self, capsys):
+        assert main(["fuzz-bench", "--seed", "19"]) == 0
+        out = capsys.readouterr().out
+        assert "unlocked" in out
+
+    def test_budget_exhaustion_returns_nonzero(self, capsys):
+        # 2 simulated seconds is far too little to unlock blind.
+        assert main(["fuzz-bench", "--seed", "1",
+                     "--max-seconds", "2"]) == 1
+
+
+class TestTable5:
+    def test_single_trial_row(self, capsys):
+        assert main(["table5", "--trials", "1", "--seed", "42"]) == 0
+        out = capsys.readouterr().out
+        assert "mean:" in out
+
+
+class TestObdScan:
+    def test_scan_lists_pids(self, capsys):
+        assert main(["obd-scan"]) == 0
+        out = capsys.readouterr().out
+        assert "ENGINE_RPM" in out
+        assert "stored DTCs: 0" in out
+
+
+class TestParser:
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

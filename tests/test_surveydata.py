@@ -1,0 +1,38 @@
+"""Tests for the Fig 1 survey data."""
+
+from repro.surveydata.altinger import (
+    TESTING_METHODS_SURVEY,
+    fuzzing_rank,
+    render_bar_chart,
+    survey_table,
+)
+
+
+class TestSurveyData:
+    def test_fuzzing_is_least_used(self):
+        """The paper's Fig 1 claim: 'its use in general testing of
+        automotive systems is low' -- fuzzing ranks last."""
+        assert fuzzing_rank() == len(TESTING_METHODS_SURVEY)
+
+    def test_table_sorted_descending(self):
+        values = [usage for _, usage in survey_table()]
+        assert values == sorted(values, reverse=True)
+
+    def test_functional_methods_dominate(self):
+        functional = [e.usage_percent for e in TESTING_METHODS_SURVEY
+                      if e.category == "functional"]
+        security = [e.usage_percent for e in TESTING_METHODS_SURVEY
+                    if e.category == "security"]
+        assert max(functional) > 4 * max(security)
+
+    def test_percentages_valid(self):
+        for entry in TESTING_METHODS_SURVEY:
+            assert 0.0 <= entry.usage_percent <= 100.0
+
+    def test_unit_testing_tops_the_chart(self):
+        assert survey_table()[0][0] == "Unit testing"
+
+    def test_bar_chart_renders_every_method(self):
+        chart = render_bar_chart()
+        for entry in TESTING_METHODS_SURVEY:
+            assert entry.method in chart

@@ -1,0 +1,106 @@
+"""Tests for the bench-top unlock testbench."""
+
+import pytest
+
+from repro.can.frame import CanFrame
+from repro.testbench.bcm import COMMAND_SPEC_DLC, UNLOCK_ACK_ID
+from repro.testbench.bench import UnlockTestbench
+from repro.vehicle.database import (
+    BODY_COMMAND_ID,
+    COMMAND_CHANNEL,
+    LOCK_COMMAND,
+    UNLOCK_COMMAND,
+)
+
+
+@pytest.fixture
+def bench():
+    rig = UnlockTestbench(seed=0)
+    rig.power_on()
+    return rig
+
+
+class TestNormalOperation:
+    def test_starts_locked_led_off(self, bench):
+        assert bench.bcm.locked
+        assert not bench.bcm.led_on
+
+    def test_app_unlock_turns_led_on(self, bench):
+        """Fig 12's normal path: app -> head unit -> CAN -> BCM -> LED."""
+        assert bench.app.press_unlock()
+        bench.run_seconds(0.1)
+        assert bench.bcm.led_on
+        assert bench.bcm.unlock_count == 1
+
+    def test_app_lock_turns_led_off(self, bench):
+        bench.app.press_unlock()
+        bench.run_seconds(0.1)
+        bench.app.press_lock()
+        bench.run_seconds(0.1)
+        assert not bench.bcm.led_on
+        assert bench.bcm.lock_count == 1
+
+    def test_unlock_emits_ack_message(self, bench):
+        """The paper's augmentation: an unlock acknowledgement frame."""
+        bench.app.press_unlock()
+        bench.run_seconds(0.1)
+        acks = [s for s in bench.monitor.stamped
+                if s.frame.can_id == UNLOCK_ACK_ID]
+        assert len(acks) == 1
+        assert acks[0].frame.data[0] == 0x01
+
+    def test_monitor_sees_background_traffic(self, bench):
+        bench.run_seconds(1.0)
+        assert len(bench.monitor) > 5
+
+
+class TestCheckModes:
+    def command(self, code, length=COMMAND_SPEC_DLC):
+        payload = bytes((code, COMMAND_CHANNEL)) + bytes(length - 2)
+        return CanFrame(BODY_COMMAND_ID, payload[:length])
+
+    def send_from_attacker(self, bench, frame):
+        adapter = bench.attacker_adapter()
+        adapter.write(frame)
+        bench.run_seconds(0.05)
+
+    def test_byte_mode_accepts_any_length(self):
+        bench = UnlockTestbench(seed=0, check_mode="byte")
+        bench.power_on()
+        self.send_from_attacker(
+            bench, CanFrame(BODY_COMMAND_ID, bytes((UNLOCK_COMMAND,))))
+        assert bench.bcm.led_on
+
+    def test_byte_dlc_mode_requires_spec_length(self):
+        bench = UnlockTestbench(seed=0, check_mode="byte+dlc")
+        bench.power_on()
+        self.send_from_attacker(
+            bench, CanFrame(BODY_COMMAND_ID, bytes((UNLOCK_COMMAND,))))
+        assert not bench.bcm.led_on
+        self.send_from_attacker(bench, self.command(UNLOCK_COMMAND))
+        assert bench.bcm.led_on
+
+    def test_two_byte_mode_requires_channel_byte(self):
+        bench = UnlockTestbench(seed=0, check_mode="two-byte")
+        bench.power_on()
+        self.send_from_attacker(
+            bench, CanFrame(BODY_COMMAND_ID,
+                            bytes((UNLOCK_COMMAND, 0x00))))
+        assert not bench.bcm.led_on
+        self.send_from_attacker(
+            bench, CanFrame(BODY_COMMAND_ID,
+                            bytes((UNLOCK_COMMAND, COMMAND_CHANNEL))))
+        assert bench.bcm.led_on
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            UnlockTestbench(check_mode="psychic")
+
+    def test_lock_works_in_every_mode(self):
+        for mode in ("byte", "byte+dlc", "two-byte"):
+            bench = UnlockTestbench(seed=0, check_mode=mode)
+            bench.power_on()
+            self.send_from_attacker(bench, self.command(UNLOCK_COMMAND))
+            assert bench.bcm.led_on, mode
+            self.send_from_attacker(bench, self.command(LOCK_COMMAND))
+            assert not bench.bcm.led_on, mode

@@ -1,0 +1,159 @@
+"""Tests for the ISO-TP transport."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.can.bus import CanBus
+from repro.can.frame import CanFrame
+from repro.can.node import CanController
+from repro.sim.clock import MS, SECOND
+from repro.sim.kernel import Simulator
+from repro.uds.isotp import IsoTpEndpoint, IsoTpError, MAX_PAYLOAD
+
+
+def make_channel(sim, bus, *, block_size=0):
+    """A linked pair of endpoints over a real bus."""
+    left_node = CanController("left")
+    left_node.attach(bus)
+    right_node = CanController("right")
+    right_node.attach(bus)
+    left = IsoTpEndpoint(sim, lambda f: (left_node.send(f) or True),
+                         tx_id=0x7E0, rx_id=0x7E8, block_size=block_size)
+    right = IsoTpEndpoint(sim, lambda f: (right_node.send(f) or True),
+                          tx_id=0x7E8, rx_id=0x7E0, block_size=block_size)
+    left_node.set_rx_handler(left.handle_frame)
+    right_node.set_rx_handler(right.handle_frame)
+    return left, right
+
+
+class TestSingleFrame:
+    def test_short_payload_single_frame(self, sim, bus):
+        left, right = make_channel(sim, bus)
+        got = []
+        right.on_message(got.append)
+        left.send(b"\x3e\x00")
+        sim.run_for(10 * MS)
+        assert got == [b"\x3e\x00"]
+
+    def test_seven_bytes_still_single(self, sim, bus):
+        left, right = make_channel(sim, bus)
+        got = []
+        right.on_message(got.append)
+        left.send(bytes(range(7)))
+        sim.run_for(10 * MS)
+        assert got == [bytes(range(7))]
+
+
+class TestMultiFrame:
+    def test_eight_bytes_segments(self, sim, bus):
+        left, right = make_channel(sim, bus)
+        got = []
+        right.on_message(got.append)
+        left.send(bytes(range(8)))
+        sim.run_for(100 * MS)
+        assert got == [bytes(range(8))]
+
+    def test_long_payload(self, sim, bus):
+        left, right = make_channel(sim, bus)
+        got = []
+        right.on_message(got.append)
+        payload = bytes(i % 256 for i in range(300))
+        left.send(payload)
+        sim.run_for(2 * SECOND)
+        assert got == [payload]
+
+    def test_block_size_flow_control(self, sim, bus):
+        left, right = make_channel(sim, bus, block_size=4)
+        got = []
+        right.on_message(got.append)
+        payload = bytes(i % 256 for i in range(100))
+        left.send(payload)
+        sim.run_for(2 * SECOND)
+        assert got == [payload]
+
+    def test_completion_callback(self, sim, bus):
+        left, right = make_channel(sim, bus)
+        done = []
+        left.send(bytes(50), on_complete=lambda: done.append(sim.now))
+        sim.run_for(1 * SECOND)
+        assert len(done) == 1
+
+    def test_concurrent_send_rejected(self, sim, bus):
+        left, _ = make_channel(sim, bus)
+        left.send(bytes(50))
+        with pytest.raises(IsoTpError):
+            left.send(bytes(50))
+
+    def test_oversize_payload_rejected(self, sim, bus):
+        left, _ = make_channel(sim, bus)
+        with pytest.raises(IsoTpError):
+            left.send(bytes(MAX_PAYLOAD + 1))
+
+    @settings(max_examples=25, deadline=None)
+    @given(payload=st.binary(min_size=1, max_size=400))
+    def test_property_any_payload_roundtrips(self, payload):
+        sim = Simulator()
+        bus = CanBus(sim, name="p")
+        left, right = make_channel(sim, bus)
+        got = []
+        right.on_message(got.append)
+        left.send(payload)
+        sim.run_for(3 * SECOND)
+        assert got == [payload]
+
+
+class TestErrorPaths:
+    def test_missing_flow_control_times_out(self, sim, bus):
+        left_node = CanController("lonely")
+        left_node.attach(bus)
+        left = IsoTpEndpoint(sim, lambda f: (left_node.send(f) or True),
+                             tx_id=0x7E0, rx_id=0x7E8)
+        errors = []
+        left.on_error(errors.append)
+        left.send(bytes(50))  # nobody answers the FF
+        sim.run_for(2 * SECOND)
+        assert errors and "timeout" in errors[0]
+
+    def test_sequence_error_detected(self, sim, bus):
+        left, right = make_channel(sim, bus)
+        errors = []
+        right.on_error(errors.append)
+        attacker = CanController("attacker")
+        attacker.attach(bus)
+        # Hand-craft a FF then a CF with the wrong sequence number.
+        attacker.send(CanFrame(0x7E0, bytes((0x10, 20)) + bytes(6)))
+        sim.run_for(10 * MS)
+        attacker.send(CanFrame(0x7E0, bytes((0x25,)) + bytes(7)))
+        sim.run_for(10 * MS)
+        assert errors and "sequence" in errors[0]
+
+    def test_single_frame_bad_length_field(self, sim, bus):
+        left, right = make_channel(sim, bus)
+        errors = []
+        right.on_error(errors.append)
+        attacker = CanController("attacker")
+        attacker.attach(bus)
+        attacker.send(CanFrame(0x7E0, bytes((0x07, 0x01))))  # claims 7, has 1
+        sim.run_for(10 * MS)
+        assert errors
+
+    def test_unknown_pci_ignored(self, sim, bus):
+        left, right = make_channel(sim, bus)
+        got, errors = [], []
+        right.on_message(got.append)
+        right.on_error(errors.append)
+        attacker = CanController("attacker")
+        attacker.attach(bus)
+        attacker.send(CanFrame(0x7E0, bytes((0xF0, 0x01))))
+        sim.run_for(10 * MS)
+        assert got == [] and errors == []
+
+    def test_stray_consecutive_frame_ignored(self, sim, bus):
+        left, right = make_channel(sim, bus)
+        errors = []
+        right.on_error(errors.append)
+        attacker = CanController("attacker")
+        attacker.attach(bus)
+        attacker.send(CanFrame(0x7E0, bytes((0x21,)) + bytes(7)))
+        sim.run_for(10 * MS)
+        assert errors == []

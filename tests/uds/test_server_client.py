@@ -1,0 +1,175 @@
+"""Tests for the UDS server and client over the simulated bus."""
+
+import pytest
+
+from repro.ecu.base import Ecu, EcuState
+from repro.ecu.modes import OperatingMode
+from repro.sim.clock import MS
+from repro.uds.client import UdsClient
+from repro.uds.server import (
+    BOOTLOADER_SCRATCH_DID,
+    SCRATCH_BUFFER_SIZE,
+    UdsServer,
+)
+from repro.uds.services import (
+    NegativeResponse,
+    is_negative,
+    negative_response,
+    parse_negative,
+    positive_response,
+)
+
+
+@pytest.fixture
+def rig(sim, bus):
+    ecu = Ecu(sim, bus, "diag-target", boot_time=10 * MS)
+    server = UdsServer(ecu)
+    ecu.power_on()
+    sim.run_for(50 * MS)
+    client = UdsClient(sim, bus)
+    return ecu, server, client
+
+
+class TestServiceHelpers:
+    def test_positive_response_offset(self):
+        assert positive_response(0x10, b"\x01") == b"\x50\x01"
+
+    def test_negative_response_layout(self):
+        message = negative_response(
+            0x22, NegativeResponse.REQUEST_OUT_OF_RANGE)
+        assert message == b"\x7f\x22\x31"
+        assert is_negative(message)
+        assert parse_negative(message) == (0x22, 0x31)
+
+    def test_parse_negative_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_negative(b"\x50\x01")
+
+
+class TestBasicServices:
+    def test_tester_present(self, rig):
+        _, _, client = rig
+        response = client.tester_present()
+        assert response.positive
+        assert response.message == b"\x7e\x00"
+
+    def test_read_known_did(self, rig):
+        _, _, client = rig
+        response = client.read_did(0xF190)
+        assert response.positive
+        assert b"REPRO-VIN" in response.message
+
+    def test_read_unknown_did(self, rig):
+        _, _, client = rig
+        response = client.read_did(0x0001)
+        assert response.nrc == NegativeResponse.REQUEST_OUT_OF_RANGE
+
+    def test_unsupported_service(self, rig):
+        _, _, client = rig
+        response = client.request(b"\x99\x01")
+        assert response.nrc == NegativeResponse.SERVICE_NOT_SUPPORTED
+
+    def test_wrong_length_request(self, rig):
+        _, _, client = rig
+        response = client.request(b"\x22\xf1")  # DID truncated
+        assert response.nrc == NegativeResponse.INCORRECT_MESSAGE_LENGTH
+
+
+class TestSessions:
+    def test_extended_session(self, rig):
+        ecu, _, client = rig
+        response = client.change_session(0x03)
+        assert response.positive
+        assert ecu.modes.mode is OperatingMode.DIAGNOSTIC
+
+    def test_programming_without_security_refused(self, rig):
+        ecu, _, client = rig
+        client.change_session(0x03)
+        response = client.change_session(0x02)
+        assert response.nrc == NegativeResponse.CONDITIONS_NOT_CORRECT
+
+    def test_unknown_session_subfunction(self, rig):
+        _, _, client = rig
+        response = client.change_session(0x7F)
+        assert response.nrc == NegativeResponse.SUB_FUNCTION_NOT_SUPPORTED
+
+
+class TestSecurityAccess:
+    def test_security_requires_diagnostic_session(self, rig):
+        _, _, client = rig
+        response = client.request(b"\x27\x01")
+        assert response.nrc == NegativeResponse.CONDITIONS_NOT_CORRECT
+
+    def test_seed_key_unlock(self, rig):
+        ecu, _, client = rig
+        client.change_session(0x03)
+        assert client.security_unlock()
+        assert ecu.modes.security_unlocked
+
+    def test_wrong_key_rejected(self, rig):
+        _, _, client = rig
+        client.change_session(0x03)
+        seed_resp = client.request(b"\x27\x01")
+        assert seed_resp.positive
+        response = client.request(b"\x27\x02\x00")
+        assert response.nrc == NegativeResponse.INVALID_KEY
+
+    def test_attempt_limit(self, rig):
+        _, _, client = rig
+        client.change_session(0x03)
+        for _ in range(3):
+            client.request(b"\x27\x01")
+            client.request(b"\x27\x02\x00")
+        response = client.request(b"\x27\x01")
+        assert response.nrc == NegativeResponse.EXCEEDED_NUMBER_OF_ATTEMPTS
+
+    def test_key_without_seed_is_sequence_error(self, rig):
+        _, _, client = rig
+        client.change_session(0x03)
+        response = client.request(b"\x27\x02\x42")
+        assert response.nrc == NegativeResponse.REQUEST_SEQUENCE_ERROR
+
+
+class TestProgrammingAndDefect:
+    def unlock_programming(self, client):
+        client.change_session(0x03)
+        assert client.security_unlock()
+        assert client.change_session(0x02).positive
+
+    def test_scratch_write_within_bounds(self, rig):
+        _, server, client = rig
+        self.unlock_programming(client)
+        response = client.write_did(BOOTLOADER_SCRATCH_DID,
+                                    bytes(SCRATCH_BUFFER_SIZE))
+        assert response.positive
+        assert server.data_identifiers[BOOTLOADER_SCRATCH_DID] == \
+            bytes(SCRATCH_BUFFER_SIZE)
+
+    def test_scratch_write_locked_refused(self, rig):
+        _, _, client = rig
+        response = client.write_did(BOOTLOADER_SCRATCH_DID, b"\x01")
+        assert response.nrc == NegativeResponse.SECURITY_ACCESS_DENIED
+
+    def test_overflow_crashes_ecu(self, rig):
+        """The seeded defect: an oversized record kills the server."""
+        ecu, _, client = rig
+        self.unlock_programming(client)
+        response = client.write_did(BOOTLOADER_SCRATCH_DID,
+                                    bytes(SCRATCH_BUFFER_SIZE + 1))
+        assert response.timed_out          # crash: no answer comes back
+        assert ecu.state is EcuState.CRASHED
+
+    def test_ecu_reset_service(self, rig):
+        ecu, _, client = rig
+        response = client.request(b"\x11\x01")
+        assert response.positive
+        ecu.sim.run_for(100 * MS)
+        assert ecu.power_cycles == 1
+        assert ecu.state is EcuState.RUNNING
+
+
+class TestTimeouts:
+    def test_silent_target_times_out(self, sim, bus):
+        client = UdsClient(sim, bus, timeout=50 * MS)
+        response = client.tester_present()  # no server on the bus
+        assert response.timed_out

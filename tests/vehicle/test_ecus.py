@@ -1,0 +1,221 @@
+"""Tests for the vehicle's transmitting ECUs (engine, ABS, BCM, head unit)."""
+
+import pytest
+
+from repro.analysis.capture import BusCapture
+from repro.can.bus import CanBus
+from repro.can.frame import CanFrame
+from repro.can.node import CanController
+from repro.ecu.base import EcuState
+from repro.sim.clock import MS, SECOND
+from repro.vehicle.body import BodyControlModule
+from repro.vehicle.database import (
+    BODY_COMMAND_ID,
+    BODY_STATUS_ID,
+    ENGINE_STATUS_ID,
+    LOCK_COMMAND,
+    LOCK_STATUS_ID,
+    UNLOCK_COMMAND,
+    VEHICLE_SPEED_ID,
+    WHEEL_SPEEDS_ID,
+    target_vehicle_database,
+)
+from repro.vehicle.dynamics import VehicleDynamics
+from repro.vehicle.infotainment import HeadUnit
+from repro.vehicle.powertrain import AbsEcu, EngineEcu, TransmissionEcu
+
+
+@pytest.fixture
+def db():
+    return target_vehicle_database()
+
+
+@pytest.fixture
+def dynamics(sim):
+    return VehicleDynamics(sim)
+
+
+@pytest.fixture
+def tester(bus):
+    node = CanController("tester")
+    node.attach(bus)
+    return node
+
+
+class TestEngineEcu:
+    def test_cyclic_engine_status(self, sim, bus, dynamics, db):
+        capture = BusCapture(bus)
+        engine = EngineEcu(sim, bus, dynamics, db)
+        dynamics.start_engine()
+        engine.power_on()
+        sim.run_for(1 * SECOND)
+        status_frames = [s for s in capture.stamped
+                         if s.frame.can_id == ENGINE_STATUS_ID]
+        # 10 ms cycle: ~95 frames in the ~950 ms after boot.
+        assert 80 <= len(status_frames) <= 100
+
+    def test_encoded_rpm_matches_model(self, sim, bus, dynamics, db):
+        capture = BusCapture(bus)
+        engine = EngineEcu(sim, bus, dynamics, db)
+        dynamics.start_engine()
+        engine.power_on()
+        sim.run_for(2 * SECOND)
+        last = [s for s in capture.stamped
+                if s.frame.can_id == ENGINE_STATUS_ID][-1]
+        decoded = db.decode_payload(ENGINE_STATUS_ID, last.frame.data)
+        assert decoded["EngineSpeed"] == pytest.approx(dynamics.rpm, abs=10)
+        assert decoded["EngineRunning"] == 1.0
+
+    def test_zero_dlc_spoof_resets_engine(self, sim, bus, dynamics, db,
+                                          tester):
+        engine = EngineEcu(sim, bus, dynamics, db)
+        dynamics.start_engine()
+        engine.power_on()
+        sim.run_for(100 * MS)
+        tester.send(CanFrame(ENGINE_STATUS_ID, b""))
+        sim.run_for(10 * MS)
+        assert engine.power_cycles == 1
+
+
+class TestAbsEcu:
+    def test_speed_and_wheels_transmitted(self, sim, bus, dynamics, db):
+        capture = BusCapture(bus)
+        abs_ecu = AbsEcu(sim, bus, dynamics, db)
+        dynamics.start_engine()
+        abs_ecu.power_on()
+        sim.run_for(500 * MS)
+        ids = {s.frame.can_id for s in capture.stamped}
+        assert VEHICLE_SPEED_ID in ids
+        assert WHEEL_SPEEDS_ID in ids
+
+
+class TestTransmissionEcu:
+    def test_short_wheel_speed_frame_crashes_it(self, sim, bus, dynamics,
+                                                db, tester):
+        trans = TransmissionEcu(sim, bus, dynamics, db)
+        dynamics.start_engine()
+        trans.power_on()
+        sim.run_for(100 * MS)
+        tester.send(CanFrame(WHEEL_SPEEDS_ID, b"\x01\x02"))
+        sim.run_for(10 * MS)
+        assert trans.state is EcuState.CRASHED
+
+    def test_watchdog_brings_transmission_back(self, sim, bus, dynamics,
+                                               db, tester):
+        trans = TransmissionEcu(sim, bus, dynamics, db)
+        dynamics.start_engine()
+        trans.power_on()
+        sim.run_for(100 * MS)
+        tester.send(CanFrame(WHEEL_SPEEDS_ID, b"\x01\x02"))
+        sim.run_for(1 * SECOND)
+        assert trans.state is EcuState.RUNNING
+        assert trans.watchdog_resets == 1
+
+
+class TestBodyControlModule:
+    @pytest.fixture
+    def bcm(self, sim, bus, dynamics, db):
+        module = BodyControlModule(sim, bus, dynamics, db)
+        module.power_on()
+        sim.run_for(100 * MS)
+        return module
+
+    def test_starts_locked(self, bcm):
+        assert bcm.locked
+
+    def test_unlock_command(self, sim, bcm, tester, db):
+        payload = db.by_name("BODY_COMMAND").encode({
+            "CommandCode": float(UNLOCK_COMMAND)})
+        tester.send(CanFrame(BODY_COMMAND_ID, payload))
+        sim.run_for(10 * MS)
+        assert not bcm.locked
+        assert bcm.unlock_events == 1
+
+    def test_lock_command(self, sim, bcm, tester, db):
+        payload = db.by_name("BODY_COMMAND").encode({
+            "CommandCode": float(UNLOCK_COMMAND)})
+        tester.send(CanFrame(BODY_COMMAND_ID, payload))
+        payload = db.by_name("BODY_COMMAND").encode({
+            "CommandCode": float(LOCK_COMMAND)})
+        tester.send(CanFrame(BODY_COMMAND_ID, payload))
+        sim.run_for(10 * MS)
+        assert bcm.locked
+        assert bcm.lock_events == 1
+
+    def test_other_codes_ignored(self, sim, bcm, tester):
+        tester.send(CanFrame(BODY_COMMAND_ID, b"\x99" + bytes(6)))
+        sim.run_for(10 * MS)
+        assert bcm.locked
+        assert bcm.unlock_events == 0
+
+    def test_empty_command_ignored(self, sim, bcm, tester):
+        tester.send(CanFrame(BODY_COMMAND_ID, b""))
+        sim.run_for(10 * MS)
+        assert bcm.locked
+
+    def test_unlock_emits_immediate_ack(self, sim, bus, bcm, tester, db):
+        capture = BusCapture(bus)
+        tester.send(CanFrame(BODY_COMMAND_ID,
+                             bytes((UNLOCK_COMMAND,)) + bytes(6)))
+        sim.run_for(10 * MS)
+        acks = [s for s in capture.stamped
+                if s.frame.can_id == LOCK_STATUS_ID]
+        assert len(acks) == 1
+        decoded = db.decode_payload(LOCK_STATUS_ID, acks[0].frame.data)
+        assert decoded["LockState"] == 0.0  # unlocked
+
+    def test_exact_dlc_variant_rejects_short_command(self, sim, bus,
+                                                     dynamics, db, tester):
+        strict = BodyControlModule(sim, bus, dynamics, db,
+                                   require_exact_dlc=True)
+        strict.power_on()
+        sim.run_for(100 * MS)
+        tester.send(CanFrame(BODY_COMMAND_ID, bytes((UNLOCK_COMMAND,))))
+        sim.run_for(10 * MS)
+        assert strict.locked
+        tester.send(CanFrame(BODY_COMMAND_ID,
+                             bytes((UNLOCK_COMMAND,)) + bytes(6)))
+        sim.run_for(10 * MS)
+        assert not strict.locked
+
+    def test_body_status_reflects_lock_state(self, sim, bus, bcm, tester,
+                                             db):
+        capture = BusCapture(bus)
+        tester.send(CanFrame(BODY_COMMAND_ID,
+                             bytes((UNLOCK_COMMAND,)) + bytes(6)))
+        sim.run_for(200 * MS)
+        status = [s for s in capture.stamped
+                  if s.frame.can_id == BODY_STATUS_ID][-1]
+        decoded = db.decode_payload(BODY_STATUS_ID, status.frame.data)
+        assert decoded["DoorsLocked"] == 0.0
+
+
+class TestHeadUnit:
+    def test_request_unlock_transmits_command(self, sim, bus, db):
+        capture = BusCapture(bus)
+        head = HeadUnit(sim, bus, db)
+        head.power_on()
+        sim.run_for(100 * MS)
+        assert head.request_unlock()
+        sim.run_for(10 * MS)
+        commands = [s for s in capture.stamped
+                    if s.frame.can_id == BODY_COMMAND_ID]
+        assert len(commands) == 1
+        assert commands[0].frame.data[0] == UNLOCK_COMMAND
+        assert commands[0].frame.dlc == 7  # Fig 13 spec length
+
+    def test_command_counter_increments(self, sim, bus, db):
+        capture = BusCapture(bus)
+        head = HeadUnit(sim, bus, db)
+        head.power_on()
+        sim.run_for(100 * MS)
+        head.request_unlock()
+        head.request_lock()
+        sim.run_for(10 * MS)
+        counters = [s.frame.data[2] for s in capture.stamped
+                    if s.frame.can_id == BODY_COMMAND_ID]
+        assert counters == [1, 2]
+
+    def test_request_while_off_fails(self, sim, bus, db):
+        head = HeadUnit(sim, bus, db)
+        assert head.request_unlock() is False
