@@ -1,0 +1,530 @@
+"""Campaign throughput benchmark: optimised hot path vs the seed code.
+
+Runs the same 100k-frame random fuzz campaign against the
+:class:`UnlockTestbench` twice -- once with the current (optimised)
+implementations and once with the pre-optimisation *seed*
+implementations monkeypatched back onto the live classes -- and
+reports wall-clock frames per second and simulated seconds per wall
+second for both, plus the speedup ratio.
+
+The baseline is taken from the repository's initial commit: the
+functions in :class:`seed_implementations` are verbatim copies of the
+seed ``bus.py`` / ``node.py`` / ``kernel.py`` / ``timing.py`` /
+``bitstuff.py`` / ``generator.py`` / ``campaign.py`` / ``ecu/base.py``
+hot paths, adapted only where an attribute was renamed.  Running both
+modes back-to-back in one process keeps the comparison honest on a
+loaded machine: both see the same interpreter state and system load.
+
+The analysis side of the acceptance criteria is checked too: the
+vectorised ``byte_position_means`` / ``chi_square_byte_uniformity``
+must be bit-identical to their reference (pre-vectorisation)
+implementations on the campaign's own frame stream.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py \
+        --frames 100000 --repeats 3 --output BENCH_throughput.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.can.adapter import AdapterStatus
+from repro.can.bitstuff import (_CRC_TABLE, _STUFF_TABLE, _classic_header,
+                                FRAME_TAIL_BITS, INTERFRAME_BITS,
+                                fd_frame_bit_length)
+from repro.can.bus import CanBus
+from repro.can.crc import CRC15_MASK, CRC15_POLY
+from repro.can.errors import ErrorFrameRecord
+from repro.can.frame import CanFrame, TimestampedFrame, fd_round_size
+from repro.can.identifiers import accepts, arbitration_key
+from repro.can.node import CanController
+from repro.can.timing import BitTiming
+from repro.ecu.base import Ecu, EcuState
+from repro.ecu.faults import FaultEffect
+from repro.fuzz.campaign import CampaignLimits, FuzzCampaign
+from repro.fuzz.config import FuzzConfig
+from repro.fuzz.generator import RandomFrameGenerator
+from repro.fuzz.stats import (byte_position_means,
+                              byte_position_means_reference,
+                              chi_square_byte_uniformity,
+                              chi_square_byte_uniformity_reference)
+from repro.sim.clock import SECOND
+from repro.sim.kernel import Simulator
+from repro.testbench.bench import UnlockTestbench
+
+CAMPAIGN_SEED = 20180625  # arbitrary but fixed: both modes draw the
+                          # same frame stream from the same seed
+
+
+# ----------------------------------------------------------------------
+# Seed (pre-optimisation) implementations, verbatim from the initial
+# commit, for the baseline half of the before/after measurement.
+# ----------------------------------------------------------------------
+def _seed_crc15_over(value: int, width: int) -> int:
+    lead = width % 8
+    register = 0
+    for shift in range(width - 1, width - 1 - lead, -1):
+        bit = (value >> shift) & 1
+        msb = (register >> 14) & 1
+        register = (register << 1) & CRC15_MASK
+        if bit ^ msb:
+            register ^= CRC15_POLY
+    remaining = width - lead
+    while remaining:
+        remaining -= 8
+        byte = (value >> remaining) & 0xFF
+        register = (((register << 8) & CRC15_MASK)
+                    ^ _CRC_TABLE[((register >> 7) ^ byte) & 0xFF])
+    return register
+
+
+def _seed_stuff_count_over(value: int, width: int) -> int:
+    lead = width % 8
+    run_value, run_length = 2, 0
+    stuffed = 0
+    for shift in range(width - 1, width - 1 - lead, -1):
+        bit = (value >> shift) & 1
+        if bit == run_value:
+            run_length += 1
+        else:
+            run_value, run_length = bit, 1
+        if run_length == 5:
+            stuffed += 1
+            run_value, run_length = 1 - run_value, 1
+    state = run_value * 5 + run_length
+    remaining = width - lead
+    table = _STUFF_TABLE
+    while remaining:
+        remaining -= 8
+        byte = (value >> remaining) & 0xFF
+        added, state = table[state * 256 + byte]
+        stuffed += added
+    return stuffed
+
+
+def _seed_frame_bit_length(frame, *, include_ifs=True):
+    if frame.fd:
+        raise ValueError(
+            "FD frames split into two bit-rate phases; "
+            "use fd_frame_bit_length()")
+    value, width = _classic_header(frame)
+    if not frame.remote:
+        for byte in frame.data:
+            value = (value << 8) | byte
+            width += 8
+    crc = _seed_crc15_over(value, width)
+    value = (value << 15) | crc
+    width += 15
+    length = width + _seed_stuff_count_over(value, width) + FRAME_TAIL_BITS
+    if include_ifs:
+        length += INTERFRAME_BITS
+    return length
+
+
+def _seed_frame_duration(self, frame, *, include_ifs=True):
+    if frame.fd:
+        arb_bits, data_bits = fd_frame_bit_length(
+            frame, include_ifs=include_ifs)
+        return (self.bits_to_ticks(arb_bits)
+                + self.bits_to_ticks(data_bits, data_phase=True))
+    return self.bits_to_ticks(
+        _seed_frame_bit_length(frame, include_ifs=include_ifs))
+
+
+def _seed_request_arbitration(self):
+    if self._busy:
+        return
+    self._arbitrate()
+
+
+def _seed_tx_request(self, node):
+    _seed_request_arbitration(self)
+
+
+def _seed_contenders(self):
+    contenders = []
+    for node in self._nodes:
+        frame = node.peek_tx()
+        if frame is not None:
+            contenders.append((node, frame))
+    return contenders
+
+
+def _seed_arbitrate(self):
+    if self._busy:
+        return
+    contenders = _seed_contenders(self)
+    if not contenders:
+        return
+    self.stats.arbitration_rounds += 1
+    sender, frame = min(contenders, key=lambda c: arbitration_key(c[1]))
+    self._busy = True
+    corrupted = (self.fault_injector is not None
+                 and self.fault_injector(frame))
+    if corrupted:
+        wasted = (self.timing.frame_duration(frame) // 2
+                  + self.timing.error_frame_duration())
+        self.sim.call_after(
+            wasted, lambda: self._complete_error(sender, frame),
+            priority=Simulator.BUS_PRIORITY,
+            label=self._label_error)
+        self.stats.busy_ticks += wasted
+    else:
+        duration = self.timing.frame_duration(frame)
+        self.sim.call_after(
+            duration, lambda: self._complete_ok(sender, frame),
+            priority=Simulator.BUS_PRIORITY,
+            label=self._label_eof)
+        self.stats.busy_ticks += duration
+
+
+def _seed_complete_ok(self, sender, frame):
+    self._busy = False
+    if not sender._tx_try_remove(frame):
+        self.request_arbitration()
+        return
+    sender._on_tx_success()
+    self.stats.frames_delivered += 1
+    self.stats.per_id[frame.can_id] = (
+        self.stats.per_id.get(frame.can_id, 0) + 1)
+    stamped = TimestampedFrame(time=self.sim.now, frame=frame,
+                               channel=self.name, sender=sender.name)
+    for node in self._nodes:
+        if node is not sender:
+            node._on_delivery(stamped)
+    for tap in list(self._taps):
+        tap(stamped)
+    self.request_arbitration()
+
+
+def _seed_complete_error(self, sender, frame):
+    self._busy = False
+    self.stats.error_frames += 1
+    sender._on_tx_error()
+    for node in self._nodes:
+        if node is not sender:
+            node.counters.on_receive_error()
+    record = ErrorFrameRecord(time=self.sim.now, reporter=sender.name,
+                              reason=f"corrupted frame {frame.id_hex()}")
+    for tap in list(self._error_taps):
+        tap(record)
+    self.request_arbitration()
+
+
+def _seed_peek_tx(self):
+    if not self.enabled or not self._tx_queue:
+        return None
+    return min(self._tx_queue, key=arbitration_key)
+
+
+def _seed_tx_try_remove(self, frame):
+    try:
+        self._tx_queue.remove(frame)
+    except ValueError:
+        return False
+    return True
+
+
+def _seed_on_delivery(self, stamped):
+    if not self.enabled:
+        return
+    if not accepts(self.filters, stamped.frame):
+        return
+    self.rx_count += 1
+    self.counters.on_receive_success()
+    if self._rx_handler is not None:
+        self._rx_handler(stamped)
+    else:
+        if len(self._rx_queue) >= self._rx_queue_limit:
+            self._rx_queue.popleft()
+            self.rx_overruns += 1
+        self._rx_queue.append(stamped)
+
+
+def _seed_call_at(self, when, action, priority=Simulator.APP_PRIORITY,
+                  label=""):
+    from repro.sim.kernel import SimulationError
+    from repro.sim.clock import format_time
+    if when < self.now:
+        raise SimulationError(
+            f"cannot schedule {label or action!r} at {format_time(when)}; "
+            f"it is already {format_time(self.now)}")
+    return self._queue.push(when, action, priority=priority, label=label)
+
+
+def _seed_call_after(self, delay, action, priority=Simulator.APP_PRIORITY,
+                     label=""):
+    from repro.sim.kernel import SimulationError
+    if delay < 0:
+        raise SimulationError(f"negative delay {delay} for {label!r}")
+    return self._queue.push(self.now + delay, action,
+                            priority=priority, label=label)
+
+
+def _seed_run_until(self, deadline):
+    from repro.sim.kernel import SimulationError
+    from repro.sim.clock import format_time
+    if deadline < self.now:
+        raise SimulationError(
+            f"deadline {format_time(deadline)} is in the past "
+            f"(now {format_time(self.now)})")
+    self._running = True
+    self._stop_requested = False
+    try:
+        while not self._stop_requested:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > deadline:
+                break
+            self.step()
+    finally:
+        self._running = False
+    if not self._stop_requested:
+        self.clock.advance_to(deadline)
+
+
+def _seed_next_frame(self):
+    rng = self._rng
+    config = self.config
+    can_id = self._ids[rng.randrange(len(self._ids))]
+    dlc = self._dlcs[rng.randrange(len(self._dlcs))]
+    if config.fd:
+        dlc = fd_round_size(dlc)
+    if self._full_byte_range:
+        data = rng.randbytes(dlc)
+    else:
+        data = bytes(rng.randint(config.byte_min, config.byte_max)
+                     for _ in range(dlc))
+    self.generated += 1
+    return CanFrame(can_id, data, extended=config.extended_ids,
+                    fd=config.fd)
+
+
+def _seed_schedule_next(self, *, first=False):
+    delay = self.interval
+    if self.interval_jitter > 0:
+        delay += self._rng.randint(0, self.interval_jitter)
+    if first:
+        delay = 0
+    self._tx_event = self.sim.call_after(
+        delay, self._transmit, label=self._label_tx)
+
+
+def _seed_transmit(self):
+    if not self._running:
+        return
+    if (self.limits.max_frames is not None
+            and self.frames_sent >= self.limits.max_frames):
+        self._finish("frame limit reached")
+        return
+    try:
+        frame = self.generator.next_frame()
+    except StopIteration:
+        self._finish("generator exhausted")
+        return
+    status = self.adapter.write(frame)
+    if status is AdapterStatus.OK:
+        self.frames_sent += 1
+        self._recent.append(frame)
+    else:
+        key = status.value
+        self._write_errors[key] = self._write_errors.get(key, 0) + 1
+        if status is AdapterStatus.BUSOFF:
+            self._finish("adapter bus-off")
+            return
+    self._schedule_next()
+
+
+def _seed_ecu_rx(self, stamped):
+    if self.state is not EcuState.RUNNING:
+        return
+    if (self.rx_guard is not None
+            and not self.rx_guard(stamped.frame, stamped.time)):
+        return
+    vulnerability = self.fault_model.check(stamped.frame)
+    if vulnerability is not None:
+        self._apply_fault(vulnerability, stamped.frame)
+        if vulnerability.effect in (FaultEffect.CRASH, FaultEffect.BRICK,
+                                    FaultEffect.RESET):
+            return
+    for callback in self._any_handlers:
+        callback(stamped)
+    for callback in self._handlers.get(stamped.frame.can_id, ()):
+        callback(stamped)
+
+
+#: (class, attribute name, seed implementation) for every hot-path
+#: method the optimisation work touched.
+_SEED_PATCHES = [
+    (CanBus, "request_arbitration", _seed_request_arbitration),
+    (CanBus, "_tx_request", _seed_tx_request),
+    (CanBus, "_arbitrate", _seed_arbitrate),
+    (CanBus, "_complete_ok", _seed_complete_ok),
+    (CanBus, "_complete_error", _seed_complete_error),
+    (CanController, "peek_tx", _seed_peek_tx),
+    (CanController, "_tx_try_remove", _seed_tx_try_remove),
+    (CanController, "_on_delivery", _seed_on_delivery),
+    (BitTiming, "frame_duration", _seed_frame_duration),
+    (Simulator, "call_at", _seed_call_at),
+    (Simulator, "call_after", _seed_call_after),
+    (Simulator, "run_until", _seed_run_until),
+    (RandomFrameGenerator, "next_frame", _seed_next_frame),
+    (FuzzCampaign, "_schedule_next", _seed_schedule_next),
+    (FuzzCampaign, "_transmit", _seed_transmit),
+    (Ecu, "_rx", _seed_ecu_rx),
+]
+
+
+class seed_implementations:
+    """Context manager swapping the seed hot paths in and back out."""
+
+    def __enter__(self):
+        self._saved = [(cls, name, cls.__dict__[name])
+                       for cls, name, _ in _SEED_PATCHES]
+        for cls, name, impl in _SEED_PATCHES:
+            setattr(cls, name, impl)
+        return self
+
+    def __exit__(self, *exc):
+        for cls, name, original in self._saved:
+            setattr(cls, name, original)
+        return False
+
+
+# ----------------------------------------------------------------------
+# The measured campaign
+# ----------------------------------------------------------------------
+def run_campaign(frames: int) -> dict:
+    """One fuzz campaign against a fresh bench; returns measurements."""
+    bench = UnlockTestbench(seed=0)
+    bench.power_on()
+    adapter = bench.attacker_adapter()
+    generator = RandomFrameGenerator(FuzzConfig(), random.Random(CAMPAIGN_SEED))
+    campaign = FuzzCampaign(
+        bench.sim, adapter, generator,
+        limits=CampaignLimits(max_frames=frames),
+        name="bench-throughput")
+    start = time.perf_counter()
+    result = campaign.run()
+    wall = time.perf_counter() - start
+    sim_seconds = (result.ended_at - result.started_at) / SECOND
+    return {
+        "frames_sent": result.frames_sent,
+        "wall_seconds": wall,
+        "frames_per_wall_second": result.frames_sent / wall,
+        "sim_seconds_per_wall_second": sim_seconds / wall,
+        "stop_reason": result.stop_reason,
+        "events_fired": bench.sim.events_fired,
+        "frames_delivered": bench.bus.stats.frames_delivered,
+    }
+
+
+def best_of(frames: int, repeats: int) -> dict:
+    """Best (fastest) of ``repeats`` runs -- the standard benchmarking
+    defence against scheduler noise on a shared machine."""
+    runs = [run_campaign(frames) for _ in range(repeats)]
+    return min(runs, key=lambda r: r["wall_seconds"])
+
+
+def check_stats_parity(frames: int) -> dict:
+    """Vectorised analysis must match the reference bit for bit."""
+    generator = RandomFrameGenerator(FuzzConfig(), random.Random(CAMPAIGN_SEED))
+    stream = generator.frames(frames)
+    fast = byte_position_means(stream)
+    slow = byte_position_means_reference(stream)
+    means_identical = (
+        fast.counts == slow.counts
+        and fast.frame_count == slow.frame_count
+        and all((math.isnan(a) and math.isnan(b)) or a == b
+                for a, b in zip(fast.means, slow.means))
+        and (fast.overall_mean == slow.overall_mean
+             or (math.isnan(fast.overall_mean)
+                 and math.isnan(slow.overall_mean))))
+    chi_fast = chi_square_byte_uniformity(stream)
+    chi_slow = chi_square_byte_uniformity_reference(stream)
+    return {
+        "byte_position_means_identical": means_identical,
+        "chi_square_identical": chi_fast == chi_slow,
+        "overall_mean": fast.overall_mean,
+        "chi_square_statistic": chi_fast[0],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--frames", type=int, default=100_000,
+                        help="frames per campaign (default 100000)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per mode; the fastest is reported")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_throughput.json",
+                        help="where to write the JSON report")
+    parser.add_argument("--parity-frames", type=int, default=None,
+                        help="frames for the stats parity check "
+                             "(default: same as --frames)")
+    args = parser.parse_args(argv)
+    if args.frames <= 0:
+        parser.error("--frames must be positive")
+    if args.repeats <= 0:
+        parser.error("--repeats must be positive")
+    if args.parity_frames is not None and args.parity_frames <= 0:
+        parser.error("--parity-frames must be positive")
+
+    print(f"campaign: {args.frames} frames, best of {args.repeats}")
+
+    with seed_implementations():
+        baseline = best_of(args.frames, args.repeats)
+    print(f"baseline (seed):  {baseline['frames_per_wall_second']:,.0f} "
+          f"frames/s  ({baseline['wall_seconds']:.3f} s wall)")
+
+    optimised = best_of(args.frames, args.repeats)
+    print(f"optimised:        {optimised['frames_per_wall_second']:,.0f} "
+          f"frames/s  ({optimised['wall_seconds']:.3f} s wall)")
+
+    speedup = (optimised["frames_per_wall_second"]
+               / baseline["frames_per_wall_second"])
+    print(f"speedup:          {speedup:.2f}x")
+
+    parity = check_stats_parity(args.parity_frames or args.frames)
+    print(f"stats parity:     means_identical="
+          f"{parity['byte_position_means_identical']} "
+          f"chi_identical={parity['chi_square_identical']}")
+
+    # Both modes must have driven the same simulation: same frame
+    # budget reached, same number of frames on the wire.
+    if baseline["frames_sent"] != optimised["frames_sent"]:
+        print("ERROR: modes sent different frame counts", file=sys.stderr)
+        return 1
+    if not (parity["byte_position_means_identical"]
+            and parity["chi_square_identical"]):
+        print("ERROR: vectorised stats diverge from reference",
+              file=sys.stderr)
+        return 1
+
+    report = {
+        "benchmark": "fuzz campaign throughput vs UnlockTestbench",
+        "frames": args.frames,
+        "repeats": args.repeats,
+        "baseline": baseline,
+        "optimised": optimised,
+        "speedup": speedup,
+        "stats_parity": parity,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

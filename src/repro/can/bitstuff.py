@@ -79,54 +79,157 @@ def _build_stuff_table() -> list[tuple[int, int]]:
 
 _STUFF_TABLE = _build_stuff_table()
 
+# Flat variants of _STUFF_TABLE for the inner loop: separate add/next
+# lists avoid a tuple unpack per byte, and next-states are stored
+# pre-multiplied by 256 so the index is a single addition.
+_STUFF_ADD = [added for added, _ in _STUFF_TABLE]
+_STUFF_NEXT = [nxt * 256 for _, nxt in _STUFF_TABLE]
 
-def _crc15_over(value: int, width: int) -> int:
-    """CRC-15 of the ``width``-bit big-endian bitstring in ``value``.
 
-    Leading ``width % 8`` bits go through the bitwise form (matching
-    :func:`repro.can.crc.crc15`); the byte-aligned remainder goes
-    through the table.
+def _advance_bit(run_value: int, run_length: int, stuffed: int,
+                 bit: int) -> tuple[int, int, int]:
+    """One bit through the stuffing state machine (table builders only)."""
+    if bit == run_value:
+        run_length += 1
+    else:
+        run_value, run_length = bit, 1
+    if run_length == 5:
+        stuffed += 1
+        run_value, run_length = 1 - bit, 1
+    return run_value, run_length, stuffed
+
+
+def _build_lead_tables(lead: int) -> tuple[list[int], list[int], list[int]]:
+    """(crc, premultiplied-state, stuff-count) after the ``lead`` header
+    bits that precede the first byte-aligned header byte."""
+    crc_t: list[int] = []
+    state_t: list[int] = []
+    add_t: list[int] = []
+    for value in range(1 << lead):
+        register = 0
+        run_value, run_length, stuffed = 2, 0, 0
+        for shift in range(lead - 1, -1, -1):
+            bit = (value >> shift) & 1
+            msb = (register >> 14) & 1
+            register = (register << 1) & CRC15_MASK
+            if bit ^ msb:
+                register ^= CRC15_POLY
+            run_value, run_length, stuffed = _advance_bit(
+                run_value, run_length, stuffed, bit)
+        crc_t.append(register)
+        state_t.append((run_value * 5 + run_length) * 256)
+        add_t.append(stuffed)
+    return crc_t, state_t, add_t
+
+
+#: Classic headers are 19 (standard) or 39 (extended) bits, so the
+#: bitwise lead is always 3 or 7 bits -- small enough to precompute.
+_LEAD_TABLES = {3: _build_lead_tables(3), 7: _build_lead_tables(7)}
+
+
+def _build_tail_tables() -> tuple[list[int], list[int]]:
+    """Stuffing over the high 7 bits of the CRC field, per start state:
+    ``index = state * 128 + (crc >> 8)`` -> (stuff bits added,
+    premultiplied next state)."""
+    add_t = [0] * (15 * 128)
+    state_t = [0] * (15 * 128)
+    for state in range(15):
+        run_value0, run_length0 = divmod(state, 5)
+        if run_value0 == 2 and run_length0 != 0:
+            continue  # unreachable encodings
+        for hi in range(128):
+            run_value, run_length, stuffed = run_value0, run_length0, 0
+            for shift in range(6, -1, -1):
+                run_value, run_length, stuffed = _advance_bit(
+                    run_value, run_length, stuffed, (hi >> shift) & 1)
+            add_t[state * 128 + hi] = stuffed
+            state_t[state * 128 + hi] = (run_value * 5 + run_length) * 256
+    return add_t, state_t
+
+
+_TAIL_ADD, _TAIL_STATE = _build_tail_tables()
+
+
+def _crc_and_stuff(value: int, width: int, data: bytes) -> tuple[int, int]:
+    """``(crc15, stuff_bits)`` over the header bits plus payload bytes.
+
+    ``value``/``width`` hold the frame header (SOF through DLC) as a
+    big-endian bitstring; ``data`` follows byte-aligned.  Both the CRC
+    register and the stuffing state machine advance through the same
+    single pass -- one table lookup each per byte, never materialising
+    the frame as one large integer -- because this runs once per
+    transmitted frame and is the hottest computation in a campaign.
+    The returned stuff count includes the CRC field itself, which is
+    part of the stuffed region.
     """
+    crc_table = _CRC_TABLE
+    add_table = _STUFF_ADD
+    next_table = _STUFF_NEXT
+    # Header lead bits (width % 8 of them): precomputed tables for the
+    # classic header widths, a bitwise walk for anything else.
     lead = width % 8
-    register = 0
-    for shift in range(width - 1, width - 1 - lead, -1):
-        bit = (value >> shift) & 1
-        msb = (register >> 14) & 1
-        register = (register << 1) & CRC15_MASK
-        if bit ^ msb:
-            register ^= CRC15_POLY
+    lead_tables = _LEAD_TABLES.get(lead)
+    if lead_tables is not None:
+        lead_value = value >> (width - lead)
+        register = lead_tables[0][lead_value]
+        state = lead_tables[1][lead_value]
+        stuffed = lead_tables[2][lead_value]
+    else:
+        register = 0
+        run_value, run_length = 2, 0  # 2 = no bits seen yet
+        stuffed = 0
+        for shift in range(width - 1, width - 1 - lead, -1):
+            bit = (value >> shift) & 1
+            msb = (register >> 14) & 1
+            register = (register << 1) & CRC15_MASK
+            if bit ^ msb:
+                register ^= CRC15_POLY
+            run_value, run_length, stuffed = _advance_bit(
+                run_value, run_length, stuffed, bit)
+        state = (run_value * 5 + run_length) * 256
     remaining = width - lead
     while remaining:
         remaining -= 8
         byte = (value >> remaining) & 0xFF
         register = (((register << 8) & CRC15_MASK)
-                    ^ _CRC_TABLE[((register >> 7) ^ byte) & 0xFF])
-    return register
+                    ^ crc_table[((register >> 7) ^ byte) & 0xFF])
+        index = state + byte
+        stuffed += add_table[index]
+        state = next_table[index]
+    for byte in data:
+        register = (((register << 8) & CRC15_MASK)
+                    ^ crc_table[((register >> 7) ^ byte) & 0xFF])
+        index = state + byte
+        stuffed += add_table[index]
+        state = next_table[index]
+    # The 15 CRC bits are stuffed too: high 7 bits via the tail table,
+    # the final byte through the main table.
+    index = (state >> 8) * 128 + (register >> 8)
+    stuffed += _TAIL_ADD[index]
+    stuffed += add_table[_TAIL_STATE[index] + (register & 0xFF)]
+    return register, stuffed
 
 
-def _stuff_count_over(value: int, width: int) -> int:
-    """Stuff bits for the ``width``-bit bitstring in ``value``."""
-    lead = width % 8
-    run_value, run_length = 2, 0
-    stuffed = 0
-    for shift in range(width - 1, width - 1 - lead, -1):
-        bit = (value >> shift) & 1
-        if bit == run_value:
-            run_length += 1
-        else:
-            run_value, run_length = bit, 1
-        if run_length == 5:
-            stuffed += 1
-            run_value, run_length = 1 - run_value, 1
-    state = run_value * 5 + run_length
-    remaining = width - lead
-    table = _STUFF_TABLE
-    while remaining:
-        remaining -= 8
-        byte = (value >> remaining) & 0xFF
-        added, state = table[state * 256 + byte]
-        stuffed += added
-    return stuffed
+def _classic_wire_bits(frame: CanFrame) -> int:
+    """``frame_bit_length(frame, include_ifs=False)`` in one call.
+
+    Header construction and the stuffing walk fused together for
+    :meth:`CanFrame.wire_bit_lengths` -- the once-per-transmitted-frame
+    hot path, where the extra call layers of the public function are
+    measurable.  (``len(data)`` is the DLC: remote frames carry no data
+    and their ``dlc`` property is likewise the payload length.)
+    """
+    data = frame.data
+    rtr = 1 if frame.remote else 0
+    if frame.extended:
+        value = (((frame.can_id >> 18) << 27) | (0b11 << 25)
+                 | ((frame.can_id & 0x3FFFF) << 7) | (rtr << 6) | len(data))
+        width = 39
+    else:
+        value = (frame.can_id << 7) | (rtr << 6) | len(data)
+        width = 19
+    _, stuffed = _crc_and_stuff(value, width, data)
+    return width + len(data) * 8 + 15 + stuffed + FRAME_TAIL_BITS
 
 
 def _classic_header(frame: CanFrame) -> tuple[int, int]:
@@ -206,14 +309,9 @@ def frame_bit_length(frame: CanFrame, *, include_ifs: bool = True) -> int:
             "use fd_frame_bit_length()"
         )
     value, width = _classic_header(frame)
-    if not frame.remote:
-        for byte in frame.data:
-            value = (value << 8) | byte
-            width += 8
-    crc = _crc15_over(value, width)
-    value = (value << 15) | crc
-    width += 15
-    length = width + _stuff_count_over(value, width) + FRAME_TAIL_BITS
+    data = frame.data  # validated empty for remote frames
+    _, stuffed = _crc_and_stuff(value, width, data)
+    length = (width + len(data) * 8 + 15 + stuffed + FRAME_TAIL_BITS)
     if include_ifs:
         length += INTERFRAME_BITS
     return length

@@ -29,19 +29,26 @@ FaultInjector = Callable[[CanFrame], bool]
 
 @dataclass
 class BusStats:
-    """Running statistics for one bus."""
+    """Running statistics for one bus.
+
+    ``started_at`` is the simulation time at which the bus began
+    observing; utilisation is measured against time elapsed since then,
+    so a bus created mid-run reports meaningful figures.
+    """
 
     frames_delivered: int = 0
     error_frames: int = 0
     busy_ticks: int = 0
     arbitration_rounds: int = 0
+    started_at: int = 0
     per_id: dict[int, int] = field(default_factory=dict)
 
     def utilisation(self, now: int) -> float:
-        """Fraction of elapsed time the bus was transmitting."""
-        if now <= 0:
+        """Fraction of observed time the bus was transmitting."""
+        elapsed = now - self.started_at
+        if elapsed <= 0:
             return 0.0
-        return min(1.0, self.busy_ticks / now)
+        return min(1.0, self.busy_ticks / elapsed)
 
 
 class CanBus:
@@ -58,16 +65,42 @@ class CanBus:
         self.sim = sim
         self.timing = timing
         self.name = name
-        self.stats = BusStats()
+        self.stats = BusStats(started_at=sim.now)
         self.fault_injector: FaultInjector | None = None
         self._nodes: list[CanController] = []
         self._taps: list[Tap] = []
         self._error_taps: list[ErrorTap] = []
         self._busy = False
+        # In-flight transmission state.  The bus carries one frame at a
+        # time, so plain attributes replace the per-frame closures the
+        # completion events used to capture -- two fewer allocations on
+        # the hottest scheduling path in the whole simulator.
+        self._pending_sender: CanController | None = None
+        self._pending_frame: CanFrame | None = None
+        self._pending_ticks = 0
+        # Re-arbitration bookkeeping: _rearm records a request that
+        # arrived while a frame was in flight, _had_contention that the
+        # last round left losers queued.  Together with the winner's
+        # own queue they tell end-of-frame whether scanning every node
+        # again can possibly find a contender.
+        self._rearm = False
+        self._had_contention = False
         # Event labels, precomputed: this is the hottest scheduling
         # path in the whole simulator.
         self._label_eof = f"{name}:eof"
         self._label_error = f"{name}:error"
+        # Hot-path bindings: completion events go straight onto the
+        # event queue as bare callables (the delay is a frame duration,
+        # always positive, so call_after's validation adds nothing, and
+        # completions are never cancelled, so no Event handle is
+        # needed), and the frame-duration lookup skips two attribute
+        # hops per transmission.
+        self._push_call = sim._queue.push_call
+        self._clock = sim.clock
+        self._frame_duration = timing.frame_duration
+        # Tap snapshot, rebuilt on add/remove: _complete_ok iterates a
+        # stable tuple without allocating one per delivered frame.
+        self._taps_snapshot: tuple[Tap, ...] = ()
 
     # ------------------------------------------------------------------
     # Wiring
@@ -83,9 +116,11 @@ class CanBus:
         """Observe every successfully delivered frame (capture devices,
         the fuzzer's traffic monitor, gateways and oracles use taps)."""
         self._taps.append(tap)
+        self._taps_snapshot = tuple(self._taps)
 
     def remove_tap(self, tap: Tap) -> None:
         self._taps.remove(tap)
+        self._taps_snapshot = tuple(self._taps)
 
     def add_error_tap(self, tap: ErrorTap) -> None:
         """Observe error frames (used by error-frame oracles)."""
@@ -104,8 +139,32 @@ class CanBus:
         end-of-frame, exactly as on the wire.
         """
         if self._busy:
+            self._rearm = True
             return
         self._arbitrate()
+
+    def _tx_request(self, node: CanController) -> None:
+        """Fast-path arbitration entry used by :meth:`CanController.send`.
+
+        When the bus is idle no *other* controller can have traffic
+        pending: anything queued either started transmitting at once or
+        re-arbitrated at the last end-of-frame before the bus went idle
+        (disabling, resetting or bus-off all clear the queue).  The
+        sending node is therefore the sole contender and the full node
+        scan is skipped -- this runs once per fuzzed frame.
+        """
+        if self._busy:
+            self._rearm = True
+            return
+        queue = node._tx_queue
+        if len(queue) == 1:
+            frame = queue[0]
+        else:
+            frame = node.peek_tx()
+            if frame is None:
+                return
+        self._had_contention = False
+        self._start(node, frame)
 
     def _contenders(self) -> list[tuple[CanController, CanFrame]]:
         contenders = []
@@ -118,55 +177,125 @@ class CanBus:
     def _arbitrate(self) -> None:
         if self._busy:
             return
-        contenders = self._contenders()
-        if not contenders:
+        # Inline contender scan.  The single-contender round dominates
+        # a fuzzing run (the fuzzer is usually the only node with
+        # traffic queued), so the arbitration key is only computed once
+        # a second contender actually shows up.
+        sender: CanController | None = None
+        frame: CanFrame | None = None
+        best_key = None
+        contention = False
+        for node in self._nodes:
+            candidate = node.peek_tx()
+            if candidate is None:
+                continue
+            if sender is None:
+                sender, frame = node, candidate
+                continue
+            contention = True
+            if best_key is None:
+                best_key = arbitration_key(frame)
+            key = arbitration_key(candidate)
+            if key < best_key:
+                sender, frame, best_key = node, candidate, key
+        if sender is None:
             return
+        self._had_contention = contention
+        self._start(sender, frame)
+
+    def _start(self, sender: CanController, frame: CanFrame) -> None:
+        """Put ``frame`` on the wire and schedule its completion."""
         self.stats.arbitration_rounds += 1
-        sender, frame = min(contenders, key=lambda c: arbitration_key(c[1]))
         self._busy = True
-        corrupted = (self.fault_injector is not None
-                     and self.fault_injector(frame))
-        if corrupted:
+        self._pending_sender = sender
+        self._pending_frame = frame
+        injector = self.fault_injector
+        if injector is not None and injector(frame):
             # The error is detected mid-frame; approximate the wasted
             # time as half the frame plus the error frame itself.
-            wasted = (self.timing.frame_duration(frame) // 2
+            wasted = (self._frame_duration(frame) // 2
                       + self.timing.error_frame_duration())
-            self.sim.call_after(
-                wasted, lambda: self._complete_error(sender, frame),
-                priority=Simulator.BUS_PRIORITY,
-                label=self._label_error)
-            self.stats.busy_ticks += wasted
+            self._pending_ticks = wasted
+            self._push_call(self._clock._now + wasted,
+                            self._complete_error, Simulator.BUS_PRIORITY)
         else:
-            duration = self.timing.frame_duration(frame)
-            self.sim.call_after(
-                duration, lambda: self._complete_ok(sender, frame),
-                priority=Simulator.BUS_PRIORITY,
-                label=self._label_eof)
-            self.stats.busy_ticks += duration
+            duration = self._frame_duration(frame)
+            self._pending_ticks = duration
+            self._push_call(self._clock._now + duration,
+                            self._complete_ok, Simulator.BUS_PRIORITY)
 
-    def _complete_ok(self, sender: CanController, frame: CanFrame) -> None:
-        self._busy = False
+    def _rearbitrate(self, sender: CanController) -> None:
+        """Contend again after end-of-frame -- but only when someone can
+        possibly win: a request arrived mid-flight, the last round had
+        losers, or the finished sender still has traffic queued.  In a
+        plain fuzzing run none of these hold and the per-frame node
+        scan is skipped entirely."""
+        if self._rearm or self._had_contention or sender._tx_queue:
+            self._rearm = False
+            self._arbitrate()
+
+    def _complete_ok(self) -> None:
+        sender = self._pending_sender
+        frame = self._pending_frame
+        stats = self.stats
+        self._pending_sender = None
+        self._pending_frame = None
+        # _busy stays True until the re-arbitration below: a handler
+        # that transmits a response from inside its delivery callback
+        # must queue and contend at this end-of-frame (setting _rearm
+        # via the busy path) rather than see a sneak-idle bus and start
+        # mid-completion -- the _tx_request fast path relies on an idle
+        # bus having no other pending traffic anywhere.
         if not sender._tx_try_remove(frame):
             # The transmitter was reset or disabled mid-frame; on the
-            # wire that truncates the frame, so nobody receives it.
-            self.request_arbitration()
+            # wire that truncates the frame, so nobody receives it and
+            # the medium was only held for part of the window --
+            # approximate the wasted occupancy as half the duration.
+            stats.busy_ticks += self._pending_ticks // 2
+            self._rearm = True  # queues changed mid-flight; rescan
+            self._busy = False
+            self._rearbitrate(sender)
             return
-        sender._on_tx_success()
-        self.stats.frames_delivered += 1
-        self.stats.per_id[frame.can_id] = (
-            self.stats.per_id.get(frame.can_id, 0) + 1)
-        stamped = TimestampedFrame(time=self.sim.now, frame=frame,
-                                   channel=self.name, sender=sender.name)
+        stats.busy_ticks += self._pending_ticks
+        # sender._on_tx_success() inlined (tx count, TEC -= 1 floor 0):
+        # one call saved per delivered frame.
+        sender.tx_count += 1
+        counters = sender.counters
+        if counters.tec > 0:
+            counters.tec -= 1
+        stats.frames_delivered += 1
+        per_id = stats.per_id
+        can_id = frame.can_id
+        per_id[can_id] = per_id.get(can_id, 0) + 1
+        # TimestampedFrame assembled via __new__ + direct slot writes:
+        # the frozen-dataclass __init__ costs a call plus four guarded
+        # setattrs, once per delivered frame.
+        stamped = TimestampedFrame.__new__(TimestampedFrame)
+        osa = object.__setattr__
+        osa(stamped, "time", self._clock._now)
+        osa(stamped, "frame", frame)
+        osa(stamped, "channel", self.name)
+        osa(stamped, "sender", sender.name)
         for node in self._nodes:
             if node is not sender:
                 node._on_delivery(stamped)
-        for tap in list(self._taps):
+        for tap in self._taps_snapshot:
             tap(stamped)
-        self.request_arbitration()
-
-    def _complete_error(self, sender: CanController,
-                        frame: CanFrame) -> None:
         self._busy = False
+        # _rearbitrate inlined: the no-contention case (a lone fuzzer
+        # hammering the bus) must cost no call and no node scan.
+        if self._rearm or self._had_contention or sender._tx_queue:
+            self._rearm = False
+            self._arbitrate()
+
+    def _complete_error(self) -> None:
+        sender = self._pending_sender
+        frame = self._pending_frame
+        self._pending_sender = None
+        self._pending_frame = None
+        # The corrupted frame plus error frame occupied the wire for
+        # the whole approximated window.
+        self.stats.busy_ticks += self._pending_ticks
         self.stats.error_frames += 1
         sender._on_tx_error()
         for node in self._nodes:
@@ -174,11 +303,12 @@ class CanBus:
                 node.counters.on_receive_error()
         record = ErrorFrameRecord(time=self.sim.now, reporter=sender.name,
                                   reason=f"corrupted frame {frame.id_hex()}")
-        for tap in list(self._error_taps):
+        for tap in tuple(self._error_taps):
             tap(record)
         # The sender retransmits automatically (frame still queued)
         # unless the error drove it to bus-off, which cleared its queue.
-        self.request_arbitration()
+        self._busy = False
+        self._rearbitrate(sender)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"CanBus({self.name!r}, nodes={len(self._nodes)}, "

@@ -30,6 +30,12 @@ class FrameError(ValueError):
     """Raised when constructing a frame that violates the CAN spec."""
 
 
+# Bound on first use by CanFrame.wire_bit_lengths (bitstuff imports this
+# module, so binding at import time would be circular).
+_classic_wire_bits = None
+_fd_frame_bit_length = None
+
+
 def fd_round_size(size: int) -> int:
     """Round a payload size up to the nearest valid CAN FD size.
 
@@ -62,9 +68,15 @@ class CanFrame:
     remote: bool = False
     fd: bool = False
     brs: bool = False
+    #: Lazily computed on-wire bit lengths (see :meth:`wire_bit_lengths`).
+    #: Frames are immutable, so the cache never needs invalidating; it is
+    #: excluded from comparison/hashing and repr.
+    _wire_bits: "tuple[int, int] | None" = field(
+        default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "data", bytes(self.data))
+        if self.data.__class__ is not bytes:
+            object.__setattr__(self, "data", bytes(self.data))
         limit = MAX_EXTENDED_ID if self.extended else MAX_STANDARD_ID
         if not 0 <= self.can_id <= limit:
             kind = "extended" if self.extended else "standard"
@@ -95,6 +107,35 @@ class CanFrame:
             raise FrameError("remote frames carry no data bytes")
         if self.brs and not self.fd:
             raise FrameError("bit-rate switch is only valid on FD frames")
+
+    def wire_bit_lengths(self) -> tuple[int, int]:
+        """``(nominal_bits, data_phase_bits)`` on the wire, without IFS.
+
+        The stuffing-aware bit walk is the hottest computation in a
+        fuzz campaign (one per transmitted frame), and the result is a
+        pure function of the immutable frame contents -- so it is
+        computed once per frame object and cached.  Classic frames
+        report all bits in the nominal phase (``data_phase_bits`` = 0);
+        FD frames split at the BRS bit.  The interframe space is *not*
+        included: callers add it at the timing layer so one cached
+        value serves both spacings.
+        """
+        cached = self._wire_bits
+        if cached is None:
+            global _classic_wire_bits, _fd_frame_bit_length
+            if _classic_wire_bits is None:
+                # One-time lazy import; bitstuff imports this module, so
+                # the binding cannot happen at import time.
+                from repro.can.bitstuff import (_classic_wire_bits as cwb,
+                                                fd_frame_bit_length)
+                _classic_wire_bits = cwb
+                _fd_frame_bit_length = fd_frame_bit_length
+            if self.fd:
+                cached = _fd_frame_bit_length(self, include_ifs=False)
+            else:
+                cached = (_classic_wire_bits(self), 0)
+            object.__setattr__(self, "_wire_bits", cached)
+        return cached
 
     @property
     def dlc(self) -> int:
@@ -129,6 +170,28 @@ class CanFrame:
         body = self.data_hex() if not self.remote else f"RTR dlc={self.dlc}"
         return f"{self.id_hex()}{('[' + flags + ']') if flags else ''} " \
                f"[{self.dlc}] {body}".rstrip()
+
+
+def trusted_frame(can_id: int, data: bytes, extended: bool = False,
+                  fd: bool = False) -> CanFrame:
+    """Build a (non-remote) data frame, skipping validation.
+
+    Hot-path constructor for callers whose inputs are already known
+    valid -- the fuzz generator draws identifiers and lengths from
+    pools the config validated once.  Produces a frame identical to
+    ``CanFrame(can_id, data, extended=extended, fd=fd)``; the checks
+    in ``__post_init__`` are the only thing skipped.
+    """
+    frame = CanFrame.__new__(CanFrame)
+    osa = object.__setattr__
+    osa(frame, "can_id", can_id)
+    osa(frame, "data", data)
+    osa(frame, "extended", extended)
+    osa(frame, "remote", False)
+    osa(frame, "fd", fd)
+    osa(frame, "brs", False)
+    osa(frame, "_wire_bits", None)
+    return frame
 
 
 @dataclass(frozen=True, slots=True)

@@ -92,7 +92,7 @@ class CanController:
             self._tx_queue.popleft()
             self.tx_dropped += 1
         self._tx_queue.append(frame)
-        self.bus.request_arbitration()
+        self.bus._tx_request(self)
 
     def peek_tx(self) -> CanFrame | None:
         """The frame this node would contend with (its highest priority).
@@ -100,9 +100,12 @@ class CanController:
         Real controllers arbitrate with their highest-priority pending
         mailbox, not strict FIFO; ties keep queue order.
         """
-        if not self.enabled or not self._tx_queue:
+        queue = self._tx_queue
+        if not self.enabled or not queue:
             return None
-        return min(self._tx_queue, key=arbitration_key)
+        if len(queue) == 1:
+            return queue[0]
+        return min(queue, key=arbitration_key)
 
     def pending_tx(self) -> int:
         """Number of frames waiting to transmit."""
@@ -152,8 +155,12 @@ class CanController:
         reset, disabled or driven bus-off while its frame was on the
         wire.  The bus treats that as an aborted transmission.
         """
+        queue = self._tx_queue
+        if queue and queue[0] is frame:  # the overwhelmingly common case
+            queue.popleft()
+            return True
         try:
-            self._tx_queue.remove(frame)
+            queue.remove(frame)
         except ValueError:
             return False
         return True
@@ -161,12 +168,18 @@ class CanController:
     def _on_delivery(self, stamped: TimestampedFrame) -> None:
         if not self.enabled:
             return
-        if not accepts(self.filters, stamped.frame):
+        filters = self.filters
+        if filters and not accepts(filters, stamped.frame):
             return
         self.rx_count += 1
-        self.counters.on_receive_success()
-        if self._rx_handler is not None:
-            self._rx_handler(stamped)
+        # counters.on_receive_success() inlined (REC -= 1, floor 0):
+        # every node on the bus runs this for every delivered frame.
+        counters = self.counters
+        if counters.rec > 0:
+            counters.rec -= 1
+        handler = self._rx_handler
+        if handler is not None:
+            handler(stamped)
         else:
             if len(self._rx_queue) >= self._rx_queue_limit:
                 self._rx_queue.popleft()

@@ -11,13 +11,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.can.bitstuff import fd_frame_bit_length, frame_bit_length
+from repro.can.bitstuff import (INTERFRAME_BITS, fd_frame_bit_length,
+                                frame_bit_length)
 from repro.can.frame import CanFrame
 from repro.sim.clock import SECOND
 
 #: Error frames: 6 flag bits + up to 6 echoed flag bits + 8 delimiter
 #: bits + 3-bit interframe space.
 ERROR_FRAME_BITS = 23
+
+#: Entries kept in a :class:`BitTiming`'s duration cache before it is
+#: cleared wholesale.  The cache is keyed by on-wire bit count, of
+#: which classic CAN has only ~110 distinct values, so the bound exists
+#: purely as a safety valve for pathological FD mixes.
+DURATION_CACHE_MAX = 4096
 
 
 @dataclass(frozen=True)
@@ -40,6 +47,9 @@ class BitTiming:
             raise ValueError(
                 "FD data bitrate must be at least the nominal bitrate"
             )
+        # Bit-count-keyed duration memo (not a dataclass field: it is
+        # mutable working state, not part of the timing's identity).
+        object.__setattr__(self, "_duration_cache", {})
 
     @property
     def bit_time_us(self) -> float:
@@ -55,7 +65,42 @@ class BitTiming:
 
     def frame_duration(self, frame: CanFrame, *,
                        include_ifs: bool = True) -> int:
-        """On-wire duration of ``frame`` in clock ticks."""
+        """On-wire duration of ``frame`` in clock ticks.
+
+        Memoised twice over: the stuffing-aware bit length is cached on
+        the (immutable) frame object itself, and the nominal-phase tick
+        conversion is cached here keyed by *bit count* -- classic
+        frames span only ~50-160 distinct on-wire lengths, so even a
+        random fuzz stream of unique frames hits this cache on every
+        transmission after warm-up (an int-keyed dict hit, with no
+        frame hashing).  Frames are immutable, so neither cache ever
+        invalidates.  Results are identical to
+        :meth:`frame_duration_uncached`.
+        """
+        bits = frame._wire_bits
+        if bits is None:
+            bits = frame.wire_bit_lengths()
+        nominal, data_phase = bits
+        if include_ifs:
+            nominal += INTERFRAME_BITS
+        cache = self._duration_cache
+        ticks = cache.get(nominal)
+        if ticks is None:
+            ticks = self.bits_to_ticks(nominal)
+            if len(cache) >= DURATION_CACHE_MAX:
+                cache.clear()
+            cache[nominal] = ticks
+        if data_phase:
+            ticks += self.bits_to_ticks(data_phase, data_phase=True)
+        return ticks
+
+    def frame_duration_uncached(self, frame: CanFrame, *,
+                                include_ifs: bool = True) -> int:
+        """On-wire duration computed from scratch (no memoisation).
+
+        The pre-cache code path, kept as the equivalence oracle for
+        :meth:`frame_duration` and as the benchmark baseline.
+        """
         if frame.fd:
             arb_bits, data_bits = fd_frame_bit_length(
                 frame, include_ifs=include_ifs)

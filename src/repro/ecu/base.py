@@ -199,19 +199,28 @@ class Ecu:
     def _rx(self, stamped: TimestampedFrame) -> None:
         if self.state is not EcuState.RUNNING:
             return
-        if (self.rx_guard is not None
-                and not self.rx_guard(stamped.frame, stamped.time)):
+        frame = stamped.frame
+        guard = self.rx_guard
+        if guard is not None and not guard(frame, stamped.time):
             return
-        vulnerability = self.fault_model.check(stamped.frame)
-        if vulnerability is not None:
-            self._apply_fault(vulnerability, stamped.frame)
-            if vulnerability.effect in (FaultEffect.CRASH, FaultEffect.BRICK,
-                                        FaultEffect.RESET):
-                return  # the handler never ran; the ECU fell over first
+        # check() on an empty fault model is a call returning None;
+        # testing the vulnerability list first keeps healthy ECUs (the
+        # common case, hit once per node per delivered frame) call-free.
+        fault_model = self.fault_model
+        if fault_model.vulnerabilities:
+            vulnerability = fault_model.check(frame)
+            if vulnerability is not None:
+                self._apply_fault(vulnerability, frame)
+                if vulnerability.effect in (FaultEffect.CRASH,
+                                            FaultEffect.BRICK,
+                                            FaultEffect.RESET):
+                    return  # the handler never ran; the ECU fell over first
         for callback in self._any_handlers:
             callback(stamped)
-        for callback in self._handlers.get(stamped.frame.can_id, ()):
-            callback(stamped)
+        handlers = self._handlers.get(frame.can_id)
+        if handlers:
+            for callback in handlers:
+                callback(stamped)
 
     # ------------------------------------------------------------------
     # Faults

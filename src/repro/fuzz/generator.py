@@ -19,7 +19,7 @@ from __future__ import annotations
 import random
 from typing import Iterator, Protocol
 
-from repro.can.frame import CanFrame, fd_round_size
+from repro.can.frame import CanFrame, fd_round_size, trusted_frame
 from repro.fuzz.config import FuzzConfig
 
 
@@ -49,23 +49,33 @@ class RandomFrameGenerator:
         # the same uniform bytes as per-byte randint, in one call.
         self._full_byte_range = (config.byte_min == 0
                                  and config.byte_max == 255)
+        self._extended = config.extended_ids
+        self._fd = config.fd
+        # Pool sizes are fixed for the generator's lifetime.  Indices
+        # are drawn with rng._randbelow directly -- the exact sampler
+        # rng.choice delegates to, minus the wrapper call, so the
+        # generated frame stream stays bit-identical to choice() while
+        # one call per draw disappears from the hot loop.
+        self._id_count = len(self._ids)
+        self._dlc_count = len(self._dlcs)
         self.generated = 0
 
     def next_frame(self) -> CanFrame:
         rng = self._rng
-        config = self.config
-        can_id = self._ids[rng.randrange(len(self._ids))]
-        dlc = self._dlcs[rng.randrange(len(self._dlcs))]
-        if config.fd:
+        can_id = self._ids[rng._randbelow(self._id_count)]
+        dlc = self._dlcs[rng._randbelow(self._dlc_count)]
+        if self._fd:
             dlc = fd_round_size(dlc)
         if self._full_byte_range:
             data = rng.randbytes(dlc)
         else:
+            config = self.config
             data = bytes(rng.randint(config.byte_min, config.byte_max)
                          for _ in range(dlc))
         self.generated += 1
-        return CanFrame(can_id, data, extended=config.extended_ids,
-                        fd=config.fd)
+        # The id came from the validated pool and the dlc from the
+        # validated range, so the checked constructor adds nothing.
+        return trusted_frame(can_id, data, self._extended, self._fd)
 
     def frames(self, count: int) -> list[CanFrame]:
         """Generate ``count`` frames eagerly (analysis convenience)."""

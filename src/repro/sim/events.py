@@ -9,7 +9,9 @@ The heap stores bare ``(time, priority, seq, event)`` tuples rather
 than comparable Event objects: tuple comparison is the single hottest
 operation in a fuzzing run (millions of frames, several events each),
 and avoiding a generated dataclass ``__lt__`` measurably speeds up
-whole campaigns.
+whole campaigns.  :meth:`EventQueue.pop_due` serves the run loop's
+dominant push-then-pop-at-head pattern with a single heap inspection
+per fired event (no separate peek).
 """
 
 from __future__ import annotations
@@ -33,6 +35,10 @@ class Event:
             queue; final tie-break.
         action: zero-argument callable executed when the event fires.
         label: free-form description used in error messages and traces.
+        queue: the queue currently holding this event, or ``None`` once
+            it has fired or was never scheduled.  Cancellation routes
+            through the owning queue so live-event accounting stays
+            exact no matter which cancel entry point the caller uses.
     """
 
     time: int
@@ -41,10 +47,22 @@ class Event:
     action: Callable[[], None]
     label: str = field(default="")
     cancelled: bool = field(default=False)
+    queue: "EventQueue | None" = field(default=None, repr=False,
+                                       compare=False)
 
     def cancel(self) -> None:
-        """Mark the event so that it is skipped when popped."""
-        self.cancelled = True
+        """Cancel the event (idempotent).
+
+        Delegates to the owning queue's :meth:`EventQueue.cancel` --
+        the single cancellation code path -- so ``len(queue)`` never
+        drifts.  An event that already fired (or was never pushed) has
+        no owning queue; only the flag is set then.
+        """
+        queue = self.queue
+        if queue is not None:
+            queue.cancel(self)
+        else:
+            self.cancelled = True
 
 
 class EventQueue:
@@ -53,49 +71,153 @@ class EventQueue:
     Cancellation is lazy: cancelled events stay in the heap and are
     dropped when they reach the front.  This is O(1) per cancel and is
     the standard approach for simulators with frequent timer resets
-    (ECU watchdogs and retransmit timers cancel constantly).
+    (ECU watchdogs and retransmit timers cancel constantly).  To keep a
+    cancel-heavy run from dragging a heap full of corpses, the queue
+    counts dead entries and compacts the heap in one batched sweep when
+    they outnumber the live ones.
     """
+
+    __slots__ = ("_heap", "_seq", "_live", "_dead")
+
+    #: Minimum dead entries before a compaction sweep is considered;
+    #: below this the heap is too small for the O(n) rebuild to pay.
+    COMPACT_MIN_DEAD = 64
 
     def __init__(self) -> None:
         self._heap: list[tuple[int, int, int, Event]] = []
         self._seq = 0
         self._live = 0
+        self._dead = 0
 
     def __len__(self) -> int:
         """Number of live (non-cancelled) events."""
         return self._live
 
-    def push(self, time: int, action: Callable[[], None], *,
+    def push(self, time: int, action: Callable[[], None],
              priority: int = 10, label: str = "") -> Event:
         """Schedule ``action`` at absolute ``time`` and return the event."""
-        self._seq += 1
-        event = Event(time=time, priority=priority, seq=self._seq,
-                      action=action, label=label)
-        heapq.heappush(self._heap, (time, priority, self._seq, event))
+        self._seq = seq = self._seq + 1
+        # Direct slot assembly instead of the generated dataclass
+        # __init__: push runs once per scheduled event, which makes it
+        # one of the hottest functions in a fuzz campaign.
+        event = Event.__new__(Event)
+        event.time = time
+        event.priority = priority
+        event.seq = seq
+        event.action = action
+        event.label = label
+        event.cancelled = False
+        event.queue = self
+        heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
 
+    def push_call(self, time: int, action: Callable[[], None],
+                  priority: int = 10) -> None:
+        """Schedule a fire-and-forget callable with no :class:`Event`.
+
+        The bare callable goes straight into the heap tuple; there is
+        no handle, so the entry cannot be cancelled or labelled.  The
+        CAN bus uses this for frame-completion events (scheduled once
+        per transmitted frame, never cancelled), saving an object
+        allocation on the hottest scheduling path in the simulator.
+        """
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._heap, (time, priority, seq, action))
+        self._live += 1
+
     def cancel(self, event: Event) -> None:
-        """Cancel a previously pushed event (idempotent)."""
-        if not event.cancelled:
-            event.cancelled = True
+        """Cancel a previously pushed event (idempotent).
+
+        This is the one place cancellation accounting happens;
+        :meth:`Event.cancel` delegates here.  Cancelling an event that
+        already fired only marks the flag.
+        """
+        owner = event.queue
+        if owner is not None and owner is not self:
+            owner.cancel(event)
+            return
+        if event.cancelled:
+            return
+        event.cancelled = True
+        if owner is self:
             self._live -= 1
+            self._dead += 1
+            if (self._dead >= self.COMPACT_MIN_DEAD
+                    and self._dead * 2 >= len(self._heap)):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop all cancelled entries from the heap in one batched sweep.
+
+        The heap list is rebuilt *in place* (slice assignment) so that
+        run loops holding a direct reference to it stay valid across a
+        compaction triggered mid-run.
+        """
+        self._heap[:] = [entry for entry in self._heap
+                         if not (isinstance(entry[3], Event)
+                                 and entry[3].cancelled)]
+        heapq.heapify(self._heap)
+        self._dead = 0
 
     def peek_time(self) -> int | None:
         """Time of the next live event, or ``None`` if the queue is empty."""
         heap = self._heap
-        while heap and heap[0][3].cancelled:
-            heapq.heappop(heap)
-        if not heap:
-            return None
-        return heap[0][0]
+        while heap:
+            item = heap[0][3]
+            if isinstance(item, Event) and item.cancelled:
+                heapq.heappop(heap)
+                self._dead -= 1
+                continue
+            return heap[0][0]
+        return None
 
     def pop(self) -> Event | None:
-        """Remove and return the next live event, or ``None`` if empty."""
+        """Remove and return the next live event, or ``None`` if empty.
+
+        Fire-and-forget entries (from :meth:`push_call`) are wrapped in
+        a fresh :class:`Event` so every caller sees one type; the hot
+        run loop bypasses this method and reads the heap directly.
+        """
         heap = self._heap
         while heap:
-            event = heapq.heappop(heap)[3]
-            if not event.cancelled:
+            entry = heapq.heappop(heap)
+            item = entry[3]
+            if isinstance(item, Event):
+                if item.cancelled:
+                    self._dead -= 1
+                    continue
                 self._live -= 1
-                return event
+                item.queue = None
+                return item
+            self._live -= 1
+            return Event(time=entry[0], priority=entry[1], seq=entry[2],
+                         action=item)
+        return None
+
+    def pop_due(self, deadline: int) -> Event | None:
+        """Pop the next live event with ``time <= deadline``, or ``None``.
+
+        One call replaces the peek/pop pair, so each fired event costs
+        a single walk past any cancelled entries at the head.  Entries
+        beyond ``deadline`` are left in place (even cancelled ones --
+        they are swept by compaction or when they surface).
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head[0] > deadline:
+                return None
+            heapq.heappop(heap)
+            item = head[3]
+            if isinstance(item, Event):
+                if item.cancelled:
+                    self._dead -= 1
+                    continue
+                self._live -= 1
+                item.queue = None
+                return item
+            self._live -= 1
+            return Event(time=head[0], priority=head[1], seq=head[2],
+                         action=item)
         return None

@@ -1,0 +1,105 @@
+"""Bus occupancy accounting: truncated frames and mid-run observation.
+
+Two regressions are pinned here:
+
+- a frame whose transmitter is disabled mid-flight is truncated on the
+  wire; the medium was held for only part of the window, so the bus
+  charges *half* the pending ticks instead of the full duration (the
+  seed charged nothing, under-reporting load during power cycles);
+- ``BusStats.utilisation`` measures against time since ``started_at``,
+  so a bus created mid-run reports load over the window it actually
+  observed instead of diluting it over the whole simulation.
+"""
+
+from repro.can.bus import BusStats, CanBus
+from repro.can.frame import CanFrame
+from repro.can.node import CanController
+from repro.sim.clock import MS, SECOND
+from repro.sim.kernel import Simulator
+
+
+def wire_node(sim, bus, name):
+    node = CanController(name)
+    node.attach(bus)
+    node.reset()
+    return node
+
+
+class TestTruncatedFrames:
+    def test_disabled_sender_charges_half_the_window(self):
+        sim = Simulator()
+        bus = CanBus(sim, name="bench")
+        sender = wire_node(sim, bus, "victim")
+        wire_node(sim, bus, "listener")
+        frame = CanFrame(0x123, bytes(8))
+        duration = bus.timing.frame_duration(frame)
+
+        sender.send(frame)
+        # Kill the transmitter halfway through its own frame.
+        sim.call_after(duration // 2, sender.disable)
+        sim.run_for(duration * 2)
+
+        assert bus.stats.frames_delivered == 0
+        assert bus.stats.busy_ticks == duration // 2
+
+    def test_completed_frame_charges_full_window(self):
+        sim = Simulator()
+        bus = CanBus(sim, name="bench")
+        sender = wire_node(sim, bus, "talker")
+        wire_node(sim, bus, "listener")
+        frame = CanFrame(0x123, bytes(8))
+        duration = bus.timing.frame_duration(frame)
+
+        sender.send(frame)
+        sim.run_for(duration * 2)
+
+        assert bus.stats.frames_delivered == 1
+        assert bus.stats.busy_ticks == duration
+
+    def test_truncation_then_traffic_sums_both_charges(self):
+        sim = Simulator()
+        bus = CanBus(sim, name="bench")
+        sender = wire_node(sim, bus, "talker")
+        wire_node(sim, bus, "listener")
+        frame = CanFrame(0x123, bytes(8))
+        duration = bus.timing.frame_duration(frame)
+
+        sender.send(frame)
+        sim.call_after(duration // 2, sender.disable)
+        sim.run_for(duration * 2)
+        sender.reset()
+        sender.send(frame)
+        sim.run_for(duration * 2)
+
+        assert bus.stats.frames_delivered == 1
+        assert bus.stats.busy_ticks == duration // 2 + duration
+
+
+class TestUtilisationWindow:
+    def test_mid_run_bus_measures_from_started_at(self):
+        sim = Simulator()
+        sim.run_for(3 * SECOND)  # the bus does not exist yet
+        bus = CanBus(sim, name="late")
+        assert bus.stats.started_at == 3 * SECOND
+        sender = wire_node(sim, bus, "talker")
+        wire_node(sim, bus, "listener")
+        frame = CanFrame(0x100, bytes(8))
+        duration = bus.timing.frame_duration(frame)
+        sender.send(frame)
+        sim.run_for(1 * SECOND)
+
+        # Against the observed 1 s window, not the 4 s total.
+        assert bus.stats.utilisation(sim.now) == duration / SECOND
+        diluted = duration / (4 * SECOND)
+        assert bus.stats.utilisation(sim.now) > diluted
+
+    def test_utilisation_before_observation_starts_is_zero(self):
+        stats = BusStats(started_at=5 * MS)
+        stats.busy_ticks = 100
+        assert stats.utilisation(5 * MS) == 0.0
+        assert stats.utilisation(4 * MS) == 0.0
+
+    def test_utilisation_is_clamped_to_one(self):
+        stats = BusStats(started_at=0)
+        stats.busy_ticks = 2_000
+        assert stats.utilisation(1_000) == 1.0

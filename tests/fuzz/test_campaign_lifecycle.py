@@ -1,0 +1,100 @@
+"""Campaign shutdown ordering.
+
+The regression this guards: an oracle finding can fire *synchronously*
+inside ``adapter.write`` (the write delivers a frame that trips a
+detector before the call returns).  ``_finish`` then runs mid-transmit,
+and the transmit loop must notice and not schedule another tx event --
+otherwise a cancelled-then-overwritten ``_tx_event`` handle leaks an
+uncancellable event behind a finished campaign.
+"""
+
+import random
+
+from repro.can.adapter import PcanStyleAdapter
+from repro.can.bus import CanBus
+from repro.fuzz.campaign import CampaignLimits, FuzzCampaign
+from repro.fuzz.config import FuzzConfig
+from repro.fuzz.generator import RandomFrameGenerator
+from repro.fuzz.oracle import Oracle
+from repro.sim.kernel import Simulator
+
+
+class TripwireOracle(Oracle):
+    """Reports a finding the instant :meth:`trip` is called."""
+
+    def __init__(self) -> None:
+        super().__init__("tripwire")
+        self._sim = None
+
+    def start(self, sim) -> None:
+        self._sim = sim
+
+    def trip(self, description: str) -> None:
+        self.report(self._sim.now, description)
+
+
+def build_campaign(max_frames=50):
+    sim = Simulator()
+    bus = CanBus(sim, name="bench")
+    adapter = PcanStyleAdapter(bus)
+    adapter.initialize()
+    generator = RandomFrameGenerator(FuzzConfig(), random.Random(7))
+    oracle = TripwireOracle()
+    campaign = FuzzCampaign(
+        sim, adapter, generator,
+        limits=CampaignLimits(max_frames=max_frames),
+        oracles=[oracle])
+    return sim, campaign, oracle
+
+
+class TestSynchronousFinding:
+    def test_finding_inside_write_leaves_no_stray_tx_event(self):
+        sim, campaign, oracle = build_campaign()
+        real_write = campaign._write
+
+        def write_and_trip(frame):
+            status = real_write(frame)
+            oracle.trip("tripped during the write call")
+            return status
+
+        campaign._write = write_and_trip
+        result = campaign.run()
+
+        assert result.stop_reason == "finding from oracle 'tripwire'"
+        assert result.frames_sent == 1
+        assert len(result.findings) == 1
+        # _finish ran inside _transmit; no replacement tx event may
+        # have been scheduled afterwards.
+        assert campaign._tx_event is None
+        live_labels = [entry[3].label
+                       for entry in sim._queue._heap
+                       if hasattr(entry[3], "label")
+                       and not entry[3].cancelled]
+        assert campaign._label_tx not in live_labels
+
+    def test_no_extra_frame_generated_after_synchronous_finish(self):
+        sim, campaign, oracle = build_campaign()
+        real_write = campaign._write
+
+        def write_and_trip(frame):
+            status = real_write(frame)
+            oracle.trip("tripped during the write call")
+            return status
+
+        campaign._write = write_and_trip
+        campaign.run()
+        generated_at_stop = campaign.generator.generated
+        # Drain anything still scheduled; a stray tx event would pull
+        # another frame out of the generator here.
+        sim.run_for(1_000_000)
+        assert campaign.generator.generated == generated_at_stop
+        assert campaign.frames_sent == 1
+
+
+class TestNormalCompletion:
+    def test_frame_limit_cancels_tx_event(self):
+        sim, campaign, _ = build_campaign(max_frames=5)
+        result = campaign.run()
+        assert result.stop_reason == "frame limit reached"
+        assert result.frames_sent == 5
+        assert campaign._tx_event is None

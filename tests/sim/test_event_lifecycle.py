@@ -1,0 +1,149 @@
+"""Lifecycle tests for the event queue: cancellation accounting,
+compaction, and fire-and-forget entries.
+
+The ``len(queue)`` invariant matters operationally: campaign and ECU
+teardown logic uses the live count to decide whether work is pending,
+and the seed code let it drift when events were cancelled through
+``Event.cancel`` instead of ``EventQueue.cancel``.
+"""
+
+import random
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import Simulator
+
+
+class TestCancelAccounting:
+    def test_event_cancel_routes_through_queue(self):
+        queue = EventQueue()
+        events = [queue.push(t, lambda: None) for t in range(10)]
+        assert len(queue) == 10
+        events[3].cancel()          # via the event
+        queue.cancel(events[7])     # via the queue
+        assert len(queue) == 8
+
+    def test_mixed_double_cancel_does_not_drift(self):
+        queue = EventQueue()
+        event = queue.push(5, lambda: None)
+        queue.push(6, lambda: None)
+        event.cancel()
+        queue.cancel(event)
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_cancel_after_pop_does_not_drift(self):
+        queue = EventQueue()
+        event = queue.push(1, lambda: None)
+        queue.push(2, lambda: None)
+        popped = queue.pop()
+        assert popped is event
+        event.cancel()              # already fired: flag only
+        assert event.cancelled
+        assert len(queue) == 1
+
+    def test_cancel_unscheduled_event_sets_flag_only(self):
+        event = Event(time=0, priority=0, seq=0, action=lambda: None)
+        event.cancel()
+        assert event.cancelled
+
+    def test_len_matches_pops_under_random_cancellation(self):
+        rng = random.Random(42)
+        queue = EventQueue()
+        events = [queue.push(rng.randrange(1000), lambda: None)
+                  for _ in range(300)]
+        cancelled = 0
+        for event in events:
+            if rng.random() < 0.5:
+                # Alternate between the two cancellation entry points.
+                if rng.random() < 0.5:
+                    event.cancel()
+                else:
+                    queue.cancel(event)
+                cancelled += 1
+        assert len(queue) == 300 - cancelled
+        popped = 0
+        while queue.pop() is not None:
+            popped += 1
+        assert popped == 300 - cancelled
+        assert len(queue) == 0
+
+
+class TestCompaction:
+    def test_compaction_physically_shrinks_the_heap(self):
+        queue = EventQueue()
+        events = [queue.push(t, lambda: None) for t in range(300)]
+        for event in events[:250]:
+            event.cancel()
+        # Enough corpses accumulated that at least one sweep must have
+        # run, and afterwards dead entries never dominate the heap.
+        assert len(queue._heap) < 300
+        assert len(queue) == 50
+        assert (queue._dead < EventQueue.COMPACT_MIN_DEAD
+                or queue._dead * 2 < len(queue._heap))
+
+    def test_order_preserved_across_compaction(self):
+        queue = EventQueue()
+        events = [queue.push(t, lambda: None, label=str(t))
+                  for t in range(200)]
+        for event in events:
+            if event.time % 2:
+                event.cancel()
+        survivors = []
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            survivors.append(event.time)
+        assert survivors == sorted(survivors)
+        assert survivors == [t for t in range(200) if t % 2 == 0]
+
+
+class TestPushCall:
+    def test_push_call_counts_as_live_and_fires_in_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push_call(20, lambda: fired.append("late"))
+        queue.push(10, lambda: fired.append("early"))
+        assert len(queue) == 2
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            event.action()
+        assert fired == ["early", "late"]
+        assert len(queue) == 0
+
+    def test_pop_wraps_bare_callable_into_event(self):
+        queue = EventQueue()
+        marker = []
+        queue.push_call(7, lambda: marker.append(1), priority=3)
+        event = queue.pop()
+        assert isinstance(event, Event)
+        assert event.time == 7
+        assert event.priority == 3
+        event.action()
+        assert marker == [1]
+
+    def test_priority_tie_break_applies_to_bare_entries(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(10, lambda: fired.append("app"), priority=10)
+        queue.push_call(10, lambda: fired.append("bus"), priority=0)
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            event.action()
+        assert fired == ["bus", "app"]
+
+    def test_run_until_dispatches_mixed_entries(self):
+        sim = Simulator()
+        fired = []
+        sim._queue.push_call(5, lambda: fired.append("raw"))
+        sim.call_after(3, lambda: fired.append("event"))
+        cancelled = sim.call_after(4, lambda: fired.append("never"))
+        sim.cancel(cancelled)
+        sim.run_until(10)
+        assert fired == ["event", "raw"]
+        assert sim.now == 10
+        assert len(sim._queue) == 0
