@@ -1,0 +1,151 @@
+"""Sharded-runner benchmark: parallel fan-out vs the serial baseline.
+
+Runs the same Table V-style unlock hunt (fixed total frame budget,
+findings recorded without stopping) twice through one
+:class:`~repro.fuzz.parallel.ShardedCampaign`:
+
+- **serial**: every shard inline in this process, shard order
+  (``run_serial`` -- the single-process baseline), and
+- **parallel**: the shards fanned across worker processes (``run``).
+
+Both paths execute the identical per-shard specs -- same seeds
+derived from ``(master_seed, shard_index)``, same limit slices -- so
+the merged results must be *bit-identical* (compared by
+``ShardedResult.fingerprint``, which hashes every shard's full
+``FuzzResult`` payload and excludes only wall-clock fields).  The
+benchmark fails if they diverge; the speedup is reported, not gated,
+unless ``--require-speedup`` is given (CI machines are too noisy --
+and may be single-core, where no wall-clock speedup is physically
+possible).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py \
+        --shards 4 --frames 200000 --repeats 3 --output BENCH_parallel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+from repro.fuzz.campaign import CampaignLimits
+from repro.fuzz.parallel import ShardedCampaign
+from repro.testbench.factory import UnlockBenchFactory
+
+MASTER_SEED = 0  # fixed: shard 3 finds the unlock inside 50k frames
+
+
+def summarise(result) -> dict:
+    """The JSON-report slice of one ShardedResult."""
+    return {
+        "wall_seconds": result.wall_seconds,
+        "frames_sent": result.frames_sent,
+        "findings": [
+            {"shard": shard, "oracle": finding.oracle,
+             "description": finding.description}
+            for shard, finding in result.findings
+        ],
+        "write_errors": result.write_errors,
+        "worker_faults": result.fault_count,
+        "fingerprint": result.fingerprint(),
+    }
+
+
+def best_of(run, repeats: int):
+    """Fastest of ``repeats`` runs (standard scheduler-noise defence)."""
+    return min((run() for _ in range(repeats)),
+               key=lambda r: r.wall_seconds)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shards", type=int, default=4,
+                        help="independent campaigns (default 4)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="concurrent workers (default = shards)")
+    parser.add_argument("--frames", type=int, default=200_000,
+                        help="total frame budget, sliced over shards")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per mode; the fastest is reported")
+    parser.add_argument("--master-seed", type=int, default=MASTER_SEED)
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        help="fail unless parallel/serial >= this ratio "
+                             "(only meaningful on a multi-core machine)")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_parallel.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+    if args.shards <= 0:
+        parser.error("--shards must be positive")
+    if args.frames < args.shards:
+        parser.error("--frames must be >= --shards")
+    if args.repeats <= 0:
+        parser.error("--repeats must be positive")
+
+    jobs = args.jobs or args.shards
+    runner = ShardedCampaign(
+        UnlockBenchFactory(),
+        shards=args.shards, jobs=jobs, master_seed=args.master_seed,
+        limits=CampaignLimits(max_frames=args.frames,
+                              stop_on_finding=False))
+
+    print(f"unlock hunt: {args.frames} frames over {args.shards} shards, "
+          f"{jobs} job(s), best of {args.repeats} "
+          f"({os.cpu_count()} cpu(s) available)")
+
+    serial = best_of(runner.run_serial, args.repeats)
+    print(f"serial:    {serial.wall_seconds:.3f} s wall  "
+          f"({serial.frames_sent / serial.wall_seconds:,.0f} frames/s)")
+
+    parallel = best_of(runner.run, args.repeats)
+    print(f"parallel:  {parallel.wall_seconds:.3f} s wall  "
+          f"({parallel.frames_sent / parallel.wall_seconds:,.0f} frames/s)")
+
+    speedup = serial.wall_seconds / parallel.wall_seconds
+    identical = serial.fingerprint() == parallel.fingerprint()
+    print(f"speedup:   {speedup:.2f}x   merged-results identical: "
+          f"{identical}")
+    print(f"findings:  {len(parallel.findings)} "
+          f"(shards {sorted({s for s, _ in parallel.findings})})")
+
+    report = {
+        "benchmark": "sharded unlock hunt: parallel vs serial baseline",
+        "shards": args.shards,
+        "jobs": jobs,
+        "frames": args.frames,
+        "master_seed": args.master_seed,
+        "repeats": args.repeats,
+        "serial": summarise(serial),
+        "parallel": summarise(parallel),
+        "speedup": speedup,
+        "merged_results_identical": identical,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if not identical:
+        print("ERROR: parallel merge diverged from the serial baseline",
+              file=sys.stderr)
+        return 1
+    if not (serial.ok and parallel.ok):
+        print("ERROR: a shard failed permanently", file=sys.stderr)
+        return 1
+    if (args.require_speedup is not None
+            and speedup < args.require_speedup):
+        print(f"ERROR: speedup {speedup:.2f}x below required "
+              f"{args.require_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

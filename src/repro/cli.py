@@ -92,6 +92,8 @@ def _cmd_fuzz_bench(args: argparse.Namespace) -> int:
     from repro.sim.random import RandomStreams
     from repro.testbench import UNLOCK_ACK_ID, UnlockTestbench
 
+    if args.shards > 1:
+        return _run_sharded_bench(args)
     bench = UnlockTestbench(seed=args.seed, check_mode=args.check_mode)
     bench.power_on()
     adapter = bench.attacker_adapter()
@@ -115,6 +117,28 @@ def _cmd_fuzz_bench(args: argparse.Namespace) -> int:
     print(result.summary())
     print(f"lock LED: {'ON (unlocked)' if bench.bcm.led_on else 'off'}")
     return 0 if result.findings else 1
+
+
+def _run_sharded_bench(args: argparse.Namespace) -> int:
+    """``fuzz-bench --shards N``: fan the hunt across worker processes.
+
+    Each shard is an independent hunt (own bench, own seed derived
+    from ``(--seed, shard_index)``) with the full simulated-time
+    budget; the merged record carries shard provenance per finding.
+    """
+    from repro.fuzz import CampaignLimits, ShardedCampaign
+    from repro.testbench import UnlockBenchFactory
+
+    runner = ShardedCampaign(
+        UnlockBenchFactory(check_mode=args.check_mode),
+        shards=args.shards,
+        jobs=args.jobs,
+        master_seed=args.seed,
+        limits=CampaignLimits(
+            max_duration=round(args.max_seconds * SECOND)))
+    merged = runner.run()
+    print(merged.summary())
+    return 0 if merged.ok and merged.findings else 1
 
 
 def _cmd_table5(args: argparse.Namespace) -> int:
@@ -192,7 +216,13 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("byte", "byte+dlc", "two-byte"))
     bench.add_argument("--seed", type=int, default=19)
     bench.add_argument("--max-seconds", type=float, default=3600.0,
-                       help="simulated-time budget")
+                       help="simulated-time budget (per shard when sharded)")
+    bench.add_argument("--shards", type=int, default=1,
+                       help="independent campaigns to fan out "
+                            "(1 = classic single-process run)")
+    bench.add_argument("--jobs", type=int, default=None,
+                       help="concurrent worker processes "
+                            "(default min(shards, cpu count))")
     bench.set_defaults(func=_cmd_fuzz_bench)
 
     table5 = sub.add_parser("table5", help="run a Table V row")

@@ -18,6 +18,7 @@ communications API handling module, and a CAN bus traffic monitor"):
   (§V).
 - :mod:`~repro.fuzz.minimize` -- delta-debugging a failure trace.
 - :mod:`~repro.fuzz.session` -- run records and findings.
+- :mod:`~repro.fuzz.parallel` -- the sharded multi-process runner.
 """
 
 from repro.fuzz.campaign import CampaignLimits, FuzzCampaign
@@ -37,6 +38,16 @@ from repro.fuzz.generator import (
 )
 from repro.fuzz.minimize import minimize_frame_bytes, minimize_trace
 from repro.fuzz.mutator import MutationalGenerator
+from repro.fuzz.parallel import (
+    CampaignFactory,
+    ShardedCampaign,
+    ShardedResult,
+    ShardFailure,
+    ShardOutcome,
+    ShardSpec,
+    derive_shard_seed,
+    slice_limits,
+)
 from repro.fuzz.replay import Replayer
 from repro.fuzz.oracle import (
     AckMessageOracle,
@@ -79,4 +90,12 @@ __all__ = [
     "minimize_trace",
     "minimize_frame_bytes",
     "Replayer",
+    "CampaignFactory",
+    "ShardedCampaign",
+    "ShardedResult",
+    "ShardFailure",
+    "ShardOutcome",
+    "ShardSpec",
+    "derive_shard_seed",
+    "slice_limits",
 ]

@@ -46,13 +46,21 @@ def coverage_fraction(frames_sent: int, combinations: int) -> float:
     """Expected fraction of the space touched by uniform random draws.
 
     With replacement, the expected coverage after ``n`` uniform draws
-    from a space of size ``m`` is ``1 - (1 - 1/m)^n``.
+    from a space of size ``m`` is ``1 - (1 - 1/m)^n``.  Evaluated as
+    ``-expm1(n * log1p(-1/m))``: the textbook form rounds ``1 - 1/m``
+    to exactly ``1.0`` once ``m`` exceeds ~2^53 (e.g. the 11-bit-id +
+    8-byte space) and reports zero coverage regardless of ``n``.
     """
     if combinations <= 0:
         raise ValueError("combinations must be positive")
     if frames_sent < 0:
         raise ValueError("frames_sent must be >= 0")
-    return 1.0 - (1.0 - 1.0 / combinations) ** frames_sent
+    if frames_sent == 0:
+        return 0.0
+    if combinations == 1:
+        # log1p(-1.0) is a domain error; one draw covers the space.
+        return 1.0
+    return -math.expm1(frames_sent * math.log1p(-1.0 / combinations))
 
 
 def expected_frames_to_hit(hit_probability: float) -> float:

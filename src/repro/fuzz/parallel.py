@@ -1,0 +1,470 @@
+"""Sharded parallel campaign execution: fan one fuzz run across processes.
+
+The paper's §V arithmetic is the motivation: one byte of payload is
+already 2^19 combinations and a second byte pushes exhaustive
+transmission past 1.5 days at the 1 frame/ms ceiling.  A single
+campaign cannot explore that space, but the simulator is deterministic
+and every campaign is self-contained, so the workload is
+embarrassingly parallel: N shards, each a fresh target built inside a
+worker process from a pickleable factory, each drawing from a
+deterministic per-shard RNG derived from ``(master_seed, shard_index)``
+and owning its own :class:`CampaignLimits` slice.
+
+Workers ship their :class:`FuzzResult` back as JSON -- the same
+artefact a single campaign writes to disk -- and the parent merges
+them into a :class:`ShardedResult` with shard provenance on every
+finding.  Worker faults are handled by the parent: a per-shard
+wall-clock timeout kills hung workers, crashed workers (a raised
+exception or a dead process) are detected, both are retried a bounded
+number of times with a fresh seed derivation, and if the OS refuses to
+start processes the runner degrades to fewer workers, down to running
+shards inline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field, replace
+from multiprocessing.connection import wait as _connection_wait
+from typing import Callable
+
+from repro.fuzz.campaign import CampaignLimits, FuzzCampaign
+from repro.fuzz.oracle import Finding
+from repro.fuzz.session import FuzzResult
+
+
+def derive_shard_seed(master_seed: int, shard_index: int,
+                      attempt: int = 0) -> int:
+    """Deterministic per-shard seed, the sharding analogue of
+    :meth:`repro.sim.random.RandomStreams._derive_seed`.
+
+    Equal ``(master_seed, shard_index)`` pairs always produce the same
+    seed, so a shard re-run anywhere reproduces bit-identically.  A
+    retry after a worker fault bumps ``attempt``, giving the
+    replacement run a fresh -- but still reproducible -- stream.
+    """
+    label = f"{master_seed}:shard-{shard_index}:attempt-{attempt}"
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def slice_limits(limits: CampaignLimits, shards: int) -> list[CampaignLimits]:
+    """Split one campaign budget into per-shard slices.
+
+    ``max_frames`` is divided as evenly as possible (low-index shards
+    take the remainder); ``max_duration`` and ``stop_on_finding`` pass
+    through unchanged -- shards run concurrently, so a simulated-time
+    budget applies to each shard independently.
+    """
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    if limits.max_frames is None:
+        return [limits] * shards
+    base, extra = divmod(limits.max_frames, shards)
+    if base == 0:
+        raise ValueError(
+            f"max_frames={limits.max_frames} cannot be split over "
+            f"{shards} shards; every shard needs at least one frame")
+    return [replace(limits, max_frames=base + (1 if i < extra else 0))
+            for i in range(shards)]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker needs to build and run one shard.
+
+    Crosses the process boundary by pickle, so it holds only plain
+    values.  ``seed`` is always ``derive_shard_seed(master_seed,
+    index, attempt)``; it is materialised here so a factory never has
+    to re-derive it.
+    """
+
+    index: int
+    shard_count: int
+    master_seed: int
+    seed: int
+    limits: CampaignLimits
+    attempt: int = 0
+
+
+#: A pickleable callable building a ready-to-run campaign for one
+#: shard.  It must construct a *fresh* target (simulator, bus, target
+#: nodes, adapter, oracles) from ``spec.seed`` alone: workers are
+#: separate processes and share nothing.
+CampaignFactory = Callable[[ShardSpec], FuzzCampaign]
+
+
+def _shard_worker(factory: CampaignFactory, spec: ShardSpec, conn) -> None:
+    """Worker entry point: build the shard's target, run, ship JSON."""
+    try:
+        result = factory(spec).run()
+        conn.send(("ok", result.to_json()))
+    except BaseException:
+        conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+@dataclass
+class ShardOutcome:
+    """One shard's contribution to the merged result."""
+
+    index: int
+    seed: int
+    attempt: int
+    result: FuzzResult
+    wall_seconds: float
+    #: Fault descriptions from earlier attempts of this shard (empty
+    #: when the first attempt succeeded).
+    faults: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "seed": self.seed,
+            "attempt": self.attempt,
+            "wall_seconds": self.wall_seconds,
+            "faults": list(self.faults),
+            "result": self.result.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardOutcome":
+        return cls(
+            index=payload.get("index", 0),
+            seed=payload.get("seed", 0),
+            attempt=payload.get("attempt", 0),
+            result=FuzzResult.from_dict(payload.get("result", {})),
+            wall_seconds=payload.get("wall_seconds", 0.0),
+            faults=tuple(payload.get("faults", [])),
+        )
+
+
+@dataclass
+class ShardFailure:
+    """A shard that never produced a result within its retry budget."""
+
+    index: int
+    faults: tuple[str, ...]
+
+    def to_dict(self) -> dict:
+        return {"index": self.index, "faults": list(self.faults)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardFailure":
+        return cls(index=payload.get("index", 0),
+                   faults=tuple(payload.get("faults", [])))
+
+
+@dataclass
+class ShardedResult:
+    """Aggregate of a sharded run: outcomes in shard order, plus the
+    shards that permanently failed."""
+
+    master_seed: int
+    shard_count: int
+    jobs: int
+    wall_seconds: float
+    outcomes: list[ShardOutcome] = field(default_factory=list)
+    failures: list[ShardFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every shard produced a result."""
+        return not self.failures and len(self.outcomes) == self.shard_count
+
+    @property
+    def frames_sent(self) -> int:
+        return sum(o.result.frames_sent for o in self.outcomes)
+
+    @property
+    def findings(self) -> list[tuple[int, Finding]]:
+        """``(shard_index, finding)`` pairs in shard order -- the
+        provenance needed to replay a finding from the right seed."""
+        return [(o.index, finding)
+                for o in self.outcomes
+                for finding in o.result.findings]
+
+    @property
+    def write_errors(self) -> dict[str, int]:
+        """Per-status rollup of adapter write errors across shards."""
+        merged: dict[str, int] = {}
+        for outcome in self.outcomes:
+            for status, count in outcome.result.write_errors.items():
+                merged[status] = merged.get(status, 0) + count
+        return merged
+
+    @property
+    def fault_count(self) -> int:
+        return (sum(len(o.faults) for o in self.outcomes)
+                + sum(len(f.faults) for f in self.failures))
+
+    def fingerprint(self) -> str:
+        """Deterministic digest of the merged payload.
+
+        Excludes wall-clock fields, so two runs of the same shards --
+        serial or parallel, any job count -- fingerprint identically.
+        """
+        payload = [(o.index, o.seed, o.attempt, o.result.to_dict())
+                   for o in self.outcomes]
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8")).hexdigest()
+
+    def summary(self) -> str:
+        """One-paragraph human-readable outcome of the whole fan-out."""
+        lines = [
+            f"sharded run: {len(self.outcomes)}/{self.shard_count} shards "
+            f"ok ({self.jobs} job(s)), {self.frames_sent} frames in "
+            f"{self.wall_seconds:.1f} s wall, "
+            f"{len(self.findings)} finding(s), "
+            f"{self.fault_count} worker fault(s)",
+        ]
+        for index, finding in self.findings[:10]:
+            lines.append(f"  [shard {index}] {finding.oracle}: "
+                         f"{finding.description}")
+        if len(self.findings) > 10:
+            lines.append(f"  ... and {len(self.findings) - 10} more")
+        for failure in self.failures:
+            lines.append(f"  [shard {failure.index}] FAILED: "
+                         f"{failure.faults[-1].splitlines()[-1]}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "master_seed": self.master_seed,
+            "shard_count": self.shard_count,
+            "jobs": self.jobs,
+            "wall_seconds": self.wall_seconds,
+            "outcomes": [o.to_dict() for o in self.outcomes],
+            "failures": [f.to_dict() for f in self.failures],
+        }, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ShardedResult":
+        payload = json.loads(text)
+        return cls(
+            master_seed=payload.get("master_seed", 0),
+            shard_count=payload.get("shard_count", 0),
+            jobs=payload.get("jobs", 0),
+            wall_seconds=payload.get("wall_seconds", 0.0),
+            outcomes=[ShardOutcome.from_dict(item)
+                      for item in payload.get("outcomes", [])],
+            failures=[ShardFailure.from_dict(item)
+                      for item in payload.get("failures", [])],
+        )
+
+
+@dataclass
+class _Worker:
+    """Parent-side handle for one in-flight shard attempt."""
+
+    spec: ShardSpec
+    process: multiprocessing.process.BaseProcess
+    conn: object
+    started: float
+    deadline: float
+
+
+class ShardedCampaign:
+    """Fan one campaign budget across worker processes and merge.
+
+    Args:
+        factory: pickleable :data:`CampaignFactory` building a fresh
+            target per shard.
+        shards: number of independent shards.
+        limits: the *total* budget; sliced with :func:`slice_limits`.
+        master_seed: root of every per-shard seed derivation.
+        jobs: maximum concurrent workers (default: ``min(shards,
+            cpu_count)``).  ``jobs=1`` still uses a worker process --
+            use :meth:`run_serial` for the in-process baseline.
+        shard_timeout: wall-clock seconds a worker may run before it
+            is declared hung, killed and retried.
+        max_retries: extra attempts per shard after a fault; each
+            retry derives a fresh seed from the bumped attempt number.
+        mp_context: multiprocessing start-method context (default: the
+            platform default, ``fork`` on Linux).
+    """
+
+    def __init__(self, factory: CampaignFactory, *, shards: int,
+                 limits: CampaignLimits, master_seed: int = 0,
+                 jobs: int | None = None, shard_timeout: float = 600.0,
+                 max_retries: int = 1, mp_context=None) -> None:
+        if shards <= 0:
+            raise ValueError("shards must be positive")
+        if jobs is not None and jobs <= 0:
+            raise ValueError("jobs must be positive")
+        if shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.factory = factory
+        self.shards = shards
+        self.master_seed = master_seed
+        self.jobs = jobs or min(shards, os.cpu_count() or 1)
+        self.shard_timeout = shard_timeout
+        self.max_retries = max_retries
+        self._mp_context = mp_context
+        self._specs = [
+            ShardSpec(index=i, shard_count=shards, master_seed=master_seed,
+                      seed=derive_shard_seed(master_seed, i),
+                      limits=shard_limits)
+            for i, shard_limits in enumerate(slice_limits(limits, shards))
+        ]
+
+    # ------------------------------------------------------------------
+    # Serial baseline
+    # ------------------------------------------------------------------
+    def run_serial(self) -> ShardedResult:
+        """Run every shard inline, in shard order, in this process.
+
+        The benchmark baseline, and the reference the parallel path
+        must match bit for bit (:meth:`ShardedResult.fingerprint`).
+        """
+        started = time.perf_counter()
+        outcomes = [self._run_inline(spec) for spec in self._specs]
+        return ShardedResult(
+            master_seed=self.master_seed, shard_count=self.shards,
+            jobs=1, wall_seconds=time.perf_counter() - started,
+            outcomes=outcomes)
+
+    def _run_inline(self, spec: ShardSpec,
+                    faults: tuple[str, ...] = ()) -> ShardOutcome:
+        started = time.perf_counter()
+        result = self.factory(spec).run()
+        return ShardOutcome(
+            index=spec.index, seed=spec.seed, attempt=spec.attempt,
+            result=result, wall_seconds=time.perf_counter() - started,
+            faults=faults)
+
+    # ------------------------------------------------------------------
+    # Parallel execution
+    # ------------------------------------------------------------------
+    def run(self) -> ShardedResult:
+        """Execute all shards across worker processes and merge."""
+        ctx = self._mp_context or multiprocessing.get_context()
+        started = time.perf_counter()
+        pending: deque[ShardSpec] = deque(self._specs)
+        workers: list[_Worker] = []
+        outcomes: dict[int, ShardOutcome] = {}
+        failures: dict[int, ShardFailure] = {}
+        fault_log: dict[int, list[str]] = {
+            spec.index: [] for spec in self._specs}
+        jobs = self.jobs
+        while pending or workers:
+            # Launch up to the (possibly degraded) concurrency cap.
+            while pending and len(workers) < jobs:
+                spec = pending.popleft()
+                worker = self._spawn(ctx, spec)
+                if worker is not None:
+                    workers.append(worker)
+                    continue
+                if workers:
+                    # The OS refused a process while others run: put
+                    # the spec back and degrade to the level that works.
+                    pending.appendleft(spec)
+                    jobs = len(workers)
+                else:
+                    # Cannot run even one worker: execute inline.
+                    outcomes[spec.index] = self._run_inline(
+                        spec, faults=tuple(fault_log[spec.index]))
+                break
+            if not workers:
+                continue
+            now = time.monotonic()
+            timeout = max(0.0, min(w.deadline for w in workers) - now)
+            ready = set(_connection_wait([w.conn for w in workers],
+                                         timeout=timeout))
+            now = time.monotonic()
+            still_running: list[_Worker] = []
+            for worker in workers:
+                if worker.conn in ready:
+                    self._reap(worker, outcomes, fault_log, pending,
+                               failures)
+                elif now >= worker.deadline:
+                    self._kill(worker)
+                    self._record_fault(
+                        worker.spec,
+                        f"worker hung: no result within "
+                        f"{self.shard_timeout:.0f} s, killed",
+                        fault_log, pending, failures)
+                else:
+                    still_running.append(worker)
+            workers = still_running
+        return ShardedResult(
+            master_seed=self.master_seed, shard_count=self.shards,
+            jobs=self.jobs,
+            wall_seconds=time.perf_counter() - started,
+            outcomes=[outcomes[i] for i in sorted(outcomes)],
+            failures=[failures[i] for i in sorted(failures)])
+
+    # -- worker lifecycle ----------------------------------------------
+    def _spawn(self, ctx, spec: ShardSpec) -> _Worker | None:
+        """Start one worker; None when the OS refuses resources."""
+        try:
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+        except OSError:
+            return None
+        try:
+            process = ctx.Process(
+                target=_shard_worker, args=(self.factory, spec, child_conn),
+                name=f"fuzz-shard-{spec.index}", daemon=True)
+            process.start()
+        except OSError:
+            parent_conn.close()
+            child_conn.close()
+            return None
+        child_conn.close()
+        now = time.monotonic()
+        return _Worker(spec=spec, process=process, conn=parent_conn,
+                       started=now, deadline=now + self.shard_timeout)
+
+    def _reap(self, worker: _Worker, outcomes: dict, fault_log: dict,
+              pending: deque, failures: dict) -> None:
+        """Collect a readable worker: a result, an error, or a corpse."""
+        spec = worker.spec
+        try:
+            kind, payload = worker.conn.recv()
+        except (EOFError, OSError):
+            worker.process.join()
+            kind = "error"
+            payload = (f"worker crashed without reporting "
+                       f"(exit code {worker.process.exitcode})")
+        worker.conn.close()
+        worker.process.join()
+        if kind == "ok":
+            outcomes[spec.index] = ShardOutcome(
+                index=spec.index, seed=spec.seed, attempt=spec.attempt,
+                result=FuzzResult.from_json(payload),
+                wall_seconds=time.monotonic() - worker.started,
+                faults=tuple(fault_log[spec.index]))
+        else:
+            self._record_fault(spec, payload, fault_log, pending, failures)
+
+    def _kill(self, worker: _Worker) -> None:
+        worker.process.terminate()
+        worker.process.join(timeout=5.0)
+        if worker.process.is_alive():  # pragma: no cover - SIGTERM ignored
+            worker.process.kill()
+            worker.process.join()
+        worker.conn.close()
+
+    def _record_fault(self, spec: ShardSpec, description: str,
+                      fault_log: dict, pending: deque,
+                      failures: dict) -> None:
+        fault_log[spec.index].append(
+            f"attempt {spec.attempt}: {description}")
+        if spec.attempt < self.max_retries:
+            attempt = spec.attempt + 1
+            pending.append(replace(
+                spec, attempt=attempt,
+                seed=derive_shard_seed(spec.master_seed, spec.index,
+                                       attempt)))
+        else:
+            failures[spec.index] = ShardFailure(
+                index=spec.index, faults=tuple(fault_log[spec.index]))

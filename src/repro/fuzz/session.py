@@ -15,6 +15,58 @@ from repro.fuzz.oracle import Finding
 from repro.sim.clock import SECOND
 
 
+def frame_to_dict(frame) -> dict:
+    """All frame fields, JSON-ready.
+
+    ``remote``/``fd``/``brs`` are included unconditionally: an RTR or
+    FD finding that loses its flags deserialises as a *different*
+    frame, and replaying or minimising the loaded result would probe
+    the wrong input.
+    """
+    return {
+        "id": frame.can_id,
+        "data": frame.data.hex(),
+        "extended": frame.extended,
+        "remote": frame.remote,
+        "fd": frame.fd,
+        "brs": frame.brs,
+    }
+
+
+def frame_from_dict(payload: dict):
+    """Rebuild a frame; flag keys default to False for pre-flag JSON."""
+    from repro.can.frame import CanFrame
+
+    return CanFrame(
+        payload["id"],
+        bytes.fromhex(payload["data"]),
+        extended=payload.get("extended", False),
+        remote=payload.get("remote", False),
+        fd=payload.get("fd", False),
+        brs=payload.get("brs", False),
+    )
+
+
+def _finding_to_dict(finding: Finding) -> dict:
+    return {
+        "time": finding.time,
+        "oracle": finding.oracle,
+        "description": finding.description,
+        "recent_frames": [frame_to_dict(frame)
+                          for frame in finding.recent_frames],
+    }
+
+
+def _finding_from_dict(item: dict) -> Finding:
+    return Finding(
+        time=item.get("time", 0),
+        oracle=item.get("oracle", ""),
+        description=item.get("description", ""),
+        recent_frames=tuple(frame_from_dict(f)
+                            for f in item.get("recent_frames", [])),
+    )
+
+
 @dataclass
 class FuzzResult:
     """Outcome of one fuzz campaign run."""
@@ -70,9 +122,9 @@ class FuzzResult:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def to_json(self) -> str:
-        """Serialise (findings keep id/data as hex strings)."""
-        payload = {
+    def to_dict(self) -> dict:
+        """JSON-ready payload (findings keep id/data as hex strings)."""
+        return {
             "name": self.name,
             "seed_label": self.seed_label,
             "started_at": self.started_at,
@@ -81,49 +133,34 @@ class FuzzResult:
             "stop_reason": self.stop_reason,
             "write_errors": self.write_errors,
             "config_rows": [list(row) for row in self.config_rows],
-            "findings": [
-                {
-                    "time": f.time,
-                    "oracle": f.oracle,
-                    "description": f.description,
-                    "recent_frames": [
-                        {"id": frame.can_id,
-                         "data": frame.data.hex(),
-                         "extended": frame.extended}
-                        for frame in f.recent_frames
-                    ],
-                }
-                for f in self.findings
-            ],
+            "findings": [_finding_to_dict(f) for f in self.findings],
         }
-        return json.dumps(payload, indent=2)
 
     @classmethod
-    def from_json(cls, text: str) -> "FuzzResult":
-        from repro.can.frame import CanFrame
+    def from_dict(cls, payload: dict) -> "FuzzResult":
+        """Rebuild a result from a :meth:`to_dict` payload.
 
-        payload = json.loads(text)
-        findings = [
-            Finding(
-                time=item["time"],
-                oracle=item["oracle"],
-                description=item["description"],
-                recent_frames=tuple(
-                    CanFrame(f["id"], bytes.fromhex(f["data"]),
-                             extended=f["extended"])
-                    for f in item["recent_frames"]),
-            )
-            for item in payload["findings"]
-        ]
+        Every top-level read tolerates a missing key with the seed-era
+        default, so results saved before a field existed still load.
+        """
         return cls(
-            name=payload["name"],
-            seed_label=payload["seed_label"],
-            started_at=payload["started_at"],
-            ended_at=payload["ended_at"],
-            frames_sent=payload["frames_sent"],
-            findings=findings,
+            name=payload.get("name", ""),
+            seed_label=payload.get("seed_label", ""),
+            started_at=payload.get("started_at", 0),
+            ended_at=payload.get("ended_at", 0),
+            frames_sent=payload.get("frames_sent", 0),
+            findings=[_finding_from_dict(item)
+                      for item in payload.get("findings", [])],
             write_errors=dict(payload.get("write_errors", {})),
             stop_reason=payload.get("stop_reason", ""),
             config_rows=[tuple(row) for row in payload.get(
                 "config_rows", [])],
         )
+
+    def to_json(self) -> str:
+        """Serialise; the shard-merge currency of the parallel runner."""
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FuzzResult":
+        return cls.from_dict(json.loads(text))

@@ -11,6 +11,7 @@ from repro.testbench.app import LockApp
 from repro.testbench.bcm import BenchBcm, UNLOCK_ACK_ID
 from repro.testbench.bench import UnlockTestbench
 from repro.testbench.experiment import TableVRow, UnlockExperiment
+from repro.testbench.factory import UnlockBenchFactory
 
 __all__ = [
     "UnlockTestbench",
@@ -19,4 +20,5 @@ __all__ = [
     "LockApp",
     "UnlockExperiment",
     "TableVRow",
+    "UnlockBenchFactory",
 ]

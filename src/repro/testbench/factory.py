@@ -1,0 +1,79 @@
+"""Pickleable campaign factories for the sharded parallel runner.
+
+A :class:`~repro.fuzz.parallel.ShardedCampaign` worker receives a
+factory and a :class:`~repro.fuzz.parallel.ShardSpec` over the process
+boundary and must build its *entire* universe -- simulator, bus, bench
+nodes, adapter, generator, oracles -- from the spec's seed alone.  The
+factory here is a frozen dataclass of plain values, so it pickles
+under any start method and two workers can never share bench state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.can.frame import CanFrame
+from repro.fuzz.campaign import FuzzCampaign
+from repro.fuzz.config import FuzzConfig
+from repro.fuzz.generator import RandomFrameGenerator
+from repro.fuzz.oracle import AckMessageOracle, PhysicalStateOracle
+from repro.fuzz.parallel import ShardSpec
+from repro.sim.clock import MS
+from repro.sim.random import RandomStreams
+from repro.testbench.bcm import UNLOCK_ACK_ID
+from repro.testbench.bench import UnlockTestbench
+
+
+def _unlock_ack(frame: CanFrame) -> bool:
+    """The augmented acknowledgement payload test (module-level so the
+    factory stays pickleable under the spawn start method too)."""
+    return bool(frame.data) and frame.data[0] == 0x01
+
+
+@dataclass(frozen=True)
+class UnlockBenchFactory:
+    """Builds a fresh Table V-style unlock hunt for one shard.
+
+    Mirrors the single-process campaign the CLI's ``fuzz-bench`` and
+    :class:`~repro.testbench.experiment.UnlockExperiment` assemble:
+    a fresh :class:`UnlockTestbench`, a full-range random generator
+    seeded from the shard seed, and the two paper oracles (ack message
+    on the wire, LED as the physical probe).
+
+    Args:
+        check_mode: BCM unlock-recognition code ("byte", "byte+dlc",
+            "two-byte").
+        interval: fuzzer transmit interval (paper: 1 ms).
+        settle_seconds: bus settle time after power-on.
+        monitor_limit: frames retained by the bench monitor (bounded,
+            as in the experiment harness, so shards stay lean).
+    """
+
+    check_mode: str = "byte"
+    interval: int = 1 * MS
+    settle_seconds: float = 0.5
+    monitor_limit: int = 256
+
+    def __call__(self, spec: ShardSpec) -> FuzzCampaign:
+        bench = UnlockTestbench(seed=spec.seed,
+                                check_mode=self.check_mode,
+                                monitor_limit=self.monitor_limit)
+        bench.power_on(settle_seconds=self.settle_seconds)
+        adapter = bench.attacker_adapter()
+        generator = RandomFrameGenerator(
+            FuzzConfig.full_range(interval=self.interval),
+            RandomStreams(spec.seed).stream("fuzzer"))
+        oracles = [
+            AckMessageOracle(bench.bus, UNLOCK_ACK_ID,
+                             predicate=_unlock_ack,
+                             exclude_sender=adapter.controller.name,
+                             name="unlock-ack"),
+            # The lambda pins the bench (and everything it owns) to the
+            # campaign's lifetime.
+            PhysicalStateOracle(lambda: bench.bcm.led_on, expected=False,
+                                period=20 * MS, name="led"),
+        ]
+        return FuzzCampaign(
+            bench.sim, adapter, generator, limits=spec.limits,
+            oracles=oracles, interval=self.interval,
+            name=f"unlock-{self.check_mode}-shard{spec.index}")

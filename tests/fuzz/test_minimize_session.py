@@ -1,13 +1,18 @@
 """Tests for trace minimisation and result persistence."""
 
+import json
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.can.frame import CanFrame
 from repro.fuzz.minimize import minimize_frame_bytes, minimize_trace
 from repro.fuzz.oracle import Finding
+from repro.fuzz.replay import Replayer
 from repro.fuzz.session import FuzzResult
 from repro.sim.clock import SECOND
+from repro.testbench.bench import UnlockTestbench
+from repro.vehicle.database import BODY_COMMAND_ID, UNLOCK_COMMAND
 
 
 class TestMinimizeTrace:
@@ -117,3 +122,95 @@ class TestFuzzResult:
         text = self.make_result().summary()
         assert "10000 frames" in text
         assert "unlock seen" in text
+
+    def test_rtr_and_fd_frames_survive_roundtrip(self):
+        """The flag-dropping bug: an RTR or FD finding used to
+        deserialise as a plain data frame, so replay probed the wrong
+        input."""
+        frames = (
+            CanFrame(0x101, remote=True),
+            CanFrame(0x102, bytes(range(12)), fd=True),
+            CanFrame(0x103, bytes(16), fd=True, brs=True),
+            CanFrame(0x1ABCDE, b"\x01", extended=True),
+        )
+        result = self.make_result()
+        result.findings = [Finding(time=1, oracle="o", description="d",
+                                   recent_frames=frames)]
+        restored = FuzzResult.from_json(result.to_json())
+        assert restored.findings[0].recent_frames == frames
+
+    def test_loads_pre_flag_json(self):
+        """Frames saved before remote/fd/brs were serialised load as
+        plain data frames."""
+        payload = self.make_result().to_dict()
+        for frame in payload["findings"][0]["recent_frames"]:
+            del frame["remote"], frame["fd"], frame["brs"]
+        restored = FuzzResult.from_dict(payload)
+        assert restored.findings[0].recent_frames[0] == CanFrame(
+            0x215, b"\x20")
+
+    def test_loads_seed_era_json_missing_top_level_keys(self):
+        """Results saved before a field existed must not KeyError."""
+        restored = FuzzResult.from_json(json.dumps({
+            "name": "old", "frames_sent": 7,
+            "findings": [{"time": 3, "oracle": "ack",
+                          "description": "seen"}],
+        }))
+        assert restored.name == "old"
+        assert restored.frames_sent == 7
+        assert restored.seed_label == ""
+        assert restored.started_at == 0
+        assert restored.findings[0].recent_frames == ()
+
+    def test_loads_empty_payload(self):
+        restored = FuzzResult.from_dict({})
+        assert restored.findings == []
+        assert restored.frames_sent == 0
+
+
+def unlock_bench_factory():
+    bench = UnlockTestbench(seed=3, check_mode="byte")
+    bench.power_on()
+    adapter = bench.attacker_adapter()
+    return bench.sim, adapter, lambda: bench.bcm.led_on
+
+
+class TestDeserialisedReplay:
+    """The replay->minimize path driven from a *loaded* FuzzResult.
+
+    This is the workflow the serialisation bugfixes protect: a finding
+    crosses a process boundary (or a disk file) as JSON, and the
+    minimiser must probe exactly the frames the campaign recorded --
+    including RTR and FD noise around the culprit.
+    """
+
+    def make_loaded_finding(self) -> Finding:
+        culprit = CanFrame(BODY_COMMAND_ID,
+                           bytes((UNLOCK_COMMAND, 0x99, 0x01)))
+        noise = [
+            CanFrame(0x100, b"\x01"),
+            CanFrame(0x101, remote=True),
+            CanFrame(0x102, bytes(range(12)), fd=True),
+            CanFrame(0x103, bytes(16), fd=True, brs=True),
+        ]
+        result = FuzzResult(
+            name="hunt", seed_label="fuzzer", started_at=0,
+            ended_at=SECOND, frames_sent=5,
+            findings=[Finding(time=SECOND, oracle="unlock-ack",
+                              description="unlock seen",
+                              recent_frames=tuple(
+                                  noise[:2] + [culprit] + noise[2:]))])
+        restored = FuzzResult.from_json(result.to_json())
+        return restored.findings[0]
+
+    def test_replay_reproduces_from_loaded_result(self):
+        finding = self.make_loaded_finding()
+        replayer = Replayer(unlock_bench_factory)
+        assert replayer.probe(finding.recent_frames)
+
+    def test_minimize_finds_culprit_in_loaded_window(self):
+        finding = self.make_loaded_finding()
+        replayer = Replayer(unlock_bench_factory)
+        minimal = replayer.minimize(finding.recent_frames)
+        assert minimal == [CanFrame(BODY_COMMAND_ID,
+                                    bytes((UNLOCK_COMMAND, 0x99, 0x01)))]

@@ -121,6 +121,35 @@ class TestCombinatorics:
         assert coverage_fraction(0, 100) == 0.0
         assert coverage_fraction(10**9, 100) == pytest.approx(1.0)
 
+    def test_coverage_fraction_huge_space_stays_positive(self):
+        """The underflow bug: 1 - 1/m rounds to exactly 1.0 once m
+        exceeds ~2^53, so the textbook form reported zero coverage for
+        the 11-bit-id + 8-byte space regardless of frames sent."""
+        fraction = coverage_fraction(10**6, 2**75)
+        assert fraction > 0.0
+        # First-order: n/m, exact to float precision at this scale.
+        assert fraction == pytest.approx(10**6 / 2**75, rel=1e-9)
+        assert coverage_fraction(10**6, combination_count(11, 8)) > 0.0
+
+    def test_coverage_fraction_monotone_in_frames_on_huge_space(self):
+        small = coverage_fraction(10**5, 2**75)
+        large = coverage_fraction(10**6, 2**75)
+        assert 0.0 < small < large < 1.0
+
+    def test_coverage_fraction_single_combination(self):
+        assert coverage_fraction(0, 1) == 0.0
+        assert coverage_fraction(1, 1) == 1.0
+
+    @given(n=st.integers(0, 10_000), m=st.integers(1, 10_000))
+    def test_property_parity_with_textbook_formula_on_small_spaces(
+            self, n, m):
+        """The log1p/expm1 rewrite must agree with ``1 - (1 - 1/m)^n``
+        wherever the old formula was numerically sound."""
+        import math
+        expected = 1.0 - (1.0 - 1.0 / m) ** n
+        assert math.isclose(coverage_fraction(n, m), expected,
+                            rel_tol=1e-12, abs_tol=1e-15)
+
     @given(n=st.integers(1, 10_000), m=st.integers(1, 10_000))
     def test_property_coverage_is_a_probability(self, n, m):
         assert 0.0 <= coverage_fraction(n, m) <= 1.0

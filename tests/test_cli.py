@@ -66,6 +66,20 @@ class TestFuzzBench:
         assert main(["fuzz-bench", "--seed", "1",
                      "--max-seconds", "2"]) == 1
 
+    def test_sharded_run_reports_provenance(self, capsys):
+        # Master seed 14: shard 1's derived stream hits the unlock
+        # within ~8 simulated seconds (pinned by scan).
+        assert main(["fuzz-bench", "--seed", "14", "--shards", "2",
+                     "--jobs", "2", "--max-seconds", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 shards ok" in out
+        assert "[shard 1] unlock-ack" in out
+
+    def test_sharded_budget_exhaustion_returns_nonzero(self, capsys):
+        assert main(["fuzz-bench", "--seed", "1", "--shards", "2",
+                     "--jobs", "2", "--max-seconds", "1"]) == 1
+        assert "0 finding(s)" in capsys.readouterr().out
+
 
 class TestTable5:
     def test_single_trial_row(self, capsys):
