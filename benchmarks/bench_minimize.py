@@ -1,0 +1,203 @@
+"""Minimisation benchmark: snapshot-cached replay vs fresh-build replay.
+
+Minimises the same long failing trace twice against the full simulated
+target vehicle (:class:`~repro.testbench.factory.CarReplayFactory` --
+ignition plus bus-settle per reset, the reset cost Werquin et al.
+identify as the throughput limit of automotive fuzzing):
+
+- **baseline**: the fresh-build :class:`~repro.fuzz.replay.Replayer`,
+  which rebuilds the car and re-transmits the whole candidate for
+  every ddmin probe, and
+- **snapshot**: the :class:`~repro.fuzz.replay.SnapshotReplayer`,
+  which restores the deepest cached checkpoint of the candidate's
+  prefix and only simulates the suffix.
+
+Two scenarios ship by default:
+
+- ``single-late-culprit``: one unlock command buried at 80% of a
+  noise trace -- the common case; the win here is skipping the
+  vehicle reset (restore vs rebuild), and
+- ``interacting-k``: ``--culprits`` cooperating unlock commands, none
+  removable alone (the probe requires that many *accepted* unlocks) --
+  the ddmin worst case, where probes stay long and prefix reuse
+  compounds with the reset win.
+
+Both paths run the identical ``minimize_trace`` over the identical
+candidate sequence, so the benchmark **fails (exit 1) if the minimised
+traces or the probe counts diverge** -- that identity check is the CI
+gate; wall-clock speedup is reported, and only enforced when
+``--require-speedup`` is given (CI machines are too noisy to gate
+timing).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_minimize.py \
+        --trace-frames 500 --culprits 8 --output BENCH_minimize.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.can.frame import CanFrame
+from repro.fuzz.minimize import MinimizeStats
+from repro.fuzz.replay import Replayer, SnapshotReplayer
+from repro.sim.snapshot import fingerprint
+from repro.testbench.factory import CarReplayFactory
+
+#: Identifiers the noise frames draw from -- none is the body-command
+#: id, so only the planted culprits can unlock the car.
+NOISE_IDS = (0x101, 0x180, 0x2F0, 0x400, 0x512)
+
+#: The car's unlock command: BODY_COMMAND (0x215) at its specification
+#: DLC with the unlock code in byte 0.
+UNLOCK_PREFIX = (0x20, 0x01)
+
+
+def build_trace(length: int, culprit_positions: list[int],
+                seed: int) -> list[CanFrame]:
+    """A noise trace with unlock commands planted at the given indexes."""
+    rng = random.Random(seed)
+    frames = []
+    for _ in range(length):
+        can_id = rng.choice(NOISE_IDS)
+        data = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 9)))
+        frames.append(CanFrame(can_id=can_id, data=data))
+    for salt, position in enumerate(culprit_positions):
+        payload = bytes(UNLOCK_PREFIX) + bytes((salt % 256, 0, 0, 0, 0))
+        frames[position] = CanFrame(can_id=0x215, data=payload)
+    return frames
+
+
+def run_minimize(replayer, frames: list[CanFrame]) -> dict:
+    """Minimise once; wall time, probe counts and the minimal trace."""
+    stats = MinimizeStats()
+    start = time.perf_counter()
+    minimal = replayer.minimize(frames, stats=stats)
+    wall = time.perf_counter() - start
+    return {
+        "wall_seconds": wall,
+        "tests_used": stats.tests_used,
+        "probe_cache_hits": stats.cache_hits,
+        "minimal_frames": len(minimal),
+        "minimal_trace": [str(frame) for frame in minimal],
+        "fingerprint": fingerprint(minimal),
+        "_minimal": minimal,
+    }
+
+
+def run_scenario(name: str, frames: list[CanFrame], factory,
+                 stride: int) -> tuple[dict, bool]:
+    """One scenario: baseline vs snapshot; returns (report, identical)."""
+    print(f"[{name}] trace of {len(frames)} frames ...", flush=True)
+    baseline = run_minimize(Replayer(factory), frames)
+    snapshot_replayer = SnapshotReplayer(factory, checkpoint_stride=stride)
+    snapshot = run_minimize(snapshot_replayer, frames)
+    identical = (baseline["_minimal"] == snapshot["_minimal"]
+                 and baseline["tests_used"] == snapshot["tests_used"])
+    speedup = baseline["wall_seconds"] / snapshot["wall_seconds"]
+    for report in (baseline, snapshot):
+        del report["_minimal"]
+    snapshot["replayer"] = snapshot_replayer.stats()
+    print(f"[{name}] baseline {baseline['wall_seconds']:.2f}s "
+          f"({baseline['tests_used']} probes)  "
+          f"snapshot {snapshot['wall_seconds']:.2f}s  ->  "
+          f"{speedup:.2f}x  identical={identical}", flush=True)
+    return {
+        "trace_frames": len(frames),
+        "baseline": baseline,
+        "snapshot": snapshot,
+        "speedup": speedup,
+        "identical": identical,
+    }, identical
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace-frames", type=int, default=500,
+                        help="noise-trace length (default 500)")
+    parser.add_argument("--culprits", type=int, default=8,
+                        help="cooperating unlock frames in the "
+                             "interacting scenario (default 8)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="car seed and noise-trace seed")
+    parser.add_argument("--stride", type=int, default=64,
+                        help="snapshot checkpoint stride")
+    parser.add_argument("--settle-seconds", type=float, default=2.0,
+                        help="vehicle boot/settle window per reset")
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        help="exit 1 unless the best scenario speedup "
+                             "reaches this factor (off by default: CI "
+                             "gates identity, not wall clock)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    if args.trace_frames < 10:
+        parser.error("--trace-frames must be at least 10")
+    if not 1 <= args.culprits <= args.trace_frames // 4:
+        parser.error("--culprits must fit the trace (at most a quarter "
+                     "of --trace-frames)")
+
+    length = args.trace_frames
+    scenarios = []
+    ok = True
+
+    single = build_trace(length, [int(length * 0.8)], args.seed)
+    report, identical = run_scenario(
+        "single-late-culprit", single,
+        CarReplayFactory(seed=args.seed,
+                         settle_seconds=args.settle_seconds),
+        args.stride)
+    scenarios.append({"name": "single-late-culprit", **report})
+    ok = ok and identical
+
+    k = args.culprits
+    positions = [int((j + 0.5) * length / k) for j in range(k)]
+    interacting = build_trace(length, positions, args.seed)
+    report, identical = run_scenario(
+        f"interacting-{k}", interacting,
+        CarReplayFactory(seed=args.seed,
+                         settle_seconds=args.settle_seconds,
+                         min_unlock_events=k),
+        args.stride)
+    scenarios.append({"name": f"interacting-{k}", **report})
+    ok = ok and identical
+
+    best = max(s["speedup"] for s in scenarios)
+    report = {
+        "benchmark": "trace minimisation: snapshot replay vs fresh-build",
+        "target": "CarReplayFactory (full vehicle, ignition + settle "
+                  f"{args.settle_seconds}s per reset)",
+        "trace_frames": length,
+        "seed": args.seed,
+        "checkpoint_stride": args.stride,
+        "scenarios": scenarios,
+        "best_speedup": best,
+        "identical": ok,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    if args.output:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report written to {args.output}")
+
+    if not ok:
+        print("FAIL: snapshot minimisation diverged from the "
+              "fresh-build baseline", file=sys.stderr)
+        return 1
+    if args.require_speedup is not None and best < args.require_speedup:
+        print(f"FAIL: best speedup {best:.2f}x is below the required "
+              f"{args.require_speedup}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

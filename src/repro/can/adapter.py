@@ -136,6 +136,16 @@ class PcanStyleAdapter:
             frames.append(result.message)
         return frames
 
+    def state_digest(self) -> str:
+        """Deterministic digest of the channel (state + owned controller).
+
+        Lets the snapshot parity tests assert that a restored adapter
+        is indistinguishable from the fresh-built one it was captured
+        from.
+        """
+        prefix = f"{self.channel}:{self._initialised}:"
+        return prefix + self._controller.state_digest()
+
     def get_status(self) -> AdapterStatus:
         """Channel status derived from controller error state."""
         if not self._initialised:

@@ -11,6 +11,7 @@ it is on a real vehicle bus.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -309,6 +310,32 @@ class CanBus:
         # unless the error drove it to bus-off, which cleared its queue.
         self._busy = False
         self._rearbitrate(sender)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def state_digest(self) -> str:
+        """Deterministic digest of the bus and every attached node.
+
+        Complements :meth:`repro.sim.kernel.Simulator.state_digest`:
+        the kernel digest covers the scheduled future, this one covers
+        the wire's present (in-flight frame, stats, per-node queues and
+        counters).  The snapshot determinism tests compare both between
+        the uninterrupted run and a restore-and-rerun.
+        """
+        stats = self.stats
+        digest = hashlib.sha256()
+        digest.update(
+            f"{self.name}:{self._busy}:{self._pending_ticks}:"
+            f"{self._rearm}:{self._had_contention}:"
+            f"{self._pending_frame!r}:"
+            f"{stats.frames_delivered}:{stats.error_frames}:"
+            f"{stats.busy_ticks}:{stats.arbitration_rounds}:"
+            f"{stats.started_at}:{sorted(stats.per_id.items())}"
+            .encode("utf-8", "backslashreplace"))
+        for node in self._nodes:
+            digest.update(node.state_digest().encode("ascii"))
+        return digest.hexdigest()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"CanBus({self.name!r}, nodes={len(self._nodes)}, "

@@ -8,6 +8,7 @@ the Flexible Data-rate version of CAN").
 
 from __future__ import annotations
 
+import copy as _copy
 from dataclasses import dataclass, field
 
 MAX_STANDARD_ID = 0x7FF
@@ -72,6 +73,9 @@ class CanFrame:
     #: Frames are immutable, so the cache never needs invalidating; it is
     #: excluded from comparison/hashing and repr.
     _wire_bits: "tuple[int, int] | None" = field(
+        default=None, init=False, repr=False, compare=False)
+    #: Lazily cached hash (see ``__hash__`` below).
+    _hash: "int | None" = field(
         default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -161,6 +165,27 @@ class CanFrame:
         return CanFrame(self.can_id, data, extended=self.extended,
                         remote=self.remote, fd=self.fd, brs=self.brs)
 
+    # Frames are immutable (the _wire_bits cache is a pure memo), so
+    # copying is sharing.  This matters for snapshot/restore: capture
+    # windows and rx queues hold thousands of frames, and cloning each
+    # one would dominate snapshot cost without changing behaviour.
+    def __copy__(self) -> "CanFrame":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "CanFrame":
+        return self
+
+    # The snapshot replayer's prefix tree and verdict memo hash frames
+    # on every probe step; the generated dataclass hash walks all six
+    # fields each call.  Frames are immutable, so hash once and keep it.
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            cached = hash((self.can_id, self.data, self.extended,
+                           self.remote, self.fd, self.brs))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     def __str__(self) -> str:
         flags = "".join((
             "x" if self.extended else "",
@@ -191,6 +216,7 @@ def trusted_frame(can_id: int, data: bytes, extended: bool = False,
     osa(frame, "fd", fd)
     osa(frame, "brs", False)
     osa(frame, "_wire_bits", None)
+    osa(frame, "_hash", None)
     return frame
 
 
@@ -209,5 +235,33 @@ class TimestampedFrame:
     channel: str = field(default="")
     sender: str = field(default="")
 
+    # Immutable record: share rather than clone under snapshot/restore
+    # (monitor captures hold one of these per observed frame).
+    def __copy__(self) -> "TimestampedFrame":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "TimestampedFrame":
+        return self
+
     def __str__(self) -> str:
         return f"({self.time / 1000:.3f}ms) {self.frame}"
+
+
+def _register_atomic(*classes: type) -> None:
+    """Fast-path immutable frame types in ``copy.deepcopy``.
+
+    ``deepcopy`` consults its dispatch table before falling back to the
+    (much slower) ``__deepcopy__`` method lookup.  Snapshot capture and
+    restore deepcopy worlds holding hundreds of frames, so shaving the
+    per-frame dispatch cost matters; the entry is behaviourally
+    identical to the ``__deepcopy__`` methods above (share, don't
+    clone), which remain as the documented semantics and the fallback
+    if the private table ever disappears.
+    """
+    dispatch = getattr(_copy, "_deepcopy_dispatch", None)
+    if dispatch is not None:
+        for cls in classes:
+            dispatch[cls] = lambda x, memo: x
+
+
+_register_atomic(CanFrame, TimestampedFrame)

@@ -11,6 +11,7 @@ confinement are invisible to them.
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from typing import TYPE_CHECKING, Callable
 
@@ -196,6 +197,33 @@ class CanController:
             # Bus-off drops all pending traffic; the application must
             # reset the controller to talk again.
             self._tx_queue.clear()
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def state_digest(self) -> str:
+        """Deterministic, address-free digest of the controller state.
+
+        Two controllers with equal digests hold the same counters and
+        the same queued traffic.  Used by the snapshot determinism
+        tests to compare a restored world against the uninterrupted
+        one; frame and record reprs are dataclass-generated and stable.
+        """
+        digest = hashlib.sha256()
+        counters = self.counters
+        digest.update(
+            f"{self.name}:{self.enabled}:{self.tx_count}:{self.rx_count}:"
+            f"{self.tx_dropped}:{self.rx_overruns}:"
+            f"{counters.tec}:{counters.rec}:{counters.state.value}"
+            .encode("utf-8", "backslashreplace"))
+        for frame in self._tx_queue:
+            digest.update(repr(frame).encode("utf-8", "backslashreplace"))
+            digest.update(b"\x1f")
+        digest.update(b"\x1e")
+        for stamped in self._rx_queue:
+            digest.update(repr(stamped).encode("utf-8", "backslashreplace"))
+            digest.update(b"\x1f")
+        return digest.hexdigest()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"CanController({self.name!r}, tx={self.tx_count}, "

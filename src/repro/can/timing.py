@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from repro.can.bitstuff import (INTERFRAME_BITS, fd_frame_bit_length,
                                 frame_bit_length)
-from repro.can.frame import CanFrame
+from repro.can.frame import CanFrame, _register_atomic
 from repro.sim.clock import SECOND
 
 #: Error frames: 6 flag bits + up to 6 echoed flag bits + 8 delimiter
@@ -50,6 +50,17 @@ class BitTiming:
         # Bit-count-keyed duration memo (not a dataclass field: it is
         # mutable working state, not part of the timing's identity).
         object.__setattr__(self, "_duration_cache", {})
+
+    # A BitTiming is immutable identity-wise; _duration_cache is a pure
+    # memo (bit count -> ticks) whose entries are identical however
+    # they were computed, so sharing one instance between a snapshot
+    # clone and the original is safe and keeps the cache warm across
+    # restores.
+    def __copy__(self) -> "BitTiming":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "BitTiming":
+        return self
 
     @property
     def bit_time_us(self) -> float:
@@ -123,3 +134,7 @@ CAN_125K = BitTiming(bitrate=125_000)
 
 #: High-speed rate; the CAN maximum the paper mentions (1 Mb/s).
 CAN_1M = BitTiming(bitrate=1_000_000)
+
+# Deepcopy fast path: timings are immutable (the tick memo is pure), so
+# snapshot capture/restore shares them (see _register_atomic in frame.py).
+_register_atomic(BitTiming)

@@ -85,6 +85,71 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
     return 0
 
 
+def _minimize_finding(finding, *, check_mode: str, seed: int) -> dict:
+    """Minimise one finding's window with the snapshot replayer.
+
+    Returns a JSON-ready record: the minimised frames, the ddmin probe
+    counts, and the replayer's checkpoint counters.  A window that does
+    not reproduce on the replay grid is reported as such rather than
+    aborting the run (replay is best-effort forensics).
+    """
+    from repro.fuzz import MinimizeStats, SnapshotReplayer
+    from repro.fuzz.session import frame_to_dict
+    from repro.testbench import UnlockReplayFactory
+
+    replayer = SnapshotReplayer(
+        UnlockReplayFactory(check_mode=check_mode, seed=seed,
+                            monitor_limit=64))
+    record = {
+        "oracle": finding.oracle,
+        "time": finding.time,
+        "window_frames": len(finding.recent_frames),
+        "reproduced": False,
+    }
+    stats = MinimizeStats()
+    try:
+        minimal = replayer.minimize(list(finding.recent_frames),
+                                    stats=stats)
+    except ValueError:
+        return record
+    record.update(
+        reproduced=True,
+        minimized_frames=[frame_to_dict(frame) for frame in minimal],
+        probes=stats.tests_used,
+        probe_cache_hits=stats.cache_hits,
+        exhausted=stats.exhausted,
+        replayer=replayer.stats(),
+    )
+    return record
+
+
+def _print_minimized(minimized: list[dict]) -> None:
+    from repro.can.frame import CanFrame
+    from repro.fuzz.session import frame_from_dict
+
+    for record in minimized:
+        if not record["reproduced"]:
+            print(f"finding[{record['oracle']}]: window of "
+                  f"{record['window_frames']} frame(s) did not reproduce "
+                  f"on the replay grid")
+            continue
+        frames = [frame_from_dict(item)
+                  for item in record["minimized_frames"]]
+        rendered = ", ".join(str(frame) for frame in frames)
+        print(f"finding[{record['oracle']}]: minimised "
+              f"{record['window_frames']} -> {len(frames)} frame(s) "
+              f"in {record['probes']} probe(s): {rendered}")
+
+
+def _write_report(path: str, payload: dict) -> None:
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"report written to {path}")
+
+
 def _cmd_fuzz_bench(args: argparse.Namespace) -> int:
     from repro.fuzz import (AckMessageOracle, CampaignLimits, FuzzCampaign,
                             FuzzConfig, PhysicalStateOracle,
@@ -116,6 +181,23 @@ def _cmd_fuzz_bench(args: argparse.Namespace) -> int:
     result = campaign.run()
     print(result.summary())
     print(f"lock LED: {'ON (unlocked)' if bench.bcm.led_on else 'off'}")
+    minimized = None
+    if args.minimize:
+        minimized = [_minimize_finding(finding,
+                                       check_mode=args.check_mode,
+                                       seed=args.seed)
+                     for finding in result.findings]
+        _print_minimized(minimized)
+    if args.report:
+        payload = {
+            "mode": "single",
+            "seed": args.seed,
+            "check_mode": args.check_mode,
+            "result": result.to_dict(),
+        }
+        if minimized is not None:
+            payload["minimized"] = minimized
+        _write_report(args.report, payload)
     return 0 if result.findings else 1
 
 
@@ -125,6 +207,9 @@ def _run_sharded_bench(args: argparse.Namespace) -> int:
     Each shard is an independent hunt (own bench, own seed derived
     from ``(--seed, shard_index)``) with the full simulated-time
     budget; the merged record carries shard provenance per finding.
+    With ``--minimize``, each finding is minimised against a replay
+    target rebuilt from its *own shard's* seed -- the world the
+    finding was actually made in.
     """
     from repro.fuzz import CampaignLimits, ShardedCampaign
     from repro.testbench import UnlockBenchFactory
@@ -138,6 +223,29 @@ def _run_sharded_bench(args: argparse.Namespace) -> int:
             max_duration=round(args.max_seconds * SECOND)))
     merged = runner.run()
     print(merged.summary())
+    minimized = None
+    if args.minimize:
+        minimized = []
+        for shard_index, shard_seed, finding in merged.findings_with_seeds:
+            record = _minimize_finding(finding,
+                                       check_mode=args.check_mode,
+                                       seed=shard_seed)
+            record["shard"] = shard_index
+            record["shard_seed"] = shard_seed
+            minimized.append(record)
+        _print_minimized(minimized)
+    if args.report:
+        payload = {
+            "mode": "sharded",
+            "seed": args.seed,
+            "check_mode": args.check_mode,
+            "shards": args.shards,
+            "ok": merged.ok,
+            "findings": len(merged.findings),
+        }
+        if minimized is not None:
+            payload["minimized"] = minimized
+        _write_report(args.report, payload)
     return 0 if merged.ok and merged.findings else 1
 
 
@@ -223,6 +331,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--jobs", type=int, default=None,
                        help="concurrent worker processes "
                             "(default min(shards, cpu count))")
+    bench.add_argument("--minimize", action="store_true",
+                       help="ddmin each finding's recorded window via "
+                            "the snapshot replayer and print the "
+                            "minimal failing trace")
+    bench.add_argument("--report", metavar="PATH", default=None,
+                       help="write a JSON run report (includes the "
+                            "minimised traces with --minimize)")
     bench.set_defaults(func=_cmd_fuzz_bench)
 
     table5 = sub.add_parser("table5", help="run a Table V row")

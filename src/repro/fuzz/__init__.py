@@ -36,7 +36,8 @@ from repro.fuzz.generator import (
     SweepGenerator,
     TargetedFrameGenerator,
 )
-from repro.fuzz.minimize import minimize_frame_bytes, minimize_trace
+from repro.fuzz.minimize import (MinimizeStats, minimize_frame_bytes,
+                                 minimize_trace)
 from repro.fuzz.mutator import MutationalGenerator
 from repro.fuzz.parallel import (
     CampaignFactory,
@@ -48,7 +49,7 @@ from repro.fuzz.parallel import (
     derive_shard_seed,
     slice_limits,
 )
-from repro.fuzz.replay import Replayer
+from repro.fuzz.replay import Replayer, SnapshotReplayer
 from repro.fuzz.oracle import (
     AckMessageOracle,
     CompositeOracle,
@@ -89,7 +90,9 @@ __all__ = [
     "expected_frames_to_hit",
     "minimize_trace",
     "minimize_frame_bytes",
+    "MinimizeStats",
     "Replayer",
+    "SnapshotReplayer",
     "CampaignFactory",
     "ShardedCampaign",
     "ShardedResult",

@@ -103,7 +103,10 @@ class FuzzCampaign:
         self.name = name
         self._rng = rng
         self._reset_target = reset_target
-        self._recent: deque[CanFrame] = deque(maxlen=recent_window)
+        # (transmit time, frame) pairs: the timestamps let a replay
+        # reproduce the recorded inter-frame gaps, jitter included.
+        self._recent: deque[tuple[int, CanFrame]] = deque(
+            maxlen=recent_window)
         self._findings: list[Finding] = []
         self._write_errors: dict[str, int] = {}
         self.frames_sent = 0
@@ -191,7 +194,7 @@ class FuzzCampaign:
         status = self._write(frame)
         if status is _STATUS_OK:
             self.frames_sent += 1
-            self._recent.append(frame)
+            self._recent.append((self._clock._now, frame))
         else:
             key = status.value
             self._write_errors[key] = self._write_errors.get(key, 0) + 1
@@ -215,11 +218,13 @@ class FuzzCampaign:
     # Findings
     # ------------------------------------------------------------------
     def _on_finding(self, finding: Finding) -> None:
+        recent = tuple(self._recent)
         enriched = Finding(
             time=finding.time,
             oracle=finding.oracle,
             description=finding.description,
-            recent_frames=tuple(self._recent),
+            recent_frames=tuple(frame for _, frame in recent),
+            recent_times=tuple(time for time, _ in recent),
         )
         self._findings.append(enriched)
         if self.limits.stop_on_finding:

@@ -7,10 +7,27 @@ against a replay predicate, and ``minimize_frame_bytes`` shrinks a
 single frame's payload, zeroing bytes that do not matter.  Together
 they turn "the conditions that caused it are recorded" into the
 *minimal* conditions, which is what a triager needs.
+
+Two properties of the candidate schedule matter for replay cost:
+
+- Chunk removal iterates **last chunk first**.  Removing a trailing
+  chunk leaves the candidate sharing its whole surviving prefix with
+  the previous candidate, which is exactly what
+  :class:`~repro.fuzz.replay.SnapshotReplayer`'s prefix-tree cache
+  exploits; a fresh-build replayer is indifferent to the order.  The
+  *result* is unchanged either way -- ddmin converges to a 1-minimal
+  subsequence regardless of probe order, and both the baseline and the
+  snapshot path run this same schedule, so their minimised traces are
+  bit-identical.
+- Duplicate candidates are served from a verdict memo.  ddmin revisits
+  subsets whenever granularity changes; re-probing an already judged
+  candidate is pure waste.  Only real predicate invocations count
+  against ``max_tests``.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.can.frame import CanFrame
@@ -19,8 +36,32 @@ TraceTest = Callable[[list[CanFrame]], bool]
 FrameTest = Callable[[CanFrame], bool]
 
 
+@dataclass
+class MinimizeStats:
+    """Probe accounting for one minimisation run.
+
+    Attributes:
+        tests_used: real predicate invocations (replays) consumed.
+        cache_hits: duplicate candidates answered from the verdict
+            memo without a replay.
+        from_size: input size (frames for :func:`minimize_trace`,
+            payload bytes for :func:`minimize_frame_bytes`).
+        to_size: result size in the same unit.
+        exhausted: ``True`` when ``max_tests`` ran out before
+            1-minimality was established; the result is the best
+            reduction reached, not necessarily minimal.
+    """
+
+    tests_used: int = 0
+    cache_hits: int = 0
+    from_size: int = 0
+    to_size: int = 0
+    exhausted: bool = False
+
+
 def minimize_trace(frames: Sequence[CanFrame], still_fails: TraceTest, *,
-                   max_tests: int = 10_000) -> list[CanFrame]:
+                   max_tests: int = 10_000,
+                   stats: MinimizeStats | None = None) -> list[CanFrame]:
     """ddmin: the smallest subsequence for which ``still_fails`` holds.
 
     Args:
@@ -28,39 +69,68 @@ def minimize_trace(frames: Sequence[CanFrame], still_fails: TraceTest, *,
         still_fails: replays a candidate subsequence against a fresh
             target and reports whether the failure reproduces.  It
             must be deterministic for minimisation to make sense.
-        max_tests: safety bound on replay invocations.
+        max_tests: bound on real predicate invocations; memoised
+            duplicates are free.
+        stats: optional accounting sink, filled in place.
 
     Returns:
         A 1-minimal subsequence (removing any single remaining chunk
-        no longer reproduces the failure).
+        no longer reproduces the failure), or the best reduction so
+        far if ``max_tests`` ran out (``stats.exhausted`` is set).
 
     Raises:
         ValueError: the full trace does not reproduce the failure --
             the replay harness is broken, and minimising against a
             flaky predicate would produce garbage.
     """
+    if max_tests < 1:
+        raise ValueError("max_tests must be at least 1")
+    if stats is None:
+        stats = MinimizeStats()
     trace = list(frames)
-    if not still_fails(trace):
+    stats.from_size = len(trace)
+    stats.to_size = len(trace)
+    verdicts: dict[tuple[CanFrame, ...], bool] = {}
+
+    def test(candidate: list[CanFrame]) -> bool | None:
+        """Memoised predicate; ``None`` means the budget ran out."""
+        key = tuple(candidate)
+        cached = verdicts.get(key)
+        if cached is not None:
+            stats.cache_hits += 1
+            return cached
+        if stats.tests_used >= max_tests:
+            stats.exhausted = True
+            return None
+        stats.tests_used += 1
+        verdict = bool(still_fails(candidate))
+        verdicts[key] = verdict
+        return verdict
+
+    if not test(trace):
         raise ValueError(
             "the full trace does not reproduce the failure; fix the "
             "replay harness before minimising")
-    tests_used = 1
     granularity = 2
     while len(trace) >= 2:
         chunk_size = max(1, len(trace) // granularity)
         chunks = [trace[i:i + chunk_size]
                   for i in range(0, len(trace), chunk_size)]
         reduced = False
-        for index in range(len(chunks)):
+        # Last chunk first: each candidate keeps the longest possible
+        # shared prefix with the full trace, maximising checkpoint
+        # reuse in a prefix-caching replayer (see module docstring).
+        for index in reversed(range(len(chunks))):
             candidate = [frame
                          for j, chunk in enumerate(chunks) if j != index
                          for frame in chunk]
             if not candidate:
                 continue
-            tests_used += 1
-            if tests_used > max_tests:
+            verdict = test(candidate)
+            if verdict is None:
+                stats.to_size = len(trace)
                 return trace
-            if still_fails(candidate):
+            if verdict:
                 trace = candidate
                 granularity = max(2, granularity - 1)
                 reduced = True
@@ -69,11 +139,13 @@ def minimize_trace(frames: Sequence[CanFrame], still_fails: TraceTest, *,
             if granularity >= len(trace):
                 break
             granularity = min(len(trace), granularity * 2)
+    stats.to_size = len(trace)
     return trace
 
 
 def minimize_frame_bytes(frame: CanFrame, still_fails: FrameTest, *,
-                         filler: int = 0) -> CanFrame:
+                         filler: int = 0, max_tests: int = 10_000,
+                         stats: MinimizeStats | None = None) -> CanFrame:
     """Zero out payload bytes that are irrelevant to the failure.
 
     Tries, for each byte position, replacing the byte with ``filler``
@@ -81,8 +153,33 @@ def minimize_frame_bytes(frame: CanFrame, still_fails: FrameTest, *,
     tries truncating trailing filler bytes.  The result shows exactly
     which bytes the target actually parses (e.g. the bench unlock
     checks only byte 0).
+
+    ``max_tests`` bounds real predicate invocations, mirroring
+    :func:`minimize_trace`, so a hostile or expensive predicate cannot
+    spin unbounded; when the budget runs out the best reduction so far
+    is returned and ``stats.exhausted`` is set.
     """
-    if not still_fails(frame):
+    if max_tests < 1:
+        raise ValueError("max_tests must be at least 1")
+    if stats is None:
+        stats = MinimizeStats()
+    stats.from_size = len(frame.data)
+    verdicts: dict[CanFrame, bool] = {}
+
+    def test(candidate: CanFrame) -> bool | None:
+        cached = verdicts.get(candidate)
+        if cached is not None:
+            stats.cache_hits += 1
+            return cached
+        if stats.tests_used >= max_tests:
+            stats.exhausted = True
+            return None
+        stats.tests_used += 1
+        verdict = bool(still_fails(candidate))
+        verdicts[candidate] = verdict
+        return verdict
+
+    if not test(frame):
         raise ValueError(
             "the frame does not reproduce the failure; cannot minimise")
     data = bytearray(frame.data)
@@ -91,12 +188,19 @@ def minimize_frame_bytes(frame: CanFrame, still_fails: FrameTest, *,
             continue
         original = data[index]
         data[index] = filler
-        if not still_fails(frame.replace_data(bytes(data))):
+        verdict = test(frame.replace_data(bytes(data)))
+        if verdict is None:
+            data[index] = original
+            stats.to_size = len(data)
+            return frame.replace_data(bytes(data))
+        if not verdict:
             data[index] = original
     # Truncate trailing filler if the shorter frame still fails.
     while data and data[-1] == filler:
         shorter = frame.replace_data(bytes(data[:-1]))
-        if not still_fails(shorter):
+        verdict = test(shorter)
+        if verdict is None or not verdict:
             break
         data.pop()
+    stats.to_size = len(data)
     return frame.replace_data(bytes(data))

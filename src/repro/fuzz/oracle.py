@@ -46,6 +46,12 @@ class Finding:
     #: Frames the fuzzer transmitted shortly before the detection; the
     #: raw material for :func:`repro.fuzz.minimize.minimize_trace`.
     recent_frames: tuple[CanFrame, ...] = ()
+    #: Simulation times (ticks) at which each of ``recent_frames`` was
+    #: written, in the same order.  Lets a replay reproduce the
+    #: original inter-frame gaps (jitter included) instead of assuming
+    #: the fixed grid; empty for findings recorded before this field
+    #: existed.
+    recent_times: tuple[int, ...] = ()
 
 
 ReportSink = Callable[[Finding], None]

@@ -192,6 +192,18 @@ class ShardedResult:
                 for finding in o.result.findings]
 
     @property
+    def findings_with_seeds(self) -> list[tuple[int, int, Finding]]:
+        """``(shard_index, shard_seed, finding)`` triples in shard order.
+
+        The seed is the one the shard's bench was actually built from
+        (attempt bumps included), which is what a replayer's target
+        factory needs to reconstruct the right world for minimisation.
+        """
+        return [(o.index, o.seed, finding)
+                for o in self.outcomes
+                for finding in o.result.findings]
+
+    @property
     def write_errors(self) -> dict[str, int]:
         """Per-status rollup of adapter write errors across shards."""
         merged: dict[str, int] = {}

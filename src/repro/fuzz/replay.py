@@ -5,21 +5,40 @@ occurs the conditions that caused it are recorded and the system is
 reset"): a recorded window -- from a finding, a capture or a saved
 :class:`~repro.fuzz.session.FuzzResult` -- is retransmitted with the
 original pacing against a newly built target, and the oracles judge
-whether the failure reproduces.
+whether the failure reproduces.  When the finding carries recorded
+per-frame timestamps (:attr:`~repro.fuzz.oracle.Finding.recent_times`)
+the recorded inter-frame gaps are reproduced; otherwise the replay
+falls back to a fixed ``interval`` grid.
 
 ``Replayer`` is also the bridge into
 :mod:`repro.fuzz.minimize`: its :meth:`probe` method is a ready-made
 ``still_fails`` predicate for ``minimize_trace``.
+
+:class:`SnapshotReplayer` is the fast path: instead of rebuilding the
+target and re-simulating the whole candidate for every ddmin probe, it
+keeps a prefix tree of :class:`~repro.sim.snapshot.Snapshot`
+checkpoints keyed by ``(frame, gap)`` transmission steps.  A probe
+restores the deepest cached ancestor of its candidate and only
+simulates the suffix.  Verdict parity with the fresh-build
+:class:`Replayer` is structural: a checkpoint is the exact world a
+fresh replay of that prefix would have produced (same frames, same
+gaps, same powered-on start state), and the simulator is
+deterministic, so continuing from the restored checkpoint and
+continuing from a fresh rebuild are bit-identical.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Sequence
 
 from repro.can.adapter import PcanStyleAdapter
 from repro.can.frame import CanFrame
+from repro.fuzz.minimize import MinimizeStats
+from repro.fuzz.oracle import Finding
 from repro.sim.clock import MS
 from repro.sim.kernel import Simulator
+from repro.sim.snapshot import Snapshot, capture
 
 #: Builds a fresh target and returns (simulator, attacker adapter,
 #: failure probe).  The probe reports whether the failure state is
@@ -34,8 +53,8 @@ class Replayer:
     Args:
         target_factory: builds an isolated target per replay; replays
             must not share state or the verdicts are meaningless.
-        interval: pacing between replayed frames (defaults to the
-            fuzzer's 1 ms grid).
+        interval: pacing between replayed frames when no recorded
+            timestamps are given (defaults to the fuzzer's 1 ms grid).
         settle: extra simulated time after the last frame before the
             failure probe is evaluated (lets acks, resets and
             watchdogs land).
@@ -52,31 +71,244 @@ class Replayer:
         self.settle = settle
         self.replays = 0
 
-    def probe(self, frames: Sequence[CanFrame]) -> bool:
+    def _gaps(self, frames: Sequence[CanFrame],
+              times: Sequence[int] | None) -> list[int]:
+        """Per-frame simulated durations to run after each write.
+
+        With recorded ``times`` (one transmit timestamp per frame) the
+        gap after frame *i* is ``times[i+1] - times[i]`` -- the
+        original pacing, jitter included.  A malformed recording (a
+        length mismatch, or a non-positive gap from clock weirdness)
+        falls back to the fixed ``interval`` grid rather than raising:
+        replay is a forensic tool and a best-effort cadence beats no
+        replay.  The last frame always gets one ``interval`` of
+        run-time before the settle window.
+        """
+        count = len(frames)
+        interval = self.interval
+        if times is None or len(times) != count or count == 0:
+            return [interval] * count
+        gaps = []
+        for i in range(count - 1):
+            gap = times[i + 1] - times[i]
+            gaps.append(gap if gap > 0 else interval)
+        gaps.append(interval)
+        return gaps
+
+    def probe(self, frames: Sequence[CanFrame],
+              times: Sequence[int] | None = None) -> bool:
         """Replay ``frames`` on a fresh target; True if it fails.
 
         Usable directly as ``minimize_trace``'s ``still_fails``.
+        ``times`` optionally carries the recorded transmit timestamps
+        (see :meth:`probe_finding`).
         """
         sim, adapter, failed = self._target_factory()
         self.replays += 1
-        for frame in frames:
+        gaps = self._gaps(frames, times)
+        for frame, gap in zip(frames, gaps):
             adapter.write(frame)
-            sim.run_for(self.interval)
+            sim.run_for(gap)
         sim.run_for(self.settle)
         return bool(failed())
 
+    def probe_finding(self, finding: Finding) -> bool:
+        """Replay a finding's recorded window with its recorded pacing."""
+        return self.probe(finding.recent_frames,
+                          times=finding.recent_times or None)
+
     def minimize(self, frames: Sequence[CanFrame], *,
-                 max_tests: int = 10_000) -> list[CanFrame]:
+                 max_tests: int = 10_000,
+                 stats: MinimizeStats | None = None) -> list[CanFrame]:
         """Shrink ``frames`` to a 1-minimal failing subsequence."""
         from repro.fuzz.minimize import minimize_trace
 
-        return minimize_trace(frames, self.probe, max_tests=max_tests)
+        return minimize_trace(frames, self.probe, max_tests=max_tests,
+                              stats=stats)
 
     def minimize_frame(self, frame: CanFrame, *,
-                       filler: int = 0) -> CanFrame:
+                       filler: int = 0, max_tests: int = 10_000,
+                       stats: MinimizeStats | None = None) -> CanFrame:
         """Shrink a single frame's payload to the parsed bytes."""
         from repro.fuzz.minimize import minimize_frame_bytes
 
         return minimize_frame_bytes(
             frame, lambda candidate: self.probe([candidate]),
-            filler=filler)
+            filler=filler, max_tests=max_tests, stats=stats)
+
+
+class _PrefixNode:
+    """One step of the checkpoint prefix tree.
+
+    Children are keyed by ``(frame, gap)`` -- the transmitted frame
+    plus the simulated duration run after writing it; two probes whose
+    pacing differs must not share a checkpoint.  ``snapshot`` is
+    ``None`` for pass-through nodes (no checkpoint stored, or evicted).
+    """
+
+    __slots__ = ("children", "snapshot")
+
+    def __init__(self) -> None:
+        self.children: dict[tuple[CanFrame, int], "_PrefixNode"] = {}
+        self.snapshot: Snapshot | None = None
+
+    def walk(self, key: "tuple[CanFrame, int]") -> "tuple[_PrefixNode, bool]":
+        """Child for ``key``, creating it if absent; True when it existed.
+
+        A node that already existed marks a *shared* prefix -- some
+        earlier probe walked the same transmission step -- which is
+        what makes it worth checkpointing (see the second-touch policy
+        in :meth:`SnapshotReplayer.probe`).
+        """
+        child = self.children.get(key)
+        if child is not None:
+            return child, True
+        child = _PrefixNode()
+        self.children[key] = child
+        return child, False
+
+
+class SnapshotReplayer(Replayer):
+    """A :class:`Replayer` that resumes probes from cached checkpoints.
+
+    The target is built **once** (the root checkpoint); every probe
+    restores the deepest cached ancestor of its candidate's
+    ``(frame, gap)`` path and simulates only the remaining suffix.
+
+    Checkpoints follow a *second-touch* policy: a capture costs tens
+    of simulated frames' worth of wall clock, so it is only worth
+    paying on a prefix that is actually shared between probes.  The
+    first probe through a path merely indexes it in the tree; a later
+    probe that walks the same step again (proving the prefix shared)
+    drops a checkpoint there, at most one per ``checkpoint_stride``
+    simulated steps.  One-off suffixes -- the parts of rejected ddmin
+    candidates no other probe revisits -- therefore cost no captures
+    at all.
+
+    Args:
+        target_factory: as for :class:`Replayer`; called exactly once.
+        checkpoint_stride: minimum simulated steps between stored
+            checkpoints along one probe's path.  Smaller = denser
+            checkpoints = shorter suffixes to re-simulate, but more
+            capture time and snapshot memory.
+        max_snapshots: bound on cached checkpoints (root excluded);
+            least-recently-used checkpoints are dropped first.
+        memoize_verdicts: serve duplicate candidates from a verdict
+            table without touching the simulator at all.
+
+    Counters (all cumulative):
+        ``replays`` -- probes answered, memoised or simulated;
+        ``cache_hits`` -- probes answered from the verdict memo;
+        ``restores`` -- checkpoint restorations performed;
+        ``frames_restored`` -- frames skipped by restoring mid-trace;
+        ``frames_simulated`` -- frames actually written and simulated;
+        ``snapshots_taken`` -- checkpoints captured.
+    """
+
+    def __init__(self, target_factory: TargetFactory, *,
+                 interval: int = 1 * MS, settle: int = 50 * MS,
+                 checkpoint_stride: int = 64, max_snapshots: int = 256,
+                 memoize_verdicts: bool = True) -> None:
+        super().__init__(target_factory, interval=interval, settle=settle)
+        if checkpoint_stride < 1:
+            raise ValueError("checkpoint_stride must be at least 1")
+        if max_snapshots < 1:
+            raise ValueError("max_snapshots must be at least 1")
+        self._stride = checkpoint_stride
+        self._max_snapshots = max_snapshots
+        self._memoize = memoize_verdicts
+        self._root = _PrefixNode()
+        self._verdicts: dict[tuple[tuple[CanFrame, int], ...], bool] = {}
+        self._lru: "OrderedDict[int, _PrefixNode]" = OrderedDict()
+        self.cache_hits = 0
+        self.restores = 0
+        self.frames_restored = 0
+        self.frames_simulated = 0
+        self.snapshots_taken = 0
+
+    def probe(self, frames: Sequence[CanFrame],
+              times: Sequence[int] | None = None) -> bool:
+        frames = list(frames)
+        gaps = self._gaps(frames, times)
+        path = tuple(zip(frames, gaps))
+        if self._memoize:
+            cached = self._verdicts.get(path)
+            if cached is not None:
+                self.replays += 1
+                self.cache_hits += 1
+                return cached
+        root = self._ensure_root()
+        # Deepest ancestor of the candidate that still holds a
+        # checkpoint (pass-through/evicted nodes are skipped over).
+        node = root
+        best_node, best_depth = root, 0
+        for depth, key in enumerate(path, start=1):
+            node = node.children.get(key)
+            if node is None:
+                break
+            if node.snapshot is not None:
+                best_node, best_depth = node, depth
+        if best_node is not root:
+            self._lru.move_to_end(id(best_node))
+        sim, adapter, failed = best_node.snapshot.restore()
+        self.replays += 1
+        self.restores += 1
+        self.frames_restored += best_depth
+        # Simulate (and index) the suffix.
+        node = best_node
+        since_checkpoint = 0
+        for i in range(best_depth, len(frames)):
+            child, shared = node.walk(path[i])
+            node = child
+            adapter.write(frames[i])
+            sim.run_for(gaps[i])
+            self.frames_simulated += 1
+            since_checkpoint += 1
+            # Second-touch: checkpoint only steps some earlier probe
+            # already walked.  The capture happens *before* the settle
+            # window runs, so the stored world is exactly "prefix
+            # transmitted, nothing settled yet".
+            if (shared and child.snapshot is None
+                    and since_checkpoint >= self._stride):
+                self._store(child, capture((sim, adapter, failed)))
+                since_checkpoint = 0
+        sim.run_for(self.settle)
+        verdict = bool(failed())
+        if self._memoize:
+            self._verdicts[path] = verdict
+        return verdict
+
+    def _ensure_root(self) -> _PrefixNode:
+        """Build the target once and checkpoint its start state."""
+        if self._root.snapshot is None:
+            self._root.snapshot = capture(self._target_factory(),
+                                          label="root")
+            self.snapshots_taken += 1
+        return self._root
+
+    def _store(self, node: _PrefixNode, snap: Snapshot) -> None:
+        node.snapshot = snap
+        self.snapshots_taken += 1
+        self._lru[id(node)] = node
+        while len(self._lru) > self._max_snapshots:
+            _, evicted = self._lru.popitem(last=False)
+            # The node stays in the tree (its children may hold live
+            # checkpoints); only the snapshot memory is released.
+            evicted.snapshot = None
+
+    @property
+    def cached_snapshots(self) -> int:
+        """Checkpoints currently held (excluding the root)."""
+        return len(self._lru)
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot for reports (JSON-ready)."""
+        return {
+            "replays": self.replays,
+            "cache_hits": self.cache_hits,
+            "restores": self.restores,
+            "frames_restored": self.frames_restored,
+            "frames_simulated": self.frames_simulated,
+            "snapshots_taken": self.snapshots_taken,
+            "cached_snapshots": self.cached_snapshots,
+        }

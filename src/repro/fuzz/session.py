@@ -54,6 +54,7 @@ def _finding_to_dict(finding: Finding) -> dict:
         "description": finding.description,
         "recent_frames": [frame_to_dict(frame)
                           for frame in finding.recent_frames],
+        "recent_times": list(finding.recent_times),
     }
 
 
@@ -64,6 +65,9 @@ def _finding_from_dict(item: dict) -> Finding:
         description=item.get("description", ""),
         recent_frames=tuple(frame_from_dict(f)
                             for f in item.get("recent_frames", [])),
+        # Pre-pacing results carry no timestamps; replay falls back to
+        # the fixed interval grid then.
+        recent_times=tuple(item.get("recent_times", ())),
     )
 
 

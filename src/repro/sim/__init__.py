@@ -11,6 +11,8 @@ The public surface is:
 - :class:`~repro.sim.kernel.Simulator` -- event scheduling and execution.
 - :class:`~repro.sim.process.PeriodicProcess` -- periodic task helper.
 - :class:`~repro.sim.random.RandomStreams` -- reproducible per-component RNG.
+- :mod:`~repro.sim.snapshot` -- world capture/restore
+  (:class:`Snapshot`, :class:`Snapshottable`, :func:`capture`).
 - Time-unit constants :data:`US`, :data:`MS`, :data:`SECOND`.
 """
 
@@ -19,6 +21,7 @@ from repro.sim.events import Event, EventQueue
 from repro.sim.kernel import SimulationError, Simulator
 from repro.sim.process import OneShot, PeriodicProcess
 from repro.sim.random import RandomStreams
+from repro.sim.snapshot import Snapshot, Snapshottable, capture, fingerprint
 
 __all__ = [
     "US",
@@ -33,4 +36,8 @@ __all__ = [
     "PeriodicProcess",
     "OneShot",
     "RandomStreams",
+    "Snapshot",
+    "Snapshottable",
+    "capture",
+    "fingerprint",
 ]

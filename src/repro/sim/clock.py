@@ -9,6 +9,8 @@ arbitration outcomes and make runs irreproducible.
 
 from __future__ import annotations
 
+from repro.sim.snapshot import Snapshottable
+
 US = 1
 """One microsecond, the base tick."""
 
@@ -28,11 +30,15 @@ def format_time(ticks: int) -> str:
     return f"{ticks / SECOND:.6f}s"
 
 
-class SimClock:
+class SimClock(Snapshottable):
     """Monotonic virtual clock.
 
     Only the :class:`~repro.sim.kernel.Simulator` should advance the
-    clock; components read it through :attr:`now`.
+    clock; components read it through :attr:`now`.  Snapshot support
+    uses the default attribute capture: the clock's whole state is
+    ``_now``, and restoring may legitimately "rewind" a diverged world
+    because the restored clone is a different timeline, not a rewind
+    of this one.
     """
 
     def __init__(self, start: int = 0) -> None:

@@ -20,6 +20,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.sim.snapshot import Snapshottable
+
 
 @dataclass(slots=True)
 class Event:
@@ -65,7 +67,7 @@ class Event:
             self.cancelled = True
 
 
-class EventQueue:
+class EventQueue(Snapshottable):
     """A heap of pending :class:`Event` objects.
 
     Cancellation is lazy: cancelled events stay in the heap and are
@@ -158,6 +160,38 @@ class EventQueue:
                          if not (isinstance(entry[3], Event)
                                  and entry[3].cancelled)]
         heapq.heapify(self._heap)
+        self._dead = 0
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def __snapshot__(self) -> dict:
+        """Capture the live entries only.
+
+        Cancelled corpses are pure heap bookkeeping; carrying them into
+        a snapshot would waste clone time and make two behaviourally
+        identical queues (one compacted, one not) snapshot differently.
+        ``_seq`` is preserved so events scheduled after a restore get
+        the same sequence numbers as in the original timeline -- the
+        tie-break order of future same-tick events must not depend on
+        whether a run went through a snapshot.
+        """
+        return {
+            "_heap": [entry for entry in self._heap
+                      if not (isinstance(entry[3], Event)
+                              and entry[3].cancelled)],
+            "_seq": self._seq,
+            "_live": self._live,
+        }
+
+    def __snapshot_restore__(self, state: dict) -> None:
+        self._heap = state["_heap"]
+        # Filtering arbitrary entries broke the heap invariant; the
+        # rebuilt order is identical because entry tuples are totally
+        # ordered (distinct seq numbers break every tie).
+        heapq.heapify(self._heap)
+        self._seq = state["_seq"]
+        self._live = state["_live"]
         self._dead = 0
 
     def peek_time(self) -> int | None:

@@ -6,11 +6,13 @@ scheduling API used by every other subsystem (CAN bus, ECUs, fuzzer).
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 from typing import Callable
 
 from repro.sim.clock import SECOND, SimClock, format_time
 from repro.sim.events import Event, EventQueue
+from repro.sim.snapshot import Snapshot, capture
 
 
 class SimulationError(RuntimeError):
@@ -192,6 +194,52 @@ class Simulator:
     def stop(self) -> None:
         """Request that the current ``run_*`` call return after this event."""
         self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self, *roots: object, label: str = "") -> Snapshot:
+        """Capture this simulator (and ``roots``) as one restorable world.
+
+        ``roots`` must cover every mutable object that participates in
+        the simulation but is not reachable from the simulator itself
+        (benches, adapters, probes); the captured graph is cloned as a
+        unit so shared references stay shared in the clone.  With
+        roots, :meth:`Snapshot.restore` returns ``(sim, *roots)``;
+        without, just the simulator clone.
+        """
+        target = (self, *roots) if roots else self
+        return capture(target, label=label)
+
+    def state_digest(self) -> str:
+        """Deterministic digest of the kernel's externally visible state.
+
+        Covers the clock, the fired-event counter, the sequence
+        allocator and every live pending entry ``(time, priority, seq,
+        label-or-qualname)``.  Action identities are reduced to their
+        label or ``__qualname__`` -- reprs of bound methods embed
+        memory addresses and would make equal worlds digest unequally.
+        Two simulators with equal digests schedule the same future.
+        """
+        digest = hashlib.sha256()
+        digest.update(
+            f"{self.clock._now}:{self._events_fired}:"
+            f"{self._queue._seq}".encode())
+        # Heap entry tuples are totally ordered (seq breaks all ties),
+        # so sorting never compares the trailing action item.
+        for entry in sorted(self._queue._heap):
+            item = entry[3]
+            if isinstance(item, Event):
+                if item.cancelled:
+                    continue
+                name = item.label or getattr(item.action, "__qualname__",
+                                             type(item.action).__name__)
+            else:
+                name = getattr(item, "__qualname__", type(item).__name__)
+            digest.update(f"{entry[0]}:{entry[1]}:{entry[2]}:{name}"
+                          .encode("utf-8", "backslashreplace"))
+            digest.update(b"\x1f")
+        return digest.hexdigest()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Simulator(now={format_time(self.now)}, "

@@ -42,6 +42,22 @@ class RandomStreams:
         """
         return RandomStreams(self._derive_seed(f"fork:{name}"))
 
+    def state_digest(self) -> str:
+        """Deterministic digest of every stream's internal RNG state.
+
+        Part of the snapshot determinism guarantee: a restored world
+        must resume its random draws exactly where the captured world
+        stood, so tests compare this digest between the uninterrupted
+        run and the restore-and-rerun.  ``Random.getstate()`` is a
+        tuple of ints, so its repr is stable and address-free.
+        """
+        digest = hashlib.sha256(str(self.root_seed).encode("utf-8"))
+        for name in sorted(self._streams):
+            digest.update(name.encode("utf-8"))
+            digest.update(repr(self._streams[name].getstate())
+                          .encode("utf-8"))
+        return digest.hexdigest()
+
     def _derive_seed(self, name: str) -> int:
         digest = hashlib.sha256(
             f"{self.root_seed}:{name}".encode("utf-8")).digest()

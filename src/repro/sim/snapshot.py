@@ -1,0 +1,223 @@
+"""Snapshot/restore for the discrete-event kernel.
+
+The paper's test cycle is "record the conditions, reset the system,
+reproduce" -- and resetting a *simulated* system does not have to mean
+rebuilding it.  This module captures a whole simulation world (clock,
+event queue with its live closures, RNG streams, bus/ECU/bench state)
+as an isolated deep clone that can be restored any number of times.
+Restoring is O(state), not O(history): a minimisation probe that used
+to replay a 500-frame prefix can instead resume from a checkpoint.
+
+Two mechanisms cooperate:
+
+- **Deepcopy fallback.**  Any object graph is cloned with
+  :func:`copy.deepcopy` under a scoped extension that clones *function
+  closures*.  Stock ``deepcopy`` treats functions as atomic, which is
+  correct for plain callbacks but silently wrong for the lambdas this
+  codebase schedules (``lambda: bench.bcm.led_on`` and friends): an
+  atomic copy would leave the clone's event queue firing callbacks
+  into the *original* world.  Inside a capture/restore, a function
+  with a non-empty ``__closure__`` is rebuilt with fresh cells whose
+  contents are cloned through the same memo, so closure-captured
+  objects unify with the rest of the cloned graph.
+- **Snapshottable protocol.**  A class may opt in to custom state by
+  inheriting :class:`Snapshottable` and overriding ``__snapshot__`` /
+  ``__snapshot_restore__`` (the event queue drops its cancelled
+  corpses this way).  Everything else falls back to generic deepcopy.
+
+The determinism guarantee -- run, snapshot, diverge, restore, rerun
+reproduces a bit-identical event/frame fingerprint -- holds because
+the clone shares no mutable state with the original (closures
+included) and the kernel itself is deterministic.  It is enforced by
+``tests/sim/test_snapshot.py``.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import types
+from typing import Any, Iterable
+
+__all__ = [
+    "Snapshottable",
+    "Snapshot",
+    "capture",
+    "fingerprint",
+]
+
+
+# ----------------------------------------------------------------------
+# Closure-aware function cloning
+# ----------------------------------------------------------------------
+#
+# copy.deepcopy dispatches FunctionType to _deepcopy_atomic.  While a
+# capture or restore is in progress we swap in a handler that rebuilds
+# closures.  The patch is scoped and re-entrant (captures can nest via
+# __deepcopy__ hooks) and restores the stock handler on exit, so code
+# outside this module sees deepcopy's documented behaviour.
+
+_DISPATCH = copy._deepcopy_dispatch
+_STOCK_FUNCTION_COPY = _DISPATCH[types.FunctionType]
+_patch_depth = 0
+
+
+def _deepcopy_function(func: types.FunctionType, memo: dict) -> Any:
+    """Clone ``func``; only closures are cloned, everything else shared.
+
+    Functions without a closure are returned as-is (same as stock
+    deepcopy): module-level functions and closure-free lambdas are
+    immutable-enough and cloning them would only slow capture down.
+    ``__globals__`` stays shared deliberately -- a clone that lost its
+    module globals could not call anything.
+    """
+    closure = func.__closure__
+    if not closure:
+        return func
+    cells = tuple(types.CellType() for _ in closure)
+    dup = types.FunctionType(func.__code__, func.__globals__,
+                             func.__name__, func.__defaults__, cells)
+    dup.__qualname__ = func.__qualname__
+    dup.__kwdefaults__ = func.__kwdefaults__
+    if func.__dict__:
+        dup.__dict__.update(func.__dict__)
+    # Memoise *before* filling the cells: a closure may (indirectly)
+    # reach the function itself, and the memo entry breaks the cycle.
+    memo[id(func)] = dup
+    for fresh, cell in zip(cells, closure):
+        try:
+            contents = cell.cell_contents
+        except ValueError:
+            # Cell not yet filled (recursive def mid-definition); the
+            # clone keeps an empty cell, mirroring the original.
+            continue
+        fresh.cell_contents = copy.deepcopy(contents, memo)
+    return dup
+
+
+class _closure_cloning:
+    """Scoped, re-entrant activation of closure-aware deepcopy."""
+
+    def __enter__(self) -> None:
+        global _patch_depth
+        _patch_depth += 1
+        _DISPATCH[types.FunctionType] = _deepcopy_function
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _patch_depth
+        _patch_depth -= 1
+        if _patch_depth == 0:
+            _DISPATCH[types.FunctionType] = _STOCK_FUNCTION_COPY
+
+
+# ----------------------------------------------------------------------
+# The Snapshottable protocol
+# ----------------------------------------------------------------------
+class Snapshottable:
+    """Opt-in mixin: a class that knows its own snapshot state.
+
+    The default implementation captures ``__dict__`` wholesale, which
+    matches generic deepcopy; subclasses override ``__snapshot__`` /
+    ``__snapshot_restore__`` when the raw attribute dump is not the
+    right state (e.g. the event queue filters cancelled entries and
+    re-heapifies on restore).  ``__slots__`` classes must override
+    ``__snapshot__``, since they have no ``__dict__`` to dump.
+
+    Custom state values are cloned **through the capture's memo**, so
+    identity is preserved across the whole world: if two components
+    hold the same ``random.Random``, their clones do too.
+    """
+
+    __slots__ = ()
+
+    def __snapshot__(self) -> dict[str, Any]:
+        """State to capture, as an attribute dict."""
+        return dict(self.__dict__)
+
+    def __snapshot_restore__(self, state: dict[str, Any]) -> None:
+        """Install captured (already cloned) state on a blank instance."""
+        for key, value in state.items():
+            setattr(self, key, value)
+
+    def __deepcopy__(self, memo: dict) -> "Snapshottable":
+        cls = type(self)
+        dup = cls.__new__(cls)
+        memo[id(self)] = dup
+        state = {key: copy.deepcopy(value, memo)
+                 for key, value in self.__snapshot__().items()}
+        dup.__snapshot_restore__(state)
+        return dup
+
+
+# ----------------------------------------------------------------------
+# Capture / restore
+# ----------------------------------------------------------------------
+class Snapshot:
+    """A frozen copy of a simulation world.
+
+    Holds a private clone of the captured object graph; every
+    :meth:`restore` clones it again, so one snapshot yields any number
+    of independent worlds and the snapshot itself is never consumed.
+    """
+
+    __slots__ = ("_state", "label", "object_count", "restores")
+
+    def __init__(self, state: Any, *, label: str = "",
+                 object_count: int = 0) -> None:
+        self._state = state
+        self.label = label
+        self.object_count = object_count
+        self.restores = 0
+
+    def restore(self) -> Any:
+        """A fresh, fully isolated clone of the captured world.
+
+        The returned object has the same shape as the ``root`` passed
+        to :func:`capture` (commonly a tuple such as ``(sim, adapter,
+        probe)``).  Clones share nothing mutable with each other, with
+        the snapshot, or with the originally captured world.
+        """
+        with _closure_cloning():
+            world = copy.deepcopy(self._state)
+        self.restores += 1
+        return world
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = f" {self.label!r}" if self.label else ""
+        return (f"Snapshot({tag} objects={self.object_count}, "
+                f"restores={self.restores})")
+
+
+def capture(root: Any, *, label: str = "") -> Snapshot:
+    """Snapshot ``root`` (typically a tuple spanning the whole world).
+
+    ``root`` must reach every mutable object of the simulation:
+    anything only referenced from outside the captured graph keeps
+    pointing at the *original* world.  In practice, capturing
+    ``(sim, adapter, failure_probe)`` covers a bench because the probe
+    closure pins the bench, which pins buses, nodes and oracles.
+    """
+    memo: dict = {}
+    with _closure_cloning():
+        state = copy.deepcopy(root, memo)
+    return Snapshot(state, label=label, object_count=len(memo))
+
+
+# ----------------------------------------------------------------------
+# Fingerprinting
+# ----------------------------------------------------------------------
+def fingerprint(records: Iterable[Any]) -> str:
+    """Deterministic digest of a sequence of observation records.
+
+    Hashes each record's ``repr``; callers must pass records whose
+    repr is address-free (dataclass records such as
+    :class:`~repro.can.frame.TimestampedFrame` qualify, arbitrary
+    objects with the default ``object.__repr__`` do not).  Used by the
+    determinism tests to compare a restored rerun against the
+    uninterrupted run bit-for-bit.
+    """
+    digest = hashlib.sha256()
+    for record in records:
+        digest.update(repr(record).encode("utf-8", "backslashreplace"))
+        digest.update(b"\x1f")
+    return digest.hexdigest()

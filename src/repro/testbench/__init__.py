@@ -11,7 +11,8 @@ from repro.testbench.app import LockApp
 from repro.testbench.bcm import BenchBcm, UNLOCK_ACK_ID
 from repro.testbench.bench import UnlockTestbench
 from repro.testbench.experiment import TableVRow, UnlockExperiment
-from repro.testbench.factory import UnlockBenchFactory
+from repro.testbench.factory import (CarReplayFactory, UnlockBenchFactory,
+                                     UnlockReplayFactory)
 
 __all__ = [
     "UnlockTestbench",
@@ -21,4 +22,6 @@ __all__ = [
     "UnlockExperiment",
     "TableVRow",
     "UnlockBenchFactory",
+    "UnlockReplayFactory",
+    "CarReplayFactory",
 ]

@@ -77,3 +77,85 @@ class UnlockBenchFactory:
             bench.sim, adapter, generator, limits=spec.limits,
             oracles=oracles, interval=self.interval,
             name=f"unlock-{self.check_mode}-shard{spec.index}")
+
+
+@dataclass(frozen=True)
+class CarReplayFactory:
+    """A replay/minimisation target backed by the full target vehicle.
+
+    The §IV scenario: a finding was made against the complete simulated
+    car (two buses, six ECUs, gateway, dynamics), and reproducing it
+    means powering the whole vehicle up again -- ignition on plus a
+    bus-settle window -- before retransmitting a candidate trace.  That
+    reset is exactly the cost the paper's workflow pays per reproduction
+    attempt and what Werquin et al. identify as the throughput limit of
+    automotive fuzzing; it is also what makes this factory the
+    interesting target for :class:`~repro.fuzz.replay.SnapshotReplayer`,
+    whose checkpoints skip the reset entirely.
+
+    The failure probe reports an unlocked vehicle; ``min_unlock_events``
+    additionally requires that many *accepted* unlock commands, which
+    models failures that need several cooperating frames (a ddmin
+    worst case: none of the frames is removable alone).
+
+    Args:
+        seed: the car's root seed (match the finding's campaign seed).
+        bus: which bus the attacker's OBD adapter taps.
+        settle_seconds: simulated time after ignition before the world
+            is handed over (the vehicle's wake-up/boot window).
+        min_unlock_events: accepted-unlock count the probe requires
+            (0 = any unlocked state fails).
+    """
+
+    seed: int = 0
+    bus: str = "body"
+    settle_seconds: float = 2.0
+    min_unlock_events: int = 0
+
+    def __call__(self):
+        from repro.vehicle import TargetCar
+
+        car = TargetCar(seed=self.seed)
+        car.ignition_on()
+        car.run_seconds(self.settle_seconds)
+        adapter = car.obd_adapter(self.bus)
+        needed = self.min_unlock_events
+
+        def failed() -> bool:
+            return (not car.bcm.locked
+                    and car.bcm.unlock_events >= needed)
+
+        return car.sim, adapter, failed
+
+
+@dataclass(frozen=True)
+class UnlockReplayFactory:
+    """A replay/minimisation target for the unlock bench.
+
+    The :class:`~repro.fuzz.replay.Replayer` contract: a zero-argument
+    callable returning ``(simulator, attacker adapter, failure
+    probe)``.  Built from the same ``(seed, check_mode)`` pair that
+    produced a finding, so the probe replays against a world identical
+    to the campaign's at power-on.  A frozen dataclass of plain values:
+    it pickles, so sharded tooling can ship it to workers, and the
+    snapshot replayer can hold it without dragging bench state along.
+
+    ``monitor_limit`` is deliberately small -- the monitor's ring
+    buffer is cloned into every checkpoint the snapshot replayer
+    stores, and replay verdicts never read it.
+    """
+
+    check_mode: str = "byte"
+    seed: int = 0
+    settle_seconds: float = 0.5
+    monitor_limit: int = 256
+
+    def __call__(self):
+        bench = UnlockTestbench(seed=self.seed,
+                                check_mode=self.check_mode,
+                                monitor_limit=self.monitor_limit)
+        bench.power_on(settle_seconds=self.settle_seconds)
+        adapter = bench.attacker_adapter()
+        # The lambda pins the bench for the probe's lifetime (and is
+        # created per call, keeping the factory itself pickleable).
+        return bench.sim, adapter, lambda: bench.bcm.led_on

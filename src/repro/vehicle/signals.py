@@ -262,6 +262,18 @@ class SignalDatabase:
     def __contains__(self, can_id: int) -> bool:
         return can_id in self._by_id
 
+    def __deepcopy__(self, memo: dict) -> "SignalDatabase":
+        # Message/signal definitions are frozen dataclasses, so a deep
+        # clone only needs fresh index dicts (keeping add() isolated
+        # between a snapshot clone and the original) while sharing the
+        # definitions themselves.  A full traversal of every SignalDef
+        # would otherwise dominate snapshot cost for nothing.
+        dup = SignalDatabase.__new__(SignalDatabase)
+        memo[id(self)] = dup
+        dup._by_id = dict(self._by_id)
+        dup._by_name = dict(self._by_name)
+        return dup
+
     @property
     def messages(self) -> tuple[MessageDef, ...]:
         return tuple(self._by_id.values())
@@ -289,3 +301,12 @@ class SignalDatabase:
         if message is None:
             return None
         return message.decode(data)
+
+
+# Definitions are immutable; ECUs hold direct references to the ones
+# they encode/decode, so without this they would each be traversed by
+# every snapshot capture/restore even though the database itself
+# already shares them (see __deepcopy__ above).
+from repro.can.frame import _register_atomic  # noqa: E402
+
+_register_atomic(SignalDef, MessageDef)

@@ -147,6 +147,23 @@ class TestFindings:
         assert 0 < len(finding.recent_frames) <= 8
         assert any(f.can_id == 0x111 for f in finding.recent_frames)
 
+    def test_finding_records_transmit_timestamps(self, sim, bus, adapter):
+        responder = CanController("responder")
+        responder.attach(bus)
+        responder.set_rx_handler(
+            lambda s: responder.send(CanFrame(0x3A5, b"\x01")))
+        oracle = AckMessageOracle(bus, 0x3A5,
+                                  exclude_sender=adapter.controller.name)
+        campaign = FuzzCampaign(sim, adapter, make_generator(),
+                                limits=CampaignLimits(max_frames=100),
+                                oracles=[oracle], recent_window=8)
+        result = campaign.run()
+        finding = result.findings[0]
+        times = finding.recent_times
+        assert len(times) == len(finding.recent_frames)
+        assert all(a <= b for a, b in zip(times, times[1:]))
+        assert times[-1] <= finding.time
+
     def test_continue_with_reset_hook(self, sim, bus, adapter):
         responder = CanController("responder")
         responder.attach(bus)

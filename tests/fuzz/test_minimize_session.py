@@ -6,7 +6,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.can.frame import CanFrame
-from repro.fuzz.minimize import minimize_frame_bytes, minimize_trace
+from repro.fuzz.minimize import (MinimizeStats, minimize_frame_bytes,
+                                 minimize_trace)
 from repro.fuzz.oracle import Finding
 from repro.fuzz.replay import Replayer
 from repro.fuzz.session import FuzzResult
@@ -55,6 +56,56 @@ class TestMinimizeTrace:
         minimal = minimize_trace(frames, lambda t: culprit in t)
         assert minimal == [culprit]
 
+    def test_far_apart_interacting_pair_kept(self):
+        # The hard ddmin shape: the two frames that only fail together
+        # sit at opposite ends of a long window, so every early chunk
+        # removal that drops one of them is rejected.
+        first = CanFrame(0x111, b"\x01")
+        last = CanFrame(0x222, b"\x02")
+        noise = [CanFrame(0x300 + i) for i in range(60)]
+        trace = [first] + noise + [last]
+        stats = MinimizeStats()
+        minimal = minimize_trace(
+            trace, lambda t: first in t and last in t, stats=stats)
+        assert minimal == [first, last]
+        assert stats.from_size == 62 and stats.to_size == 2
+        assert not stats.exhausted
+
+    def test_max_tests_cutoff_returns_best_so_far(self):
+        culprit = CanFrame(0x215, b"\x20")
+        noise = [CanFrame(0x100 + i) for i in range(40)]
+        trace = noise[:20] + [culprit] + noise[20:]
+        still_fails = lambda t: culprit in t  # noqa: E731
+        stats = MinimizeStats()
+        partial = minimize_trace(trace, still_fails, max_tests=4,
+                                 stats=stats)
+        assert stats.exhausted
+        assert stats.tests_used <= 4
+        # The cut happened mid-reduction: the result is a valid failing
+        # trace, smaller than the input but not yet 1-minimal.
+        assert still_fails(partial)
+        assert 1 < len(partial) < len(trace)
+        assert stats.to_size == len(partial)
+
+    def test_memoised_duplicates_never_reprobe(self):
+        culprit = CanFrame(0x215, b"\x20")
+        noise = [CanFrame(0x100 + i) for i in range(10)]
+        trace = noise[:5] + [culprit] + noise[5:]
+        probed = []
+
+        def still_fails(candidate):
+            probed.append(tuple(candidate))
+            return culprit in candidate
+
+        stats = MinimizeStats()
+        minimize_trace(trace, still_fails, stats=stats)
+        assert len(probed) == stats.tests_used
+        assert len(set(probed)) == len(probed)  # each candidate once
+
+    def test_max_tests_validation(self):
+        with pytest.raises(ValueError):
+            minimize_trace([CanFrame(1)], lambda t: True, max_tests=0)
+
 
 class TestMinimizeFrameBytes:
     def test_irrelevant_bytes_zeroed(self):
@@ -82,6 +133,34 @@ class TestMinimizeFrameBytes:
     def test_non_reproducing_frame_rejected(self):
         with pytest.raises(ValueError):
             minimize_frame_bytes(CanFrame(1, b"\x01"), lambda f: False)
+
+    def test_stats_count_probes(self):
+        frame = CanFrame(0x215, bytes((0x20, 0x5F, 0x01)))
+        stats = MinimizeStats()
+        minimal = minimize_frame_bytes(
+            frame, lambda f: len(f.data) >= 1 and f.data[0] == 0x20,
+            stats=stats)
+        assert minimal.data == b"\x20"
+        assert stats.from_size == 3 and stats.to_size == 1
+        assert stats.tests_used > 0
+        assert not stats.exhausted
+
+    def test_max_tests_cutoff_keeps_failing_frame(self):
+        frame = CanFrame(0x215, bytes((0x20, 1, 2, 3, 4, 5, 6)))
+        check = lambda f: len(f.data) >= 1 and f.data[0] == 0x20  # noqa: E731
+        stats = MinimizeStats()
+        partial = minimize_frame_bytes(frame, check, max_tests=3,
+                                       stats=stats)
+        assert stats.exhausted
+        assert stats.tests_used <= 3
+        assert check(partial)              # best-so-far still fails
+        assert partial.data[0] == 0x20
+        assert len(partial.data) == 7      # truncation never reached
+
+    def test_max_tests_validation(self):
+        with pytest.raises(ValueError):
+            minimize_frame_bytes(CanFrame(1, b"\x01"), lambda f: True,
+                                 max_tests=0)
 
 
 class TestFuzzResult:
@@ -138,6 +217,27 @@ class TestFuzzResult:
                                    recent_frames=frames)]
         restored = FuzzResult.from_json(result.to_json())
         assert restored.findings[0].recent_frames == frames
+
+    def test_recent_times_roundtrip(self):
+        result = self.make_result()
+        result.findings = [Finding(
+            time=5 * SECOND, oracle="ack", description="unlock seen",
+            recent_frames=(CanFrame(0x215, b"\x20"), CanFrame(0x100)),
+            recent_times=(4 * SECOND, 4 * SECOND + 1000))]
+        restored = FuzzResult.from_json(result.to_json())
+        assert restored.findings[0].recent_times == (
+            4 * SECOND, 4 * SECOND + 1000)
+
+    def test_loads_pre_recent_times_json(self):
+        """Findings saved before per-frame timestamps existed load with
+        an empty ``recent_times`` (replay falls back to the grid)."""
+        payload = self.make_result().to_dict()
+        for finding in payload["findings"]:
+            finding.pop("recent_times", None)
+        restored = FuzzResult.from_dict(payload)
+        assert restored.findings[0].recent_times == ()
+        assert restored.findings[0].recent_frames == (
+            CanFrame(0x215, b"\x20"),)
 
     def test_loads_pre_flag_json(self):
         """Frames saved before remote/fd/brs were serialised load as

@@ -1,0 +1,212 @@
+"""Tests for the snapshot/restore engine.
+
+Covers the tentpole guarantees: closure isolation (a restored world's
+callbacks fire into the clone, never the original), the Snapshottable
+protocol, event-queue snapshot semantics, and the determinism
+guarantee -- run -> snapshot -> diverge -> restore -> rerun yields a
+bit-identical event/frame fingerprint, RNG streams included.
+"""
+
+import copy
+
+from repro.analysis import BusCapture
+from repro.can.frame import CanFrame
+from repro.can.timing import CAN_500K
+from repro.sim.clock import MS
+from repro.sim.kernel import Simulator
+from repro.sim.random import RandomStreams
+from repro.sim.snapshot import Snapshot, Snapshottable, capture, fingerprint
+from repro.testbench.bench import UnlockTestbench
+from repro.vehicle.database import BODY_COMMAND_ID, UNLOCK_COMMAND
+
+UNLOCK_FRAME = CanFrame(BODY_COMMAND_ID,
+                        bytes((UNLOCK_COMMAND, 0x99, 0x01)))
+
+
+def kernel_world():
+    """A tiny world whose event closures capture local state."""
+    sim = Simulator()
+    log: list[int] = []
+
+    def tick() -> None:
+        log.append(sim.now)
+        sim.call_after(5 * MS, tick, label="tick")
+
+    sim.call_after(5 * MS, tick, label="tick")
+    return sim, log
+
+
+class TestClosureIsolation:
+    def test_restored_callbacks_fire_into_the_clone(self):
+        sim, log = kernel_world()
+        sim.run_for(10 * MS)
+        snap = capture((sim, log))
+        clone_sim, clone_log = snap.restore()
+
+        clone_sim.run_for(20 * MS)
+        assert log == [5 * MS, 10 * MS]          # original untouched
+        assert clone_log[:2] == log              # shared history...
+        assert len(clone_log) > len(log)         # ...then its own future
+
+        sim.run_for(20 * MS)
+        assert log == [5 * MS, 10 * MS, 15 * MS, 20 * MS, 25 * MS,
+                       30 * MS]
+        # The clone's extra entries were not duplicated into the
+        # original by the rerun: the closures are fully split.
+        assert clone_log[2:] == log[2:]
+
+    def test_closure_free_functions_are_shared(self):
+        def plain() -> None:
+            pass
+
+        snap = capture(plain)
+        assert snap.restore() is plain
+
+    def test_stock_deepcopy_behaviour_outside_captures(self):
+        # The dispatch patch is scoped: outside capture/restore,
+        # deepcopy treats functions atomically again.
+        counter = [0]
+        bump = lambda: counter.append(counter[0])  # noqa: E731
+        assert copy.deepcopy(bump) is bump
+
+
+class TestSnapshottableProtocol:
+    class Box(Snapshottable):
+        def __init__(self) -> None:
+            self.items: list[int] = []
+            self.name = "box"
+
+    def test_default_snapshot_is_attribute_dict(self):
+        box = self.Box()
+        box.items.append(1)
+        dup = copy.deepcopy(box)
+        assert dup.items == [1] and dup.name == "box"
+        dup.items.append(2)
+        assert box.items == [1]
+
+    def test_identity_preserved_through_memo(self):
+        shared = RandomStreams(1).stream("a")
+        box_a, box_b = self.Box(), self.Box()
+        box_a.items = shared
+        box_b.items = shared
+        dup_a, dup_b = copy.deepcopy((box_a, box_b))
+        assert dup_a.items is dup_b.items
+        assert dup_a.items is not shared
+
+
+class TestEventQueueSnapshot:
+    def test_cancelled_events_are_dropped_by_capture(self):
+        sim = Simulator()
+        keep = sim.call_after(10 * MS, lambda: None, label="keep")
+        kill = sim.call_after(20 * MS, lambda: None, label="kill")
+        sim.cancel(kill)
+        clone_sim = capture(sim).restore()
+        assert len(clone_sim._queue) == 1
+        assert keep is not None
+
+    def test_sequence_counter_survives_restore(self):
+        # Two events scheduled at the same instant must keep their
+        # insertion order in the clone, and events scheduled *after*
+        # the restore must not collide with captured sequence numbers.
+        sim = Simulator()
+        order: list[str] = []
+        sim.call_at(5 * MS, lambda: order.append("first"))
+        sim.call_at(5 * MS, lambda: order.append("second"))
+        clone = capture((sim, order)).restore()
+        clone_sim, clone_order = clone
+        clone_sim.call_at(5 * MS, lambda: clone_order.append("third"))
+        clone_sim.run_for(5 * MS)
+        assert clone_order == ["first", "second", "third"]
+
+    def test_state_digest_matches_between_twin_restores(self):
+        sim, _log = kernel_world()
+        sim.run_for(7 * MS)
+        snap = capture(sim)
+        assert snap.restore().state_digest() == \
+            snap.restore().state_digest()
+
+
+class TestDeterminism:
+    """Run -> snapshot -> diverge -> restore -> rerun, bit-identical."""
+
+    def bench_world(self):
+        bench = UnlockTestbench(seed=11, check_mode="byte")
+        bench.power_on(settle_seconds=0.2)
+        adapter = bench.attacker_adapter()
+        tap = BusCapture(bench.bus, limit=4096)
+        return bench, adapter, tap
+
+    def drive(self, bench, adapter, rng, frames: int) -> None:
+        for _ in range(frames):
+            payload = bytes(rng.randrange(256) for _ in range(4))
+            adapter.write(CanFrame(0x321, payload))
+            bench.sim.run_for(1 * MS)
+
+    def test_restore_and_rerun_is_bit_identical(self):
+        bench, adapter, tap = self.bench_world()
+        rng = bench.streams.stream("driver")
+        self.drive(bench, adapter, rng, 20)
+
+        snap = capture((bench, adapter, tap, rng))
+        baseline_digest = bench.streams.state_digest()
+
+        # Uninterrupted continuation: 30 more frames.
+        self.drive(bench, adapter, rng, 30)
+        uninterrupted = fingerprint(tap.stamped)
+        final_rng_digest = bench.streams.state_digest()
+
+        # Diverge a restored clone hard (different traffic, including
+        # an unlock), then throw it away.
+        d_bench, d_adapter, d_tap, d_rng = snap.restore()
+        d_adapter.write(UNLOCK_FRAME)
+        d_bench.sim.run_for(50 * MS)
+        self.drive(d_bench, d_adapter, d_rng, 7)
+        assert d_bench.bcm.led_on
+        assert fingerprint(d_tap.stamped) != uninterrupted
+
+        # Restore again and replay the same continuation.
+        r_bench, r_adapter, r_tap, r_rng = snap.restore()
+        assert r_bench.streams.state_digest() == baseline_digest
+        assert not r_bench.bcm.led_on
+        self.drive(r_bench, r_adapter, r_rng, 30)
+        assert fingerprint(r_tap.stamped) == uninterrupted
+        assert r_bench.streams.state_digest() == final_rng_digest
+        assert r_bench.sim.state_digest() == bench.sim.state_digest()
+        assert r_bench.bus.state_digest() == bench.bus.state_digest()
+
+    def test_simulator_snapshot_convenience(self):
+        bench, adapter, tap = self.bench_world()
+        snap = bench.sim.snapshot(bench, adapter, tap, label="bench")
+        assert isinstance(snap, Snapshot)
+        clone_sim, clone_bench, clone_adapter, _ = snap.restore()
+        clone_adapter.write(UNLOCK_FRAME)
+        clone_sim.run_for(50 * MS)
+        assert clone_bench.bcm.led_on
+        assert not bench.bcm.led_on
+        assert clone_bench.sim is clone_sim
+
+
+class TestAtomicSharing:
+    def test_frames_and_timings_shared_not_cloned(self):
+        stamped = capture(UNLOCK_FRAME).restore()
+        assert stamped is UNLOCK_FRAME
+        assert copy.deepcopy(CAN_500K) is CAN_500K
+
+    def test_fingerprint_separates_order(self):
+        a, b = CanFrame(1, b"\x01"), CanFrame(2, b"\x02")
+        assert fingerprint([a, b]) != fingerprint([b, a])
+        assert fingerprint([]) == fingerprint(())
+
+
+class TestRestoreCost:
+    def test_restore_is_o_state_not_o_history(self):
+        # Restoring after a long run must clone the same number of
+        # objects as restoring after a short one (bounded queues), not
+        # grow with elapsed simulated time.
+        bench, adapter, _tap = (UnlockTestbench(seed=5), None, None)
+        bench.power_on(settle_seconds=0.2)
+        adapter = bench.attacker_adapter()
+        early = capture((bench, adapter))
+        bench.run_seconds(5.0)
+        late = capture((bench, adapter))
+        assert late.object_count <= early.object_count * 2

@@ -81,6 +81,57 @@ class TestFuzzBench:
         assert "0 finding(s)" in capsys.readouterr().out
 
 
+class TestFuzzBenchMinimize:
+    def make_finding(self):
+        from repro.can.frame import CanFrame
+        from repro.fuzz.oracle import Finding
+        from repro.vehicle.database import BODY_COMMAND_ID, UNLOCK_COMMAND
+
+        culprit = CanFrame(BODY_COMMAND_ID,
+                           bytes((UNLOCK_COMMAND, 0x99, 0x01)))
+        noise = [CanFrame(0x100 + i, bytes((i,))) for i in range(6)]
+        return Finding(
+            time=1_000_000, oracle="unlock-ack", description="unlock",
+            recent_frames=tuple(noise[:3] + [culprit] + noise[3:]))
+
+    def test_minimize_finding_record(self):
+        from repro.cli import _minimize_finding
+
+        record = _minimize_finding(self.make_finding(),
+                                   check_mode="byte", seed=3)
+        assert record["reproduced"]
+        assert record["window_frames"] == 7
+        assert len(record["minimized_frames"]) == 1
+        assert record["minimized_frames"][0]["id"] == 0x215
+        assert record["probes"] > 0
+        assert record["replayer"]["replays"] >= record["probes"]
+
+    def test_non_reproducing_window_is_reported_not_fatal(self):
+        from repro.can.frame import CanFrame
+        from repro.cli import _minimize_finding
+        from repro.fuzz.oracle import Finding
+
+        benign = Finding(time=1, oracle="ack", description="noise only",
+                         recent_frames=(CanFrame(0x100, b"\x01"),))
+        record = _minimize_finding(benign, check_mode="byte", seed=3)
+        assert record == {"oracle": "ack", "time": 1,
+                          "window_frames": 1, "reproduced": False}
+
+    def test_end_to_end_minimize_and_report(self, capsys, tmp_path):
+        report = tmp_path / "bench.json"
+        assert main(["fuzz-bench", "--seed", "19", "--minimize",
+                     "--report", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "minimised" in out
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["mode"] == "single"
+        assert payload["minimized"][0]["reproduced"]
+        assert payload["minimized"][0]["probes"] > 0
+        assert payload["result"]["findings"]
+
+
 class TestTable5:
     def test_single_trial_row(self, capsys):
         assert main(["table5", "--trials", "1", "--seed", "42"]) == 0
