@@ -142,11 +142,11 @@ def _print_minimized(minimized: list[dict]) -> None:
 
 
 def _write_report(path: str, payload: dict) -> None:
-    import json
+    from repro.fuzz.durability import atomic_write_json
 
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    # Atomic replace: a crash mid-report leaves the previous report
+    # (or nothing), never a torn JSON file.
+    atomic_write_json(path, payload)
     print(f"report written to {path}")
 
 
@@ -157,30 +157,63 @@ def _cmd_fuzz_bench(args: argparse.Namespace) -> int:
     from repro.sim.random import RandomStreams
     from repro.testbench import UNLOCK_ACK_ID, UnlockTestbench
 
+    if args.resume and not args.journal:
+        print("--resume requires --journal DIR", file=sys.stderr)
+        return 2
     if args.shards > 1:
         return _run_sharded_bench(args)
-    bench = UnlockTestbench(seed=args.seed, check_mode=args.check_mode)
-    bench.power_on()
-    adapter = bench.attacker_adapter()
-    generator = RandomFrameGenerator(
-        FuzzConfig.full_range(),
-        RandomStreams(args.seed).stream("fuzzer"))
-    oracles = [
-        AckMessageOracle(bench.bus, UNLOCK_ACK_ID,
-                         predicate=lambda f: f.data[:1] == b"\x01",
-                         exclude_sender=adapter.controller.name,
-                         name="unlock-ack"),
-        PhysicalStateOracle(lambda: bench.bcm.led_on, expected=False,
-                            period=20 * MS, name="led"),
-    ]
-    campaign = FuzzCampaign(
-        bench.sim, adapter, generator,
-        limits=CampaignLimits(
-            max_duration=round(args.max_seconds * SECOND)),
-        oracles=oracles, name="cli-fuzz-bench")
-    result = campaign.run()
+    benches = []
+
+    def build() -> FuzzCampaign:
+        bench = UnlockTestbench(seed=args.seed, check_mode=args.check_mode)
+        bench.power_on()
+        benches.append(bench)
+        adapter = bench.attacker_adapter()
+        generator = RandomFrameGenerator(
+            FuzzConfig.full_range(),
+            RandomStreams(args.seed).stream("fuzzer"))
+        oracles = [
+            AckMessageOracle(bench.bus, UNLOCK_ACK_ID,
+                             predicate=lambda f: f.data[:1] == b"\x01",
+                             exclude_sender=adapter.controller.name,
+                             name="unlock-ack"),
+            PhysicalStateOracle(lambda: bench.bcm.led_on, expected=False,
+                                period=20 * MS, name="led"),
+        ]
+        return FuzzCampaign(
+            bench.sim, adapter, generator,
+            limits=CampaignLimits(
+                max_duration=round(args.max_seconds * SECOND)),
+            oracles=oracles, name="cli-fuzz-bench")
+
+    journal = None
+    if args.journal:
+        from repro.fuzz import CampaignJournal
+
+        journal = CampaignJournal(args.journal)
+        if args.resume:
+            result = FuzzCampaign.resume(
+                journal, build, checkpoint_every=args.checkpoint_every)
+        else:
+            if (journal.load_result() is not None
+                    or journal.load_checkpoint() is not None):
+                print(f"journal dir {args.journal} already holds campaign "
+                      f"state; pass --resume to continue it",
+                      file=sys.stderr)
+                return 2
+            campaign = build()
+            campaign.attach_journal(
+                journal, checkpoint_every=args.checkpoint_every)
+            result = campaign.run()
+    else:
+        result = build().run()
     print(result.summary())
-    print(f"lock LED: {'ON (unlocked)' if bench.bcm.led_on else 'off'}")
+    if benches:
+        print(f"lock LED: "
+              f"{'ON (unlocked)' if benches[-1].bcm.led_on else 'off'}")
+    if journal is not None:
+        for warning in journal.warnings:
+            print(f"durability: {warning}")
     minimized = None
     if args.minimize:
         minimized = [_minimize_finding(finding,
@@ -214,15 +247,23 @@ def _run_sharded_bench(args: argparse.Namespace) -> int:
     from repro.fuzz import CampaignLimits, ShardedCampaign
     from repro.testbench import UnlockBenchFactory
 
-    runner = ShardedCampaign(
-        UnlockBenchFactory(check_mode=args.check_mode),
-        shards=args.shards,
-        jobs=args.jobs,
-        master_seed=args.seed,
-        limits=CampaignLimits(
-            max_duration=round(args.max_seconds * SECOND)))
+    try:
+        runner = ShardedCampaign(
+            UnlockBenchFactory(check_mode=args.check_mode),
+            shards=args.shards,
+            jobs=args.jobs,
+            master_seed=args.seed,
+            limits=CampaignLimits(
+                max_duration=round(args.max_seconds * SECOND)),
+            journal_dir=args.journal,
+            checkpoint_every=args.checkpoint_every)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     merged = runner.run()
     print(merged.summary())
+    for warning in runner.manifest_warnings:
+        print(f"durability: {warning}")
     minimized = None
     if args.minimize:
         minimized = []
@@ -338,6 +379,21 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--report", metavar="PATH", default=None,
                        help="write a JSON run report (includes the "
                             "minimised traces with --minimize)")
+    bench.add_argument("--journal", metavar="DIR", default=None,
+                       help="durable journal directory: findings stream "
+                            "to disk as they fire, checkpoints are taken "
+                            "every --checkpoint-every frames, and a "
+                            "killed run continues with --resume "
+                            "(per-shard subdirectories when sharded)")
+    bench.add_argument("--resume", action="store_true",
+                       help="continue the campaign recorded in --journal "
+                            "from its last durable state (sharded runs "
+                            "resume automatically whenever --journal "
+                            "points at a previous run's directory)")
+    bench.add_argument("--checkpoint-every", type=int, default=5000,
+                       metavar="FRAMES",
+                       help="frames between durable checkpoints "
+                            "(default 5000)")
     bench.set_defaults(func=_cmd_fuzz_bench)
 
     table5 = sub.add_parser("table5", help="run a Table V row")

@@ -19,10 +19,21 @@ communications API handling module, and a CAN bus traffic monitor"):
 - :mod:`~repro.fuzz.minimize` -- delta-debugging a failure trace.
 - :mod:`~repro.fuzz.session` -- run records and findings.
 - :mod:`~repro.fuzz.parallel` -- the sharded multi-process runner.
+- :mod:`~repro.fuzz.durability` -- write-ahead journal, durable
+  checkpoints, and kill-resume for long campaigns.
 """
 
 from repro.fuzz.campaign import CampaignLimits, FuzzCampaign
 from repro.fuzz.config import FuzzConfig
+from repro.fuzz.durability import (
+    CampaignJournal,
+    DirectoryStore,
+    FaultyStore,
+    RetryPolicy,
+    WriteAheadJournal,
+    atomic_write_json,
+    scan_records,
+)
 from repro.fuzz.coverage import (
     combination_count,
     coverage_fraction,
@@ -101,4 +112,11 @@ __all__ = [
     "ShardSpec",
     "derive_shard_seed",
     "slice_limits",
+    "CampaignJournal",
+    "DirectoryStore",
+    "FaultyStore",
+    "RetryPolicy",
+    "WriteAheadJournal",
+    "atomic_write_json",
+    "scan_records",
 ]

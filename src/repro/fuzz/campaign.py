@@ -19,12 +19,16 @@ from typing import Callable
 
 from repro.can.adapter import AdapterStatus, PcanStyleAdapter
 from repro.can.frame import CanFrame
+from repro.fuzz.durability import CampaignJournal
 from repro.fuzz.generator import FrameGenerator
 from repro.fuzz.oracle import Finding, Oracle
-from repro.fuzz.session import FuzzResult
+from repro.fuzz.session import (FuzzResult, finding_from_dict,
+                                finding_to_dict, frame_from_dict,
+                                frame_to_dict)
 from repro.sim.clock import MS
 from repro.sim.kernel import Simulator
 from repro.sim.process import PeriodicProcess
+from repro.sim.random import rng_state_from_json, rng_state_to_json
 
 # Hot-loop constants, resolved once at import.
 _STATUS_OK = AdapterStatus.OK
@@ -73,6 +77,10 @@ class FuzzCampaign:
             continues (power-cycle the SUT, §I.A's "the system is
             reset").
         recent_window: transmit frames remembered for finding context.
+        journal: durable journal findings/progress stream into; a
+            checkpoint is written every ``checkpoint_every`` frames and
+            the final result is persisted for :meth:`resume`.
+        checkpoint_every: frames between durable checkpoints.
     """
 
     def __init__(self, sim: Simulator, adapter: PcanStyleAdapter,
@@ -84,7 +92,9 @@ class FuzzCampaign:
                  rng: random.Random | None = None,
                  reset_target: Callable[[], None] | None = None,
                  recent_window: int = 32,
-                 name: str = "fuzz-campaign") -> None:
+                 name: str = "fuzz-campaign",
+                 journal: CampaignJournal | None = None,
+                 checkpoint_every: int = 5000) -> None:
         if interval < 1 * MS:
             raise ValueError(
                 "the fuzzer's maximum rate is one frame per millisecond "
@@ -93,6 +103,8 @@ class FuzzCampaign:
             raise ValueError("interval_jitter must be >= 0")
         if interval_jitter > 0 and rng is None:
             raise ValueError("interval_jitter needs an rng stream")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         self.sim = sim
         self.adapter = adapter
         self.generator = generator
@@ -113,6 +125,10 @@ class FuzzCampaign:
         self._stop_reason = ""
         self._running = False
         self._tx_event = None
+        self._started_at = 0
+        self.journal = journal
+        self.checkpoint_every = checkpoint_every
+        self._next_checkpoint = checkpoint_every
         self._label_tx = f"{name}:tx"
         # Hot-path bindings for the per-frame transmit loop: the write
         # call, the frame budget, and direct event-queue access (the
@@ -128,22 +144,89 @@ class FuzzCampaign:
     # ------------------------------------------------------------------
     def run(self) -> FuzzResult:
         """Execute the campaign to completion and return the record."""
-        started_at = self.sim.now
+        return self._execute(None)
+
+    @classmethod
+    def resume(cls, journal: "CampaignJournal | str",
+               build: Callable[[], "FuzzCampaign"], *,
+               checkpoint_every: int | None = None) -> FuzzResult:
+        """Continue a journalled campaign from its last durable state.
+
+        ``build`` must deterministically reconstruct the campaign the
+        journal belongs to -- same seed, same target factory -- because
+        the checkpoint only carries *campaign-side* state (generator
+        RNG position, counters, findings, oracle latches); the target
+        world is rebuilt fresh and the next transmission is scheduled
+        at its checkpointed absolute time.
+
+        Three cases, in order: the run already completed (its saved
+        result is returned, nothing is re-run); a checkpoint exists
+        (the rebuilt campaign restores it and runs out the remainder);
+        neither survived (the campaign starts from attempt zero --
+        deterministic, so nothing is lost but wall time).
+        """
+        if not isinstance(journal, CampaignJournal):
+            journal = CampaignJournal(journal)
+        saved = journal.load_result()
+        if saved is not None:
+            return FuzzResult.from_dict(saved)
+        state = journal.load_checkpoint()
+        campaign = build()
+        campaign.attach_journal(journal, checkpoint_every=checkpoint_every)
+        return campaign._execute(state)
+
+    def attach_journal(self, journal: CampaignJournal, *,
+                       checkpoint_every: int | None = None) -> None:
+        """Stream this campaign's findings/progress into ``journal``."""
+        self.journal = journal
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError("checkpoint_every must be >= 1")
+            self.checkpoint_every = checkpoint_every
+        self._next_checkpoint = self.frames_sent + self.checkpoint_every
+
+    def _execute(self, resume_state: dict | None) -> FuzzResult:
+        journal = self.journal
+        if resume_state is None:
+            self._started_at = self.sim.now
+            if journal is not None:
+                journal.append({"type": "start", "name": self.name,
+                                "started_at": self._started_at})
+        else:
+            self._restore(resume_state)
+            if journal is not None:
+                journal.append({"type": "resume",
+                                "frames_sent": self.frames_sent,
+                                "generation": journal.generation})
         for oracle in self.oracles:
             oracle.bind(self._on_finding)
             oracle.start(self.sim)
+        if resume_state is not None:
+            for oracle in self.oracles:
+                state = resume_state.get("oracles", {}).get(oracle.name)
+                if state is not None:
+                    oracle.load_state(state)
         self._running = True
-        self._schedule_next(first=True)
-        deadline = self._deadline(started_at)
+        if resume_state is None:
+            self._schedule_next(first=True)
+        else:
+            # The checkpoint recorded the *absolute* time of the next
+            # scheduled transmission; resuming at that exact tick (and
+            # with the restored RNG state) reproduces the frame stream
+            # the killed run would have sent.
+            self._tx_event = self.sim.call_at(
+                resume_state["next_tx_time"], self._transmit,
+                label=self._label_tx)
+        deadline = self._deadline(self._started_at)
         self.sim.run_until(deadline)
         if self._running:
             self._finish("time limit reached")
-        return FuzzResult(
+        result = FuzzResult(
             name=self.name,
             seed_label=getattr(
                 getattr(self.generator, "config", None), "seed_label",
                 type(self.generator).__name__),
-            started_at=started_at,
+            started_at=self._started_at,
             ended_at=self.sim.now,
             frames_sent=self.frames_sent,
             findings=list(self._findings),
@@ -151,6 +234,78 @@ class FuzzCampaign:
             stop_reason=self._stop_reason,
             config_rows=self._config_rows(),
         )
+        if journal is not None:
+            journal.append({"type": "end",
+                            "frames_sent": self.frames_sent,
+                            "findings": len(self._findings),
+                            "stop_reason": self._stop_reason})
+            journal.save_result(result.to_dict())
+        return result
+
+    # ------------------------------------------------------------------
+    # Durable checkpoints
+    # ------------------------------------------------------------------
+    def _state_dict(self) -> dict:
+        """Campaign-side state for one durable checkpoint.
+
+        Deliberately excludes the target world: live benches hold
+        closures the journal cannot serialise, so resume rebuilds the
+        target deterministically from its factory and only the
+        campaign's counters, RNG positions, findings, and oracle
+        latches travel through the checkpoint.
+        """
+        state = {
+            "format": 1,
+            "name": self.name,
+            "started_at": self._started_at,
+            "frames_sent": self.frames_sent,
+            "sim_now": self._clock._now,
+            "next_tx_time": self._tx_event.time,
+            "recent": [[time, frame_to_dict(frame)]
+                       for time, frame in self._recent],
+            "findings": [finding_to_dict(f) for f in self._findings],
+            "write_errors": dict(self._write_errors),
+            "oracles": {oracle.name: oracle.state_dict()
+                        for oracle in self.oracles},
+        }
+        exporter = getattr(self.generator, "state_dict", None)
+        if exporter is not None:
+            state["generator"] = exporter()
+        if self._rng is not None:
+            state["jitter_rng"] = rng_state_to_json(self._rng.getstate())
+        return state
+
+    def _restore(self, state: dict) -> None:
+        self._started_at = state["started_at"]
+        self.frames_sent = state["frames_sent"]
+        self._next_checkpoint = self.frames_sent + self.checkpoint_every
+        self._recent = deque(
+            ((time, frame_from_dict(payload))
+             for time, payload in state.get("recent", [])),
+            maxlen=self._recent.maxlen)
+        self._findings = [finding_from_dict(item)
+                          for item in state.get("findings", [])]
+        self._write_errors = dict(state.get("write_errors", {}))
+        generator_state = state.get("generator")
+        if generator_state is not None:
+            loader = getattr(self.generator, "load_state", None)
+            if loader is None:
+                raise ValueError(
+                    "checkpoint carries generator state but this "
+                    "generator cannot load it")
+            loader(generator_state)
+        jitter = state.get("jitter_rng")
+        if jitter is not None and self._rng is not None:
+            self._rng.setstate(rng_state_from_json(jitter))
+
+    def _write_checkpoint(self) -> None:
+        journal = self.journal
+        self._next_checkpoint = self.frames_sent + self.checkpoint_every
+        journal.append({"type": "progress",
+                        "frames_sent": self.frames_sent,
+                        "sim_now": self._clock._now,
+                        "findings": len(self._findings)})
+        journal.save_checkpoint(self._state_dict())
 
     def _config_rows(self) -> list[tuple[str, str, str]]:
         config = getattr(self.generator, "config", None)
@@ -213,6 +368,10 @@ class FuzzCampaign:
             delay += self._rng.randint(0, self.interval_jitter)
         self._tx_event = self._push(self._clock._now + delay, self._transmit,
                                     _APP_PRIORITY, self._label_tx)
+        # Checkpoint with the next transmission already scheduled, so
+        # the saved state names the absolute time resume must fire at.
+        if self.journal is not None and self.frames_sent >= self._next_checkpoint:
+            self._write_checkpoint()
 
     # ------------------------------------------------------------------
     # Findings
@@ -227,6 +386,13 @@ class FuzzCampaign:
             recent_times=tuple(time for time, _ in recent),
         )
         self._findings.append(enriched)
+        if self.journal is not None:
+            # Write-ahead: the finding reaches the durable log the
+            # moment it fires, not at the next checkpoint -- a crash in
+            # between loses no findings.
+            self.journal.append({"type": "finding",
+                                 "frames_sent": self.frames_sent,
+                                 "finding": finding_to_dict(enriched)})
         if self.limits.stop_on_finding:
             self._finish(f"finding from oracle {finding.oracle!r}")
         elif self._reset_target is not None:

@@ -13,6 +13,7 @@ from __future__ import annotations
 import random
 
 from repro.can.frame import CanFrame, MAX_DATA_CLASSIC
+from repro.sim.random import rng_state_from_json, rng_state_to_json
 
 
 class MutationalGenerator:
@@ -71,6 +72,17 @@ class MutationalGenerator:
 
         self.generated += 1
         return CanFrame(can_id, bytes(data), extended=seed.extended)
+
+    def state_dict(self) -> dict:
+        return {
+            "kind": "mutational",
+            "generated": self.generated,
+            "rng": rng_state_to_json(self._rng.getstate()),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.generated = state.get("generated", 0)
+        self._rng.setstate(rng_state_from_json(state["rng"]))
 
     def _mutate_length(self, data: bytearray) -> bytearray:
         rng = self._rng

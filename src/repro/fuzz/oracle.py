@@ -84,6 +84,22 @@ class Oracle:
         self._sink(Finding(time=time, oracle=self.name,
                            description=description))
 
+    # -- durable checkpoint hooks --------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-ready detection state for durable campaign checkpoints.
+
+        Subclasses extend the payload with their latches (first-match
+        times, counters) so a resumed campaign does not re-report a
+        detection the killed run already made.
+        """
+        return {"findings_reported": self.findings_reported}
+
+    def load_state(self, state: dict) -> None:
+        """Restore state exported by :meth:`state_dict` (tolerant of
+        missing keys, so pre-durability checkpoints still load)."""
+        self.findings_reported = state.get("findings_reported",
+                                           self.findings_reported)
+
 
 class AckMessageOracle(Oracle):
     """Fires when a matching frame appears on the monitored bus.
@@ -128,6 +144,16 @@ class AckMessageOracle(Oracle):
         self.report(stamped.time,
                     f"response frame {frame.id_hex()} observed "
                     f"({frame.data_hex() or 'no data'})")
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["first_match_time"] = self.first_match_time
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self.first_match_time = state.get("first_match_time",
+                                          self.first_match_time)
 
 
 class SilenceOracle(Oracle):
@@ -175,6 +201,17 @@ class SilenceOracle(Oracle):
                         f"cyclic message 0x{self.can_id:X} silent for "
                         f"{gap / MS:.0f} ms (timeout {self.timeout / MS:.0f} ms)")
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["last_seen"] = self._last_seen
+        state["reported_gap"] = self._reported_gap
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self._last_seen = state.get("last_seen", self._last_seen)
+        self._reported_gap = state.get("reported_gap", self._reported_gap)
+
 
 class ErrorFrameOracle(Oracle):
     """Fires when error frames exceed a threshold within the run."""
@@ -194,6 +231,17 @@ class ErrorFrameOracle(Oracle):
             self.report(record.time,
                         f"{self.count} error frame(s) on the bus "
                         f"(latest from {record.reporter}: {record.reason})")
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["count"] = self.count
+        state["fired"] = self._fired
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self.count = state.get("count", self.count)
+        self._fired = state.get("fired", self._fired)
 
 
 class SignalRangeOracle(Oracle):
@@ -242,6 +290,15 @@ class SignalRangeOracle(Oracle):
                             f"{self.signal_name} = {value:g} "
                             f"{self._definition.unit} outside "
                             f"[{low}, {high}]")
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["violations"] = self.violations
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self.violations = state.get("violations", self.violations)
 
 
 class PhysicalStateOracle(Oracle):
@@ -292,6 +349,16 @@ class PhysicalStateOracle(Oracle):
                         f"physical state changed: expected "
                         f"{self.expected!r}, observed {observed!r}")
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["first_deviation_time"] = self.first_deviation_time
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self.first_deviation_time = state.get("first_deviation_time",
+                                              self.first_deviation_time)
+
 
 class CompositeOracle(Oracle):
     """Groups oracles so the campaign can manage them as one."""
@@ -313,3 +380,15 @@ class CompositeOracle(Oracle):
     def stop(self) -> None:
         for oracle in self.oracles:
             oracle.stop()
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["children"] = {o.name: o.state_dict() for o in self.oracles}
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        children = state.get("children", {})
+        for oracle in self.oracles:
+            if oracle.name in children:
+                oracle.load_state(children[oracle.name])

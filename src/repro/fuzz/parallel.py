@@ -19,6 +19,17 @@ exception or a dead process) are detected, both are retried a bounded
 number of times with a fresh seed derivation, and if the OS refuses to
 start processes the runner degrades to fewer workers, down to running
 shards inline.
+
+With ``journal_dir`` set the fan-out becomes crash-safe: every shard
+journals into ``<journal_dir>/shard-NNNN/`` (write-ahead findings,
+periodic checkpoints, final result), a ``master.json`` manifest pins
+the run's ``(master_seed, shard_count)`` so a directory cannot be
+resumed under a different configuration, and a restarted run skips
+shards whose results survived and resumes the rest from their last
+checkpoint.  Retries keep the *same* seed and attempt then -- the
+replacement worker continues the journalled run instead of starting a
+fresh derivation -- so the merged fingerprint matches an uninterrupted
+run exactly.
 """
 
 from __future__ import annotations
@@ -32,9 +43,12 @@ import traceback
 from collections import deque
 from dataclasses import dataclass, field, replace
 from multiprocessing.connection import wait as _connection_wait
+from pathlib import Path
 from typing import Callable
 
 from repro.fuzz.campaign import CampaignLimits, FuzzCampaign
+from repro.fuzz.durability import (CampaignJournal, DirectoryStore,
+                                   scan_records)
 from repro.fuzz.oracle import Finding
 from repro.fuzz.session import FuzzResult
 
@@ -100,11 +114,28 @@ class ShardSpec:
 CampaignFactory = Callable[[ShardSpec], FuzzCampaign]
 
 
-def _shard_worker(factory: CampaignFactory, spec: ShardSpec, conn) -> None:
-    """Worker entry point: build the shard's target, run, ship JSON."""
+def _shard_worker(factory: CampaignFactory, spec: ShardSpec, conn,
+                  journal_info: tuple | None = None) -> None:
+    """Worker entry point: build the shard's target, run, ship JSON.
+
+    With ``journal_info`` -- ``(store_factory, shard_dir,
+    checkpoint_every)`` -- the worker opens the shard's durable
+    journal first and resumes from whatever state survived the
+    previous attempt; durability warnings ride back in the reply.
+    """
     try:
-        result = factory(spec).run()
-        conn.send(("ok", result.to_json()))
+        if journal_info is None:
+            result = factory(spec).run()
+            warnings: list[str] = []
+        else:
+            store_factory, shard_dir, checkpoint_every = journal_info
+            journal = CampaignJournal(
+                (store_factory or DirectoryStore)(shard_dir))
+            result = FuzzCampaign.resume(
+                journal, lambda: factory(spec),
+                checkpoint_every=checkpoint_every)
+            warnings = list(journal.warnings)
+        conn.send(("ok", result.to_json(), warnings))
     except BaseException:
         conn.send(("error", traceback.format_exc()))
     finally:
@@ -123,6 +154,10 @@ class ShardOutcome:
     #: Fault descriptions from earlier attempts of this shard (empty
     #: when the first attempt succeeded).
     faults: tuple[str, ...] = ()
+    #: Durability warnings from the shard's journal (degradation to
+    #: in-memory mode, recovered torn tails, ...).  Excluded from the
+    #: fingerprint: IO weather must not change a run's identity.
+    warnings: tuple[str, ...] = ()
 
     def to_dict(self) -> dict:
         return {
@@ -131,6 +166,7 @@ class ShardOutcome:
             "attempt": self.attempt,
             "wall_seconds": self.wall_seconds,
             "faults": list(self.faults),
+            "warnings": list(self.warnings),
             "result": self.result.to_dict(),
         }
 
@@ -143,6 +179,7 @@ class ShardOutcome:
             result=FuzzResult.from_dict(payload.get("result", {})),
             wall_seconds=payload.get("wall_seconds", 0.0),
             faults=tuple(payload.get("faults", [])),
+            warnings=tuple(payload.get("warnings", [])),
         )
 
 
@@ -217,6 +254,11 @@ class ShardedResult:
         return (sum(len(o.faults) for o in self.outcomes)
                 + sum(len(f.faults) for f in self.failures))
 
+    @property
+    def warning_count(self) -> int:
+        """Durability warnings across all shards."""
+        return sum(len(o.warnings) for o in self.outcomes)
+
     def fingerprint(self) -> str:
         """Deterministic digest of the merged payload.
 
@@ -237,6 +279,11 @@ class ShardedResult:
             f"{len(self.findings)} finding(s), "
             f"{self.fault_count} worker fault(s)",
         ]
+        if self.warning_count:
+            lines.append(f"  {self.warning_count} durability warning(s):")
+            for outcome in self.outcomes:
+                for warning in outcome.warnings:
+                    lines.append(f"    [shard {outcome.index}] {warning}")
         for index, finding in self.findings[:10]:
             lines.append(f"  [shard {index}] {finding.oracle}: "
                          f"{finding.description}")
@@ -298,15 +345,27 @@ class ShardedCampaign:
         shard_timeout: wall-clock seconds a worker may run before it
             is declared hung, killed and retried.
         max_retries: extra attempts per shard after a fault; each
-            retry derives a fresh seed from the bumped attempt number.
+            retry derives a fresh seed from the bumped attempt number
+            (journalled runs keep the same seed and resume instead).
         mp_context: multiprocessing start-method context (default: the
             platform default, ``fork`` on Linux).
+        journal_dir: root directory for durable per-shard journals;
+            enables kill-resume (completed shards are skipped on
+            re-run, interrupted shards continue from checkpoint).
+        checkpoint_every: frames between durable checkpoints per shard.
+        store_factory: pickleable ``path -> store`` callable workers
+            use to open their journal backend (default
+            :class:`DirectoryStore`; chaos tests inject a
+            :class:`FaultyStore` builder here).
     """
 
     def __init__(self, factory: CampaignFactory, *, shards: int,
                  limits: CampaignLimits, master_seed: int = 0,
                  jobs: int | None = None, shard_timeout: float = 600.0,
-                 max_retries: int = 1, mp_context=None) -> None:
+                 max_retries: int = 1, mp_context=None,
+                 journal_dir: str | os.PathLike | None = None,
+                 checkpoint_every: int = 5000,
+                 store_factory: Callable[[str], object] | None = None) -> None:
         if shards <= 0:
             raise ValueError("shards must be positive")
         if jobs is not None and jobs <= 0:
@@ -315,6 +374,8 @@ class ShardedCampaign:
             raise ValueError("shard_timeout must be positive")
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         self.factory = factory
         self.shards = shards
         self.master_seed = master_seed
@@ -322,12 +383,108 @@ class ShardedCampaign:
         self.shard_timeout = shard_timeout
         self.max_retries = max_retries
         self._mp_context = mp_context
+        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        self.checkpoint_every = checkpoint_every
+        self.store_factory = store_factory
         self._specs = [
             ShardSpec(index=i, shard_count=shards, master_seed=master_seed,
                       seed=derive_shard_seed(master_seed, i),
                       limits=shard_limits)
             for i, shard_limits in enumerate(slice_limits(limits, shards))
         ]
+        self.manifest_warnings: list[str] = []
+        if self.journal_dir is not None:
+            self._check_manifest()
+
+    # ------------------------------------------------------------------
+    # Durable journal plumbing
+    # ------------------------------------------------------------------
+    def _check_manifest(self) -> None:
+        """Pin the journal directory to this run's identity.
+
+        A journal directory written by seed A must not be silently
+        continued by a run configured with seed B -- the skipped
+        results would merge into a chimera no seed reproduces.  An
+        identity *mismatch* is a hard error; a merely unreadable or
+        unwritable manifest degrades with a warning, like every other
+        durability failure.
+        """
+        manifest = {"format": 1, "master_seed": self.master_seed,
+                    "shard_count": self.shards}
+        data = json.dumps(manifest, indent=2).encode("utf-8")
+        try:
+            store = (self.store_factory or DirectoryStore)(
+                str(self.journal_dir))
+            if store.exists("master.json"):
+                try:
+                    existing = json.loads(store.read("master.json"))
+                except ValueError:
+                    self.manifest_warnings.append(
+                        "master.json corrupt; rewriting it")
+                    store.replace("master.json", data)
+                    return
+                found = {key: existing.get(key) for key in
+                         ("master_seed", "shard_count")}
+                expected = {key: manifest[key] for key in
+                            ("master_seed", "shard_count")}
+                if found != expected:
+                    raise ValueError(
+                        f"journal dir {self.journal_dir} belongs to a run "
+                        f"with {found}, refusing to resume it as "
+                        f"{expected}")
+            else:
+                store.replace("master.json", data)
+        except OSError as exc:
+            self.manifest_warnings.append(
+                f"journal manifest unavailable ({exc}); continuing "
+                f"without run-identity pinning")
+
+    def _shard_dir(self, index: int) -> str:
+        return str(self.journal_dir / f"shard-{index:04d}")
+
+    def _shard_store(self, index: int):
+        return (self.store_factory or DirectoryStore)(self._shard_dir(index))
+
+    def _journal_info(self, spec: ShardSpec) -> tuple | None:
+        if self.journal_dir is None:
+            return None
+        return (self.store_factory, self._shard_dir(spec.index),
+                self.checkpoint_every)
+
+    def _load_completed(self, spec: ShardSpec) -> ShardOutcome | None:
+        """A shard's surviving result from a previous run, if any."""
+        if self.journal_dir is None:
+            return None
+        store = self._shard_store(spec.index)
+        try:
+            data = store.read(CampaignJournal.RESULT)
+        except OSError:
+            return None
+        try:
+            payload = json.loads(data)
+        except ValueError:
+            return None
+        if not isinstance(payload, dict):
+            return None
+        return ShardOutcome(
+            index=spec.index, seed=spec.seed, attempt=spec.attempt,
+            result=FuzzResult.from_dict(payload), wall_seconds=0.0,
+            warnings=("result loaded from journal (shard completed in "
+                      "a previous run)",))
+
+    def _journal_progress_note(self, spec: ShardSpec) -> str:
+        """What the dead worker durably got done, for its fault log."""
+        if self.journal_dir is None:
+            return ""
+        try:
+            records, _ = scan_records(self._shard_store(spec.index))
+        except OSError:
+            return ""
+        for record in reversed(records):
+            if "frames_sent" in record:
+                return (f", last journaled frames_sent="
+                        f"{record['frames_sent']}")
+        return ", no journaled progress"
 
     # ------------------------------------------------------------------
     # Serial baseline
@@ -339,7 +496,8 @@ class ShardedCampaign:
         must match bit for bit (:meth:`ShardedResult.fingerprint`).
         """
         started = time.perf_counter()
-        outcomes = [self._run_inline(spec) for spec in self._specs]
+        outcomes = [self._load_completed(spec) or self._run_inline(spec)
+                    for spec in self._specs]
         return ShardedResult(
             master_seed=self.master_seed, shard_count=self.shards,
             jobs=1, wall_seconds=time.perf_counter() - started,
@@ -348,11 +506,19 @@ class ShardedCampaign:
     def _run_inline(self, spec: ShardSpec,
                     faults: tuple[str, ...] = ()) -> ShardOutcome:
         started = time.perf_counter()
-        result = self.factory(spec).run()
+        if self.journal_dir is None:
+            result = self.factory(spec).run()
+            warnings: tuple[str, ...] = ()
+        else:
+            journal = CampaignJournal(self._shard_store(spec.index))
+            result = FuzzCampaign.resume(
+                journal, lambda: self.factory(spec),
+                checkpoint_every=self.checkpoint_every)
+            warnings = tuple(journal.warnings)
         return ShardOutcome(
             index=spec.index, seed=spec.seed, attempt=spec.attempt,
             result=result, wall_seconds=time.perf_counter() - started,
-            faults=faults)
+            faults=faults, warnings=warnings)
 
     # ------------------------------------------------------------------
     # Parallel execution
@@ -361,12 +527,18 @@ class ShardedCampaign:
         """Execute all shards across worker processes and merge."""
         ctx = self._mp_context or multiprocessing.get_context()
         started = time.perf_counter()
-        pending: deque[ShardSpec] = deque(self._specs)
         workers: list[_Worker] = []
         outcomes: dict[int, ShardOutcome] = {}
         failures: dict[int, ShardFailure] = {}
         fault_log: dict[int, list[str]] = {
             spec.index: [] for spec in self._specs}
+        retries: dict[int, int] = {}
+        for spec in self._specs:
+            loaded = self._load_completed(spec)
+            if loaded is not None:
+                outcomes[spec.index] = loaded
+        pending: deque[ShardSpec] = deque(
+            spec for spec in self._specs if spec.index not in outcomes)
         jobs = self.jobs
         while pending or workers:
             # Launch up to the (possibly degraded) concurrency cap.
@@ -397,14 +569,17 @@ class ShardedCampaign:
             for worker in workers:
                 if worker.conn in ready:
                     self._reap(worker, outcomes, fault_log, pending,
-                               failures)
+                               failures, retries)
                 elif now >= worker.deadline:
                     self._kill(worker)
                     self._record_fault(
                         worker.spec,
                         f"worker hung: no result within "
-                        f"{self.shard_timeout:.0f} s, killed",
-                        fault_log, pending, failures)
+                        f"{self.shard_timeout:.0f} s, killed "
+                        f"(exit code {worker.process.exitcode}, "
+                        f"{now - worker.started:.1f} s wall"
+                        f"{self._journal_progress_note(worker.spec)})",
+                        fault_log, pending, failures, retries)
                 else:
                     still_running.append(worker)
             workers = still_running
@@ -424,7 +599,9 @@ class ShardedCampaign:
             return None
         try:
             process = ctx.Process(
-                target=_shard_worker, args=(self.factory, spec, child_conn),
+                target=_shard_worker,
+                args=(self.factory, spec, child_conn,
+                      self._journal_info(spec)),
                 name=f"fuzz-shard-{spec.index}", daemon=True)
             process.start()
         except OSError:
@@ -437,16 +614,25 @@ class ShardedCampaign:
                        started=now, deadline=now + self.shard_timeout)
 
     def _reap(self, worker: _Worker, outcomes: dict, fault_log: dict,
-              pending: deque, failures: dict) -> None:
+              pending: deque, failures: dict, retries: dict) -> None:
         """Collect a readable worker: a result, an error, or a corpse."""
         spec = worker.spec
+        warnings: tuple[str, ...] = ()
         try:
-            kind, payload = worker.conn.recv()
+            message = worker.conn.recv()
+            kind, payload = message[0], message[1]
+            if len(message) > 2:
+                warnings = tuple(message[2])
         except (EOFError, OSError):
             worker.process.join()
             kind = "error"
+            # The corpse tells us nothing, but its journal does: record
+            # how far the shard durably got before dying, so summary()
+            # shows what the crash cost instead of silently dropping it.
             payload = (f"worker crashed without reporting "
-                       f"(exit code {worker.process.exitcode})")
+                       f"(exit code {worker.process.exitcode}, "
+                       f"{time.monotonic() - worker.started:.1f} s wall"
+                       f"{self._journal_progress_note(spec)})")
         worker.conn.close()
         worker.process.join()
         if kind == "ok":
@@ -454,9 +640,10 @@ class ShardedCampaign:
                 index=spec.index, seed=spec.seed, attempt=spec.attempt,
                 result=FuzzResult.from_json(payload),
                 wall_seconds=time.monotonic() - worker.started,
-                faults=tuple(fault_log[spec.index]))
+                faults=tuple(fault_log[spec.index]), warnings=warnings)
         else:
-            self._record_fault(spec, payload, fault_log, pending, failures)
+            self._record_fault(spec, payload, fault_log, pending, failures,
+                               retries)
 
     def _kill(self, worker: _Worker) -> None:
         worker.process.terminate()
@@ -468,15 +655,24 @@ class ShardedCampaign:
 
     def _record_fault(self, spec: ShardSpec, description: str,
                       fault_log: dict, pending: deque,
-                      failures: dict) -> None:
+                      failures: dict, retries: dict) -> None:
         fault_log[spec.index].append(
             f"attempt {spec.attempt}: {description}")
-        if spec.attempt < self.max_retries:
-            attempt = spec.attempt + 1
-            pending.append(replace(
-                spec, attempt=attempt,
-                seed=derive_shard_seed(spec.master_seed, spec.index,
-                                       attempt)))
+        used = retries.get(spec.index, 0)
+        if used < self.max_retries:
+            retries[spec.index] = used + 1
+            if self.journal_dir is not None:
+                # The journal survived the worker: requeue the same
+                # spec so the replacement resumes from checkpoint with
+                # the same seed -- the fingerprint must match an
+                # uninterrupted run.
+                pending.append(spec)
+            else:
+                attempt = spec.attempt + 1
+                pending.append(replace(
+                    spec, attempt=attempt,
+                    seed=derive_shard_seed(spec.master_seed, spec.index,
+                                           attempt)))
         else:
             failures[spec.index] = ShardFailure(
                 index=spec.index, faults=tuple(fault_log[spec.index]))

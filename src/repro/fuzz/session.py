@@ -71,6 +71,13 @@ def _finding_from_dict(item: dict) -> Finding:
     )
 
 
+# Public names for the finding codec: durable checkpoints and journal
+# records serialise findings with the same schema the result file uses,
+# so a finding round-trips identically through either path.
+finding_to_dict = _finding_to_dict
+finding_from_dict = _finding_from_dict
+
+
 @dataclass
 class FuzzResult:
     """Outcome of one fuzz campaign run."""
@@ -168,3 +175,18 @@ class FuzzResult:
     @classmethod
     def from_json(cls, text: str) -> "FuzzResult":
         return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> None:
+        """Write the result to ``path`` atomically.
+
+        Goes through write-fsync-rename, so a crash mid-save leaves the
+        previous file (or nothing), never a torn JSON document.
+        """
+        from repro.fuzz.durability import atomic_write_json
+
+        atomic_write_json(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path) -> "FuzzResult":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))

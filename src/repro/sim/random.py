@@ -14,6 +14,25 @@ import hashlib
 import random
 
 
+def rng_state_to_json(state: tuple) -> list:
+    """``random.Random.getstate()`` as a JSON-ready value.
+
+    The CPython state is ``(version, tuple_of_ints, gauss_next)``;
+    tuples become lists on the way out and are rebuilt by
+    :func:`rng_state_from_json`.  Durable checkpoints store these so a
+    resumed campaign draws the exact frame stream the killed run would
+    have drawn.
+    """
+    version, internal, gauss_next = state
+    return [version, list(internal), gauss_next]
+
+
+def rng_state_from_json(payload: list) -> tuple:
+    """Inverse of :func:`rng_state_to_json`, ready for ``setstate``."""
+    version, internal, gauss_next = payload
+    return (version, tuple(internal), gauss_next)
+
+
 class RandomStreams:
     """Factory of named, independently seeded ``random.Random`` streams.
 
@@ -57,6 +76,36 @@ class RandomStreams:
             digest.update(repr(self._streams[name].getstate())
                           .encode("utf-8"))
         return digest.hexdigest()
+
+    def state_dict(self) -> dict:
+        """JSON-ready export of every stream's internal RNG state.
+
+        The checkpoint-side counterpart of :meth:`state_digest`: where
+        the digest only *compares* worlds, this payload lets a durable
+        checkpoint rebuild them -- :meth:`load_state` puts every stream
+        back exactly where the exporting process stood.
+        """
+        return {
+            "root_seed": self.root_seed,
+            "streams": {name: rng_state_to_json(rng.getstate())
+                        for name, rng in sorted(self._streams.items())},
+        }
+
+    def load_state(self, payload: dict) -> None:
+        """Restore stream states exported by :meth:`state_dict`.
+
+        Streams are created on demand, so loading into a fresh factory
+        with the same root seed reproduces the exporting factory; a
+        root-seed mismatch is rejected because the derived seeds (and
+        any stream created *after* the restore) would silently diverge.
+        """
+        root_seed = payload.get("root_seed", self.root_seed)
+        if root_seed != self.root_seed:
+            raise ValueError(
+                f"checkpoint was taken with root_seed={root_seed}, "
+                f"this factory uses root_seed={self.root_seed}")
+        for name, state in payload.get("streams", {}).items():
+            self.stream(name).setstate(rng_state_from_json(state))
 
     def _derive_seed(self, name: str) -> int:
         digest = hashlib.sha256(
