@@ -18,6 +18,12 @@ Public surface:
 
 from repro.can.adapter import AdapterStatus, PcanStyleAdapter
 from repro.can.bus import BusStats, CanBus
+from repro.can.channel import (
+    AdversarialChannel,
+    BabblingIdiot,
+    ChannelConfig,
+    ChannelVerdict,
+)
 from repro.can.errors import BusOffError, CanError, ErrorCounters, ErrorState
 from repro.can.frame import (
     CanFrame,
@@ -42,6 +48,10 @@ __all__ = [
     "CanBus",
     "BusStats",
     "CanController",
+    "AdversarialChannel",
+    "BabblingIdiot",
+    "ChannelConfig",
+    "ChannelVerdict",
     "PcanStyleAdapter",
     "AdapterStatus",
     "BitTiming",

@@ -56,6 +56,12 @@ class PcanStyleAdapter:
         self._controller.attach(bus)
         self._controller.enabled = False
         self._initialised = False
+        #: After a ``BUSOFF`` write: estimated ticks until the channel
+        #: can transmit again (``None`` when recovery needs an explicit
+        #: :meth:`reset`).  PCAN-Basic has no such field, but dropping
+        #: the frame with a bare status code left callers no way to
+        #: schedule a retry; the fuzzer's transmit loop reads this.
+        self.retry_after_hint: int | None = None
 
     @property
     def controller(self) -> CanController:
@@ -90,7 +96,10 @@ class PcanStyleAdapter:
 
         Invalid parameters surface as ``ILLDATA`` rather than raising,
         mirroring the C status-code style of the real API; the fuzzer's
-        transmit loop branches on these codes.
+        transmit loop branches on these codes.  A ``BUSOFF`` result
+        additionally sets :attr:`retry_after_hint` so the caller knows
+        when (if ever) retrying could succeed instead of silently
+        losing the frame.
         """
         if not self._initialised:
             return AdapterStatus.INITIALIZE
@@ -99,9 +108,11 @@ class PcanStyleAdapter:
         try:
             self._controller.send(frame)
         except BusOffError:
+            self.retry_after_hint = self._controller.recovery_eta()
             return AdapterStatus.BUSOFF
         except CanError:
             return AdapterStatus.QXMTFULL
+        self.retry_after_hint = None
         return AdapterStatus.OK
 
     def write_raw(self, can_id: int, data: bytes, *,

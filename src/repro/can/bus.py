@@ -15,6 +15,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.can.channel import ChannelVerdict
 from repro.can.errors import ErrorFrameRecord
 from repro.can.frame import CanFrame, TimestampedFrame
 from repro.can.identifiers import arbitration_key
@@ -25,7 +26,14 @@ from repro.sim.kernel import Simulator
 Tap = Callable[[TimestampedFrame], None]
 ErrorTap = Callable[[ErrorFrameRecord], None]
 #: Decides whether a given transmission is corrupted on the wire.
+#: Legacy single-boolean hook; superseded by the richer channel
+#: protocol (:meth:`CanBus.attach_channel`), which wins when both are
+#: set.
 FaultInjector = Callable[[CanFrame], bool]
+
+# Hot-loop constants: verdict identity checks per transmission.
+_VERDICT_OK = ChannelVerdict.OK
+_VERDICT_CORRUPT = ChannelVerdict.CORRUPT
 
 
 @dataclass
@@ -68,6 +76,9 @@ class CanBus:
         self.name = name
         self.stats = BusStats(started_at=sim.now)
         self.fault_injector: FaultInjector | None = None
+        #: Rich channel model (see :meth:`attach_channel`); ``None``
+        #: means a perfect wire (modulo the legacy fault_injector).
+        self._channel = None
         self._nodes: list[CanController] = []
         self._taps: list[Tap] = []
         self._error_taps: list[ErrorTap] = []
@@ -126,6 +137,27 @@ class CanBus:
     def add_error_tap(self, tap: ErrorTap) -> None:
         """Observe error frames (used by error-frame oracles)."""
         self._error_taps.append(tap)
+
+    def attach_channel(self, channel) -> None:
+        """Route every transmission through ``channel``.
+
+        ``channel`` must expose ``classify(frame, now) ->``
+        :class:`~repro.can.channel.ChannelVerdict` (canonically an
+        :class:`~repro.can.channel.AdversarialChannel`).  Replaces the
+        boolean :attr:`fault_injector` hook with per-frame verdicts
+        that distinguish mid-frame corruption from a lost
+        acknowledgement; when both are set the channel wins.
+        """
+        self._channel = channel
+
+    def detach_channel(self) -> None:
+        """Restore a perfect wire."""
+        self._channel = None
+
+    @property
+    def channel(self):
+        """The attached channel model, or ``None``."""
+        return self._channel
 
     # ------------------------------------------------------------------
     # Arbitration and transmission
@@ -210,20 +242,41 @@ class CanBus:
         self._busy = True
         self._pending_sender = sender
         self._pending_frame = frame
-        injector = self.fault_injector
-        if injector is not None and injector(frame):
-            # The error is detected mid-frame; approximate the wasted
-            # time as half the frame plus the error frame itself.
-            wasted = (self._frame_duration(frame) // 2
-                      + self.timing.error_frame_duration())
-            self._pending_ticks = wasted
-            self._push_call(self._clock._now + wasted,
-                            self._complete_error, Simulator.BUS_PRIORITY)
+        channel = self._channel
+        if channel is not None:
+            verdict = channel.classify(frame, self._clock._now)
+            if verdict is not _VERDICT_OK:
+                if verdict is _VERDICT_CORRUPT:
+                    # The error is detected mid-frame; approximate the
+                    # wasted time as half the frame plus the error
+                    # frame itself.
+                    wasted = (self._frame_duration(frame) // 2
+                              + self.timing.error_frame_duration())
+                    completion = self._complete_error
+                else:  # ACK_LOST: the error shows at the ACK slot,
+                    # i.e. after the full frame went over the wire.
+                    wasted = (self._frame_duration(frame)
+                              + self.timing.error_frame_duration())
+                    completion = self._complete_ack_lost
+                self._pending_ticks = wasted
+                self._push_call(self._clock._now + wasted,
+                                completion, Simulator.BUS_PRIORITY)
+                return
         else:
-            duration = self._frame_duration(frame)
-            self._pending_ticks = duration
-            self._push_call(self._clock._now + duration,
-                            self._complete_ok, Simulator.BUS_PRIORITY)
+            injector = self.fault_injector
+            if injector is not None and injector(frame):
+                # Legacy boolean hook: corruption mid-frame.
+                wasted = (self._frame_duration(frame) // 2
+                          + self.timing.error_frame_duration())
+                self._pending_ticks = wasted
+                self._push_call(self._clock._now + wasted,
+                                self._complete_error,
+                                Simulator.BUS_PRIORITY)
+                return
+        duration = self._frame_duration(frame)
+        self._pending_ticks = duration
+        self._push_call(self._clock._now + duration,
+                        self._complete_ok, Simulator.BUS_PRIORITY)
 
     def _rearbitrate(self, sender: CanController) -> None:
         """Contend again after end-of-frame -- but only when someone can
@@ -264,6 +317,11 @@ class CanBus:
         counters = sender.counters
         if counters.tec > 0:
             counters.tec -= 1
+        if sender._retry_frame is not None:
+            # The previously erroring frame made it through; its
+            # bounded-retransmission budget resets.
+            sender._retry_frame = None
+            sender._retry_count = 0
         stats.frames_delivered += 1
         per_id = stats.per_id
         can_id = frame.can_id
@@ -298,16 +356,46 @@ class CanBus:
         # the whole approximated window.
         self.stats.busy_ticks += self._pending_ticks
         self.stats.error_frames += 1
-        sender._on_tx_error()
+        sender._on_tx_error(frame)
+        # Per the errors.py fault-confinement rules: TEC += 8 for the
+        # transmitter, REC += 1 for every *active receiver* of the
+        # corrupted frame.  Disabled controllers (powered-off ECUs,
+        # closed adapter channels) are not on the wire and see nothing.
         for node in self._nodes:
-            if node is not sender:
+            if node is not sender and node.enabled:
                 node.counters.on_receive_error()
         record = ErrorFrameRecord(time=self.sim.now, reporter=sender.name,
                                   reason=f"corrupted frame {frame.id_hex()}")
         for tap in tuple(self._error_taps):
             tap(record)
-        # The sender retransmits automatically (frame still queued)
-        # unless the error drove it to bus-off, which cleared its queue.
+        # The sender retransmits automatically (frame still queued,
+        # subject to its retransmit_limit) unless the error drove it to
+        # bus-off, which cleared its queue.
+        self._busy = False
+        self._rearbitrate(sender)
+
+    def _complete_ack_lost(self) -> None:
+        """The frame crossed the wire but its acknowledgement did not.
+
+        An ACK-slot error: the transmitter saw a recessive ACK slot,
+        raises an error flag and retransmits (TEC += 8, same as any
+        transmit error), but the receivers acknowledged a frame they
+        saw as valid -- their REC is not charged and nothing is
+        delivered, because a CAN frame is only valid for a receiver
+        once the whole frame (ACK included) completes without error
+        flags.
+        """
+        sender = self._pending_sender
+        frame = self._pending_frame
+        self._pending_sender = None
+        self._pending_frame = None
+        self.stats.busy_ticks += self._pending_ticks
+        self.stats.error_frames += 1
+        sender._on_tx_error(frame)
+        record = ErrorFrameRecord(time=self.sim.now, reporter=sender.name,
+                                  reason=f"ack lost for frame {frame.id_hex()}")
+        for tap in tuple(self._error_taps):
+            tap(record)
         self._busy = False
         self._rearbitrate(sender)
 

@@ -37,6 +37,13 @@ ERROR_WARNING_LIMIT = 96
 ERROR_PASSIVE_LIMIT = 128
 BUS_OFF_LIMIT = 256
 
+#: Bus-off recovery sequence (CAN 2.0 §6.15 / §8): a bus-off node may
+#: become error-active again only after monitoring 128 occurrences of
+#: 11 consecutive recessive bits.  On an idle bus that is 128 x 11 bit
+#: times of observed silence.
+BUS_OFF_RECOVERY_SEQUENCES = 128
+BUS_OFF_RECOVERY_BITS = BUS_OFF_RECOVERY_SEQUENCES * 11
+
 
 @dataclass
 class ErrorCounters:
@@ -80,16 +87,31 @@ class ErrorCounters:
         if self.rec > 0:
             self.rec -= 1
 
+    def recover(self) -> None:
+        """Leave bus-off: the single path back to error-active.
+
+        Called when the recovery sequence completes (the controller
+        observed :data:`BUS_OFF_RECOVERY_SEQUENCES` x 11 recessive bit
+        times, see :meth:`repro.can.node.CanController`) or when the
+        controller is re-initialised.  Both counters restart at zero
+        per the spec.  All recovery must route through here -- poking
+        ``bus_off_latched`` directly is deprecated because it leaves
+        the TEC above the bus-off limit, so the state property would
+        immediately re-enter bus-off.
+        """
+        self.tec = 0
+        self.rec = 0
+        self.bus_off_latched = False
+
     def reset(self) -> None:
         """Controller re-initialisation (e.g. power cycle).
 
         Clears the counters and the bus-off latch; matches the paper's
         observation that power-cycling the instrument cluster cleared
-        its warning state.
+        its warning state.  Routes through :meth:`recover` so there is
+        exactly one way out of bus-off.
         """
-        self.tec = 0
-        self.rec = 0
-        self.bus_off_latched = False
+        self.recover()
 
 
 @dataclass(frozen=True)

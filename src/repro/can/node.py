@@ -15,7 +15,8 @@ import hashlib
 from collections import deque
 from typing import TYPE_CHECKING, Callable
 
-from repro.can.errors import BusOffError, CanError, ErrorCounters
+from repro.can.errors import (BUS_OFF_RECOVERY_BITS, BusOffError, CanError,
+                              ErrorCounters)
 from repro.can.frame import CanFrame, TimestampedFrame
 from repro.can.identifiers import AcceptanceFilter, accepts, arbitration_key
 
@@ -34,25 +35,61 @@ class CanController:
         tx_queue_limit: hardware mailbox depth; a full queue drops the
             oldest pending frame (matching "overwrite" mailbox policy)
             and counts it in :attr:`tx_dropped`.
+        retransmit_limit: automatic retransmissions allowed per frame
+            after its first transmission errors (``None`` = unlimited,
+            the classic CAN default; ``0`` = single-shot).  A frame
+            that exhausts its attempts is dropped and counted in
+            :attr:`tx_abandoned`.
+        auto_recover: when ``True`` the controller runs the spec's
+            bus-off recovery sequence by itself -- it re-enters
+            error-active after observing 128 x 11 recessive bit times
+            on an idle bus -- instead of latching bus-off until an
+            explicit :meth:`reset`.
     """
 
-    def __init__(self, name: str, *, tx_queue_limit: int = 64) -> None:
+    def __init__(self, name: str, *, tx_queue_limit: int = 64,
+                 retransmit_limit: int | None = None,
+                 auto_recover: bool = False) -> None:
         if tx_queue_limit < 1:
             raise ValueError("tx_queue_limit must be at least 1")
+        if retransmit_limit is not None and retransmit_limit < 0:
+            raise ValueError("retransmit_limit must be >= 0 or None")
         self.name = name
         self.bus: "CanBus | None" = None
         self.counters = ErrorCounters()
         self.tx_queue_limit = tx_queue_limit
+        self.retransmit_limit = retransmit_limit
+        self.auto_recover = auto_recover
         self.filters: list[AcceptanceFilter] = []
         self.enabled = True
         self.tx_count = 0
         self.rx_count = 0
         self.tx_dropped = 0
+        self.retransmissions = 0
+        self.tx_abandoned = 0
+        self.bus_off_events = 0
+        self.bus_off_recoveries = 0
+        #: Supervision hooks (e.g. :class:`repro.ecu.supervisor.
+        #: EcuSupervisor` records DTCs through these).
+        self.on_bus_off: Callable[[], None] | None = None
+        self.on_bus_off_recovered: Callable[[], None] | None = None
         self._tx_queue: deque[CanFrame] = deque()
         self._rx_handler: RxHandler | None = None
         self._rx_queue: deque[TimestampedFrame] = deque()
         self._rx_queue_limit = 1024
         self.rx_overruns = 0
+        # Retransmission accounting for the frame currently erroring:
+        # attempts are tracked for one frame at a time (the erroring
+        # frame keeps winning local arbitration in the common case; a
+        # higher-priority enqueue in between restarts the count, which
+        # keeps the bound per *contiguous* attempt burst -- documented
+        # in DESIGN.md §12).
+        self._retry_frame: CanFrame | None = None
+        self._retry_count = 0
+        # Bus-off recovery bookkeeping.
+        self._recovery_event = None
+        self._recovery_needed = 0
+        self._recovery_idle_base = 0
 
     # ------------------------------------------------------------------
     # Wiring
@@ -116,6 +153,8 @@ class CanController:
         """Drop all pending frames; returns how many were dropped."""
         dropped = len(self._tx_queue)
         self._tx_queue.clear()
+        self._retry_frame = None
+        self._retry_count = 0
         return dropped
 
     # ------------------------------------------------------------------
@@ -139,12 +178,18 @@ class CanController:
         self._tx_queue.clear()
         self._rx_queue.clear()
         self.counters.reset()
+        self._retry_frame = None
+        self._retry_count = 0
+        self._cancel_recovery()
         self.enabled = True
 
     def disable(self) -> None:
         """Take the node off the bus (powered-down ECU)."""
         self.enabled = False
         self._tx_queue.clear()
+        self._retry_frame = None
+        self._retry_count = 0
+        self._cancel_recovery()
 
     # ------------------------------------------------------------------
     # Bus-side interface (called by CanBus only)
@@ -191,12 +236,129 @@ class CanController:
         self.tx_count += 1
         self.counters.on_transmit_success()
 
-    def _on_tx_error(self) -> None:
+    def _on_tx_error(self, frame: CanFrame | None = None) -> None:
+        """A transmission of ``frame`` errored on the wire.
+
+        Handles fault confinement (TEC += 8, bus-off latch), bounded
+        automatic retransmission accounting, and -- when
+        :attr:`auto_recover` is set -- kicks off the spec's bus-off
+        recovery sequence.
+        """
         self.counters.on_transmit_error()
+        if frame is self._retry_frame and frame is not None:
+            self._retry_count += 1
+        else:
+            self._retry_frame = frame
+            self._retry_count = 1
         if self.counters.bus_off_latched:
             # Bus-off drops all pending traffic; the application must
-            # reset the controller to talk again.
+            # reset the controller to talk again (or the controller
+            # recovers itself when auto_recover is on).
             self._tx_queue.clear()
+            self._retry_frame = None
+            self._retry_count = 0
+            self.bus_off_events += 1
+            hook = self.on_bus_off
+            if hook is not None:
+                hook()
+            if self.auto_recover:
+                self._begin_recovery()
+            return
+        limit = self.retransmit_limit
+        if limit is not None and self._retry_count > limit:
+            # Attempts exhausted: the controller gives up on this frame
+            # (one-shot / bounded-retry mailbox mode).
+            try:
+                self._tx_queue.remove(frame)
+            except ValueError:
+                pass
+            self.tx_abandoned += 1
+            self._retry_frame = None
+            self._retry_count = 0
+        else:
+            # The frame stays queued; the bus re-arbitrates and the
+            # controller transmits it again automatically.
+            self.retransmissions += 1
+
+    # ------------------------------------------------------------------
+    # Bus-off recovery (CAN 2.0 §6.15: 128 x 11 recessive bit times)
+    # ------------------------------------------------------------------
+    def _bus_idle_ticks(self) -> int:
+        """Cumulative idle time this bus has seen (now - busy windows)."""
+        bus = self.bus
+        stats = bus.stats
+        return (bus.sim.now - stats.started_at) - stats.busy_ticks
+
+    def _begin_recovery(self) -> None:
+        """Start monitoring the bus for the recovery sequence.
+
+        The controller must observe :data:`BUS_OFF_RECOVERY_BITS`
+        recessive bit times on an idle bus.  The bus already accounts
+        busy windows in ``stats.busy_ticks``, so cumulative idle time
+        is derivable in O(1); the controller schedules a check at the
+        earliest possible completion instant and pushes it out by
+        however much traffic actually occupied the wire in between.
+        """
+        self._cancel_recovery()
+        bus = self.bus
+        if bus is None:
+            return
+        self._recovery_needed = bus.timing.bits_to_ticks(
+            BUS_OFF_RECOVERY_BITS)
+        self._recovery_idle_base = self._bus_idle_ticks()
+        self._recovery_event = bus.sim.call_after(
+            self._recovery_needed, self._recovery_check,
+            label=f"{self.name}:bus-off-recovery")
+
+    def _recovery_check(self) -> None:
+        self._recovery_event = None
+        if not self.counters.bus_off_latched:
+            return  # something else (reset) already recovered us
+        bus = self.bus
+        if bus._busy:
+            # A frame is in flight; its occupancy is only charged to
+            # busy_ticks at completion, so the idle ledger is stale.
+            # Poll again after an error-frame window -- deterministic,
+            # and short against any legal frame duration.
+            self._recovery_event = bus.sim.call_after(
+                bus.timing.error_frame_duration(), self._recovery_check,
+                label=f"{self.name}:bus-off-recovery")
+            return
+        accrued = self._bus_idle_ticks() - self._recovery_idle_base
+        remaining = self._recovery_needed - accrued
+        if remaining > 0:
+            self._recovery_event = bus.sim.call_after(
+                remaining, self._recovery_check,
+                label=f"{self.name}:bus-off-recovery")
+            return
+        self.counters.recover()
+        self.bus_off_recoveries += 1
+        hook = self.on_bus_off_recovered
+        if hook is not None:
+            hook()
+
+    def recovery_eta(self) -> int | None:
+        """Ticks until bus-off recovery is expected to complete.
+
+        ``None`` when the controller is not bus-off or will never
+        recover by itself (``auto_recover`` off and nothing resets it).
+        The estimate assumes the bus stays idle from now on, so it is a
+        lower bound -- the retry-after hint surfaced by
+        :meth:`repro.can.adapter.PcanStyleAdapter.write`.
+        """
+        if not self.counters.bus_off_latched:
+            return None
+        if self._recovery_event is None and not self.auto_recover:
+            return None
+        if self._recovery_event is None:
+            return self.bus.timing.bits_to_ticks(BUS_OFF_RECOVERY_BITS)
+        accrued = self._bus_idle_ticks() - self._recovery_idle_base
+        return max(0, self._recovery_needed - accrued)
+
+    def _cancel_recovery(self) -> None:
+        if self._recovery_event is not None:
+            self.bus.sim.cancel(self._recovery_event)
+            self._recovery_event = None
 
     # ------------------------------------------------------------------
     # Diagnostics
@@ -214,7 +376,10 @@ class CanController:
         digest.update(
             f"{self.name}:{self.enabled}:{self.tx_count}:{self.rx_count}:"
             f"{self.tx_dropped}:{self.rx_overruns}:"
-            f"{counters.tec}:{counters.rec}:{counters.state.value}"
+            f"{counters.tec}:{counters.rec}:{counters.state.value}:"
+            f"{self.retransmissions}:{self.tx_abandoned}:"
+            f"{self.bus_off_events}:{self.bus_off_recoveries}:"
+            f"{self._retry_count}"
             .encode("utf-8", "backslashreplace"))
         for frame in self._tx_queue:
             digest.update(repr(frame).encode("utf-8", "backslashreplace"))

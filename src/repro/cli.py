@@ -150,21 +150,60 @@ def _write_report(path: str, payload: dict) -> None:
     print(f"report written to {path}")
 
 
+def _channel_config(args: argparse.Namespace):
+    """Build the adversarial-channel config the noise flags describe.
+
+    ``--ber``/``--burst`` imply ``--channel-noise``; bare
+    ``--channel-noise`` gets a mild default profile so the flag is
+    useful on its own.  Returns None when no noise was requested.
+    """
+    from repro.can.channel import ChannelConfig
+
+    if not (args.channel_noise or args.ber or args.burst):
+        return None
+    ber = args.ber or (1e-4 if not args.burst else 0.0)
+    if args.burst:
+        return ChannelConfig(ber=ber, burst_ber=args.burst,
+                             burst_enter=0.01, burst_exit=0.2,
+                             ack_loss=args.ack_loss)
+    return ChannelConfig(ber=ber, ack_loss=args.ack_loss)
+
+
+def _confirm_findings(findings, *, check_mode: str, seed: int):
+    """Clean-channel replay confirmation for noisy-campaign findings."""
+    from repro.fuzz import confirm_findings
+    from repro.testbench import UnlockReplayFactory
+
+    report = confirm_findings(
+        findings, UnlockReplayFactory(check_mode=check_mode, seed=seed,
+                                      monitor_limit=64))
+    print(f"clean-channel confirmation: {len(report.confirmed)} "
+          f"confirmed, {report.noise_filtered} noise artefact(s) filtered")
+    return report
+
+
 def _cmd_fuzz_bench(args: argparse.Namespace) -> int:
-    from repro.fuzz import (AckMessageOracle, CampaignLimits, FuzzCampaign,
-                            FuzzConfig, PhysicalStateOracle,
-                            RandomFrameGenerator)
+    from repro.fuzz import (AckMessageOracle, CampaignLimits,
+                            CampaignSupervisor, FuzzCampaign, FuzzConfig,
+                            PhysicalStateOracle, RandomFrameGenerator)
     from repro.sim.random import RandomStreams
     from repro.testbench import UNLOCK_ACK_ID, UnlockTestbench
 
     if args.resume and not args.journal:
         print("--resume requires --journal DIR", file=sys.stderr)
         return 2
+    try:
+        channel_config = _channel_config(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.shards > 1:
-        return _run_sharded_bench(args)
+        return _run_sharded_bench(args, channel_config)
     benches = []
 
     def build() -> FuzzCampaign:
+        from repro.can.channel import AdversarialChannel
+
         bench = UnlockTestbench(seed=args.seed, check_mode=args.check_mode)
         bench.power_on()
         benches.append(bench)
@@ -180,11 +219,17 @@ def _cmd_fuzz_bench(args: argparse.Namespace) -> int:
             PhysicalStateOracle(lambda: bench.bcm.led_on, expected=False,
                                 period=20 * MS, name="led"),
         ]
+        channel = None
+        if channel_config is not None:
+            channel = AdversarialChannel(
+                channel_config, RandomStreams(args.seed).stream("channel"))
+            bench.bus.attach_channel(channel)
+            oracles.append(CampaignSupervisor(bench.bus))
         return FuzzCampaign(
             bench.sim, adapter, generator,
             limits=CampaignLimits(
                 max_duration=round(args.max_seconds * SECOND)),
-            oracles=oracles, name="cli-fuzz-bench")
+            oracles=oracles, name="cli-fuzz-bench", channel=channel)
 
     journal = None
     if args.journal:
@@ -214,12 +259,19 @@ def _cmd_fuzz_bench(args: argparse.Namespace) -> int:
     if journal is not None:
         for warning in journal.warnings:
             print(f"durability: {warning}")
+    confirmation = None
+    findings = result.findings
+    if channel_config is not None and result.findings:
+        confirmation = _confirm_findings(result.findings,
+                                         check_mode=args.check_mode,
+                                         seed=args.seed)
+        findings = confirmation.confirmed
     minimized = None
     if args.minimize:
         minimized = [_minimize_finding(finding,
                                        check_mode=args.check_mode,
                                        seed=args.seed)
-                     for finding in result.findings]
+                     for finding in findings]
         _print_minimized(minimized)
     if args.report:
         payload = {
@@ -228,13 +280,18 @@ def _cmd_fuzz_bench(args: argparse.Namespace) -> int:
             "check_mode": args.check_mode,
             "result": result.to_dict(),
         }
+        if channel_config is not None:
+            payload["channel"] = [list(row)
+                                  for row in channel_config.describe()]
+        if confirmation is not None:
+            payload["confirmation"] = confirmation.to_dict()
         if minimized is not None:
             payload["minimized"] = minimized
         _write_report(args.report, payload)
-    return 0 if result.findings else 1
+    return 0 if findings else 1
 
 
-def _run_sharded_bench(args: argparse.Namespace) -> int:
+def _run_sharded_bench(args: argparse.Namespace, channel_config) -> int:
     """``fuzz-bench --shards N``: fan the hunt across worker processes.
 
     Each shard is an independent hunt (own bench, own seed derived
@@ -242,14 +299,18 @@ def _run_sharded_bench(args: argparse.Namespace) -> int:
     budget; the merged record carries shard provenance per finding.
     With ``--minimize``, each finding is minimised against a replay
     target rebuilt from its *own shard's* seed -- the world the
-    finding was actually made in.
+    finding was actually made in.  With channel noise, every shard
+    gets its own supervised adversarial channel (seeded per shard),
+    and findings are confirmed against their shard's clean build.
     """
     from repro.fuzz import CampaignLimits, ShardedCampaign
     from repro.testbench import UnlockBenchFactory
 
     try:
         runner = ShardedCampaign(
-            UnlockBenchFactory(check_mode=args.check_mode),
+            UnlockBenchFactory(check_mode=args.check_mode,
+                               channel=channel_config,
+                               supervise=channel_config is not None),
             shards=args.shards,
             jobs=args.jobs,
             master_seed=args.seed,
@@ -264,10 +325,23 @@ def _run_sharded_bench(args: argparse.Namespace) -> int:
     print(merged.summary())
     for warning in runner.manifest_warnings:
         print(f"durability: {warning}")
+    findings_with_seeds = list(merged.findings_with_seeds)
+    noise_filtered = 0
+    if channel_config is not None and findings_with_seeds:
+        kept = []
+        for shard_index, shard_seed, finding in findings_with_seeds:
+            report = _confirm_findings([finding],
+                                       check_mode=args.check_mode,
+                                       seed=shard_seed)
+            if report.confirmed:
+                kept.append((shard_index, shard_seed, finding))
+            else:
+                noise_filtered += 1
+        findings_with_seeds = kept
     minimized = None
     if args.minimize:
         minimized = []
-        for shard_index, shard_seed, finding in merged.findings_with_seeds:
+        for shard_index, shard_seed, finding in findings_with_seeds:
             record = _minimize_finding(finding,
                                        check_mode=args.check_mode,
                                        seed=shard_seed)
@@ -282,12 +356,16 @@ def _run_sharded_bench(args: argparse.Namespace) -> int:
             "check_mode": args.check_mode,
             "shards": args.shards,
             "ok": merged.ok,
-            "findings": len(merged.findings),
+            "findings": len(findings_with_seeds),
         }
+        if channel_config is not None:
+            payload["channel"] = [list(row)
+                                  for row in channel_config.describe()]
+            payload["noise_filtered"] = noise_filtered
         if minimized is not None:
             payload["minimized"] = minimized
         _write_report(args.report, payload)
-    return 0 if merged.ok and merged.findings else 1
+    return 0 if merged.ok and findings_with_seeds else 1
 
 
 def _cmd_table5(args: argparse.Namespace) -> int:
@@ -394,6 +472,22 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="FRAMES",
                        help="frames between durable checkpoints "
                             "(default 5000)")
+    bench.add_argument("--channel-noise", action="store_true",
+                       help="fuzz across an adversarial channel (seeded "
+                            "bit errors on the wire) with a mild default "
+                            "profile; adds a campaign supervisor that "
+                            "survives bus-DoS and adapter bus-off, and "
+                            "confirms findings by clean-channel replay")
+    bench.add_argument("--ber", type=float, default=0.0, metavar="P",
+                       help="per-bit error probability of the channel's "
+                            "good state (implies --channel-noise)")
+    bench.add_argument("--burst", type=float, default=0.0, metavar="P",
+                       help="per-bit error probability inside "
+                            "Gilbert-Elliott noise bursts "
+                            "(implies --channel-noise)")
+    bench.add_argument("--ack-loss", type=float, default=0.0, metavar="P",
+                       help="per-frame probability the acknowledgement "
+                            "slot is lost (sender retransmits)")
     bench.set_defaults(func=_cmd_fuzz_bench)
 
     table5 = sub.add_parser("table5", help="run a Table V row")

@@ -22,6 +22,7 @@ from repro.ecu.faults import (
     payload_byte_trigger,
 )
 from repro.ecu.modes import OperatingMode, ModeManager
+from repro.ecu.supervisor import DiagnosticTroubleCode, EcuSupervisor
 from repro.ecu.watchdog import Watchdog
 
 __all__ = [
@@ -36,4 +37,6 @@ __all__ = [
     "OperatingMode",
     "ModeManager",
     "Watchdog",
+    "EcuSupervisor",
+    "DiagnosticTroubleCode",
 ]

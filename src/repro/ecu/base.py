@@ -93,6 +93,16 @@ class Ecu:
         self.rx_guard: Callable[[CanFrame, int], bool] | None = None
         self.power_cycles = 0
         self.watchdog_resets = 0
+        #: Limp-home transmit filter: ``None`` normally; a frozenset of
+        #: safety-critical ids while degraded.  Like DTCs this is
+        #: non-volatile -- a power cycle does not clear it, only
+        #: :meth:`exit_limp_home` (the service-tool action) does.
+        self._limp_ids: frozenset[int] | None = None
+        self.limp_home_entries = 0
+        self.tx_suppressed = 0
+        #: Set by :class:`repro.ecu.supervisor.EcuSupervisor` when one
+        #: is attached (diagnostics / test convenience).
+        self.supervisor = None
         self._tasks: list[PeriodicProcess] = []
         self._handlers: dict[int, list[RxCallback]] = {}
         self._any_handlers: list[RxCallback] = []
@@ -186,9 +196,14 @@ class Ecu:
         Returns ``True`` when the frame was queued.  Bus-off and other
         controller errors are swallowed and reported as ``False``
         because a real application task cannot do anything else with
-        them mid-cycle.
+        them mid-cycle.  In limp-home mode only safety-critical ids
+        pass; everything else counts as suppressed.
         """
         if self.state is not EcuState.RUNNING:
+            return False
+        limp = self._limp_ids
+        if limp is not None and frame.can_id not in limp:
+            self.tx_suppressed += 1
             return False
         try:
             self.controller.send(frame)
@@ -221,6 +236,30 @@ class Ecu:
         if handlers:
             for callback in handlers:
                 callback(stamped)
+
+    # ------------------------------------------------------------------
+    # Degraded operation
+    # ------------------------------------------------------------------
+    @property
+    def limp_home(self) -> bool:
+        """True while the ECU is restricted to safety-critical traffic."""
+        return self._limp_ids is not None
+
+    def enter_limp_home(self, safety_ids: frozenset[int]) -> None:
+        """Restrict transmission to ``safety_ids`` until explicitly
+        cleared.
+
+        Real controllers drop to a degraded mode after repeated bus
+        errors: keep the brake/powertrain messages alive, shed comfort
+        traffic.  An empty set silences the ECU entirely.
+        """
+        if self._limp_ids is None:
+            self.limp_home_entries += 1
+        self._limp_ids = frozenset(safety_ids)
+
+    def exit_limp_home(self) -> None:
+        """Return to full operation (service-tool style clear)."""
+        self._limp_ids = None
 
     # ------------------------------------------------------------------
     # Faults

@@ -40,6 +40,12 @@ from repro.fuzz.coverage import (
     expected_frames_to_hit,
     time_to_exhaust_seconds,
 )
+from repro.fuzz.health import (
+    BusDownEvent,
+    CampaignSupervisor,
+    ConfirmationReport,
+    confirm_findings,
+)
 from repro.fuzz.generator import (
     BitWalkGenerator,
     FrameGenerator,
@@ -85,6 +91,10 @@ __all__ = [
     "FuzzCampaign",
     "CampaignLimits",
     "FuzzResult",
+    "BusDownEvent",
+    "CampaignSupervisor",
+    "ConfirmationReport",
+    "confirm_findings",
     "Oracle",
     "Finding",
     "AckMessageOracle",

@@ -32,6 +32,7 @@ from repro.sim.random import rng_state_from_json, rng_state_to_json
 
 # Hot-loop constants, resolved once at import.
 _STATUS_OK = AdapterStatus.OK
+_STATUS_BUSOFF = AdapterStatus.BUSOFF
 _APP_PRIORITY = Simulator.APP_PRIORITY
 
 
@@ -81,6 +82,15 @@ class FuzzCampaign:
             checkpoint is written every ``checkpoint_every`` frames and
             the final result is persisted for :meth:`resume`.
         checkpoint_every: frames between durable checkpoints.
+        channel: optional :class:`~repro.can.channel.AdversarialChannel`
+            attached to the target bus.  The campaign does not drive
+            it -- the bus does -- but owning the reference stamps the
+            channel's RNG position into durable checkpoints, which
+            marks them as noise-era state: :meth:`resume` replays such
+            campaigns from attempt zero instead of mid-run, because a
+            rebuilt target world cannot recreate the pre-checkpoint
+            corruption history a mid-run restore would need for a
+            bit-exact continuation.
     """
 
     def __init__(self, sim: Simulator, adapter: PcanStyleAdapter,
@@ -94,7 +104,8 @@ class FuzzCampaign:
                  recent_window: int = 32,
                  name: str = "fuzz-campaign",
                  journal: CampaignJournal | None = None,
-                 checkpoint_every: int = 5000) -> None:
+                 checkpoint_every: int = 5000,
+                 channel=None) -> None:
         if interval < 1 * MS:
             raise ValueError(
                 "the fuzzer's maximum rate is one frame per millisecond "
@@ -122,6 +133,14 @@ class FuzzCampaign:
         self._findings: list[Finding] = []
         self._write_errors: dict[str, int] = {}
         self.frames_sent = 0
+        self.frames_skipped = 0
+        self.channel = channel
+        #: Health hooks installed by :class:`repro.fuzz.health.
+        #: CampaignSupervisor`.  The gate may veto a frame before the
+        #: write (quarantine); the bus-off handler decides whether an
+        #: adapter bus-off ends the campaign (default) or is survived.
+        self._tx_gate: Callable[[CanFrame], bool] | None = None
+        self._busoff_handler: Callable[[], bool] | None = None
         self._stop_reason = ""
         self._running = False
         self._tx_event = None
@@ -164,6 +183,16 @@ class FuzzCampaign:
         (the rebuilt campaign restores it and runs out the remainder);
         neither survived (the campaign starts from attempt zero --
         deterministic, so nothing is lost but wall time).
+
+        A checkpoint that carries adversarial-channel state forces the
+        from-zero path even when it loaded cleanly.  Mid-run restore
+        cannot be bit-exact under noise: the rebuilt target world never
+        saw the pre-checkpoint corruption, so its error counters and
+        retransmission queues -- and with them the interleaving of
+        channel RNG draws -- would diverge from the killed run's.
+        Replaying from attempt zero keeps the determinism guarantee
+        (same seeds, same config, same result) at the price of wall
+        time; the journal still preserves findings across the crash.
         """
         if not isinstance(journal, CampaignJournal):
             journal = CampaignJournal(journal)
@@ -171,6 +200,8 @@ class FuzzCampaign:
         if saved is not None:
             return FuzzResult.from_dict(saved)
         state = journal.load_checkpoint()
+        if state is not None and state.get("channel") is not None:
+            state = None
         campaign = build()
         campaign.attach_journal(journal, checkpoint_every=checkpoint_every)
         return campaign._execute(state)
@@ -200,6 +231,9 @@ class FuzzCampaign:
                                 "generation": journal.generation})
         for oracle in self.oracles:
             oracle.bind(self._on_finding)
+            attach = getattr(oracle, "attach_campaign", None)
+            if attach is not None:
+                attach(self)
             oracle.start(self.sim)
         if resume_state is not None:
             for oracle in self.oracles:
@@ -221,6 +255,11 @@ class FuzzCampaign:
         self.sim.run_until(deadline)
         if self._running:
             self._finish("time limit reached")
+        health = {}
+        for oracle in self.oracles:
+            exporter = getattr(oracle, "health_dict", None)
+            if exporter is not None:
+                health[oracle.name] = exporter()
         result = FuzzResult(
             name=self.name,
             seed_label=getattr(
@@ -233,6 +272,8 @@ class FuzzCampaign:
             write_errors=dict(self._write_errors),
             stop_reason=self._stop_reason,
             config_rows=self._config_rows(),
+            frames_skipped=self.frames_skipped,
+            health=health,
         )
         if journal is not None:
             journal.append({"type": "end",
@@ -259,6 +300,7 @@ class FuzzCampaign:
             "name": self.name,
             "started_at": self._started_at,
             "frames_sent": self.frames_sent,
+            "frames_skipped": self.frames_skipped,
             "sim_now": self._clock._now,
             "next_tx_time": self._tx_event.time,
             "recent": [[time, frame_to_dict(frame)]
@@ -273,6 +315,8 @@ class FuzzCampaign:
             state["generator"] = exporter()
         if self._rng is not None:
             state["jitter_rng"] = rng_state_to_json(self._rng.getstate())
+        if self.channel is not None:
+            state["channel"] = self.channel.state_dict()
         return state
 
     def _restore(self, state: dict) -> None:
@@ -294,9 +338,14 @@ class FuzzCampaign:
                     "checkpoint carries generator state but this "
                     "generator cannot load it")
             loader(generator_state)
+        self.frames_skipped = state.get("frames_skipped",
+                                        self.frames_skipped)
         jitter = state.get("jitter_rng")
         if jitter is not None and self._rng is not None:
             self._rng.setstate(rng_state_from_json(jitter))
+        channel_state = state.get("channel")
+        if channel_state is not None and self.channel is not None:
+            self.channel.load_state(channel_state)
 
     def _write_checkpoint(self) -> None:
         journal = self.journal
@@ -346,16 +395,27 @@ class FuzzCampaign:
         except StopIteration:
             self._finish("generator exhausted")
             return
-        status = self._write(frame)
-        if status is _STATUS_OK:
-            self.frames_sent += 1
-            self._recent.append((self._clock._now, frame))
+        gate = self._tx_gate
+        if gate is not None and not gate(frame):
+            # Quarantined by the campaign supervisor: the frame is
+            # consumed from the generator stream (so the RNG position
+            # advances identically with or without a resume) but never
+            # reaches the wire, is not counted as sent, and stays out
+            # of the recent window findings attach.
+            self.frames_skipped += 1
         else:
-            key = status.value
-            self._write_errors[key] = self._write_errors.get(key, 0) + 1
-            if status is AdapterStatus.BUSOFF:
-                self._finish("adapter bus-off")
-                return
+            status = self._write(frame)
+            if status is _STATUS_OK:
+                self.frames_sent += 1
+                self._recent.append((self._clock._now, frame))
+            else:
+                key = status.value
+                self._write_errors[key] = self._write_errors.get(key, 0) + 1
+                if status is _STATUS_BUSOFF:
+                    handler = self._busoff_handler
+                    if handler is None or not handler():
+                        self._finish("adapter bus-off")
+                        return
         if not self._running:
             # An oracle finding fired synchronously inside the write
             # and _finish already ran; scheduling another transmission

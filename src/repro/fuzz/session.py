@@ -91,6 +91,11 @@ class FuzzResult:
     write_errors: dict[str, int] = field(default_factory=dict)
     stop_reason: str = ""
     config_rows: list[tuple[str, str, str]] = field(default_factory=list)
+    #: Frames vetoed by a campaign supervisor's quarantine gate.
+    frames_skipped: int = 0
+    #: Health telemetry keyed by oracle name (bus-down events, backoff
+    #: and quarantine counters) from oracles exposing ``health_dict``.
+    health: dict = field(default_factory=dict)
 
     @property
     def duration_seconds(self) -> float:
@@ -141,10 +146,12 @@ class FuzzResult:
             "started_at": self.started_at,
             "ended_at": self.ended_at,
             "frames_sent": self.frames_sent,
+            "frames_skipped": self.frames_skipped,
             "stop_reason": self.stop_reason,
             "write_errors": self.write_errors,
             "config_rows": [list(row) for row in self.config_rows],
             "findings": [_finding_to_dict(f) for f in self.findings],
+            "health": self.health,
         }
 
     @classmethod
@@ -166,6 +173,8 @@ class FuzzResult:
             stop_reason=payload.get("stop_reason", ""),
             config_rows=[tuple(row) for row in payload.get(
                 "config_rows", [])],
+            frames_skipped=payload.get("frames_skipped", 0),
+            health=dict(payload.get("health", {})),
         )
 
     def to_json(self) -> str:

@@ -17,12 +17,17 @@ from repro.analysis.capture import BusCapture
 from repro.can.adapter import PcanStyleAdapter
 from repro.can.bus import CanBus
 from repro.can.timing import BitTiming, CAN_500K
+from repro.ecu.supervisor import EcuSupervisor
 from repro.sim.clock import SECOND
 from repro.sim.kernel import Simulator
 from repro.sim.random import RandomStreams
 from repro.testbench.app import LockApp
-from repro.testbench.bcm import BenchBcm
-from repro.vehicle.database import target_vehicle_database
+from repro.testbench.bcm import UNLOCK_ACK_ID, BenchBcm
+from repro.vehicle.database import (
+    BODY_COMMAND_ID,
+    LOCK_STATUS_ID,
+    target_vehicle_database,
+)
 from repro.vehicle.infotainment import HeadUnit
 
 
@@ -51,7 +56,6 @@ class UnlockTestbench:
         bcm_auth = None
         if authenticated:
             from repro.defense.authentication import CanAuthenticator
-            from repro.vehicle.database import BODY_COMMAND_ID
 
             key = b"bench-shared-key"
             bcm_auth = CanAuthenticator(key, BODY_COMMAND_ID)
@@ -59,6 +63,15 @@ class UnlockTestbench:
         self.bcm = BenchBcm(self.sim, self.bus, check_mode=check_mode,
                             authenticator=bcm_auth)
         self.head_unit = HeadUnit(self.sim, self.bus, self.database)
+        # Production-style health supervision: auto bus-off recovery,
+        # DTC records, limp-home that keeps the lock traffic alive so
+        # the unlock vulnerability stays reachable even after the bench
+        # has been driven through repeated bus-off (paper §VI's DoS
+        # concern, survived instead of wedging the bench).
+        self.bcm_supervisor = EcuSupervisor(
+            self.bcm, safety_ids=frozenset({UNLOCK_ACK_ID, LOCK_STATUS_ID}))
+        self.head_unit_supervisor = EcuSupervisor(
+            self.head_unit, safety_ids=frozenset({BODY_COMMAND_ID}))
         self.monitor = BusCapture(self.bus, limit=monitor_limit)
         self.app = LockApp(self.head_unit)
         self._secure_tx = None

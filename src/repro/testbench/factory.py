@@ -12,10 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.can.channel import AdversarialChannel, ChannelConfig
 from repro.can.frame import CanFrame
 from repro.fuzz.campaign import FuzzCampaign
 from repro.fuzz.config import FuzzConfig
 from repro.fuzz.generator import RandomFrameGenerator
+from repro.fuzz.health import CampaignSupervisor
 from repro.fuzz.oracle import AckMessageOracle, PhysicalStateOracle
 from repro.fuzz.parallel import ShardSpec
 from repro.sim.clock import MS
@@ -47,12 +49,21 @@ class UnlockBenchFactory:
         settle_seconds: bus settle time after power-on.
         monitor_limit: frames retained by the bench monitor (bounded,
             as in the experiment harness, so shards stay lean).
+        channel: optional noise parameters; when set, an
+            :class:`~repro.can.channel.AdversarialChannel` seeded from
+            the shard's "channel" stream is attached to the bench bus
+            and its state rides the campaign's durable checkpoints.
+        supervise: add a :class:`~repro.fuzz.health.CampaignSupervisor`
+            so the campaign survives bus-DoS and adapter bus-off
+            (recommended whenever ``channel`` is set).
     """
 
     check_mode: str = "byte"
     interval: int = 1 * MS
     settle_seconds: float = 0.5
     monitor_limit: int = 256
+    channel: ChannelConfig | None = None
+    supervise: bool = False
 
     def __call__(self, spec: ShardSpec) -> FuzzCampaign:
         bench = UnlockTestbench(seed=spec.seed,
@@ -73,10 +84,18 @@ class UnlockBenchFactory:
             PhysicalStateOracle(lambda: bench.bcm.led_on, expected=False,
                                 period=20 * MS, name="led"),
         ]
+        channel = None
+        if self.channel is not None:
+            channel = AdversarialChannel(
+                self.channel, RandomStreams(spec.seed).stream("channel"))
+            bench.bus.attach_channel(channel)
+        if self.supervise:
+            oracles.append(CampaignSupervisor(bench.bus))
         return FuzzCampaign(
             bench.sim, adapter, generator, limits=spec.limits,
             oracles=oracles, interval=self.interval,
-            name=f"unlock-{self.check_mode}-shard{spec.index}")
+            name=f"unlock-{self.check_mode}-shard{spec.index}",
+            channel=channel)
 
 
 @dataclass(frozen=True)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.can.adapter import PcanStyleAdapter
 from repro.can.bus import CanBus
 from repro.can.timing import BitTiming, CAN_500K
+from repro.ecu.supervisor import EcuSupervisor
 from repro.obd.service import ObdResponder
 from repro.sim.clock import SECOND
 from repro.sim.kernel import Simulator
@@ -19,8 +20,15 @@ from repro.vehicle.body import BodyControlModule
 from repro.vehicle.cluster import InstrumentCluster
 from repro.vehicle.database import (
     BODY_COMMAND_ID,
+    BODY_STATUS_ID,
+    BRAKE_STATUS_ID,
+    CLUSTER_WARNINGS_ID,
+    ENGINE_STATUS_ID,
     GATEWAY_FORWARD_TO_BODY,
     GATEWAY_FORWARD_TO_POWERTRAIN,
+    LOCK_STATUS_ID,
+    TRANSMISSION_STATUS_ID,
+    WHEEL_SPEEDS_ID,
     target_vehicle_database,
 )
 from repro.vehicle.dynamics import DrivingProfile, VehicleDynamics
@@ -81,6 +89,21 @@ class TargetCar:
             forward_to_a=tuple(GATEWAY_FORWARD_TO_POWERTRAIN))
         self._ecus = (self.engine, self.abs, self.transmission,
                       self.bcm, self.cluster, self.head_unit)
+        # Health supervision per module: auto bus-off recovery, DTCs,
+        # and a limp-home whitelist of each ECU's safety-critical
+        # traffic (powertrain status keeps flowing, comfort traffic is
+        # shed when a module degrades).
+        self.supervisors = {
+            ecu.name: EcuSupervisor(ecu, safety_ids=frozenset(ids))
+            for ecu, ids in (
+                (self.engine, {ENGINE_STATUS_ID}),
+                (self.abs, {BRAKE_STATUS_ID, WHEEL_SPEEDS_ID}),
+                (self.transmission, {TRANSMISSION_STATUS_ID}),
+                (self.bcm, {BODY_STATUS_ID, LOCK_STATUS_ID}),
+                (self.cluster, {CLUSTER_WARNINGS_ID}),
+                (self.head_unit, {BODY_COMMAND_ID}),
+            )
+        }
         self.ignition = False
 
     @property

@@ -89,6 +89,34 @@ class TestReadWrite:
         adapter.controller.counters.bus_off_latched = True
         assert adapter.write(CanFrame(1)) is AdapterStatus.BUSOFF
 
+    def test_bus_off_write_sets_retry_after_hint(self, bus, adapter):
+        from repro.can.errors import BUS_OFF_RECOVERY_BITS
+
+        adapter.initialize()
+        adapter.controller.auto_recover = True
+        adapter.controller.counters.bus_off_latched = True
+        assert adapter.write(CanFrame(1)) is AdapterStatus.BUSOFF
+        assert adapter.retry_after_hint == \
+            bus.timing.bits_to_ticks(BUS_OFF_RECOVERY_BITS)
+
+    def test_hint_none_when_recovery_will_never_happen(self, adapter):
+        adapter.initialize()
+        adapter.controller.counters.bus_off_latched = True
+        assert adapter.write(CanFrame(1)) is AdapterStatus.BUSOFF
+        # auto_recover off and nothing resetting the controller: the
+        # caller must not be told to wait for a recovery that won't come.
+        assert adapter.retry_after_hint is None
+
+    def test_successful_write_clears_the_hint(self, sim, adapter, peer):
+        adapter.initialize()
+        adapter.controller.auto_recover = True
+        adapter.controller.counters.bus_off_latched = True
+        adapter.write(CanFrame(1))
+        assert adapter.retry_after_hint is not None
+        adapter.controller.counters.recover()
+        assert adapter.write(CanFrame(2)) is AdapterStatus.OK
+        assert adapter.retry_after_hint is None
+
 
 class TestStatus:
     def test_status_ok_when_healthy(self, adapter):

@@ -72,3 +72,26 @@ class TestErrorCounters:
         assert counters.state is ErrorState.ERROR_ACTIVE
         assert counters.tec == 0
         assert not counters.bus_off_latched
+
+    def test_recover_clears_counters_and_latch(self):
+        counters = ErrorCounters()
+        for _ in range(BUS_OFF_LIMIT // 8):
+            counters.on_transmit_error()
+        counters.on_receive_error()
+        counters.recover()
+        assert counters.tec == 0
+        assert counters.rec == 0
+        assert not counters.bus_off_latched
+        assert counters.state is ErrorState.ERROR_ACTIVE
+
+    def test_reset_and_recover_agree_on_the_latch(self):
+        # The latch asymmetry bug: both exits from bus-off must leave
+        # identical counter state, whichever path clears it.
+        recovered, reset = ErrorCounters(), ErrorCounters()
+        for counters in (recovered, reset):
+            for _ in range(BUS_OFF_LIMIT // 8):
+                counters.on_transmit_error()
+        recovered.recover()
+        reset.reset()
+        assert (recovered.tec, recovered.rec, recovered.bus_off_latched) \
+            == (reset.tec, reset.rec, reset.bus_off_latched)

@@ -1,0 +1,176 @@
+"""Tests for bounded retransmission and spec-faithful bus-off recovery."""
+
+import pytest
+
+from repro.can.channel import ChannelVerdict
+from repro.can.errors import (
+    BUS_OFF_LIMIT,
+    BUS_OFF_RECOVERY_BITS,
+    BusOffError,
+    ErrorState,
+)
+from repro.can.frame import CanFrame
+from repro.can.node import CanController
+from repro.sim.clock import MS
+
+
+class AlwaysCorrupt:
+    """Every transmission errors mid-frame."""
+
+    def classify(self, frame, now):
+        return ChannelVerdict.CORRUPT
+
+
+def _recovery_window(bus) -> int:
+    return bus.timing.bits_to_ticks(BUS_OFF_RECOVERY_BITS)
+
+
+class TestBoundedRetransmission:
+    def test_retry_limit_abandons_the_frame(self, sim, bus):
+        node = CanController("tx", retransmit_limit=2)
+        node.attach(bus)
+        bus.attach_channel(AlwaysCorrupt())
+        node.send(CanFrame(0x100, b"\x01"))
+        sim.run_for(20 * MS)
+        # 1 first attempt + 2 retries, then the mailbox gives up.
+        assert node.retransmissions == 2
+        assert node.tx_abandoned == 1
+        assert node.pending_tx() == 0
+        assert node.counters.tec == 24
+
+    def test_single_shot_mode(self, sim, bus):
+        node = CanController("tx", retransmit_limit=0)
+        node.attach(bus)
+        bus.attach_channel(AlwaysCorrupt())
+        node.send(CanFrame(0x100, b"\x01"))
+        sim.run_for(5 * MS)
+        assert node.retransmissions == 0
+        assert node.tx_abandoned == 1
+
+    def test_unlimited_default_retries_to_bus_off(self, sim, bus):
+        node = CanController("tx")
+        node.attach(bus)
+        bus.attach_channel(AlwaysCorrupt())
+        node.send(CanFrame(0x100, b"\x01"))
+        sim.run_for(100 * MS)
+        # TEC += 8 per attempt: 32 attempts reach the 256 limit.
+        assert node.counters.bus_off_latched
+        assert node.retransmissions == BUS_OFF_LIMIT // 8 - 1
+        assert node.bus_off_events == 1
+        assert node.pending_tx() == 0
+
+    def test_success_resets_the_attempt_burst(self, sim, bus, node_pair):
+        a, b = node_pair
+        a.retransmit_limit = 2
+        bus.attach_channel(AlwaysCorrupt())
+        a.send(CanFrame(0x100, b"\x01"))
+        sim.run_for(20 * MS)
+        bus.detach_channel()
+        # A fresh frame after the clean wire returns gets its own
+        # attempt budget (the bound is per contiguous burst).
+        a.send(CanFrame(0x101, b"\x02"))
+        sim.run_for(20 * MS)
+        assert a.tx_abandoned == 1
+        assert b.rx_count == 1
+
+
+class TestBusOffRecovery:
+    def _drive_bus_off(self, sim, bus, node) -> None:
+        bus.attach_channel(AlwaysCorrupt())
+        node.send(CanFrame(0x100, b"\x01"))
+        # Poll in small steps: with auto_recover on, a long blind run
+        # would sail straight through latch *and* recovery.
+        for _ in range(100):
+            sim.run_for(1 * MS)
+            if node.counters.bus_off_latched:
+                break
+        assert node.counters.bus_off_latched
+        bus.detach_channel()
+
+    def test_auto_recover_re_enters_error_active(self, sim, bus):
+        node = CanController("tx", auto_recover=True)
+        node.attach(bus)
+        self._drive_bus_off(sim, bus, node)
+        sim.run_for(_recovery_window(bus) + 1 * MS)
+        assert not node.counters.bus_off_latched
+        assert node.counters.state is ErrorState.ERROR_ACTIVE
+        assert node.counters.tec == 0
+        assert node.counters.rec == 0
+        assert node.bus_off_recoveries == 1
+
+    def test_without_auto_recover_stays_latched(self, sim, bus):
+        node = CanController("tx")
+        node.attach(bus)
+        self._drive_bus_off(sim, bus, node)
+        sim.run_for(10 * _recovery_window(bus))
+        assert node.counters.bus_off_latched
+        with pytest.raises(BusOffError):
+            node.send(CanFrame(0x100))
+
+    def test_recovered_node_transmits_again(self, sim, bus, node_pair):
+        a, b = node_pair
+        a.auto_recover = True
+        self._drive_bus_off(sim, bus, a)
+        sim.run_for(_recovery_window(bus) + 1 * MS)
+        a.send(CanFrame(0x200, b"\x05"))
+        sim.run_for(5 * MS)
+        assert b.rx_count == 1
+
+    def test_busy_bus_defers_recovery(self, sim, bus, node_pair):
+        a, b = node_pair
+        a.auto_recover = True
+        self._drive_bus_off(sim, bus, a)
+        # Saturate the wire: the recovery sequence needs *idle* bit
+        # times, so back-to-back traffic must push completion out.
+        frame = CanFrame(0x050, b"\xaa" * 8)
+        duration = bus.timing.frame_duration(frame)
+
+        def refill() -> None:
+            if b.pending_tx() < 2:
+                b.send(frame)
+
+        from repro.sim.process import PeriodicProcess
+        feeder = PeriodicProcess(sim, duration // 2, refill, label="feed")
+        feeder.start()
+        sim.run_for(_recovery_window(bus) + 5 * MS)
+        assert a.counters.bus_off_latched  # no idle accrued yet
+        feeder.stop()
+        b.clear_tx()
+        sim.run_for(_recovery_window(bus) + 5 * MS)
+        assert not a.counters.bus_off_latched
+        assert a.bus_off_recoveries == 1
+
+    def test_recovery_hooks_fire_in_order(self, sim, bus):
+        node = CanController("tx", auto_recover=True)
+        node.attach(bus)
+        calls = []
+        node.on_bus_off = lambda: calls.append("off")
+        node.on_bus_off_recovered = lambda: calls.append("recovered")
+        self._drive_bus_off(sim, bus, node)
+        assert calls == ["off"]
+        sim.run_for(_recovery_window(bus) + 1 * MS)
+        assert calls == ["off", "recovered"]
+
+    def test_recovery_eta_counts_down_to_none(self, sim, bus):
+        node = CanController("tx", auto_recover=True)
+        node.attach(bus)
+        assert node.recovery_eta() is None  # healthy node
+        self._drive_bus_off(sim, bus, node)
+        eta = node.recovery_eta()
+        assert eta is not None and 0 < eta <= _recovery_window(bus)
+        sim.run_for(eta // 2)
+        later = node.recovery_eta()
+        assert later is not None and later < eta
+        sim.run_for(_recovery_window(bus))
+        assert node.recovery_eta() is None  # recovered
+
+    def test_reset_during_recovery_cancels_it(self, sim, bus):
+        node = CanController("tx", auto_recover=True)
+        node.attach(bus)
+        self._drive_bus_off(sim, bus, node)
+        node.reset()
+        assert not node.counters.bus_off_latched
+        sim.run_for(_recovery_window(bus) + 1 * MS)
+        # The pending recovery check must not double-count: the reset
+        # already recovered the node.
+        assert node.bus_off_recoveries == 0
