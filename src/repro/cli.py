@@ -368,6 +368,128 @@ def _run_sharded_bench(args: argparse.Namespace, channel_config) -> int:
     return 0 if merged.ok and findings_with_seeds else 1
 
 
+def _minimize_uds_finding(finding, *, seed: int,
+                          key_algorithm: int | None) -> dict:
+    """Minimise one UDS finding's request record by snapshot replay."""
+    from repro.fuzz import MinimizeStats
+    from repro.testbench import UdsReplayFactory
+    from repro.uds.replay import UdsSnapshotReplayer
+
+    replayer = UdsSnapshotReplayer(UdsReplayFactory(seed=seed),
+                                   key_algorithm=key_algorithm)
+    record = {
+        "oracle": finding.oracle,
+        "time": finding.time,
+        "window_requests": len(finding.recent_requests),
+        "reproduced": False,
+    }
+    stats = MinimizeStats()
+    try:
+        minimal = replayer.minimize(list(finding.recent_requests),
+                                    stats=stats)
+    except ValueError:
+        return record
+    record.update(
+        reproduced=True,
+        minimized_requests=[request.hex() for request in minimal],
+        probes=stats.tests_used,
+        probe_cache_hits=stats.cache_hits,
+        exhausted=stats.exhausted,
+        replayer=replayer.stats(),
+    )
+    return record
+
+
+def _cmd_fuzz_uds(args: argparse.Namespace) -> int:
+    from repro.fuzz import CampaignLimits, ShardSpec
+    from repro.fuzz.uds_campaign import UdsFuzzCampaign
+    from repro.testbench import UdsBenchFactory, UdsReplayFactory
+    from repro.uds.replay import confirm_uds_findings
+
+    if args.resume and not args.journal:
+        print("--resume requires --journal DIR", file=sys.stderr)
+        return 2
+    factory = UdsBenchFactory()
+    spec = ShardSpec(index=0, shard_count=1, master_seed=args.seed,
+                     seed=args.seed,
+                     limits=CampaignLimits(max_frames=args.requests))
+    journal = None
+    if args.journal:
+        from repro.fuzz import CampaignJournal
+
+        journal = CampaignJournal(args.journal)
+        if args.resume:
+            result = UdsFuzzCampaign.resume(
+                journal, lambda: factory(spec),
+                checkpoint_every=args.checkpoint_every)
+        else:
+            if (journal.load_result() is not None
+                    or journal.load_checkpoint() is not None):
+                print(f"journal dir {args.journal} already holds campaign "
+                      f"state; pass --resume to continue it",
+                      file=sys.stderr)
+                return 2
+            campaign = factory(spec)
+            campaign.attach_journal(
+                journal, checkpoint_every=args.checkpoint_every)
+            result = campaign.run()
+    else:
+        result = factory(spec).run()
+    print(result.summary())
+    health = result.health.get("uds", {})
+    coverage = health.get("coverage", {})
+    print(f"protocol-state coverage: {coverage.get('tuples', 0)} "
+          f"(service, sub-function, NRC, session) tuple(s) over "
+          f"{coverage.get('exchanges', 0)} exchange(s)")
+    key_algorithm = health.get("key_algorithm_index")
+    if key_algorithm is not None:
+        print(f"security-access key algorithm learned: "
+              f"{health.get('key_algorithm')}")
+    if journal is not None:
+        for warning in journal.warnings:
+            print(f"durability: {warning}")
+    confirmation = None
+    findings = result.findings
+    if findings:
+        confirmation = confirm_uds_findings(
+            findings, UdsReplayFactory(seed=args.seed),
+            key_algorithm=key_algorithm)
+        print(f"clean-replay confirmation: {len(confirmation.confirmed)} "
+              f"confirmed, {len(confirmation.rejected)} rejected")
+        findings = confirmation.confirmed
+    minimized = None
+    if args.minimize:
+        minimized = [_minimize_uds_finding(finding, seed=args.seed,
+                                           key_algorithm=key_algorithm)
+                     for finding in findings]
+        for record in minimized:
+            if not record["reproduced"]:
+                print(f"finding[{record['oracle']}]: window of "
+                      f"{record['window_requests']} request(s) did not "
+                      f"reproduce on the replay grid")
+                continue
+            rendered = ", ".join(
+                request if len(request) <= 16 else f"{request[:16]}..."
+                for request in record["minimized_requests"])
+            print(f"finding[{record['oracle']}]: minimised "
+                  f"{record['window_requests']} -> "
+                  f"{len(record['minimized_requests'])} request(s) "
+                  f"in {record['probes']} probe(s): {rendered}")
+    if args.report:
+        payload = {
+            "mode": "uds",
+            "seed": args.seed,
+            "requests": args.requests,
+            "result": result.to_dict(),
+        }
+        if confirmation is not None:
+            payload["confirmation"] = confirmation.to_dict()
+        if minimized is not None:
+            payload["minimized"] = minimized
+        _write_report(args.report, payload)
+    return 0 if findings else 1
+
+
 def _cmd_table5(args: argparse.Namespace) -> int:
     from repro.testbench import UnlockExperiment
 
@@ -489,6 +611,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-frame probability the acknowledgement "
                             "slot is lost (sender retransmits)")
     bench.set_defaults(func=_cmd_fuzz_bench)
+
+    uds = sub.add_parser("fuzz-uds",
+                         help="stateful UDS-over-ISO-TP campaign against "
+                              "the diagnostic bench")
+    uds.add_argument("--seed", type=int, default=0)
+    uds.add_argument("--requests", type=int, default=1500,
+                     help="request budget for the campaign")
+    uds.add_argument("--minimize", action="store_true",
+                     help="ddmin each confirmed finding's request record "
+                          "via the UDS snapshot replayer and print the "
+                          "minimal failing sequence")
+    uds.add_argument("--report", metavar="PATH", default=None,
+                     help="write a JSON run report (includes the "
+                          "minimised sequences with --minimize)")
+    uds.add_argument("--journal", metavar="DIR", default=None,
+                     help="durable journal directory: findings stream to "
+                          "disk as they fire, checkpoints are taken every "
+                          "--checkpoint-every requests, and a killed run "
+                          "continues with --resume")
+    uds.add_argument("--resume", action="store_true",
+                     help="continue the campaign recorded in --journal "
+                          "from its last durable state")
+    uds.add_argument("--checkpoint-every", type=int, default=200,
+                     metavar="REQUESTS",
+                     help="requests between durable checkpoints "
+                          "(default 200)")
+    uds.set_defaults(func=_cmd_fuzz_uds)
 
     table5 = sub.add_parser("table5", help="run a Table V row")
     table5.add_argument("--check-mode", default="byte",

@@ -23,7 +23,8 @@ communications API handling module, and a CAN bus traffic monitor"):
   checkpoints, and kill-resume for long campaigns.
 """
 
-from repro.fuzz.campaign import CampaignLimits, FuzzCampaign
+from repro.fuzz.campaign import (CampaignLimits, FuzzCampaign,
+                                 resume_campaign)
 from repro.fuzz.config import FuzzConfig
 from repro.fuzz.durability import (
     CampaignJournal,
@@ -35,6 +36,7 @@ from repro.fuzz.durability import (
     scan_records,
 )
 from repro.fuzz.coverage import (
+    ProtocolStateCoverage,
     combination_count,
     coverage_fraction,
     expected_frames_to_hit,
@@ -78,6 +80,7 @@ from repro.fuzz.oracle import (
     SilenceOracle,
 )
 from repro.fuzz.session import FuzzResult
+from repro.fuzz.uds_campaign import UdsFuzzCampaign
 from repro.fuzz.stats import ByteColumnStats, byte_position_means
 
 __all__ = [
@@ -89,8 +92,11 @@ __all__ = [
     "SweepGenerator",
     "MutationalGenerator",
     "FuzzCampaign",
+    "UdsFuzzCampaign",
     "CampaignLimits",
+    "resume_campaign",
     "FuzzResult",
+    "ProtocolStateCoverage",
     "BusDownEvent",
     "CampaignSupervisor",
     "ConfirmationReport",

@@ -194,17 +194,8 @@ class FuzzCampaign:
         (same seeds, same config, same result) at the price of wall
         time; the journal still preserves findings across the crash.
         """
-        if not isinstance(journal, CampaignJournal):
-            journal = CampaignJournal(journal)
-        saved = journal.load_result()
-        if saved is not None:
-            return FuzzResult.from_dict(saved)
-        state = journal.load_checkpoint()
-        if state is not None and state.get("channel") is not None:
-            state = None
-        campaign = build()
-        campaign.attach_journal(journal, checkpoint_every=checkpoint_every)
-        return campaign._execute(state)
+        return resume_campaign(journal, build,
+                               checkpoint_every=checkpoint_every)
 
     def attach_journal(self, journal: CampaignJournal, *,
                        checkpoint_every: int | None = None) -> None:
@@ -297,6 +288,7 @@ class FuzzCampaign:
         """
         state = {
             "format": 1,
+            "kind": "frame",
             "name": self.name,
             "started_at": self._started_at,
             "frames_sent": self.frames_sent,
@@ -320,6 +312,11 @@ class FuzzCampaign:
         return state
 
     def _restore(self, state: dict) -> None:
+        kind = state.get("kind", "frame")
+        if kind != "frame":
+            raise ValueError(
+                f"checkpoint was written by a {kind!r} campaign; "
+                f"rebuild with the matching campaign class")
         self._started_at = state["started_at"]
         self.frames_sent = state["frames_sent"]
         self._next_checkpoint = self.frames_sent + self.checkpoint_every
@@ -473,3 +470,31 @@ class FuzzCampaign:
         for oracle in self.oracles:
             oracle.stop()
         self.sim.stop()
+
+
+def resume_campaign(journal: "CampaignJournal | str", build: Callable,
+                    *, checkpoint_every: int | None = None) -> FuzzResult:
+    """Continue any journalled campaign from its last durable state.
+
+    The shared resume protocol behind :meth:`FuzzCampaign.resume` and
+    :meth:`repro.fuzz.uds_campaign.UdsFuzzCampaign.resume`: ``build``
+    deterministically reconstructs the campaign object (any class with
+    ``attach_journal`` and ``_execute``), and three cases apply in
+    order -- a saved result short-circuits, a loadable checkpoint is
+    restored, otherwise the campaign starts from attempt zero.
+
+    Checkpoints carrying adversarial-channel state force the from-zero
+    path: mid-run restore cannot be bit-exact under injected noise
+    (see :meth:`FuzzCampaign.resume`).
+    """
+    if not isinstance(journal, CampaignJournal):
+        journal = CampaignJournal(journal)
+    saved = journal.load_result()
+    if saved is not None:
+        return FuzzResult.from_dict(saved)
+    state = journal.load_checkpoint()
+    if state is not None and state.get("channel") is not None:
+        state = None
+    campaign = build()
+    campaign.attach_journal(journal, checkpoint_every=checkpoint_every)
+    return campaign._execute(state)

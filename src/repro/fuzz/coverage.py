@@ -1,4 +1,5 @@
-"""Input-space combinatorics: §V's explosion arithmetic, executable.
+"""Coverage accounting: §V's explosion arithmetic, plus protocol-state
+coverage for stateful fuzzing.
 
 The paper: "A standard CAN packet with a 11-bit id and a one byte
 payload has half a million packet combinations (2^19).  At a 1 ms
@@ -6,10 +7,18 @@ transmission frequency ... it is over eight minutes to transmit all
 combinations.  Add another data byte and all combinations transmit
 over 1.5 days."  These functions reproduce those numbers and power
 the coverage accounting in campaign reports.
+
+:class:`ProtocolStateCoverage` is the stateful counterpart: instead of
+counting raw byte combinations it tracks which
+``(service, sub-function, NRC, session)`` tuples a diagnostic fuzzer
+has exercised -- the paper's "cover all the states of an ECU" turned
+into a feedback signal that schedules mutations.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 
 from repro.sim.clock import MS, SECOND
@@ -139,3 +148,77 @@ def birthday_collision_probability(frames_sent: int,
     log_no_collision = sum(
         math.log1p(-i / combinations) for i in range(frames_sent))
     return 1.0 - math.exp(log_no_collision)
+
+
+class ProtocolStateCoverage:
+    """Coverage over ``(service, sub_function, nrc, session)`` tuples.
+
+    Each observed request/response exchange is reduced to a small
+    tuple: the service id, its sub-function (or -1 for services that
+    have none), the outcome (0 for a positive response, the NRC byte
+    for a negative one, -1 for a timeout), and the session the tester
+    believed it was in.  A tuple seen for the first time is "new
+    coverage" -- the generator keeps the request in its corpus and
+    biases further mutations toward the states that produced it.
+
+    The map is plain data: counts survive checkpoints via
+    :meth:`state_dict`/:meth:`load_state`, and :meth:`state_digest`
+    fingerprints it for bit-identical resume checks.
+    """
+
+    def __init__(self) -> None:
+        self._counts: dict[tuple[int, int, int, int], int] = {}
+
+    def record(self, service: int, sub_function: int, nrc: int,
+               session: int) -> bool:
+        """Count one exchange; True when the tuple is new coverage."""
+        key = (int(service), int(sub_function), int(nrc), int(session))
+        previous = self._counts.get(key, 0)
+        self._counts[key] = previous + 1
+        return previous == 0
+
+    @property
+    def tuples_seen(self) -> int:
+        """Number of distinct tuples observed."""
+        return len(self._counts)
+
+    @property
+    def exchanges_recorded(self) -> int:
+        """Total exchanges fed into the map."""
+        return sum(self._counts.values())
+
+    def services_seen(self) -> set[int]:
+        """Distinct service ids observed."""
+        return {key[0] for key in self._counts}
+
+    def count(self, service: int, sub_function: int, nrc: int,
+              session: int) -> int:
+        """How often one tuple has been observed."""
+        return self._counts.get(
+            (int(service), int(sub_function), int(nrc), int(session)), 0)
+
+    def summary(self) -> dict:
+        """Small report block for campaign health output."""
+        return {
+            "tuples": self.tuples_seen,
+            "exchanges": self.exchanges_recorded,
+            "services": sorted(f"0x{sid:02X}" for sid in
+                               self.services_seen()),
+        }
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {"counts": [[*key, count]
+                           for key, count in sorted(self._counts.items())]}
+
+    def load_state(self, state: dict) -> None:
+        self._counts = {
+            (int(row[0]), int(row[1]), int(row[2]), int(row[3])):
+                int(row[4])
+            for row in state.get("counts", ())}
+
+    def state_digest(self) -> str:
+        blob = json.dumps(self.state_dict(), sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]

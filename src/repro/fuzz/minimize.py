@@ -1,12 +1,18 @@
 """Failure-trace minimisation (delta debugging).
 
 When an oracle fires, the campaign attaches the recent transmit window
-to the finding -- but which of those frames actually triggered the
-failure?  ``minimize_trace`` applies ddmin over the frame sequence
+to the finding -- but which of those steps actually triggered the
+failure?  ``minimize_trace`` applies ddmin over the recorded sequence
 against a replay predicate, and ``minimize_frame_bytes`` shrinks a
 single frame's payload, zeroing bytes that do not matter.  Together
 they turn "the conditions that caused it are recorded" into the
 *minimal* conditions, which is what a triager needs.
+
+``minimize_trace`` is generic over the step type: any hashable item
+works, so the same ddmin drives frame-level traces
+(:class:`~repro.can.frame.CanFrame` sequences via
+:class:`~repro.fuzz.replay.Replayer`) and request-level UDS traces
+(``bytes`` sequences via :class:`~repro.uds.replay.UdsReplayer`).
 
 Two properties of the candidate schedule matter for replay cost:
 
@@ -32,7 +38,9 @@ from typing import Callable, Sequence
 
 from repro.can.frame import CanFrame
 
-TraceTest = Callable[[list[CanFrame]], bool]
+#: Replay predicate over a candidate step sequence (frames, UDS
+#: request payloads, ...); must be deterministic.
+TraceTest = Callable[[list], bool]
 FrameTest = Callable[[CanFrame], bool]
 
 
@@ -59,13 +67,14 @@ class MinimizeStats:
     exhausted: bool = False
 
 
-def minimize_trace(frames: Sequence[CanFrame], still_fails: TraceTest, *,
+def minimize_trace(steps: Sequence, still_fails: TraceTest, *,
                    max_tests: int = 10_000,
-                   stats: MinimizeStats | None = None) -> list[CanFrame]:
+                   stats: MinimizeStats | None = None) -> list:
     """ddmin: the smallest subsequence for which ``still_fails`` holds.
 
     Args:
-        frames: the recorded window, in transmit order.
+        steps: the recorded window in transmit order; items need only
+            be hashable (CAN frames, UDS request bytes, ...).
         still_fails: replays a candidate subsequence against a fresh
             target and reports whether the failure reproduces.  It
             must be deterministic for minimisation to make sense.
@@ -87,12 +96,12 @@ def minimize_trace(frames: Sequence[CanFrame], still_fails: TraceTest, *,
         raise ValueError("max_tests must be at least 1")
     if stats is None:
         stats = MinimizeStats()
-    trace = list(frames)
+    trace = list(steps)
     stats.from_size = len(trace)
     stats.to_size = len(trace)
-    verdicts: dict[tuple[CanFrame, ...], bool] = {}
+    verdicts: dict[tuple, bool] = {}
 
-    def test(candidate: list[CanFrame]) -> bool | None:
+    def test(candidate: list) -> bool | None:
         """Memoised predicate; ``None`` means the budget ran out."""
         key = tuple(candidate)
         cached = verdicts.get(key)

@@ -52,6 +52,12 @@ class Finding:
     #: the fixed grid; empty for findings recorded before this field
     #: existed.
     recent_times: tuple[int, ...] = ()
+    #: For protocol-level (UDS) findings: the request payloads leading
+    #: up to the detection, typically a state-witness prefix plus the
+    #: recent-request window.  Replayed at request granularity by
+    #: :class:`repro.uds.replay.UdsReplayer`; empty for frame-level
+    #: findings.
+    recent_requests: tuple[bytes, ...] = ()
 
 
 ReportSink = Callable[[Finding], None]

@@ -48,7 +48,7 @@ def frame_from_dict(payload: dict):
 
 
 def _finding_to_dict(finding: Finding) -> dict:
-    return {
+    payload = {
         "time": finding.time,
         "oracle": finding.oracle,
         "description": finding.description,
@@ -56,6 +56,11 @@ def _finding_to_dict(finding: Finding) -> dict:
                           for frame in finding.recent_frames],
         "recent_times": list(finding.recent_times),
     }
+    if finding.recent_requests:
+        payload["recent_requests"] = [request.hex()
+                                      for request in
+                                      finding.recent_requests]
+    return payload
 
 
 def _finding_from_dict(item: dict) -> Finding:
@@ -68,6 +73,9 @@ def _finding_from_dict(item: dict) -> Finding:
         # Pre-pacing results carry no timestamps; replay falls back to
         # the fixed interval grid then.
         recent_times=tuple(item.get("recent_times", ())),
+        # Protocol-level (UDS) findings record request payloads.
+        recent_requests=tuple(bytes.fromhex(r)
+                              for r in item.get("recent_requests", ())),
     )
 
 

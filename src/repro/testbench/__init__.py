@@ -10,12 +10,15 @@ simulation, plus the Table V experiment harness.
 from repro.testbench.app import LockApp
 from repro.testbench.bcm import BenchBcm, UNLOCK_ACK_ID
 from repro.testbench.bench import UnlockTestbench
+from repro.testbench.diag import DiagTestbench
 from repro.testbench.experiment import TableVRow, UnlockExperiment
-from repro.testbench.factory import (CarReplayFactory, UnlockBenchFactory,
+from repro.testbench.factory import (CarReplayFactory, UdsBenchFactory,
+                                     UdsReplayFactory, UnlockBenchFactory,
                                      UnlockReplayFactory)
 
 __all__ = [
     "UnlockTestbench",
+    "DiagTestbench",
     "BenchBcm",
     "UNLOCK_ACK_ID",
     "LockApp",
@@ -23,5 +26,7 @@ __all__ = [
     "TableVRow",
     "UnlockBenchFactory",
     "UnlockReplayFactory",
+    "UdsBenchFactory",
+    "UdsReplayFactory",
     "CarReplayFactory",
 ]

@@ -99,6 +99,67 @@ class UnlockBenchFactory:
 
 
 @dataclass(frozen=True)
+class UdsBenchFactory:
+    """Builds a fresh stateful UDS campaign for one shard.
+
+    The diagnostic counterpart of :class:`UnlockBenchFactory`: a quiet
+    :class:`~repro.testbench.diag.DiagTestbench`, a coverage-guided
+    :class:`~repro.uds.stategen.UdsStateGenerator` seeded from the
+    shard seed, and a :class:`~repro.fuzz.uds_campaign.UdsFuzzCampaign`
+    wiring them together.  Frozen plain values, so it pickles to
+    :class:`~repro.fuzz.parallel.ShardedCampaign` workers, and the same
+    callable doubles as the deterministic ``build`` for
+    :meth:`~repro.fuzz.uds_campaign.UdsFuzzCampaign.resume`.
+    """
+
+    interval: int = 2 * MS
+    settle_seconds: float = 0.05
+    boot_time: int = 20 * MS
+    recent_window: int = 32
+    stop_on_finding: bool = True
+
+    def __call__(self, spec: ShardSpec):
+        from repro.fuzz.uds_campaign import UdsFuzzCampaign
+        from repro.testbench.diag import DiagTestbench
+        from repro.uds.stategen import UdsStateGenerator
+
+        bench = DiagTestbench(seed=spec.seed, boot_time=self.boot_time)
+        bench.power_on(settle_seconds=self.settle_seconds)
+        generator = UdsStateGenerator(
+            bench.streams.stream("uds-fuzzer"),
+            seed_label=f"uds-state-{spec.seed}")
+        return UdsFuzzCampaign(
+            bench.sim, bench.client, bench.server, generator,
+            limits=spec.limits, interval=self.interval,
+            recent_window=self.recent_window,
+            name=f"uds-shard{spec.index}")
+
+
+@dataclass(frozen=True)
+class UdsReplayFactory:
+    """A request-level replay target for UDS findings.
+
+    The :class:`~repro.uds.replay.UdsReplayer` contract: a
+    zero-argument callable returning ``(simulator, UDS client, failure
+    probe)``.  Rebuilds the same quiet diagnostic bench the campaign
+    fuzzed (same seed and boot/settle timing), with the crash of the
+    target ECU as the failure verdict.
+    """
+
+    seed: int = 0
+    settle_seconds: float = 0.05
+    boot_time: int = 20 * MS
+
+    def __call__(self):
+        from repro.testbench.diag import DiagTestbench
+
+        bench = DiagTestbench(seed=self.seed, boot_time=self.boot_time)
+        bench.power_on(settle_seconds=self.settle_seconds)
+        # The bound method pins the bench for the probe's lifetime.
+        return bench.sim, bench.client, bench.crashed
+
+
+@dataclass(frozen=True)
 class CarReplayFactory:
     """A replay/minimisation target backed by the full target vehicle.
 

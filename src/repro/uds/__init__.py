@@ -12,7 +12,11 @@ tested in all their operating modes because the diagnostic states
 - :mod:`~repro.uds.server` -- a UDS server embedded in an ECU, with
   session control, security access and a seeded vulnerability,
 - :mod:`~repro.uds.client` -- a tester-side client,
-- :mod:`~repro.uds.fuzzer` -- a Bayer/Ptok-style UDS fuzzer.
+- :mod:`~repro.uds.fuzzer` -- a Bayer/Ptok-style UDS fuzzer,
+- :mod:`~repro.uds.stategen` -- the coverage-guided stateful
+  generator driving :class:`~repro.fuzz.uds_campaign.UdsFuzzCampaign`,
+- :mod:`~repro.uds.replay` -- request-level semantic replay,
+  confirmation and minimisation for stateful findings.
 """
 
 from repro.uds.client import UdsClient, UdsResponse
@@ -22,13 +26,26 @@ from repro.uds.fuzzer import (
     UdsFuzzer,
     UdsFuzzReport,
 )
-from repro.uds.isotp import IsoTpEndpoint, IsoTpError
+from repro.uds.isotp import (
+    IsoTpEndpoint,
+    IsoTpError,
+    decode_st_min,
+    encode_st_min,
+)
+from repro.uds.replay import (
+    UdsReplayer,
+    UdsSnapshotReplayer,
+    confirm_uds_findings,
+)
 from repro.uds.server import UdsServer
 from repro.uds.services import NegativeResponse, ServiceId
+from repro.uds.stategen import KEY_ALGORITHMS, UdsStateGenerator
 
 __all__ = [
     "IsoTpEndpoint",
     "IsoTpError",
+    "decode_st_min",
+    "encode_st_min",
     "ServiceId",
     "NegativeResponse",
     "UdsServer",
@@ -38,4 +55,9 @@ __all__ = [
     "DataIdentifierFuzzer",
     "UdsFuzzReport",
     "UdsFinding",
+    "UdsStateGenerator",
+    "KEY_ALGORITHMS",
+    "UdsReplayer",
+    "UdsSnapshotReplayer",
+    "confirm_uds_findings",
 ]

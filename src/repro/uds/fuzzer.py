@@ -14,6 +14,12 @@ After each request a ``TesterPresent`` probe checks the server is
 still alive; silence is a crash finding.  The response-code
 distribution is recorded, which is the coverage signal a protocol
 fuzzer actually has.
+
+These are standalone loops (build, run, report).  The campaign-grade
+sibling is :class:`~repro.uds.stategen.UdsStateGenerator` driven by
+:class:`~repro.fuzz.uds_campaign.UdsFuzzCampaign`, which adds
+protocol-state coverage guidance, durable checkpoints, kill-resume
+and request-level replay/minimisation.
 """
 
 from __future__ import annotations

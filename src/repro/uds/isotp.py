@@ -12,18 +12,30 @@ Frame types (first PCI nibble):
   number and up to 7 bytes,
 - ``3`` flow control: ``0x3S BS STmin`` (S: 0 continue, 1 wait,
   2 overflow).
+
+The STmin byte in a flow control frame is not a plain millisecond
+count: ``0x00``-``0x7F`` are milliseconds, ``0xF1``-``0xF9`` are
+100-900 microseconds, and everything else is reserved -- a receiver
+must fall back to the maximum separation for reserved values rather
+than guessing (ISO 15765-2 §9.6.2.3).
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Callable
 
 from repro.can.frame import CanFrame, TimestampedFrame
-from repro.sim.clock import MS, SECOND
+from repro.sim.clock import MS, SECOND, US
 from repro.sim.kernel import Simulator
 from repro.sim.process import OneShot
 
 MAX_PAYLOAD = 4095
+
+#: Separation a sender must assume when the peer advertises a reserved
+#: STmin byte (the most conservative legal value: 127 ms).
+ST_MIN_RESERVED_FALLBACK = 0x7F * MS
 
 SendFrame = Callable[[CanFrame], bool]
 MessageHandler = Callable[[bytes], None]
@@ -32,6 +44,35 @@ ErrorHandler = Callable[[str], None]
 
 class IsoTpError(RuntimeError):
     """Protocol violation or timeout on an ISO-TP channel."""
+
+
+def decode_st_min(raw: int) -> int:
+    """Decode a flow-control STmin byte into simulator ticks.
+
+    ``0x00``-``0x7F`` encode 0-127 ms, ``0xF1``-``0xF9`` encode
+    100-900 µs.  All other values (``0x80``-``0xF0``, ``0xFA``-``0xFF``)
+    are reserved; ISO 15765-2 requires the sender to use the maximum
+    STmin in that case instead of treating the byte as milliseconds.
+    """
+    if raw <= 0x7F:
+        return raw * MS
+    if 0xF1 <= raw <= 0xF9:
+        return (raw - 0xF0) * 100 * US
+    return ST_MIN_RESERVED_FALLBACK
+
+
+def encode_st_min(ticks: int) -> int:
+    """Encode a separation time in ticks as an STmin byte.
+
+    Sub-millisecond gaps use the 100 µs encodings ``0xF1``-``0xF9``
+    (rounded down, minimum 100 µs); anything from 1 ms up is clamped
+    to the 0-127 ms range.
+    """
+    if ticks <= 0:
+        return 0x00
+    if ticks < MS:
+        return 0xF0 + min(9, max(1, ticks // (100 * US)))
+    return min(0x7F, ticks // MS)
 
 
 class IsoTpEndpoint:
@@ -83,6 +124,7 @@ class IsoTpEndpoint:
         self.messages_sent = 0
         self.messages_received = 0
         self.errors = 0
+        self.tx_aborted = 0
 
     # ------------------------------------------------------------------
     # Configuration
@@ -98,15 +140,29 @@ class IsoTpEndpoint:
     # ------------------------------------------------------------------
     # Transmit path
     # ------------------------------------------------------------------
+    @property
+    def tx_idle(self) -> bool:
+        """True when no transmission is in progress."""
+        return self._tx_payload is None
+
+    @property
+    def idle(self) -> bool:
+        """True when neither direction has an exchange in flight."""
+        return self._tx_payload is None and self._rx_expected == 0
+
     def send(self, payload: bytes,
              on_complete: Callable[[], None] | None = None) -> None:
         """Send ``payload``, segmenting as needed.
 
         Raises:
-            IsoTpError: payload too large, or a transmission is
-                already in progress (ISO-TP channels are half-duplex
-                per direction).
+            IsoTpError: payload empty or too large, or a transmission
+                is already in progress (ISO-TP channels are
+                half-duplex per direction).
         """
+        if not payload:
+            # PCI 0x00 is an invalid length field every receiver
+            # rejects; refuse it here instead of putting it on the wire.
+            raise IsoTpError("cannot send an empty payload")
         if len(payload) > MAX_PAYLOAD:
             raise IsoTpError(
                 f"payload of {len(payload)} bytes exceeds ISO-TP maximum "
@@ -116,20 +172,42 @@ class IsoTpEndpoint:
         if len(payload) <= 7:
             frame = CanFrame(self.tx_id,
                              bytes((len(payload),)) + bytes(payload))
-            self.send_frame(frame)
+            if not self.send_frame(frame):
+                # Bus-off or controller error: the message never left,
+                # so this is a failure, not a completed send.
+                self._fail_tx("single frame transmission failed")
+                return
             self.messages_sent += 1
             if on_complete is not None:
                 on_complete()
+            return
+        length = len(payload)
+        first = bytes((0x10 | (length >> 8), length & 0xFF)) + payload[:6]
+        if not self.send_frame(CanFrame(self.tx_id, first)):
+            self._fail_tx("first frame transmission failed")
             return
         self._tx_payload = bytes(payload)
         self._tx_offset = 6
         self._tx_sequence = 1
         self._tx_done = on_complete
-        length = len(payload)
-        first = bytes((0x10 | (length >> 8), length & 0xFF)) + payload[:6]
-        self.send_frame(CanFrame(self.tx_id, first))
         self._tx_timer.arm(self.timeout,
-                           lambda: self._fail("flow control timeout (N_Bs)"))
+                           lambda: self._fail_tx("flow control timeout "
+                                                 "(N_Bs)"))
+
+    def abort_tx(self) -> None:
+        """Drop an in-progress transmission without error semantics.
+
+        The owner (e.g. a UDS client recovering from a timed-out
+        request) gives up on the message; the peer's reassembly state
+        is left to its own N_Cr supervision.
+        """
+        if self._tx_payload is None:
+            return
+        self._tx_timer.disarm()
+        self._cf_timer.disarm()
+        self._tx_payload = None
+        self._tx_done = None
+        self.tx_aborted += 1
 
     def _continue_tx(self) -> None:
         if self._tx_payload is None:
@@ -143,12 +221,14 @@ class IsoTpEndpoint:
             # Block exhausted; wait for the peer's next flow control.
             self._tx_timer.arm(
                 self.timeout,
-                lambda: self._fail("flow control timeout (N_Bs)"))
+                lambda: self._fail_tx("flow control timeout (N_Bs)"))
             return
         chunk = payload[self._tx_offset:self._tx_offset + 7]
         frame = CanFrame(self.tx_id,
                          bytes((0x20 | self._tx_sequence,)) + chunk)
-        self.send_frame(frame)
+        if not self.send_frame(frame):
+            self._fail_tx("consecutive frame transmission failed")
+            return
         self._tx_offset += len(chunk)
         self._tx_sequence = (self._tx_sequence + 1) % 16
         if self._tx_frames_until_fc > 0:
@@ -205,14 +285,13 @@ class IsoTpEndpoint:
         self._rx_cfs_in_block = 0
         self._send_flow_control()
         self._rx_timer.arm(self.timeout,
-                           lambda: self._fail("consecutive frame timeout "
-                                              "(N_Cr)"))
+                           lambda: self._fail_rx("consecutive frame timeout "
+                                                 "(N_Cr)"))
 
     def _send_flow_control(self) -> None:
         """Continue-to-send with our advertised BS and STmin."""
-        st_min_ms = min(127, self.st_min // MS)
         self.send_frame(CanFrame(self.tx_id, bytes(
-            (0x30, self.block_size, st_min_ms))))
+            (0x30, self.block_size, encode_st_min(self.st_min)))))
 
     def _handle_consecutive(self, frame: CanFrame) -> None:
         if self._rx_expected == 0:
@@ -238,24 +317,24 @@ class IsoTpEndpoint:
             self._send_flow_control()
         self._rx_timer.arm(
             self.timeout,
-            lambda: self._fail("consecutive frame timeout (N_Cr)"))
+            lambda: self._fail_rx("consecutive frame timeout (N_Cr)"))
 
     def _handle_flow_control(self, frame: CanFrame) -> None:
         if self._tx_payload is None:
             return
         status = frame.data[0] & 0x0F
         if status == 2:  # overflow
-            self._fail("peer reported buffer overflow")
+            self._fail_tx("peer reported buffer overflow")
             return
         if status == 1:  # wait
             self._tx_timer.arm(
                 self.timeout,
-                lambda: self._fail("flow control timeout (N_Bs)"))
+                lambda: self._fail_tx("flow control timeout (N_Bs)"))
             return
         self._tx_timer.disarm()
         block_size = frame.data[1] if len(frame.data) > 1 else 0
         st_min_raw = frame.data[2] if len(frame.data) > 2 else 0
-        self._peer_st_min = min(st_min_raw, 127) * MS
+        self._peer_st_min = decode_st_min(st_min_raw)
         self._peer_block_size = block_size
         self._tx_frames_until_fc = block_size if block_size else 0
         self._continue_tx()
@@ -274,11 +353,78 @@ class IsoTpEndpoint:
         if self._on_error is not None:
             self._on_error(reason)
 
-    def _fail(self, reason: str) -> None:
+    def _fail_tx(self, reason: str) -> None:
+        """Abort the transmit direction only.
+
+        A failed send must not tear down an unrelated in-progress
+        reception on the same endpoint.
+        """
         self.errors += 1
         self._tx_timer.disarm()
-        self._rx_timer.disarm()
+        self._cf_timer.disarm()
         self._tx_payload = None
+        self._tx_done = None
+        if self._on_error is not None:
+            self._on_error(reason)
+
+    def _fail_rx(self, reason: str) -> None:
+        """Abort the receive direction only."""
+        self.errors += 1
+        self._rx_timer.disarm()
         self._rx_expected = 0
         if self._on_error is not None:
             self._on_error(reason)
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serialisable transport state.
+
+        Armed timers are not captured: checkpoints are taken at
+        quiescent points (between request/response exchanges), where
+        both directions are idle and no pacing or supervision event is
+        pending.  Counters and negotiated peer parameters are the
+        state that must survive a resume.
+        """
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_received": self.messages_received,
+            "errors": self.errors,
+            "tx_aborted": self.tx_aborted,
+            "tx_payload": (None if self._tx_payload is None
+                           else self._tx_payload.hex()),
+            "tx_offset": self._tx_offset,
+            "tx_sequence": self._tx_sequence,
+            "peer_block_size": self._peer_block_size,
+            "peer_st_min": self._peer_st_min,
+            "tx_frames_until_fc": self._tx_frames_until_fc,
+            "rx_buffer": bytes(self._rx_buffer).hex(),
+            "rx_expected": self._rx_expected,
+            "rx_sequence": self._rx_sequence,
+            "rx_cfs_in_block": self._rx_cfs_in_block,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore transport state saved by :meth:`state_dict`."""
+        self.messages_sent = int(state.get("messages_sent", 0))
+        self.messages_received = int(state.get("messages_received", 0))
+        self.errors = int(state.get("errors", 0))
+        self.tx_aborted = int(state.get("tx_aborted", 0))
+        tx_payload = state.get("tx_payload")
+        self._tx_payload = (None if tx_payload is None
+                            else bytes.fromhex(tx_payload))
+        self._tx_offset = int(state.get("tx_offset", 0))
+        self._tx_sequence = int(state.get("tx_sequence", 0))
+        self._peer_block_size = int(state.get("peer_block_size", 0))
+        self._peer_st_min = int(state.get("peer_st_min", 1 * MS))
+        self._tx_frames_until_fc = int(state.get("tx_frames_until_fc", 0))
+        self._rx_buffer = bytearray.fromhex(state.get("rx_buffer", ""))
+        self._rx_expected = int(state.get("rx_expected", 0))
+        self._rx_sequence = int(state.get("rx_sequence", 0))
+        self._rx_cfs_in_block = int(state.get("rx_cfs_in_block", 0))
+
+    def state_digest(self) -> str:
+        """Stable fingerprint of the transport state."""
+        blob = json.dumps(self.state_dict(), sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]

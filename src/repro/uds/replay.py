@@ -1,0 +1,302 @@
+"""Request-level replay and minimisation for stateful UDS findings.
+
+Frame replay retransmits recorded CAN frames verbatim; that cannot
+work for UDS findings, because the security handshake is *stateful*:
+the server's seed is derived from simulation time, so the recorded
+``27 02 <key>`` bytes answer the seed of the original run, not the
+seed a replay will be handed.  The replayers here do **semantic
+replay**: a SecurityAccess sendKey request is rewritten on the fly,
+re-deriving the key byte from the seed the client observed *in this
+replay* using the algorithm the campaign learned
+(:data:`~repro.uds.stategen.KEY_ALGORITHMS`).  Everything else is
+replayed byte-for-byte.
+
+:class:`UdsReplayer` rebuilds a fresh bench per probe;
+:class:`UdsSnapshotReplayer` keeps a prefix tree of world snapshots
+keyed by the *recorded* request bytes (rewriting is a deterministic
+function of the restored world, so identical recorded prefixes
+reproduce identical worlds) and only simulates the suffix -- the same
+second-touch checkpoint policy as
+:class:`repro.fuzz.replay.SnapshotReplayer`.
+
+Both are ddmin-ready: ``probe`` is a ``still_fails`` predicate over
+request sequences, and :meth:`UdsReplayer.minimize` shrinks a
+finding's witness-plus-window to the 1-minimal request sequence --
+for the seeded defect, session control, seed request, key, programming
+session and the oversized write, and nothing else.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Sequence
+
+from repro.fuzz.health import ConfirmationReport
+from repro.fuzz.minimize import MinimizeStats, minimize_trace
+from repro.fuzz.oracle import Finding
+from repro.sim.clock import MS
+from repro.sim.kernel import Simulator
+from repro.sim.snapshot import Snapshot, capture
+from repro.uds.client import UdsClient
+from repro.uds.services import SECURITY_SEND_KEY, ServiceId
+from repro.uds.stategen import KEY_ALGORITHMS
+
+#: Builds a fresh diagnostic bench and returns (simulator, tester
+#: client, failure probe).  The probe reports whether the target is in
+#: the failed state (e.g. crashed) after the replay.
+UdsTargetFactory = Callable[[], tuple[Simulator, UdsClient,
+                                      Callable[[], bool]]]
+
+
+class UdsReplayer:
+    """Replays request sequences against freshly built benches.
+
+    Args:
+        target_factory: builds an isolated bench per probe.
+        interval: pacing between exchanges (match the campaign's).
+        settle: simulated time after the last exchange before the
+            failure probe is read.
+        reset_settle: extra run time after a positive ECUReset response
+            so the reboot completes before the next request.
+        key_algorithm: index into
+            :data:`~repro.uds.stategen.KEY_ALGORITHMS` for sendKey
+            rewriting; ``None`` replays recorded key bytes verbatim.
+    """
+
+    def __init__(self, target_factory: UdsTargetFactory, *,
+                 interval: int = 2 * MS, settle: int = 50 * MS,
+                 reset_settle: int = 80 * MS,
+                 key_algorithm: int | None = None) -> None:
+        if interval < 0:
+            raise ValueError("interval must be >= 0")
+        if settle < 0:
+            raise ValueError("settle must be >= 0")
+        if key_algorithm is not None \
+                and not 0 <= key_algorithm < len(KEY_ALGORITHMS):
+            raise ValueError(
+                f"key_algorithm must index KEY_ALGORITHMS "
+                f"(0-{len(KEY_ALGORITHMS) - 1})")
+        self._target_factory = target_factory
+        self.interval = interval
+        self.settle = settle
+        self.reset_settle = reset_settle
+        self.key_algorithm = key_algorithm
+        self.replays = 0
+        self.keys_rewritten = 0
+
+    # ------------------------------------------------------------------
+    # Semantic rewriting
+    # ------------------------------------------------------------------
+    def _rewrite(self, request: bytes, client: UdsClient) -> bytes:
+        """Re-derive a sendKey's key byte from this replay's seed."""
+        if (self.key_algorithm is not None
+                and len(request) >= 3
+                and request[0] == ServiceId.SECURITY_ACCESS
+                and request[1] == SECURITY_SEND_KEY
+                and client.last_seed is not None):
+            key = KEY_ALGORITHMS[self.key_algorithm][1](client.last_seed)
+            if key != request[2]:
+                self.keys_rewritten += 1
+            return request[:2] + bytes((key,)) + request[3:]
+        return request
+
+    def _step(self, sim: Simulator, client: UdsClient,
+              request: bytes) -> None:
+        """One replayed exchange, with pacing and reboot ride-out."""
+        response = client.request(self._rewrite(bytes(request), client))
+        if response.positive and request[:1] == bytes((ServiceId.ECU_RESET,)):
+            sim.run_for(self.reset_settle)
+        if self.interval:
+            sim.run_for(self.interval)
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+    def probe(self, requests: Sequence[bytes]) -> bool:
+        """Replay ``requests`` on a fresh bench; True if it fails.
+
+        Usable directly as ``minimize_trace``'s ``still_fails``.
+        """
+        sim, client, failed = self._target_factory()
+        self.replays += 1
+        for request in requests:
+            self._step(sim, client, request)
+        sim.run_for(self.settle)
+        return bool(failed())
+
+    def probe_finding(self, finding: Finding) -> bool:
+        """Replay a finding's witness-plus-window request record."""
+        return self.probe(finding.recent_requests)
+
+    def minimize(self, requests: Sequence[bytes], *,
+                 max_tests: int = 10_000,
+                 stats: MinimizeStats | None = None) -> list[bytes]:
+        """Shrink ``requests`` to a 1-minimal failing subsequence."""
+        return minimize_trace([bytes(r) for r in requests], self.probe,
+                              max_tests=max_tests, stats=stats)
+
+
+class _RequestNode:
+    """One step of the request-level checkpoint prefix tree."""
+
+    __slots__ = ("children", "snapshot")
+
+    def __init__(self) -> None:
+        self.children: dict[bytes, "_RequestNode"] = {}
+        self.snapshot: Snapshot | None = None
+
+    def walk(self, key: bytes) -> "tuple[_RequestNode, bool]":
+        """Child for ``key``, creating it if absent; True if it existed."""
+        child = self.children.get(key)
+        if child is not None:
+            return child, True
+        child = _RequestNode()
+        self.children[key] = child
+        return child, False
+
+
+class UdsSnapshotReplayer(UdsReplayer):
+    """A :class:`UdsReplayer` resuming probes from cached checkpoints.
+
+    The bench is built once (the root checkpoint captures the powered-on
+    world); a probe restores the deepest cached ancestor of its
+    candidate's recorded-request path and simulates only the suffix.
+    The tree is keyed by the recorded (pre-rewrite) request bytes:
+    pacing is a fixed grid and key rewriting is a deterministic
+    function of the restored world, so two probes sharing a recorded
+    prefix share the resulting world exactly.
+
+    Checkpoints use the second-touch policy of
+    :class:`repro.fuzz.replay.SnapshotReplayer`: a step is only worth
+    capturing once a second probe proves the prefix shared, at most one
+    per ``checkpoint_stride`` steps; duplicate candidates are answered
+    from a verdict memo without touching the simulator.
+    """
+
+    def __init__(self, target_factory: UdsTargetFactory, *,
+                 interval: int = 2 * MS, settle: int = 50 * MS,
+                 reset_settle: int = 80 * MS,
+                 key_algorithm: int | None = None,
+                 checkpoint_stride: int = 8, max_snapshots: int = 128,
+                 memoize_verdicts: bool = True) -> None:
+        super().__init__(target_factory, interval=interval, settle=settle,
+                         reset_settle=reset_settle,
+                         key_algorithm=key_algorithm)
+        if checkpoint_stride < 1:
+            raise ValueError("checkpoint_stride must be at least 1")
+        if max_snapshots < 1:
+            raise ValueError("max_snapshots must be at least 1")
+        self._stride = checkpoint_stride
+        self._max_snapshots = max_snapshots
+        self._memoize = memoize_verdicts
+        self._root = _RequestNode()
+        self._verdicts: dict[tuple[bytes, ...], bool] = {}
+        self._lru: "OrderedDict[int, _RequestNode]" = OrderedDict()
+        self.cache_hits = 0
+        self.restores = 0
+        self.requests_restored = 0
+        self.requests_simulated = 0
+        self.snapshots_taken = 0
+
+    def probe(self, requests: Sequence[bytes]) -> bool:
+        path = tuple(bytes(r) for r in requests)
+        if self._memoize:
+            cached = self._verdicts.get(path)
+            if cached is not None:
+                self.replays += 1
+                self.cache_hits += 1
+                return cached
+        root = self._ensure_root()
+        node = root
+        best_node, best_depth = root, 0
+        for depth, key in enumerate(path, start=1):
+            node = node.children.get(key)
+            if node is None:
+                break
+            if node.snapshot is not None:
+                best_node, best_depth = node, depth
+        if best_node is not root:
+            self._lru.move_to_end(id(best_node))
+        sim, client, failed = best_node.snapshot.restore()
+        self.replays += 1
+        self.restores += 1
+        self.requests_restored += best_depth
+        node = best_node
+        since_checkpoint = 0
+        for i in range(best_depth, len(path)):
+            child, shared = node.walk(path[i])
+            node = child
+            self._step(sim, client, path[i])
+            self.requests_simulated += 1
+            since_checkpoint += 1
+            # Capture before the settle window: the stored world is
+            # exactly "prefix exchanged, nothing settled yet".
+            if (shared and child.snapshot is None
+                    and since_checkpoint >= self._stride):
+                self._store(child, capture((sim, client, failed)))
+                since_checkpoint = 0
+        sim.run_for(self.settle)
+        verdict = bool(failed())
+        if self._memoize:
+            self._verdicts[path] = verdict
+        return verdict
+
+    def _ensure_root(self) -> _RequestNode:
+        """Build the bench once and checkpoint its start state."""
+        if self._root.snapshot is None:
+            self._root.snapshot = capture(self._target_factory(),
+                                          label="uds-root")
+            self.snapshots_taken += 1
+        return self._root
+
+    def _store(self, node: _RequestNode, snap: Snapshot) -> None:
+        node.snapshot = snap
+        self.snapshots_taken += 1
+        self._lru[id(node)] = node
+        while len(self._lru) > self._max_snapshots:
+            _, evicted = self._lru.popitem(last=False)
+            evicted.snapshot = None
+
+    @property
+    def cached_snapshots(self) -> int:
+        """Checkpoints currently held (excluding the root)."""
+        return len(self._lru)
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot for reports (JSON-ready)."""
+        return {
+            "replays": self.replays,
+            "cache_hits": self.cache_hits,
+            "restores": self.restores,
+            "requests_restored": self.requests_restored,
+            "requests_simulated": self.requests_simulated,
+            "snapshots_taken": self.snapshots_taken,
+            "cached_snapshots": self.cached_snapshots,
+            "keys_rewritten": self.keys_rewritten,
+        }
+
+
+def confirm_uds_findings(findings: list[Finding],
+                         factory: UdsTargetFactory, *,
+                         key_algorithm: int | None = None,
+                         interval: int = 2 * MS,
+                         settle: int = 50 * MS,
+                         reset_settle: int = 80 * MS) -> ConfirmationReport:
+    """Replay each UDS finding against a freshly built clean bench.
+
+    The request-level analogue of
+    :func:`repro.fuzz.health.confirm_findings`: a finding whose
+    witness-plus-window record still drives the fresh target into the
+    failed state is confirmed; the rest are filtered as noise.
+    """
+    replayer = UdsReplayer(factory, interval=interval, settle=settle,
+                           reset_settle=reset_settle,
+                           key_algorithm=key_algorithm)
+    confirmed: list[Finding] = []
+    rejected: list[Finding] = []
+    for finding in findings:
+        if replayer.probe_finding(finding):
+            confirmed.append(finding)
+        else:
+            rejected.append(finding)
+    return ConfirmationReport(confirmed=confirmed, rejected=rejected)

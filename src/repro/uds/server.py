@@ -15,7 +15,10 @@ the states of an ECU".
 
 from __future__ import annotations
 
-from repro.ecu.base import Ecu
+import hashlib
+import json
+
+from repro.ecu.base import Ecu, EcuState
 from repro.ecu.modes import ModeTransitionError, OperatingMode
 from repro.uds.isotp import IsoTpEndpoint
 from repro.uds.services import (
@@ -132,9 +135,20 @@ class UdsServer:
                 sid, NegativeResponse.SUB_FUNCTION_NOT_SUPPORTED)
         self._respond(positive_response(sid, bytes((0x01,))))
         # The reset happens after the response goes out.
-        self.ecu.sim.call_after(10_000, self.ecu.power_cycle,
-                                label="uds:reset")
+        self.ecu.sim.call_after(10_000, self._do_reset, label="uds:reset")
         return None
+
+    def _do_reset(self) -> None:
+        """Power-cycle the ECU and reinitialise diagnostic RAM.
+
+        A hard reset clears the pending seed and the failed-attempt
+        counter (ISO 14229: a reset reinitialises the server), so a
+        tester locked out by too many bad keys can recover with
+        ``11 01`` instead of being bricked for the rest of a campaign.
+        """
+        self.ecu.power_cycle()
+        self._pending_seed = None
+        self.failed_key_attempts = 0
 
     def _read_did(self, request: bytes) -> bytes:
         sid = request[0]
@@ -216,3 +230,57 @@ class UdsServer:
             return negative_response(
                 sid, NegativeResponse.SUB_FUNCTION_NOT_SUPPORTED)
         return positive_response(sid, bytes((0x00,)))
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serialisable diagnostic-server state.
+
+        Captures the session/security state machine, the DID store and
+        the host ECU's coarse state, taken at quiescent points (no
+        exchange in flight, no reset pending).
+        """
+        return {
+            "mode": self.ecu.modes.mode.name,
+            "security_unlocked": self.ecu.modes.security_unlocked,
+            "pending_seed": self._pending_seed,
+            "failed_key_attempts": self.failed_key_attempts,
+            "requests_handled": self.requests_handled,
+            "data_identifiers": {
+                f"{did:04x}": value.hex()
+                for did, value in sorted(self.data_identifiers.items())},
+            "ecu_state": self.ecu.state.value,
+            "power_cycles": self.ecu.power_cycles,
+            "endpoint": self.endpoint.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore server state saved by :meth:`state_dict`.
+
+        Expects a running, freshly built host ECU; a checkpointed
+        CRASHED state is re-applied through the ECU's crash path.
+        """
+        modes = self.ecu.modes
+        modes.mode = OperatingMode[state.get("mode", modes.mode.name)]
+        modes.security_unlocked = bool(state.get("security_unlocked", False))
+        pending = state.get("pending_seed")
+        self._pending_seed = None if pending is None else int(pending)
+        self.failed_key_attempts = int(state.get("failed_key_attempts", 0))
+        self.requests_handled = int(state.get("requests_handled", 0))
+        dids = state.get("data_identifiers")
+        if dids is not None:
+            self.data_identifiers = {
+                int(key, 16): bytes.fromhex(value)
+                for key, value in dids.items()}
+        self.ecu.power_cycles = int(
+            state.get("power_cycles", self.ecu.power_cycles))
+        if (state.get("ecu_state") == EcuState.CRASHED.value
+                and self.ecu.state is not EcuState.CRASHED):
+            self.ecu._crash()
+        self.endpoint.load_state(state.get("endpoint", {}))
+
+    def state_digest(self) -> str:
+        """Stable fingerprint of the server state."""
+        blob = json.dumps(self.state_dict(), sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]

@@ -1,0 +1,184 @@
+"""End-to-end tests for the stateful UDS fuzz campaign.
+
+The acceptance path of the subsystem: a seeded, journalled campaign
+finds the programming-session bootloader-scratch overflow through
+coverage-guided state fuzzing, kill-resumes bit-identically
+mid-campaign, confirms the finding by clean replay, and minimises the
+witness record to the minimal session-control / security-access /
+oversized-write sequence.
+"""
+
+import pytest
+
+from repro.fuzz.campaign import CampaignLimits
+from repro.fuzz.durability import CampaignJournal
+from repro.fuzz.minimize import MinimizeStats
+from repro.fuzz.parallel import ShardedCampaign, ShardSpec
+from repro.fuzz.session import FuzzResult
+from repro.fuzz.uds_campaign import UdsFuzzCampaign
+from repro.testbench.factory import UdsBenchFactory, UdsReplayFactory
+from repro.uds.replay import (
+    UdsReplayer,
+    UdsSnapshotReplayer,
+    confirm_uds_findings,
+)
+from repro.uds.server import BOOTLOADER_SCRATCH_DID, SCRATCH_BUFFER_SIZE
+
+SEED = 0
+FACTORY = UdsBenchFactory()
+
+
+def make_spec(seed=SEED, max_frames=1500):
+    return ShardSpec(index=0, shard_count=1, master_seed=seed, seed=seed,
+                     limits=CampaignLimits(max_frames=max_frames))
+
+
+@pytest.fixture(scope="module")
+def hunt_result():
+    """One coverage-guided hunt, shared by the replay-side tests."""
+    return FACTORY(make_spec()).run()
+
+
+class TestCampaignFindsTheOverflow:
+    def test_overflow_found_and_recorded(self, hunt_result):
+        assert len(hunt_result.findings) == 1
+        finding = hunt_result.findings[0]
+        assert finding.oracle == "uds-liveness"
+        # The crashing request is an oversized write to the scratch DID.
+        last = finding.recent_requests[-1]
+        assert last[0] == 0x2E
+        assert (last[1] << 8) | last[2] == BOOTLOADER_SCRATCH_DID
+        assert len(last) - 3 > SCRATCH_BUFFER_SIZE
+        # The witness prefix re-establishes the armed state.
+        assert finding.recent_requests[0] == bytes((0x10, 0x03))
+
+    def test_health_reports_coverage_and_key_algorithm(self, hunt_result):
+        health = hunt_result.health["uds"]
+        assert health["coverage"]["tuples"] > 10
+        assert health["key_algorithm"] == "xor-a5"
+        assert health["key_algorithm_index"] == 0
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_other_seeds_also_find_it(self, seed):
+        result = FACTORY(make_spec(seed=seed)).run()
+        assert result.findings
+        assert result.findings[0].oracle == "uds-liveness"
+
+    def test_result_roundtrips_with_request_records(self, hunt_result):
+        restored = FuzzResult.from_dict(hunt_result.to_dict())
+        assert restored.to_dict() == hunt_result.to_dict()
+        assert (restored.findings[0].recent_requests
+                == hunt_result.findings[0].recent_requests)
+
+
+class TestConfirmAndMinimize:
+    def test_finding_confirmed_on_clean_replay(self, hunt_result):
+        health = hunt_result.health["uds"]
+        report = confirm_uds_findings(
+            hunt_result.findings, UdsReplayFactory(seed=SEED),
+            key_algorithm=health["key_algorithm_index"])
+        assert len(report.confirmed) == 1
+        assert report.rejected == []
+
+    def test_minimises_to_the_five_request_sequence(self, hunt_result):
+        finding = hunt_result.findings[0]
+        algorithm = hunt_result.health["uds"]["key_algorithm_index"]
+        replayer = UdsReplayer(UdsReplayFactory(seed=SEED),
+                               key_algorithm=algorithm)
+        stats = MinimizeStats()
+        minimal = replayer.minimize(finding.recent_requests, stats=stats)
+        assert [request[:2] for request in minimal] == [
+            b"\x10\x03",  # extended session
+            b"\x27\x01",  # request seed
+            b"\x27\x02",  # send key (byte re-derived at replay)
+            b"\x10\x02",  # programming session
+            b"\x2e\xf1",  # the oversized scratch write
+        ]
+        assert len(minimal[-1]) - 3 > SCRATCH_BUFFER_SIZE
+        assert stats.tests_used <= 200
+
+    def test_snapshot_replayer_minimises_identically(self, hunt_result):
+        finding = hunt_result.findings[0]
+        algorithm = hunt_result.health["uds"]["key_algorithm_index"]
+        fresh = UdsReplayer(UdsReplayFactory(seed=SEED),
+                            key_algorithm=algorithm)
+        snap = UdsSnapshotReplayer(UdsReplayFactory(seed=SEED),
+                                   key_algorithm=algorithm)
+        assert (snap.minimize(finding.recent_requests)
+                == fresh.minimize(finding.recent_requests))
+        stats = snap.stats()
+        assert stats["restores"] > 0
+        # The prefix cache really skipped work: some replayed requests
+        # came from checkpoints instead of being simulated.
+        assert stats["requests_restored"] > 0
+
+    def test_stale_recorded_key_fails_without_rewriting(self, hunt_result):
+        """The recorded key byte answers the original run's seed; a
+        verbatim replay (no key algorithm) must not reproduce."""
+        finding = hunt_result.findings[0]
+        replayer = UdsReplayer(UdsReplayFactory(seed=SEED))
+        assert not replayer.probe_finding(finding)
+
+
+class TestKillResume:
+    class Kill(Exception):
+        pass
+
+    def test_kill_resume_is_bit_identical(self, tmp_path):
+        spec = make_spec(seed=3)
+        baseline = FACTORY(spec).run().to_dict()
+
+        campaign = FACTORY(spec)
+        journal = CampaignJournal(tmp_path)
+        campaign.attach_journal(journal, checkpoint_every=50)
+        real_checkpoint = campaign._maybe_checkpoint
+
+        def killing_checkpoint():
+            real_checkpoint()
+            if (campaign.requests_sent >= 80
+                    and journal.load_checkpoint() is not None):
+                raise self.Kill()
+
+        campaign._maybe_checkpoint = killing_checkpoint
+        with pytest.raises(self.Kill):
+            campaign.run()
+        checkpoint = journal.load_checkpoint()
+        assert checkpoint is not None
+        assert checkpoint["kind"] == "uds"
+        assert checkpoint["requests_sent"] < baseline["frames_sent"]
+
+        resumed = UdsFuzzCampaign.resume(
+            journal, lambda: FACTORY(spec), checkpoint_every=50)
+        assert resumed.to_dict() == baseline
+
+    def test_completed_journal_returns_saved_result(self, tmp_path):
+        spec = make_spec(seed=1)
+        campaign = FACTORY(spec)
+        journal = CampaignJournal(tmp_path)
+        campaign.attach_journal(journal, checkpoint_every=50)
+        first = campaign.run()
+        again = UdsFuzzCampaign.resume(journal, lambda: FACTORY(spec))
+        assert again.to_dict() == first.to_dict()
+
+    def test_frame_campaign_refuses_uds_checkpoint(self, tmp_path):
+        spec = make_spec(seed=1)
+        campaign = FACTORY(spec)
+        state = campaign._state_dict()
+        assert state["kind"] == "uds"
+        with pytest.raises(ValueError):
+            campaign._restore({**state, "kind": "frame"})
+
+
+class TestSharded:
+    def test_serial_and_parallel_shards_agree(self, tmp_path):
+        limits = CampaignLimits(max_frames=2000, stop_on_finding=True)
+        serial = ShardedCampaign(FACTORY, shards=2, limits=limits,
+                                 master_seed=7).run_serial()
+        assert serial.ok
+        assert len(serial.findings) == 2  # every shard hits the defect
+        parallel = ShardedCampaign(FACTORY, shards=2, limits=limits,
+                                   master_seed=7, jobs=2,
+                                   journal_dir=tmp_path,
+                                   checkpoint_every=100).run()
+        assert parallel.ok
+        assert parallel.fingerprint() == serial.fingerprint()

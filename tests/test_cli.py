@@ -132,6 +132,51 @@ class TestFuzzBenchMinimize:
         assert payload["result"]["findings"]
 
 
+class TestFuzzUds:
+    def test_end_to_end_journalled_hunt(self, capsys, tmp_path):
+        report = tmp_path / "uds.json"
+        assert main(["fuzz-uds", "--seed", "0", "--requests", "1500",
+                     "--journal", str(tmp_path / "journal"),
+                     "--checkpoint-every", "100",
+                     "--minimize", "--report", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "protocol-state coverage" in out
+        assert "1 confirmed" in out
+        assert "minimised" in out
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["mode"] == "uds"
+        assert payload["result"]["findings"]
+        assert payload["confirmation"]["confirmed"] == 1
+        record = payload["minimized"][0]
+        assert record["reproduced"]
+        # The minimal sequence: session walk, handshake, fatal write.
+        assert len(record["minimized_requests"]) == 5
+        assert record["minimized_requests"][-1].startswith("2ef1a0")
+
+    def test_resume_of_finished_run_returns_saved_result(self, capsys,
+                                                         tmp_path):
+        journal = str(tmp_path / "journal")
+        assert main(["fuzz-uds", "--seed", "0", "--requests", "300",
+                     "--journal", journal]) == 0
+        capsys.readouterr()
+        assert main(["fuzz-uds", "--seed", "0", "--requests", "300",
+                     "--journal", journal, "--resume"]) == 0
+        assert "uds-liveness" in capsys.readouterr().out
+
+    def test_occupied_journal_without_resume_errors(self, capsys,
+                                                    tmp_path):
+        journal = str(tmp_path / "journal")
+        assert main(["fuzz-uds", "--seed", "0", "--requests", "300",
+                     "--journal", journal]) == 0
+        assert main(["fuzz-uds", "--seed", "0", "--requests", "300",
+                     "--journal", journal]) == 2
+
+    def test_resume_requires_journal(self, capsys):
+        assert main(["fuzz-uds", "--resume"]) == 2
+
+
 class TestTable5:
     def test_single_trial_row(self, capsys):
         assert main(["table5", "--trials", "1", "--seed", "42"]) == 0

@@ -1,0 +1,86 @@
+"""Tests for the UDS client's correlation and recovery hardening.
+
+A fuzz campaign issues thousands of requests against a server it is
+actively trying to wedge; the client must correlate late replies to
+the request they answer, and must recover the ISO-TP channel when a
+timeout strikes mid-segmentation instead of killing the loop.
+"""
+
+import pytest
+
+from repro.sim.clock import MS
+from repro.testbench.diag import DiagTestbench
+from repro.uds.client import UdsClient, matches_request
+
+
+@pytest.fixture
+def bench():
+    bench = DiagTestbench(seed=0)
+    bench.power_on()
+    return bench
+
+
+class TestCorrelation:
+    def test_matches_positive_and_negative_layouts(self):
+        assert matches_request(0x10, bytes((0x50, 0x03)))
+        assert matches_request(0x10, bytes((0x7F, 0x10, 0x33)))
+        assert not matches_request(0x10, bytes((0x7E, 0x00)))
+        assert not matches_request(0x10, bytes((0x7F, 0x22, 0x33)))
+        assert not matches_request(0x10, b"")
+
+    def test_late_reply_is_stale_not_misattributed(self, bench):
+        client = bench.client
+        # Zero timeout: the session-control reply arrives after the
+        # request already gave up, so it is an orphan on the wire.
+        first = client.request(bytes((0x10, 0x03)), timeout=0)
+        assert first.timed_out
+        stale_before = client.stale_responses
+        # The orphan (50 03 ...) must not be taken as the answer to
+        # TesterPresent; the client waits for the real 7E 00.
+        follow_up = client.tester_present()
+        assert follow_up.message is not None
+        assert follow_up.message[0] == 0x7E
+        assert client.stale_responses == stale_before + 1
+
+    def test_empty_request_rejected(self, bench):
+        with pytest.raises(ValueError):
+            bench.client.request(b"")
+
+
+class TestBusyEndpointRecovery:
+    def test_timeout_mid_segmentation_then_recover(self, bench):
+        client = bench.client
+        # A 103-byte write segments into ~15 consecutive frames paced
+        # at the server's advertised STmin; 2 ms is not enough, so the
+        # timeout strikes with the transmission still in flight.
+        response = client.request(
+            bytes((0x2E, 0xF1, 0xA0)) + bytes(100), timeout=2 * MS)
+        assert response.timed_out
+        assert not client.endpoint.tx_idle
+        # The next request must not raise "transmission already in
+        # progress": it aborts the stuck transfer and proceeds.
+        follow_up = client.tester_present()
+        assert follow_up.message is not None
+        assert follow_up.message[0] == 0x7E
+        assert client.aborted_requests == 1
+        assert client.endpoint.tx_aborted == 1
+
+    def test_last_seed_tracks_security_handshake(self, bench):
+        client = bench.client
+        assert client.last_seed is None
+        client.change_session(0x03)
+        seed_response = client.request(bytes((0x27, 0x01)))
+        assert seed_response.positive
+        assert client.last_seed == seed_response.message[2]
+
+
+class TestClientState:
+    def test_state_roundtrip_preserves_digest(self, bench):
+        client = bench.client
+        client.change_session(0x03)
+        client.request(bytes((0x27, 0x01)))
+        state = client.state_dict()
+        other = UdsClient(bench.sim, bench.bus, name="other-tester")
+        other.load_state(state)
+        assert other.state_digest() == client.state_digest()
+        assert other.last_seed == client.last_seed

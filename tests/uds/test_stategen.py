@@ -1,0 +1,132 @@
+"""Tests for protocol-state coverage and the stateful UDS generator."""
+
+import random
+
+from repro.fuzz.coverage import ProtocolStateCoverage
+from repro.uds.client import UdsResponse
+from repro.uds.stategen import KEY_ALGORITHMS, UdsStateGenerator
+
+
+def positive(*payload):
+    return UdsResponse(bytes(payload))
+
+
+def negative(sid, nrc):
+    return UdsResponse(bytes((0x7F, sid, nrc)))
+
+
+TIMEOUT = UdsResponse(None)
+
+
+class TestProtocolStateCoverage:
+    def test_first_tuple_is_new_repeat_is_not(self):
+        coverage = ProtocolStateCoverage()
+        assert coverage.record(0x10, 0x03, 0, 0x01)
+        assert not coverage.record(0x10, 0x03, 0, 0x01)
+        assert coverage.tuples_seen == 1
+        assert coverage.exchanges_recorded == 2
+
+    def test_dimensions_are_distinguished(self):
+        coverage = ProtocolStateCoverage()
+        coverage.record(0x10, 0x03, 0, 0x01)
+        assert coverage.record(0x10, 0x02, 0, 0x01)  # other sub-function
+        assert coverage.record(0x10, 0x03, 0x33, 0x01)  # other NRC
+        assert coverage.record(0x10, 0x03, 0, 0x03)  # other session
+        assert coverage.tuples_seen == 4
+
+    def test_summary_is_json_ready(self):
+        import json
+
+        coverage = ProtocolStateCoverage()
+        coverage.record(0x22, -1, 0x31, 0x01)
+        summary = coverage.summary()
+        json.dumps(summary)
+        assert summary["tuples"] == 1
+        assert "0x22" in summary["services"]
+
+    def test_state_roundtrip(self):
+        coverage = ProtocolStateCoverage()
+        coverage.record(0x10, 0x03, 0, 0x01)
+        coverage.record(0x27, 0x01, 0x22, 0x03)
+        restored = ProtocolStateCoverage()
+        restored.load_state(coverage.state_dict())
+        assert restored.state_digest() == coverage.state_digest()
+        assert not restored.record(0x10, 0x03, 0, 0x01)  # still known
+
+
+class TestUdsStateGenerator:
+    def drive(self, generator, steps):
+        """Run the generator with canned answers; returns the stream."""
+        stream = []
+        for _ in range(steps):
+            request = generator.next_request()
+            stream.append(request)
+            # Answer everything negatively so beliefs stay put; the
+            # point here is the request stream, not the state walk.
+            generator.observe(request, negative(request[0], 0x11))
+        return stream
+
+    def test_same_seed_same_stream(self):
+        a = UdsStateGenerator(random.Random(42))
+        b = UdsStateGenerator(random.Random(42))
+        assert self.drive(a, 200) == self.drive(b, 200)
+
+    def test_state_walk_follows_positive_responses(self):
+        generator = UdsStateGenerator(random.Random(0))
+        # Walk the belief machine by hand through observe().
+        generator.observe(bytes((0x10, 0x03)), positive(0x50, 0x03))
+        generator.observe(bytes((0x27, 0x01)), positive(0x67, 0x01, 0x5A))
+        assert generator._seed == 0x5A
+        generator.observe(bytes((0x27, 0x02, 0xFF)), positive(0x67, 0x02))
+        assert generator._unlocked
+        generator.observe(bytes((0x10, 0x02)), positive(0x50, 0x02))
+        # Armed: the witness reconstructs the whole walk.
+        witness = generator.state_witness()
+        assert witness[0] == bytes((0x10, 0x03))
+        assert witness[1] == bytes((0x27, 0x01))
+        assert witness[2][:2] == bytes((0x27, 0x02))
+        assert witness[-1] == bytes((0x10, 0x02))
+
+    def test_witness_empty_in_default_locked_state(self):
+        generator = UdsStateGenerator(random.Random(0))
+        assert generator.state_witness() == ()
+
+    def test_key_algorithm_learned_from_accepted_key(self):
+        generator = UdsStateGenerator(random.Random(0))
+        generator._last_key_algorithm = 0
+        generator.observe(bytes((0x27, 0x02, 0xFF)), positive(0x67, 0x02))
+        assert generator.key_algorithm == 0
+        assert generator.key_algorithm_name == KEY_ALGORITHMS[0][0]
+
+    def test_reset_clears_lockout_belief(self):
+        generator = UdsStateGenerator(random.Random(0))
+        generator.observe(bytes((0x27, 0x02, 0x00)), negative(0x27, 0x36))
+        assert generator._locked_out
+        # While locked out the state move is always a hard reset.
+        for _ in range(50):
+            request = generator.next_request()
+            if request[:1] == b"\x11":
+                break
+        else:
+            raise AssertionError("no ECU reset attempted under lockout")
+        generator.observe(bytes((0x11, 0x01)), positive(0x51, 0x01))
+        assert not generator._locked_out
+
+    def test_denied_write_marks_did_interesting(self):
+        generator = UdsStateGenerator(random.Random(0))
+        generator.observe(bytes((0x2E, 0xF1, 0xA0, 0x00)),
+                          negative(0x2E, 0x33))
+        assert 0xF1A0 in generator._interesting_dids
+
+    def test_timeouts_do_not_enter_the_corpus(self):
+        generator = UdsStateGenerator(random.Random(0))
+        generator.observe(bytes((0x10, 0x03)), TIMEOUT)
+        assert generator._corpus == []
+
+    def test_state_roundtrip_continues_identically(self):
+        a = UdsStateGenerator(random.Random(7))
+        self.drive(a, 100)
+        b = UdsStateGenerator(random.Random(0))
+        b.load_state(a.state_dict())
+        assert b.state_digest() == a.state_digest()
+        assert self.drive(a, 100) == self.drive(b, 100)
