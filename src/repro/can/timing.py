@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.can.bitstuff import (INTERFRAME_BITS, fd_frame_bit_length,
-                                frame_bit_length)
+from repro.can.bitstuff import (FRAME_TAIL_BITS, INTERFRAME_BITS,
+                                fd_frame_bit_length, frame_bit_length)
 from repro.can.frame import CanFrame, _register_atomic
 from repro.sim.clock import SECOND
 
@@ -123,6 +123,39 @@ class BitTiming:
     def error_frame_duration(self) -> int:
         """Duration of an active error frame plus interframe space."""
         return self.bits_to_ticks(ERROR_FRAME_BITS)
+
+    def worst_case_duration(self, *, dlc: int, extended: bool = False,
+                            include_ifs: bool = True) -> int:
+        """Upper bound on any classic frame's on-wire duration.
+
+        The stuffed region (SOF through CRC) gains at most one stuff
+        bit per four bits after the first, so ``(region - 1) // 4``
+        bounds the stuffing of *every* id/payload combination at this
+        DLC.  The batch engine uses this to prove its lockstep episode
+        invariant (command + response always settle within one transmit
+        interval) without enumerating frames; the bound is reachable
+        only by pathological bit patterns, but it is safe for all.
+        """
+        if not 0 <= dlc <= 8:
+            raise ValueError(f"classic CAN dlc must be 0..8, got {dlc}")
+        header = 39 if extended else 19
+        region = header + dlc * 8 + 15
+        bits = region + (region - 1) // 4 + FRAME_TAIL_BITS
+        if include_ifs:
+            bits += INTERFRAME_BITS
+        return self.bits_to_ticks(bits)
+
+    def duration_table(self, frames, *, include_ifs: bool = True) -> list[int]:
+        """Exact on-wire durations for a family of frames, in order.
+
+        Bulk extraction for table-driven schedulers: the batch engine
+        precomputes one entry per possible response payload (e.g. all
+        256 ack counter values) so rare-event handling never calls back
+        into per-frame timing code.  Entries are exactly
+        :meth:`frame_duration` of each frame.
+        """
+        return [self.frame_duration(frame, include_ifs=include_ifs)
+                for frame in frames]
 
 
 #: The paper's bus rate ("a common transmission speed used in cars is

@@ -1,0 +1,916 @@
+"""Batched lockstep campaign execution: N worlds per process.
+
+The scalar :class:`~repro.fuzz.campaign.FuzzCampaign` pays the Python
+event-dispatch tax on every frame: a tx closure, a bus completion
+event, oracle taps.  For the unlock-bench workload almost every one of
+those events is *predictable* -- the fuzzer transmits on a fixed
+interval grid, the bench answers only to command frames, and the BCM's
+status broadcast rides the same grid -- so N independent campaign
+worlds can advance in lockstep with one vectorised dispatch per tick:
+
+- frame generation is one :class:`~repro.sim.batch.BatchRandom` draw
+  across all active worlds (bit-exact CPython ``random`` emulation),
+- transmit bookkeeping (counters, recent windows) lives in
+  struct-of-arrays numpy storage (:class:`~repro.sim.batch.FrameRing`),
+- the *rare* events -- a frame that matches the BCM's command check, a
+  watched response id, a status broadcast an oracle cares about -- drop
+  to an exact scalar episode handler whose timing arithmetic mirrors
+  the discrete-event kernel tick for tick.
+
+The contract is **bit-identical per-world results**: for an eligible
+world, :meth:`BatchCampaign.run` returns the same
+:meth:`~repro.fuzz.session.FuzzResult.to_dict` payload the scalar
+campaign produces from the same seed, and writes the same journal
+record stream (start/progress/checkpoint/finding/end).  Worlds the
+engine cannot prove eligible fall back to the scalar kernel
+(``campaign._execute``), so ``BatchCampaign`` never changes results --
+only wall-clock.  The eligibility rules are documented on
+:func:`plan_world` and in DESIGN.md §15.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.can.frame import trusted_frame
+from repro.fuzz.campaign import FuzzCampaign
+from repro.fuzz.durability import CampaignJournal, DirectoryStore
+from repro.fuzz.generator import (RandomFrameGenerator,
+                                  TargetedFrameGenerator)
+from repro.fuzz.oracle import AckMessageOracle, Finding, PhysicalStateOracle
+from repro.fuzz.session import (FuzzResult, finding_to_dict, frame_from_dict,
+                                frame_to_dict)
+from repro.sim.batch import BatchRandom, FrameRing, state_from_random
+from repro.sim.clock import MS
+from repro.sim.random import rng_state_from_json, rng_state_to_json
+
+#: Step cap sentinel for worlds without a pending candidate finding.
+_NO_CAP = np.iinfo(np.int64).max
+
+#: Check-mode codes for the vectorised command-match masks.
+_MODE_CODES = {"byte": 0, "byte+dlc": 1, "two-byte": 2}
+
+
+class ScalarFallback(Exception):
+    """A world cannot be proven eligible for the lockstep engine.
+
+    Raised (and caught) internally by :class:`BatchCampaign`; the
+    message names the first violated rule and is surfaced through
+    :attr:`BatchCampaign.fallback_reasons` for diagnostics.
+    """
+
+
+def _ack_description(frame) -> str:
+    """The exact AckMessageOracle finding text for ``frame``."""
+    return (f"response frame {frame.id_hex()} observed "
+            f"({frame.data_hex() or 'no data'})")
+
+
+def _next_grid(base: int, period: int, after: int) -> int:
+    """Smallest ``base + j*period`` (j >= 0) strictly greater than
+    ``after``."""
+    if after < base:
+        return base
+    return base + ((after - base) // period + 1) * period
+
+
+class _WorldPlan:
+    """Everything the engine precomputes about one eligible world.
+
+    A plain attribute bag (filled by :func:`plan_world`); the mutable
+    run state (lock flag, ack counter, pending candidate) lives in
+    :class:`_WorldState` so a plan could in principle be reused.
+    """
+
+    __slots__ = (
+        "index", "campaign", "bench", "journal", "checkpoint_every",
+        "name", "seed_label", "config", "extended", "timing",
+        "started_at", "first_tx", "interval", "deadline",
+        "base_frames", "base_skipped", "base_generated",
+        "natural_steps", "natural_end", "natural_reason",
+        "mode", "pool_ids", "pool_dlcs", "full_byte_range",
+        "byte_min", "byte_span", "max_dlc",
+        "rng_state", "jitter_json", "recent_maxlen", "recent_rows",
+        "ack_oracles", "watch_ids", "led_oracles", "poll_base",
+        "adapter_name", "bcm", "locked0", "counter0",
+        "status_base", "status_period", "status_id", "is_resume",
+        "status_frames", "status_durs", "hot_by_state",
+        "unlock_ack_id", "body_command_id",
+        "write_errors0", "findings0", "result",
+    )
+
+
+class _WorldState:
+    """Mutable per-world engine state touched only on rare events."""
+
+    __slots__ = ("locked", "counter", "pending_time", "pending_hits",
+                 "finished")
+
+    def __init__(self, locked: bool, counter: int) -> None:
+        self.locked = locked
+        self.counter = counter
+        self.pending_time: int | None = None
+        self.pending_hits: list[tuple[str, str]] = []
+        self.finished = False
+
+
+def plan_world(index: int, campaign: FuzzCampaign, bench,
+               resume_state: dict | None) -> _WorldPlan:
+    """Prove one campaign eligible for the lockstep engine, or raise.
+
+    Eligibility is a *proof obligation*, not a heuristic: every rule
+    below guards an assumption the analytic timeline model makes.  Any
+    violation raises :class:`ScalarFallback` and the world runs on the
+    scalar kernel instead, so the worst case is the old speed, never a
+    wrong result.  The rules, by layer:
+
+    campaign -- plain :class:`FuzzCampaign`, zero interval jitter, no
+    tx gate / bus-off handler / reset hook / adversarial channel, and
+    ``stop_on_finding`` (or no oracles at all).
+
+    generator -- exactly :class:`RandomFrameGenerator` (or its
+    targeted subclass), classic frames only, and an RNG whose state is
+    a plain version-3 MT19937 word stream.
+
+    target -- an :class:`~repro.testbench.bench.UnlockTestbench` with
+    no authenticator, an initialised adapter on its bus, no fault
+    injector or channel, all controllers idle, and an event queue that
+    is *quiescent*: the only pending event is the BCM's own status
+    broadcast.
+
+    oracles -- each one either an :class:`AckMessageOracle` (unlatched)
+    or a :class:`PhysicalStateOracle` whose probe is behaviourally
+    verified to be the BCM lock state (toggling ``bcm.locked`` flips
+    it) with an aligned sampling period.
+
+    alignment -- the status period and every oracle poll period divide
+    the transmit interval grid, and the worst-case episode chain
+    (status + command + acknowledgement on the wire) fits strictly
+    inside one interval, so rare events never collide across ticks.
+    """
+    from repro.testbench.bcm import (STATUS_ID, STATUS_LABEL, STATUS_PERIOD,
+                                     UNLOCK_ACK_ID, BenchBcm)
+    from repro.testbench.bench import UnlockTestbench
+    from repro.vehicle.database import BODY_COMMAND_ID
+
+    def fail(reason: str):
+        raise ScalarFallback(reason)
+
+    c = campaign
+    if type(c) is not FuzzCampaign:
+        fail(f"campaign type {type(c).__name__} is not FuzzCampaign")
+    if c.interval_jitter != 0:
+        fail("interval jitter requires the scalar kernel")
+    if c._tx_gate is not None or c._busoff_handler is not None:
+        fail("campaign has supervisor hooks installed")
+    if c._reset_target is not None:
+        fail("campaign has a reset-target hook")
+    if c.channel is not None:
+        fail("adversarial channel attached")
+    if c.oracles and not c.limits.stop_on_finding:
+        fail("continue-after-finding campaigns run scalar")
+    if c._running:
+        fail("campaign already running")
+    if resume_state is None and (c.frames_sent or c.frames_skipped
+                                 or c._findings or c._recent
+                                 or c._write_errors):
+        fail("campaign object is not pristine")
+
+    generator = c.generator
+    if type(generator) not in (RandomFrameGenerator, TargetedFrameGenerator):
+        fail(f"generator type {type(generator).__name__} not vectorised")
+    if generator._fd:
+        fail("FD frame generation runs scalar")
+
+    if not isinstance(bench, UnlockTestbench):
+        fail(f"bench type {type(bench).__name__} is not UnlockTestbench")
+    if bench.sim is not c.sim:
+        fail("campaign and bench disagree about the simulator")
+    if bench.authenticated or bench.bcm.authenticator is not None:
+        fail("authenticated bench runs scalar")
+    bcm = bench.bcm
+    if not isinstance(bcm, BenchBcm):
+        fail("bench BCM is not the standard BenchBcm")
+    if bcm.check_mode not in _MODE_CODES:
+        fail(f"unknown check mode {bcm.check_mode!r}")
+
+    adapter = c.adapter
+    if not adapter.initialised:
+        fail("adapter not initialised")
+    if adapter._bus is not bench.bus:
+        fail("adapter is wired to a different bus")
+    bus = bench.bus
+    if bus._busy or bus._channel is not None or bus.fault_injector is not None:
+        fail("bus is busy or instrumented")
+    for node in bus.nodes:
+        if node._tx_queue:
+            fail(f"controller {node.name!r} has queued transmissions")
+        if node.counters.bus_off_latched:
+            fail(f"controller {node.name!r} is bus-off")
+
+    entries = c.sim.pending_entries()
+    if len(entries) != 1 or entries[0][2] != STATUS_LABEL:
+        fail(f"event queue not quiescent: {entries!r}")
+    status_base = entries[0][0]
+
+    plan = _WorldPlan()
+    plan.index = index
+    plan.campaign = c
+    plan.bench = bench
+    plan.journal = c.journal
+    plan.checkpoint_every = c.checkpoint_every
+    plan.name = c.name
+    plan.config = generator.config
+    plan.seed_label = generator.config.seed_label
+    plan.extended = generator._extended
+    plan.timing = bus.timing
+    plan.interval = c.interval
+    plan.mode = _MODE_CODES[bcm.check_mode]
+    plan.adapter_name = adapter.controller.name
+    plan.bcm = bcm
+    plan.unlock_ack_id = UNLOCK_ACK_ID
+    plan.body_command_id = BODY_COMMAND_ID
+    plan.status_base = status_base
+    plan.status_id = None  # filled below with the status frames
+
+    now = c.sim.now
+    plan.is_resume = resume_state is not None
+    if resume_state is None:
+        plan.started_at = now
+        plan.first_tx = now
+        plan.base_frames = 0
+        plan.base_skipped = 0
+        plan.base_generated = generator.generated
+        plan.write_errors0 = {}
+        plan.findings0 = []
+        plan.recent_rows = []
+        try:
+            rng_state = state_from_random(generator._rng)
+        except ValueError as exc:
+            fail(f"generator RNG not transplantable: {exc}")
+        plan.rng_state = rng_state
+    else:
+        if resume_state.get("kind", "frame") != "frame":
+            fail("resume state from a non-frame campaign")
+        if resume_state.get("channel") is not None:
+            fail("resume state carries channel state")
+        if resume_state.get("findings"):
+            fail("resume state carries findings")
+        gen_state = resume_state.get("generator")
+        if not gen_state or gen_state.get("kind") != "random":
+            fail("resume state has no random-generator position")
+        for oracle_state in resume_state.get("oracles", {}).values():
+            if (oracle_state.get("findings_reported", 0)
+                    or oracle_state.get("first_match_time") is not None
+                    or oracle_state.get("first_deviation_time") is not None):
+                fail("resume state carries a latched oracle")
+        plan.started_at = resume_state["started_at"]
+        plan.first_tx = resume_state["next_tx_time"]
+        if plan.first_tx < now:
+            fail("resumed next-tx time is in the rebuilt bench's past")
+        plan.base_frames = resume_state["frames_sent"]
+        plan.base_skipped = resume_state.get("frames_skipped", 0)
+        plan.base_generated = gen_state.get("generated", 0)
+        plan.write_errors0 = dict(resume_state.get("write_errors", {}))
+        plan.findings0 = []
+        rows = []
+        for time, payload in resume_state.get("recent", []):
+            frame = frame_from_dict(payload)
+            if (frame.extended != plan.extended or frame.fd or frame.remote
+                    or frame.brs):
+                fail("resumed recent window holds foreign frame flags")
+            rows.append((time, frame.can_id, len(frame.data), frame.data))
+        plan.recent_rows = rows
+        try:
+            plan.rng_state = state_from_random(
+                _RestoredRng(rng_state_from_json(gen_state["rng"])))
+        except (ValueError, KeyError, TypeError) as exc:
+            fail(f"resumed RNG state not transplantable: {exc}")
+
+    deadline_candidates = []
+    if c.limits.max_duration is not None:
+        deadline_candidates.append(plan.started_at + c.limits.max_duration)
+    if c.limits.max_frames is not None:
+        deadline_candidates.append(
+            plan.started_at + c.limits.max_frames * c.interval + 100 * MS)
+    plan.deadline = min(deadline_candidates)
+    if plan.deadline < now:
+        fail("deadline is already in the past")
+
+    interval = c.interval
+    max_frames = c.limits.max_frames
+    if max_frames is not None:
+        t_lim = plan.first_tx + max(0, max_frames - plan.base_frames) * interval
+    if max_frames is not None and t_lim <= plan.deadline:
+        plan.natural_steps = max(0, max_frames - plan.base_frames)
+        plan.natural_end = t_lim
+        plan.natural_reason = "frame limit reached"
+    else:
+        if plan.deadline >= plan.first_tx:
+            plan.natural_steps = (plan.deadline - plan.first_tx) // interval + 1
+        else:
+            plan.natural_steps = 0
+        plan.natural_end = plan.deadline
+        plan.natural_reason = "time limit reached"
+
+    plan.pool_ids = np.fromiter(generator._ids, dtype=np.int64,
+                                count=generator._id_count)
+    plan.pool_dlcs = np.fromiter(generator._dlcs, dtype=np.int64,
+                                 count=generator._dlc_count)
+    plan.full_byte_range = generator._full_byte_range
+    plan.byte_min = generator.config.byte_min
+    plan.byte_span = (generator.config.byte_max
+                      - generator.config.byte_min + 1)
+    plan.max_dlc = int(plan.pool_dlcs.max()) if plan.pool_dlcs.size else 0
+    plan.recent_maxlen = c._recent.maxlen
+    plan.jitter_json = (rng_state_to_json(c._rng.getstate())
+                        if c._rng is not None else None)
+
+    # -- oracles -------------------------------------------------------
+    ack_oracles: list[tuple[AckMessageOracle, bool]] = []
+    led_oracles: list[tuple[PhysicalStateOracle, object]] = []
+    for oracle in c.oracles:
+        if type(oracle) is AckMessageOracle:
+            if oracle.first_match_time is not None:
+                fail(f"oracle {oracle.name!r} is already latched")
+            sees_fuzzer = not (oracle.exclude_sender
+                               and oracle.exclude_sender == plan.adapter_name)
+            if (oracle.exclude_sender
+                    and oracle.exclude_sender != plan.adapter_name):
+                # Excluding some *other* sender (the bench BCM?) would
+                # change which deliveries count; the model only knows
+                # how to exclude the fuzzer itself.
+                fail(f"oracle {oracle.name!r} excludes a non-adapter "
+                     f"sender")
+            ack_oracles.append((oracle, sees_fuzzer))
+        elif type(oracle) is PhysicalStateOracle:
+            if oracle.first_deviation_time is not None:
+                fail(f"oracle {oracle.name!r} is already latched")
+            if oracle.period <= 0 or oracle.period % interval != 0:
+                fail(f"oracle {oracle.name!r} period off the tick grid")
+            before = oracle.probe()
+            if before != oracle.expected:
+                fail(f"oracle {oracle.name!r} deviates at start")
+            bcm.locked = not bcm.locked
+            toggled = oracle.probe()
+            bcm.locked = not bcm.locked
+            if toggled == before or oracle.probe() != before:
+                fail(f"oracle {oracle.name!r} probe is not the BCM "
+                     f"lock state")
+            led_oracles.append((oracle, toggled))
+        else:
+            fail(f"oracle type {type(oracle).__name__} not modelled")
+    plan.ack_oracles = ack_oracles
+    plan.watch_ids = sorted({o.can_id for o, sees in ack_oracles if sees})
+    plan.led_oracles = led_oracles
+    plan.poll_base = now  # oracles start when the scalar run would
+    if led_oracles and (plan.first_tx - now) % interval != 0:
+        fail("oracle poll grid misaligned with the transmit grid")
+
+    # -- bench timing model --------------------------------------------
+    plan.status_id = STATUS_ID
+    plan.status_period = STATUS_PERIOD
+    if STATUS_PERIOD % interval != 0:
+        fail("status period off the transmit grid")
+    if (status_base - plan.first_tx) % interval != 0:
+        fail("status broadcast misaligned with the transmit grid")
+
+    plan.locked0 = bcm.locked
+    plan.counter0 = bcm._ack_counter
+    status_frames = {}
+    status_durs = {}
+    hot_by_state = {}
+    for locked in (True, False):
+        bcm.locked = locked
+        payload = bcm.status_payload()
+        bcm.locked = plan.locked0
+        frame = trusted_frame(STATUS_ID, payload, False, False)
+        status_frames[locked] = frame
+        status_durs[locked] = plan.timing.frame_duration(frame)
+        hot = []
+        for oracle, _sees in ack_oracles:
+            if oracle.can_id != STATUS_ID:
+                continue
+            if oracle.predicate is None or oracle.predicate(frame):
+                hot.append(oracle)
+        hot_by_state[locked] = hot
+    plan.status_frames = status_frames
+    plan.status_durs = status_durs
+    plan.hot_by_state = hot_by_state
+
+    worst_status = max(status_durs.values())
+    worst_cmd = plan.timing.worst_case_duration(
+        dlc=plan.max_dlc, extended=plan.extended)
+    worst_ack = plan.timing.worst_case_duration(dlc=2, extended=False)
+    if worst_status + worst_cmd + worst_ack >= interval:
+        fail("episode chain does not fit inside one transmit interval")
+
+    plan.result = None
+    return plan
+
+
+class _RestoredRng:
+    """Minimal getstate() shim so resumed JSON states reuse the
+    validation in :func:`~repro.sim.batch.state_from_random`."""
+
+    def __init__(self, state: tuple) -> None:
+        self._state = state
+
+    def getstate(self) -> tuple:
+        return self._state
+
+
+class BatchCampaign:
+    """Run many independent campaigns with one lockstep engine.
+
+    Args:
+        campaigns: the worlds to run, each a fully built
+            :class:`FuzzCampaign` (the usual source is a
+            :class:`~repro.testbench.factory.UnlockBenchFactory`, which
+            pins its bench on ``campaign.bench``).
+        benches: optional explicit bench per campaign; defaults to
+            each campaign's ``bench`` attribute.
+        resume_states: optional per-world checkpoint dicts (the
+            :meth:`FuzzCampaign._state_dict` schema) for kill-resume;
+            ``None`` entries start from scratch.
+
+    :meth:`run` returns one :class:`FuzzResult` per campaign, in input
+    order.  Worlds that fail the :func:`plan_world` eligibility proof
+    run on the scalar kernel transparently;
+    :attr:`fallback_reasons` maps input index to the violated rule.
+    """
+
+    def __init__(self, campaigns, *, benches=None, resume_states=None) -> None:
+        self.campaigns = list(campaigns)
+        if not self.campaigns:
+            raise ValueError("BatchCampaign needs at least one campaign")
+        count = len(self.campaigns)
+        if benches is None:
+            benches = [getattr(c, "bench", None) for c in self.campaigns]
+        self.benches = list(benches)
+        if resume_states is None:
+            resume_states = [None] * count
+        self.resume_states = list(resume_states)
+        if len(self.benches) != count or len(self.resume_states) != count:
+            raise ValueError("benches/resume_states must match campaigns")
+        self.fallback_reasons: dict[int, str] = {}
+
+    def run(self) -> list[FuzzResult]:
+        results: list[FuzzResult | None] = [None] * len(self.campaigns)
+        plans: list[_WorldPlan] = []
+        for index, campaign in enumerate(self.campaigns):
+            bench = self.benches[index]
+            try:
+                if bench is None:
+                    raise ScalarFallback("campaign carries no bench "
+                                         "reference")
+                plans.append(plan_world(index, campaign, bench,
+                                        self.resume_states[index]))
+            except ScalarFallback as exc:
+                self.fallback_reasons[index] = str(exc)
+        for index, reason in self.fallback_reasons.items():
+            results[index] = self.campaigns[index]._execute(
+                self.resume_states[index])
+        groups: dict[tuple, list[_WorldPlan]] = {}
+        for plan in plans:
+            key = (plan.pool_ids.size, plan.pool_dlcs.size,
+                   plan.full_byte_range, plan.byte_min, plan.byte_span)
+            groups.setdefault(key, []).append(plan)
+        for group in groups.values():
+            _GroupEngine(group).run()
+        for plan in plans:
+            results[plan.index] = plan.result
+        return results
+
+
+class _GroupEngine:
+    """The vectorised main loop for one draw-compatible world group.
+
+    Worlds in a group share pool *sizes* and byte range (so every RNG
+    draw is one ``randbelow`` across the group); pools themselves,
+    intervals, limits, oracles and check modes are per-world arrays.
+    """
+
+    def __init__(self, plans: list[_WorldPlan]) -> None:
+        self.plans = plans
+        n = len(plans)
+        self.n = n
+        p0 = plans[0]
+        self.id_count = p0.pool_ids.size
+        self.dlc_count = p0.pool_dlcs.size
+        self.full_byte_range = p0.full_byte_range
+        self.byte_min = p0.byte_min
+        self.byte_span = p0.byte_span
+        self.group_max_dlc = max(p.max_dlc for p in plans)
+
+        self.first_tx = np.array([p.first_tx for p in plans], np.int64)
+        self.interval = np.array([p.interval for p in plans], np.int64)
+        self.deadline = np.array([p.deadline for p in plans], np.int64)
+        self.natural_steps = np.array([p.natural_steps for p in plans],
+                                      np.int64)
+        self.sent = np.array([p.base_frames for p in plans], np.int64)
+        self.mode = np.array([p.mode for p in plans], np.int64)
+        self.body_id = np.array([p.body_command_id for p in plans], np.int64)
+        self.limit_step = self.natural_steps.copy()
+        self.next_cp = np.array(
+            [p.base_frames + p.checkpoint_every if p.journal is not None
+             else _NO_CAP for p in plans], np.int64)
+        self.pool_ids = np.stack([p.pool_ids for p in plans])
+        self.pool_dlcs = np.stack([p.pool_dlcs for p in plans])
+        watch_width = max((len(p.watch_ids) for p in plans), default=0)
+        watch_width = max(watch_width, 1)
+        self.watch = np.full((n, watch_width), -1, np.int64)
+        self.any_watch = False
+        for row, p in enumerate(plans):
+            for col, can_id in enumerate(p.watch_ids):
+                self.watch[row, col] = can_id
+                self.any_watch = True
+
+        self.rng = BatchRandom([p.rng_state for p in plans])
+        self.ring = FrameRing(n, max(p.recent_maxlen for p in plans))
+        for row, p in enumerate(plans):
+            if p.recent_rows:
+                self.ring.seed(row, p.recent_rows)
+        self.states = [_WorldState(p.locked0, p.counter0) for p in plans]
+        for row, p in enumerate(plans):
+            if p.journal is not None:
+                if p.is_resume:
+                    p.journal.append({"type": "resume",
+                                      "frames_sent": p.base_frames,
+                                      "generation": p.journal.generation})
+                else:
+                    p.journal.append({"type": "start", "name": p.name,
+                                      "started_at": p.started_at})
+            # Pre-known candidate: an oracle that matches the status
+            # broadcast in the *current* lock state fires at the very
+            # first delivery, before any command lands.
+            self._recompute_pending(row, p.status_base - 1)
+
+    # ------------------------------------------------------------------
+    # Vector main loop
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        n = self.n
+        alive = np.ones(n, dtype=bool)
+        step = 0
+        rng = self.rng
+        ring = self.ring
+        randbelow = rng.randbelow
+        states = self.states
+        first_tx = self.first_tx
+        interval = self.interval
+        limit_step = self.limit_step
+        sent = self.sent
+        next_cp = self.next_cp
+        pool_ids = self.pool_ids
+        pool_dlcs = self.pool_dlcs
+        id_count = self.id_count
+        dlc_count = self.dlc_count
+        full_byte_range = self.full_byte_range
+        mode_codes = self.mode
+        body_ids = self.body_id
+        any_watch = self.any_watch
+        code_mask = self._code_mask
+        has_journal = bool((next_cp != _NO_CAP).any())
+        while True:
+            run_mask = alive & (step < limit_step)
+            done = alive & ~run_mask
+            if done.any():
+                for w in done.nonzero()[0]:
+                    self._finalize_natural(int(w))
+                    alive[w] = False
+            active = run_mask.nonzero()[0]
+            if active.size == 0:
+                break
+            ticks = first_tx[active] + step * interval[active]
+            id_idx = randbelow(active, id_count)
+            ids = pool_ids[active, id_idx]
+            dlc_idx = randbelow(active, dlc_count)
+            dlcs = pool_dlcs[active, dlc_idx]
+            if full_byte_range:
+                data = rng.randbytes8(active, dlcs)
+            else:
+                data = np.zeros((active.size, 8), np.uint8)
+                for column in range(self.group_max_dlc):
+                    rows = (dlcs > column).nonzero()[0]
+                    if rows.size:
+                        data[rows, column] = (
+                            self.byte_min
+                            + randbelow(active[rows], self.byte_span)
+                        ).astype(np.uint8)
+            sent[active] += 1
+            ring.append(active, ticks, ids, dlcs, data)
+            if has_journal:
+                due = (sent[active] >= next_cp[active]).nonzero()[0]
+                for pos in due:
+                    w = int(active[pos])
+                    self._write_checkpoint(w, int(ticks[pos]))
+                    next_cp[w] = sent[w] + self.plans[w].checkpoint_every
+            # Rare-event candidates: command matches and watched ids.
+            d0 = data[:, 0]
+            d1 = data[:, 1]
+            mode = mode_codes[active]
+            is_cmd = ids == body_ids[active]
+            if is_cmd.any():
+                unlock = is_cmd & code_mask(mode, d0, d1, dlcs, 0x20)
+                lock = is_cmd & code_mask(mode, d0, d1, dlcs, 0x10)
+                flagged = unlock | lock
+            else:
+                unlock = lock = is_cmd
+                flagged = is_cmd
+            if any_watch:
+                flagged = flagged | (
+                    ids[:, None] == self.watch[active]).any(axis=1)
+            if flagged.any():
+                for pos in flagged.nonzero()[0]:
+                    w = int(active[pos])
+                    dlc = int(dlcs[pos])
+                    self._episode(w, int(ticks[pos]), int(ids[pos]), dlc,
+                                  bytes(data[pos, :dlc]), bool(unlock[pos]),
+                                  bool(lock[pos]))
+                    if states[w].finished:
+                        alive[w] = False
+            step += 1
+
+    @staticmethod
+    def _code_mask(mode, d0, d1, dlcs, code):
+        """The BCM ``_matches`` check, vectorised over one tick."""
+        value = d0 == code
+        return value & (((mode == 0) & (dlcs >= 1))
+                        | ((mode == 1) & (dlcs == 7))
+                        | ((mode == 2) & (dlcs >= 2) & (d1 == 0x5F)))
+
+    # ------------------------------------------------------------------
+    # Rare-event scalar handlers (exact discrete-event arithmetic)
+    # ------------------------------------------------------------------
+    def _check_delivery(self, plan: _WorldPlan, frame,
+                        from_fuzzer: bool) -> list[tuple[str, str]]:
+        hits = []
+        for oracle, sees_fuzzer in plan.ack_oracles:
+            if from_fuzzer and not sees_fuzzer:
+                continue
+            if frame.can_id != oracle.can_id:
+                continue
+            if oracle.predicate is not None and not oracle.predicate(frame):
+                continue
+            hits.append((oracle.name, _ack_description(frame)))
+        return hits
+
+    def _episode(self, w: int, tick: int, can_id: int, dlc: int,
+                 payload: bytes, is_unlock: bool, is_lock: bool) -> None:
+        """One interesting tick, replayed with exact event timing.
+
+        Mirrors the scalar kernel's event order at a tick: a colliding
+        status broadcast transmits first (its event was scheduled
+        earlier), then the fuzz frame, then -- if the BCM recognised a
+        command -- the acknowledgement.  The first delivery an oracle
+        matches ends the world at that delivery's completion time;
+        deliveries past the campaign deadline never happen.
+        """
+        plan = self.plans[w]
+        st = self.states[w]
+        deadline = plan.deadline
+        t = tick
+        if (tick >= plan.status_base
+                and (tick - plan.status_base) % plan.status_period == 0):
+            t += plan.status_durs[st.locked]
+            if t > deadline:
+                return
+            hits = self._check_delivery(plan, plan.status_frames[st.locked],
+                                        False)
+            if hits:
+                self._finish_finding(w, t, hits)
+                return
+        frame = trusted_frame(can_id, payload, plan.extended, False)
+        t += plan.timing.frame_duration(frame)
+        if t > deadline:
+            return
+        hits = self._check_delivery(plan, frame, True)
+        if hits:
+            self._finish_finding(w, t, hits)
+            return
+        if is_unlock or is_lock:
+            t_cmd = t
+            st.counter = (st.counter + 1) % 256
+            st.locked = not is_unlock
+            ack = trusted_frame(
+                plan.unlock_ack_id,
+                bytes((0x01 if is_unlock else 0x00, st.counter)),
+                False, False)
+            t_ack = t_cmd + plan.timing.frame_duration(ack)
+            if t_ack <= deadline:
+                hits = self._check_delivery(plan, ack, False)
+                if hits:
+                    self._finish_finding(w, t_ack, hits)
+                    return
+            self._recompute_pending(w, t_cmd)
+
+    def _recompute_pending(self, w: int, after: int) -> None:
+        """Earliest future finding implied by the current world state.
+
+        Two sources exist: a physical-state oracle whose next poll
+        observes the deviated state, and an ack-style oracle that
+        matches the status broadcast of the current lock state.  The
+        earliest wins; polls share a tick with the transmit grid, so a
+        poll candidate caps the step loop *before* that tick's frame,
+        while a status candidate (mid-interval delivery) caps it after.
+        """
+        plan = self.plans[w]
+        st = self.states[w]
+        best_time = None
+        best_hits: list[tuple[str, str]] = []
+        if st.locked != plan.locked0:
+            for oracle, toggled in plan.led_oracles:
+                poll = _next_grid(plan.poll_base, oracle.period, after)
+                if best_time is None or poll < best_time:
+                    best_time = poll
+                    best_hits = [(oracle.name,
+                                  f"physical state changed: expected "
+                                  f"{oracle.expected!r}, observed "
+                                  f"{toggled!r}")]
+        hot = plan.hot_by_state[st.locked]
+        if hot:
+            status_tick = _next_grid(plan.status_base, plan.status_period,
+                                     after)
+            status_time = status_tick + plan.status_durs[st.locked]
+            if best_time is None or status_time < best_time:
+                best_time = status_time
+                frame = plan.status_frames[st.locked]
+                best_hits = [(oracle.name, _ack_description(frame))
+                             for oracle in hot]
+        if (best_time is not None and best_time <= plan.deadline
+                and best_time <= plan.natural_end):
+            st.pending_time = best_time
+            st.pending_hits = best_hits
+            cap = -((plan.first_tx - best_time) // plan.interval)
+            self.limit_step[w] = min(plan.natural_steps, max(0, cap))
+        else:
+            st.pending_time = None
+            st.pending_hits = []
+            self.limit_step[w] = plan.natural_steps
+
+    # ------------------------------------------------------------------
+    # World completion
+    # ------------------------------------------------------------------
+    def _window(self, w: int):
+        plan = self.plans[w]
+        rows = self.ring.window(w)
+        if plan.recent_maxlen is not None:
+            rows = rows[-plan.recent_maxlen:]
+        frames = tuple(trusted_frame(can_id, data, plan.extended, False)
+                       for _, can_id, _, data in rows)
+        times = tuple(time for time, _, _, _ in rows)
+        return frames, times
+
+    def _finish_finding(self, w: int, time: int,
+                        hits: list[tuple[str, str]]) -> None:
+        plan = self.plans[w]
+        frames, times = self._window(w)
+        findings = [Finding(time=time, oracle=name, description=desc,
+                            recent_frames=frames, recent_times=times)
+                    for name, desc in hits]
+        if plan.journal is not None:
+            for finding in findings:
+                plan.journal.append({"type": "finding",
+                                     "frames_sent": int(self.sent[w]),
+                                     "finding": finding_to_dict(finding)})
+        self._assemble(w, ended_at=time, findings=findings,
+                       stop_reason=f"finding from oracle "
+                                   f"{findings[0].oracle!r}")
+        self.states[w].finished = True
+
+    def _finalize_natural(self, w: int) -> None:
+        st = self.states[w]
+        plan = self.plans[w]
+        if st.pending_time is not None:
+            self._finish_finding(w, st.pending_time, st.pending_hits)
+            return
+        self._assemble(w, ended_at=plan.natural_end, findings=[],
+                       stop_reason=plan.natural_reason)
+        st.finished = True
+
+    def _assemble(self, w: int, *, ended_at: int, findings: list[Finding],
+                  stop_reason: str) -> None:
+        plan = self.plans[w]
+        result = FuzzResult(
+            name=plan.name,
+            seed_label=plan.seed_label,
+            started_at=plan.started_at,
+            ended_at=ended_at,
+            frames_sent=int(self.sent[w]),
+            findings=list(plan.findings0) + findings,
+            write_errors=dict(plan.write_errors0),
+            stop_reason=stop_reason,
+            config_rows=plan.config.describe(),
+            frames_skipped=plan.base_skipped,
+            health={},
+        )
+        if plan.journal is not None:
+            plan.journal.append({"type": "end",
+                                 "frames_sent": result.frames_sent,
+                                 "findings": len(result.findings),
+                                 "stop_reason": stop_reason})
+            plan.journal.save_result(result.to_dict())
+        plan.result = result
+
+    def _write_checkpoint(self, w: int, tick: int) -> None:
+        plan = self.plans[w]
+        rows = self.ring.window(w)[-plan.recent_maxlen:]
+        recent = [[time,
+                   frame_to_dict(trusted_frame(can_id, data, plan.extended,
+                                               False))]
+                  for time, can_id, _, data in rows]
+        state = {
+            "format": 1,
+            "kind": "frame",
+            "name": plan.name,
+            "started_at": plan.started_at,
+            "frames_sent": int(self.sent[w]),
+            "frames_skipped": plan.base_skipped,
+            "sim_now": tick,
+            "next_tx_time": tick + plan.interval,
+            "recent": recent,
+            "findings": [],
+            "write_errors": dict(plan.write_errors0),
+            "oracles": {oracle.name: oracle.state_dict()
+                        for oracle in plan.campaign.oracles},
+            "generator": {
+                "kind": "random",
+                "generated": plan.base_generated
+                + int(self.sent[w]) - plan.base_frames,
+                "rng": rng_state_to_json(self.rng.getstate(w)),
+            },
+        }
+        if plan.jitter_json is not None:
+            state["jitter_rng"] = plan.jitter_json
+        plan.journal.append({"type": "progress",
+                             "frames_sent": int(self.sent[w]),
+                             "sim_now": tick,
+                             "findings": 0})
+        plan.journal.save_checkpoint(state)
+
+
+def run_shard_batch(factory, specs, *, journal_infos=None,
+                    checkpoint_every: int | None = None):
+    """Run one worker's batch of shard specs through the lockstep engine.
+
+    The batched analogue of :func:`repro.fuzz.parallel._shard_worker`'s
+    body: per spec, a surviving journal result short-circuits, a
+    loadable checkpoint resumes (channel-era checkpoints replay from
+    zero, matching :func:`~repro.fuzz.campaign.resume_campaign`), and
+    everything else starts fresh -- then all live worlds advance in one
+    :class:`BatchCampaign`.
+
+    Args:
+        factory: pickleable campaign factory (``spec -> FuzzCampaign``).
+        specs: the :class:`~repro.fuzz.parallel.ShardSpec` list for
+            this worker.
+        journal_infos: per-spec ``(store_factory, shard_dir,
+            checkpoint_every)`` tuples (or ``None`` entries / ``None``
+            for no durability), the shape
+            :class:`~repro.fuzz.parallel.ShardedCampaign` ships.
+        checkpoint_every: override applied to every journalled world.
+
+    Returns:
+        ``[(FuzzResult, warnings), ...]`` aligned with ``specs``.
+    """
+    specs = list(specs)
+    if journal_infos is None:
+        journal_infos = [None] * len(specs)
+    out: list[tuple[FuzzResult, list[str]] | None] = [None] * len(specs)
+    campaigns = []
+    resume_states = []
+    slots = []
+    journals = []
+    for slot, (spec, info) in enumerate(zip(specs, journal_infos)):
+        journal = None
+        state = None
+        if info is not None:
+            store_factory, shard_dir, info_every = info
+            journal = CampaignJournal(
+                (store_factory or DirectoryStore)(shard_dir))
+            saved = journal.load_result()
+            if saved is not None:
+                out[slot] = (FuzzResult.from_dict(saved),
+                             list(journal.warnings))
+                continue
+            state = journal.load_checkpoint()
+            if state is not None and state.get("channel") is not None:
+                state = None
+        campaign = factory(spec)
+        if journal is not None:
+            every = checkpoint_every
+            if every is None:
+                every = info_every
+            campaign.attach_journal(journal, checkpoint_every=every)
+        campaigns.append(campaign)
+        resume_states.append(state)
+        slots.append(slot)
+        journals.append(journal)
+    if campaigns:
+        batch = BatchCampaign(campaigns, resume_states=resume_states)
+        results = batch.run()
+        for slot, journal, result in zip(slots, journals, results):
+            warnings = list(journal.warnings) if journal is not None else []
+            out[slot] = (result, warnings)
+    return out

@@ -142,6 +142,28 @@ def _shard_worker(factory: CampaignFactory, spec: ShardSpec, conn,
         conn.close()
 
 
+def _batch_worker(factory: CampaignFactory, specs: tuple, conn,
+                  journal_infos=None) -> None:
+    """Worker entry point for a chunk of shards run as one batched
+    lockstep engine (:func:`repro.fuzz.batch.run_shard_batch`).
+
+    Replies ``("batch", [(result_json, warnings), ...])`` aligned with
+    ``specs``.  Any failure -- including one ineligible world, which
+    the engine itself handles by falling back to scalar execution, so
+    in practice only real faults land here -- is reported for the whole
+    chunk; the parent retries each shard individually.
+    """
+    try:
+        from repro.fuzz.batch import run_shard_batch
+        pairs = run_shard_batch(factory, specs, journal_infos=journal_infos)
+        conn.send(("batch", [(result.to_json(), list(warnings))
+                             for result, warnings in pairs]))
+    except BaseException:
+        conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
 @dataclass
 class ShardOutcome:
     """One shard's contribution to the merged result."""
@@ -321,9 +343,10 @@ class ShardedResult:
 
 @dataclass
 class _Worker:
-    """Parent-side handle for one in-flight shard attempt."""
+    """Parent-side handle for one in-flight worker (one shard attempt,
+    or a batched chunk of them)."""
 
-    spec: ShardSpec
+    specs: tuple[ShardSpec, ...]
     process: multiprocessing.process.BaseProcess
     conn: object
     started: float
@@ -357,6 +380,13 @@ class ShardedCampaign:
             use to open their journal backend (default
             :class:`DirectoryStore`; chaos tests inject a
             :class:`FaultyStore` builder here).
+        batch_size: shards per worker process.  ``1`` (the default)
+            runs each shard through the scalar simulator as before;
+            larger values hand chunks of shards to the vectorised
+            lockstep engine (:mod:`repro.fuzz.batch`), which produces
+            bit-identical results at a fraction of the interpreter
+            cost.  A batched worker's hang deadline scales with its
+            chunk size, and a faulted chunk is retried per shard.
     """
 
     def __init__(self, factory: CampaignFactory, *, shards: int,
@@ -365,7 +395,8 @@ class ShardedCampaign:
                  max_retries: int = 1, mp_context=None,
                  journal_dir: str | os.PathLike | None = None,
                  checkpoint_every: int = 5000,
-                 store_factory: Callable[[str], object] | None = None) -> None:
+                 store_factory: Callable[[str], object] | None = None,
+                 batch_size: int = 1) -> None:
         if shards <= 0:
             raise ValueError("shards must be positive")
         if jobs is not None and jobs <= 0:
@@ -376,6 +407,9 @@ class ShardedCampaign:
             raise ValueError("max_retries must be >= 0")
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
         self.factory = factory
         self.shards = shards
         self.master_seed = master_seed
@@ -543,20 +577,22 @@ class ShardedCampaign:
         while pending or workers:
             # Launch up to the (possibly degraded) concurrency cap.
             while pending and len(workers) < jobs:
-                spec = pending.popleft()
-                worker = self._spawn(ctx, spec)
+                count = min(self.batch_size, len(pending))
+                chunk = tuple(pending.popleft() for _ in range(count))
+                worker = self._spawn(ctx, chunk)
                 if worker is not None:
                     workers.append(worker)
                     continue
                 if workers:
                     # The OS refused a process while others run: put
-                    # the spec back and degrade to the level that works.
-                    pending.appendleft(spec)
+                    # the chunk back and degrade to the level that works.
+                    pending.extendleft(reversed(chunk))
                     jobs = len(workers)
                 else:
                     # Cannot run even one worker: execute inline.
-                    outcomes[spec.index] = self._run_inline(
-                        spec, faults=tuple(fault_log[spec.index]))
+                    for spec in chunk:
+                        outcomes[spec.index] = self._run_inline(
+                            spec, faults=tuple(fault_log[spec.index]))
                 break
             if not workers:
                 continue
@@ -572,14 +608,16 @@ class ShardedCampaign:
                                failures, retries)
                 elif now >= worker.deadline:
                     self._kill(worker)
-                    self._record_fault(
-                        worker.spec,
-                        f"worker hung: no result within "
-                        f"{self.shard_timeout:.0f} s, killed "
-                        f"(exit code {worker.process.exitcode}, "
-                        f"{now - worker.started:.1f} s wall"
-                        f"{self._journal_progress_note(worker.spec)})",
-                        fault_log, pending, failures, retries)
+                    budget = self.shard_timeout * len(worker.specs)
+                    for spec in worker.specs:
+                        self._record_fault(
+                            spec,
+                            f"worker hung: no result within "
+                            f"{budget:.0f} s, killed "
+                            f"(exit code {worker.process.exitcode}, "
+                            f"{now - worker.started:.1f} s wall"
+                            f"{self._journal_progress_note(spec)})",
+                            fault_log, pending, failures, retries)
                 else:
                     still_running.append(worker)
             workers = still_running
@@ -591,18 +629,30 @@ class ShardedCampaign:
             failures=[failures[i] for i in sorted(failures)])
 
     # -- worker lifecycle ----------------------------------------------
-    def _spawn(self, ctx, spec: ShardSpec) -> _Worker | None:
-        """Start one worker; None when the OS refuses resources."""
+    def _spawn(self, ctx, chunk: tuple[ShardSpec, ...]) -> _Worker | None:
+        """Start one worker; None when the OS refuses resources.
+
+        A single-spec chunk runs the scalar worker; a larger chunk runs
+        the batched lockstep worker.  The hang deadline scales with the
+        chunk size -- ``shard_timeout`` stays a per-shard budget.
+        """
         try:
             parent_conn, child_conn = ctx.Pipe(duplex=False)
         except OSError:
             return None
+        if len(chunk) == 1:
+            target = _shard_worker
+            args = (self.factory, chunk[0], child_conn,
+                    self._journal_info(chunk[0]))
+            name = f"fuzz-shard-{chunk[0].index}"
+        else:
+            target = _batch_worker
+            args = (self.factory, chunk, child_conn,
+                    [self._journal_info(spec) for spec in chunk])
+            name = f"fuzz-batch-{chunk[0].index}-{chunk[-1].index}"
         try:
-            process = ctx.Process(
-                target=_shard_worker,
-                args=(self.factory, spec, child_conn,
-                      self._journal_info(spec)),
-                name=f"fuzz-shard-{spec.index}", daemon=True)
+            process = ctx.Process(target=target, args=args, name=name,
+                                  daemon=True)
             process.start()
         except OSError:
             parent_conn.close()
@@ -610,13 +660,13 @@ class ShardedCampaign:
             return None
         child_conn.close()
         now = time.monotonic()
-        return _Worker(spec=spec, process=process, conn=parent_conn,
-                       started=now, deadline=now + self.shard_timeout)
+        return _Worker(specs=chunk, process=process, conn=parent_conn,
+                       started=now,
+                       deadline=now + self.shard_timeout * len(chunk))
 
     def _reap(self, worker: _Worker, outcomes: dict, fault_log: dict,
               pending: deque, failures: dict, retries: dict) -> None:
-        """Collect a readable worker: a result, an error, or a corpse."""
-        spec = worker.spec
+        """Collect a readable worker: results, an error, or a corpse."""
         warnings: tuple[str, ...] = ()
         try:
             message = worker.conn.recv()
@@ -627,23 +677,35 @@ class ShardedCampaign:
             worker.process.join()
             kind = "error"
             # The corpse tells us nothing, but its journal does: record
-            # how far the shard durably got before dying, so summary()
+            # how far each shard durably got before dying, so summary()
             # shows what the crash cost instead of silently dropping it.
             payload = (f"worker crashed without reporting "
                        f"(exit code {worker.process.exitcode}, "
-                       f"{time.monotonic() - worker.started:.1f} s wall"
-                       f"{self._journal_progress_note(spec)})")
+                       f"{time.monotonic() - worker.started:.1f} s wall)")
         worker.conn.close()
         worker.process.join()
+        wall = time.monotonic() - worker.started
         if kind == "ok":
+            spec = worker.specs[0]
             outcomes[spec.index] = ShardOutcome(
                 index=spec.index, seed=spec.seed, attempt=spec.attempt,
                 result=FuzzResult.from_json(payload),
-                wall_seconds=time.monotonic() - worker.started,
+                wall_seconds=wall,
                 faults=tuple(fault_log[spec.index]), warnings=warnings)
+        elif kind == "batch":
+            for spec, (result_json, shard_warnings) in zip(worker.specs,
+                                                           payload):
+                outcomes[spec.index] = ShardOutcome(
+                    index=spec.index, seed=spec.seed, attempt=spec.attempt,
+                    result=FuzzResult.from_json(result_json),
+                    wall_seconds=wall,
+                    faults=tuple(fault_log[spec.index]),
+                    warnings=tuple(shard_warnings))
         else:
-            self._record_fault(spec, payload, fault_log, pending, failures,
-                               retries)
+            for spec in worker.specs:
+                self._record_fault(
+                    spec, payload + self._journal_progress_note(spec),
+                    fault_log, pending, failures, retries)
 
     def _kill(self, worker: _Worker) -> None:
         worker.process.terminate()

@@ -1,0 +1,295 @@
+"""Vectorised multi-world kernel primitives.
+
+The scalar :class:`~repro.sim.kernel.Simulator` dispatches one Python
+closure per event; a fuzz campaign fires two to three events per frame,
+which caps throughput near the interpreter's call rate.  This module
+holds the primitives that let N independent campaign worlds advance in
+lockstep instead -- one numpy operation per tick across all worlds:
+
+- :class:`BatchRandom`: W CPython-``random.Random``-compatible MT19937
+  streams stored as struct-of-arrays word buffers.  Draw emulation is
+  *bit-exact*: ``randbelow``/``randbytes8`` consume exactly the 32-bit
+  words CPython's ``_randbelow``/``randbytes`` would, including
+  rejection re-draws, so a world's stream can be exported back into a
+  ``random.Random`` at any frame boundary (:meth:`BatchRandom.getstate`)
+  and continue scalar bit-identically.
+- :class:`FrameRing`: struct-of-arrays ring buffers for the per-world
+  recent-transmit windows (ids, DLCs, payload bytes, timestamps).
+
+Nothing here knows about CAN or campaigns; the analytic campaign model
+that drives these arrays lives in :mod:`repro.fuzz.batch`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+#: MT19937 state size in 32-bit words.
+MT_N = 624
+
+#: CPython ``Random.getstate()`` version these streams speak.
+PY_STATE_VERSION = 3
+
+#: Buffered words examined per world in one vectorised rejection scan
+#: (``randbelow``).  Acceptance is always >= 50% (the shift keeps one
+#: bit of headroom at most), so six words leave under 2% of worlds to
+#: the scalar straggler path.
+_SCAN_WIDTH = 6
+
+_SCAN_OFFSETS = np.arange(_SCAN_WIDTH, dtype=np.int64)
+
+_BYTE_SHIFTS = np.arange(8, dtype=np.uint64) * np.uint64(8)
+
+_ARANGE = np.arange(256)
+
+
+def _row_index(count: int) -> np.ndarray:
+    """Cached ``arange(count)`` view for row-wise fancy indexing."""
+    global _ARANGE
+    if count > _ARANGE.size:
+        _ARANGE = np.arange(count)
+    return _ARANGE[:count]
+
+
+def state_from_random(rng) -> tuple:
+    """``rng.getstate()`` validated for lockstep transplanting.
+
+    Raises ``ValueError`` for anything but a plain version-3 MT19937
+    state with no buffered gauss value -- the only shape whose future
+    draws are a pure function of the 624-word key and position.
+    """
+    state = rng.getstate()
+    version, internal, gauss_next = state
+    if version != PY_STATE_VERSION:
+        raise ValueError(f"unsupported Random state version {version}")
+    if len(internal) != MT_N + 1:
+        raise ValueError("malformed MT19937 internal state")
+    if gauss_next is not None:
+        raise ValueError("Random carries a buffered gauss value; "
+                         "its stream is not word-aligned")
+    return state
+
+
+class BatchRandom:
+    """W lockstep MT19937 streams, bit-exact with ``random.Random``.
+
+    Internally each world holds a numpy ``MT19937`` bit generator plus
+    a refill buffer of raw ``genrand_uint32`` words.  Refills are
+    *twist-aligned* (never past the end of a 624-word block), so the
+    logical CPython state ``(key, pos)`` is reconstructible at any
+    word boundary: ``pos`` advances through the current key block and a
+    refill that crosses a twist swaps in the twisted key at ``pos 0``.
+    """
+
+    def __init__(self, states: Sequence[tuple]) -> None:
+        worlds = len(states)
+        if worlds == 0:
+            raise ValueError("BatchRandom needs at least one world")
+        self.worlds = worlds
+        self._bitgens: list[np.random.MT19937] = []
+        self._base_pos = np.zeros(worlds, dtype=np.int64)
+        # The bit generator's own block position, tracked here so a
+        # refill never has to read ``bitgen.state`` back (that property
+        # rebuilds the full 624-word state dict on every access).
+        self._mt_pos = np.zeros(worlds, dtype=np.int64)
+        self._buf = np.zeros((worlds, MT_N), dtype=np.uint32)
+        self._buf_len = np.zeros(worlds, dtype=np.int64)
+        self._buf_pos = np.zeros(worlds, dtype=np.int64)
+        for world, state in enumerate(states):
+            version, internal, gauss_next = state
+            if (version != PY_STATE_VERSION or len(internal) != MT_N + 1
+                    or gauss_next is not None):
+                raise ValueError(f"world {world}: not a plain version-3 "
+                                 f"MT19937 state")
+            key = np.array(internal[:MT_N], dtype=np.uint32)
+            pos = int(internal[MT_N])
+            bitgen = np.random.MT19937()
+            bitgen.state = {"bit_generator": "MT19937",
+                            "state": {"key": key.astype(np.uint64),
+                                      "pos": pos}}
+            self._bitgens.append(bitgen)
+            self._base_pos[world] = pos
+            self._mt_pos[world] = pos
+
+    @classmethod
+    def from_randoms(cls, rngs: Sequence) -> "BatchRandom":
+        """Transplant live ``random.Random`` instances."""
+        return cls([state_from_random(rng) for rng in rngs])
+
+    def _refill(self, world: int) -> None:
+        """Buffer raw words up to (never past) the next twist.
+
+        Afterwards the bit generator sits exactly at its block end, so
+        its key -- read lazily by :meth:`getstate` -- is the buffered
+        block's key for the whole life of the buffer.
+        """
+        bitgen = self._bitgens[world]
+        pos = self._mt_pos[world]
+        count = MT_N - pos if pos < MT_N else MT_N
+        self._buf[world, :count] = bitgen.random_raw(int(count))
+        self._base_pos[world] = pos if pos < MT_N else 0
+        self._mt_pos[world] = MT_N
+        self._buf_len[world] = count
+        self._buf_pos[world] = 0
+
+    def _draw_one(self, world: int) -> int:
+        """One raw word for one world (scalar path for rare cases)."""
+        pos = self._buf_pos[world]
+        if pos >= self._buf_len[world]:
+            self._refill(world)
+            pos = 0
+        self._buf_pos[world] = pos + 1
+        return int(self._buf[world, pos])
+
+    def next_words(self, idx: np.ndarray) -> np.ndarray:
+        """One raw 32-bit word per world in ``idx`` (uint32 values).
+
+        ``idx`` may repeat a world only across *calls*, not within one
+        -- a call draws exactly one word per listed world.
+        """
+        buf_pos = self._buf_pos
+        pos = buf_pos[idx]
+        exhausted = pos >= self._buf_len[idx]
+        if exhausted.any():
+            for world in idx[exhausted]:
+                self._refill(int(world))
+            pos = buf_pos[idx]
+        out = self._buf[idx, pos]
+        buf_pos[idx] = pos + 1
+        return out
+
+    def randbelow(self, idx: np.ndarray, n: int) -> np.ndarray:
+        """``Random._randbelow(n)`` for each world in ``idx``.
+
+        Rejection sampling draws per-world until the value lands below
+        ``n`` -- the identical word consumption as CPython.  The
+        geometric tail of stragglers drops to a scalar loop once few
+        worlds remain: each vectorised round costs the same fixed
+        overhead whether it redraws thirty worlds or one.
+        """
+        if n <= 0:
+            raise ValueError(f"randbelow needs n > 0, got {n}")
+        shift = 32 - n.bit_length()
+        rows = _row_index(idx.size)
+        pos = self._buf_pos[idx]
+        offsets = pos[:, None] + _SCAN_OFFSETS
+        usable = offsets < self._buf_len[idx, None]
+        np.minimum(offsets, MT_N - 1, out=offsets)
+        window = self._buf[idx[:, None], offsets] >> shift
+        accepted = (window < n) & usable
+        first = accepted.argmax(axis=1)
+        out = window[rows, first]
+        hit = accepted[rows, first]
+        winners = hit.nonzero()[0]
+        self._buf_pos[idx[winners]] = pos[winners] + first[winners] + 1
+        if winners.size != idx.size:
+            # Straggler path: every usable window word was a rejection
+            # (or the buffer ran dry).  Those words are consumed in one
+            # jump -- rescanning them one by one would only reject each
+            # again -- then the scalar loop continues past the window.
+            for slot in (~hit).nonzero()[0]:
+                world = int(idx[slot])
+                self._buf_pos[world] += int(np.count_nonzero(usable[slot]))
+                value = self._draw_one(world) >> shift
+                while value >= n:
+                    value = self._draw_one(world) >> shift
+                out[slot] = value
+        return out
+
+    def randbytes8(self, idx: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """``Random.randbytes(length)`` per world, zero-padded to 8 columns.
+
+        ``lengths`` must be 0..8 (one classic CAN payload per world).
+        Word consumption matches CPython exactly: zero-length draws no
+        word, 1-4 bytes one word, 5-8 bytes two.
+        """
+        count = idx.size
+        lengths = np.asarray(lengths, dtype=np.int64)
+        value = np.zeros(count, dtype=np.uint64)
+        has_bytes = lengths >= 1
+        some = has_bytes.nonzero()[0]
+        if some.size:
+            value[some] = self.next_words(idx[some])
+        wide = (lengths >= 5).nonzero()[0]
+        if wide.size:
+            hi = self.next_words(idx[wide]).astype(np.uint64)
+            value[wide] |= (hi >> (64 - 8 * lengths[wide]).astype(
+                np.uint64)) << np.uint64(32)
+        narrow = (has_bytes & (lengths <= 4)).nonzero()[0]
+        if narrow.size:
+            value[narrow] >>= (32 - 8 * lengths[narrow]).astype(np.uint64)
+        # A world's value holds exactly 8*length random bits, so byte
+        # columns at and beyond the length unpack to zero on their own.
+        return ((value[:, None] >> _BYTE_SHIFTS)
+                & np.uint64(0xFF)).astype(np.uint8)
+
+    def getstate(self, world: int) -> tuple:
+        """The world's logical ``random.Random.getstate()`` tuple.
+
+        Feeding this to ``Random.setstate`` yields a scalar stream that
+        continues bit-identically from the words consumed so far.  The
+        key is read from the bit generator here (a rare, export-time
+        cost): after any refill it is exactly the buffered block's key,
+        and before the first refill it is the transplanted key.
+        """
+        pos = int(self._base_pos[world] + self._buf_pos[world])
+        state_key = self._bitgens[world].state["state"]["key"]
+        key = tuple(int(word) for word in state_key)
+        return (PY_STATE_VERSION, key + (pos,), None)
+
+
+class FrameRing:
+    """Struct-of-arrays ring buffers for per-world recent-frame windows.
+
+    One ``append`` writes a whole vector of frames (one per listed
+    world) into fixed-size rings; :meth:`window` reads one world's
+    window back in oldest-first order for result assembly.
+    """
+
+    def __init__(self, worlds: int, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.times = np.zeros((worlds, capacity), dtype=np.int64)
+        self.ids = np.zeros((worlds, capacity), dtype=np.int64)
+        self.dlcs = np.zeros((worlds, capacity), dtype=np.int64)
+        self.data = np.zeros((worlds, capacity, 8), dtype=np.uint8)
+        self.filled = np.zeros(worlds, dtype=np.int64)
+
+    def append(self, idx: np.ndarray, times: np.ndarray, ids: np.ndarray,
+               dlcs: np.ndarray, data: np.ndarray) -> None:
+        """Push one frame per world in ``idx`` (vectorised)."""
+        slot = self.filled[idx] % self.capacity
+        self.times[idx, slot] = times
+        self.ids[idx, slot] = ids
+        self.dlcs[idx, slot] = dlcs
+        self.data[idx, slot] = data
+        self.filled[idx] += 1
+
+    def seed(self, world: int, entries) -> None:
+        """Preload one world's window (oldest first) from a resume."""
+        for time, can_id, dlc, payload in entries:
+            slot = int(self.filled[world]) % self.capacity
+            self.times[world, slot] = time
+            self.ids[world, slot] = can_id
+            self.dlcs[world, slot] = dlc
+            row = np.zeros(8, dtype=np.uint8)
+            row[:len(payload)] = np.frombuffer(payload, dtype=np.uint8)
+            self.data[world, slot] = row
+            self.filled[world] += 1
+
+    def window(self, world: int) -> list[tuple[int, int, int, bytes]]:
+        """(time, id, dlc, payload) rows, oldest first."""
+        filled = int(self.filled[world])
+        length = min(filled, self.capacity)
+        start = filled - length
+        rows = []
+        for offset in range(start, filled):
+            slot = offset % self.capacity
+            dlc = int(self.dlcs[world, slot])
+            rows.append((int(self.times[world, slot]),
+                         int(self.ids[world, slot]), dlc,
+                         bytes(self.data[world, slot, :dlc])))
+        return rows

@@ -165,10 +165,21 @@ class Simulator:
     def run_until_idle(self, max_time: int | None = None) -> None:
         """Run until no events remain (or ``max_time`` is reached).
 
+        Shares :meth:`run_until`'s clock contract: with ``max_time``
+        set, the clock finishes exactly at ``max_time`` even if the
+        queue drains early (and regardless of how many events remained
+        beyond it), so callers can rely on ``sim.now == max_time``
+        unless :meth:`stop` was requested.
+
         Args:
             max_time: safety limit in absolute ticks; without it a
                 periodic process would make this loop run forever.
         """
+        if max_time is not None and max_time < self.now:
+            raise SimulationError(
+                f"max_time {format_time(max_time)} is in the past "
+                f"(now {format_time(self.now)})"
+            )
         self._running = True
         self._stop_requested = False
         queue = self._queue
@@ -180,20 +191,44 @@ class Simulator:
                 else:
                     event = queue.pop_due(max_time)
                 if event is None:
-                    # pop_due also returns None when events remain
-                    # beyond max_time; the clock still advances there.
-                    if max_time is not None and queue.peek_time() is not None:
-                        self.clock.advance_to(max_time)
                     break
                 advance(event.time)
                 self._events_fired += 1
                 event.action()
         finally:
             self._running = False
+        if max_time is not None and not self._stop_requested:
+            self.clock.advance_to(max_time)
 
     def stop(self) -> None:
         """Request that the current ``run_*`` call return after this event."""
         self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def pending_entries(self) -> list[tuple[int, int, str]]:
+        """Live pending events as ``(time, priority, label)`` rows.
+
+        The label falls back to the action's ``__qualname__`` (or type
+        name) when no explicit label was given.  Rows come back in
+        firing order.  This exists for schedulers that must prove a
+        world quiescent before taking it off the event queue -- the
+        batch engine's eligibility check walks it to verify that only
+        recognised periodic activity is outstanding.
+        """
+        entries: list[tuple[int, int, str]] = []
+        for entry in sorted(self._queue._heap):
+            item = entry[3]
+            if isinstance(item, Event):
+                if item.cancelled:
+                    continue
+                name = item.label or getattr(item.action, "__qualname__",
+                                             type(item.action).__name__)
+            else:
+                name = getattr(item, "__qualname__", type(item).__name__)
+            entries.append((entry[0], entry[1], name))
+        return entries
 
     # ------------------------------------------------------------------
     # Snapshot / restore

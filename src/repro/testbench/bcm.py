@@ -41,6 +41,14 @@ COMMAND_SPEC_DLC = 7
 #: Supported unlock-check configurations.
 CHECK_MODES = ("byte", "byte+dlc", "two-byte")
 
+#: The BCM's periodic lock-status broadcast.  Exported so schedulers
+#: that model the bench analytically (the batch engine) share one
+#: source of truth with the scalar node below.
+STATUS_ID = 0x4F2
+STATUS_PERIOD = 100 * MS
+STATUS_PHASE = 9 * MS
+STATUS_LABEL = "bench-bcm:status"
+
 
 class BenchBcm(Ecu):
     """The bench BCM with its lock-status LED.
@@ -70,8 +78,8 @@ class BenchBcm(Ecu):
         self.on_id(BODY_COMMAND_ID, self._on_command)
         # A light periodic status message: the bench carried "a small
         # subset of those transmitted on the target vehicle's CAN bus".
-        self.every(100 * MS, self._send_status, phase=9 * MS,
-                   label="bench-bcm:status")
+        self.every(STATUS_PERIOD, self._send_status, phase=STATUS_PHASE,
+                   label=STATUS_LABEL)
 
     @property
     def led_on(self) -> bool:
@@ -119,6 +127,9 @@ class BenchBcm(Ecu):
         payload = bytes((0x01 if unlocked else 0x00, self._ack_counter))
         self.send(CanFrame(UNLOCK_ACK_ID, payload))
 
+    def status_payload(self) -> bytes:
+        """The status broadcast for the current lock state."""
+        return bytes((0x00 if self.locked else 0x01, 0x5A, 0x00))
+
     def _send_status(self) -> None:
-        payload = bytes((0x00 if self.locked else 0x01, 0x5A, 0x00))
-        self.send(CanFrame(0x4F2, payload))
+        self.send(CanFrame(STATUS_ID, self.status_payload()))

@@ -33,18 +33,22 @@ class DiagTestbench:
             draws from ``streams.stream("uds-fuzzer")``).
         boot_time: target ECU boot delay.
         client_timeout: tester request timeout.
+        key_algorithm: seed-to-key routine installed in the target's
+            security access (default: the server's stock XOR); the
+            tester is *not* told -- state generators must learn it.
     """
 
     def __init__(self, *, seed: int = 0, boot_time: int = 20 * MS,
                  client_timeout: int = 200 * MS,
-                 name: str = "diag-bench") -> None:
+                 name: str = "diag-bench",
+                 key_algorithm=None) -> None:
         self.seed = seed
         self.sim = Simulator()
         self.streams = RandomStreams(seed)
         self.bus = CanBus(self.sim, name=name)
         self.ecu = Ecu(self.sim, self.bus, "diag-target",
                        boot_time=boot_time)
-        self.server = UdsServer(self.ecu)
+        self.server = UdsServer(self.ecu, key_algorithm=key_algorithm)
         self.client = UdsClient(self.sim, self.bus,
                                 timeout=client_timeout)
 

@@ -91,11 +91,16 @@ class UnlockBenchFactory:
             bench.bus.attach_channel(channel)
         if self.supervise:
             oracles.append(CampaignSupervisor(bench.bus))
-        return FuzzCampaign(
+        campaign = FuzzCampaign(
             bench.sim, adapter, generator, limits=spec.limits,
             oracles=oracles, interval=self.interval,
             name=f"unlock-{self.check_mode}-shard{spec.index}",
             channel=channel)
+        # Pin the bench on the campaign: it keeps the world alive for
+        # the campaign's lifetime and lets the batched lockstep engine
+        # (repro.fuzz.batch) find the target it must model.
+        campaign.bench = bench
+        return campaign
 
 
 @dataclass(frozen=True)
@@ -117,13 +122,22 @@ class UdsBenchFactory:
     boot_time: int = 20 * MS
     recent_window: int = 32
     stop_on_finding: bool = True
+    #: Index into :data:`repro.uds.stategen.KEY_ALGORITHMS` for the
+    #: *target's* seed-to-key routine (an index, not a callable, so
+    #: the factory stays pickleable).  None keeps the server default;
+    #: the generator still has to learn whichever one is installed.
+    key_algorithm: int | None = None
 
     def __call__(self, spec: ShardSpec):
         from repro.fuzz.uds_campaign import UdsFuzzCampaign
         from repro.testbench.diag import DiagTestbench
-        from repro.uds.stategen import UdsStateGenerator
+        from repro.uds.stategen import KEY_ALGORITHMS, UdsStateGenerator
 
-        bench = DiagTestbench(seed=spec.seed, boot_time=self.boot_time)
+        algorithm = None
+        if self.key_algorithm is not None:
+            algorithm = KEY_ALGORITHMS[self.key_algorithm][1]
+        bench = DiagTestbench(seed=spec.seed, boot_time=self.boot_time,
+                              key_algorithm=algorithm)
         bench.power_on(settle_seconds=self.settle_seconds)
         generator = UdsStateGenerator(
             bench.streams.stream("uds-fuzzer"),
@@ -149,11 +163,19 @@ class UdsReplayFactory:
     seed: int = 0
     settle_seconds: float = 0.05
     boot_time: int = 20 * MS
+    #: Target key-algorithm index, matching the campaign bench's
+    #: (:class:`UdsBenchFactory.key_algorithm`).
+    key_algorithm: int | None = None
 
     def __call__(self):
         from repro.testbench.diag import DiagTestbench
+        from repro.uds.stategen import KEY_ALGORITHMS
 
-        bench = DiagTestbench(seed=self.seed, boot_time=self.boot_time)
+        algorithm = None
+        if self.key_algorithm is not None:
+            algorithm = KEY_ALGORITHMS[self.key_algorithm][1]
+        bench = DiagTestbench(seed=self.seed, boot_time=self.boot_time,
+                              key_algorithm=algorithm)
         bench.power_on(settle_seconds=self.settle_seconds)
         # The bound method pins the bench for the probe's lifetime.
         return bench.sim, bench.client, bench.crashed

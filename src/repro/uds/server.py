@@ -42,8 +42,19 @@ BOOTLOADER_SCRATCH_DID = 0xF1A0
 #: Size of the scratch buffer the defective handler writes into.
 SCRATCH_BUFFER_SIZE = 16
 
+#: The DID whose *read* crashes the ECU, but only from an unlocked
+#: programming session (the seeded state-dependent-read defect): the
+#: dump handler walks a calibration pointer table that reprogramming
+#: mode leaves unmapped.  Locked testers just see 0x33.
+CALIBRATION_DUMP_DID = 0xF1A5
+
 #: XOR secret for the toy seed/key security algorithm.
 SECURITY_XOR_SECRET = 0xA5
+
+
+def default_key_algorithm(seed: int) -> int:
+    """The server's stock seed-to-key routine (XOR with ``0xA5``)."""
+    return seed ^ SECURITY_XOR_SECRET
 
 
 class UdsServer:
@@ -53,13 +64,20 @@ class UdsServer:
         ecu: the host ECU; sessions drive ``ecu.modes`` and the seeded
             defect crashes the ECU through its normal crash path.
         rx_id / tx_id: request/response CAN identifiers.
+        key_algorithm: seed-to-key routine for security access
+            (``seed byte -> key byte``); defaults to
+            :func:`default_key_algorithm`.  Testers do not know it --
+            the state generator has to learn it from its candidate
+            library (:data:`repro.uds.stategen.KEY_ALGORITHMS`).
     """
 
     def __init__(self, ecu: Ecu, *, rx_id: int = DEFAULT_RX_ID,
-                 tx_id: int = DEFAULT_TX_ID) -> None:
+                 tx_id: int = DEFAULT_TX_ID,
+                 key_algorithm=None) -> None:
         self.ecu = ecu
         self.rx_id = rx_id
         self.tx_id = tx_id
+        self.key_algorithm = key_algorithm or default_key_algorithm
         self.endpoint = IsoTpEndpoint(ecu.sim, ecu.send, tx_id, rx_id)
         self.endpoint.on_message(self._on_request)
         ecu.on_id(rx_id, self.endpoint.handle_frame)
@@ -156,6 +174,18 @@ class UdsServer:
             return negative_response(
                 sid, NegativeResponse.INCORRECT_MESSAGE_LENGTH)
         did = (request[1] << 8) | request[2]
+        if did == CALIBRATION_DUMP_DID:
+            if (self.ecu.modes.mode is OperatingMode.PROGRAMMING
+                    and self.ecu.modes.security_unlocked):
+                # THE SEEDED DEFECT (state-dependent read): in
+                # programming mode the calibration pointer table is
+                # unmapped, and the dump handler dereferences it
+                # anyway.  Only an armed tester can get here.
+                self.ecu._crash()
+                return negative_response(
+                    sid, NegativeResponse.CONDITIONS_NOT_CORRECT)
+            return negative_response(
+                sid, NegativeResponse.SECURITY_ACCESS_DENIED)
         value = self.data_identifiers.get(did)
         if value is None:
             return negative_response(
@@ -186,7 +216,7 @@ class UdsServer:
             if len(request) != 3:
                 return negative_response(
                     sid, NegativeResponse.INCORRECT_MESSAGE_LENGTH)
-            expected = self._pending_seed ^ SECURITY_XOR_SECRET
+            expected = self.key_algorithm(self._pending_seed) & 0xFF
             self._pending_seed = None
             if request[2] != expected:
                 self.failed_key_attempts += 1
@@ -218,6 +248,11 @@ class UdsServer:
                     sid, NegativeResponse.GENERAL_PROGRAMMING_FAILURE)
             self.data_identifiers[did] = bytes(record)
             return positive_response(sid, request[1:3])
+        if did == CALIBRATION_DUMP_DID:
+            # Read-only protected area: the denial is what marks the
+            # DID interesting to a sweeping tester.
+            return negative_response(
+                sid, NegativeResponse.SECURITY_ACCESS_DENIED)
         if did in self.data_identifiers:
             return negative_response(
                 sid, NegativeResponse.SECURITY_ACCESS_DENIED)

@@ -57,13 +57,47 @@ NO_SUB = -1
 #: Services whose second request byte is a sub-function.
 SUB_FUNCTION_SIDS = frozenset((0x10, 0x11, 0x27, 0x28, 0x31, 0x3E, 0x85))
 
+def crc8_key(seed: int) -> int:
+    """CRC-8/SAE-J1850 of the seed byte (poly 0x1D, init/xorout 0xFF).
+
+    The polynomial automotive ECUs actually ship for message CRCs, so
+    it is a natural candidate for a vendor's seed-to-key routine.
+    """
+    crc = 0xFF ^ (seed & 0xFF)
+    for _ in range(8):
+        if crc & 0x80:
+            crc = ((crc << 1) ^ 0x1D) & 0xFF
+        else:
+            crc = (crc << 1) & 0xFF
+    return crc ^ 0xFF
+
+
+def lfsr8_key(seed: int) -> int:
+    """Eight steps of an 8-bit Galois LFSR (taps ``0xB8``) over the seed.
+
+    A zero seed is mapped to ``0xFF`` first: an all-zero LFSR state
+    never leaves zero, which would make the key trivially guessable.
+    """
+    state = (seed & 0xFF) or 0xFF
+    for _ in range(8):
+        lsb = state & 1
+        state >>= 1
+        if lsb:
+            state ^= 0xB8
+    return state
+
+
 #: Candidate seed-to-key algorithms, tried until one is confirmed.
+#: Append-only: indices are persisted in checkpoints and finding
+#: metadata, so existing entries must keep their positions.
 KEY_ALGORITHMS: tuple[tuple[str, Callable[[int], int]], ...] = (
     ("xor-a5", lambda seed: seed ^ 0xA5),
     ("identity", lambda seed: seed),
     ("complement", lambda seed: seed ^ 0xFF),
     ("plus-one", lambda seed: (seed + 1) & 0xFF),
     ("swap-nibbles", lambda seed: ((seed << 4) | (seed >> 4)) & 0xFF),
+    ("crc8-j1850", crc8_key),
+    ("lfsr8-b8", lfsr8_key),
 )
 
 #: Record lengths for attack writes: boundary values around typical
@@ -150,7 +184,22 @@ class UdsStateGenerator:
         if self._session != SESSION_PROGRAMMING:
             return bytes((ServiceId.DIAGNOSTIC_SESSION_CONTROL,
                           SESSION_PROGRAMMING))
+        if self._rng.random() < 0.2:
+            # Armed-state read probe: some defects fire on *reading*
+            # protected data mid-reprogram, which attack writes alone
+            # would never exercise.
+            return self._armed_read()
         return self._attack_write()
+
+    def _armed_read(self) -> bytes:
+        """Read a DID worth attacking from the armed state."""
+        rng = self._rng
+        if self._interesting_dids and rng.random() < 0.7:
+            did = rng.choice(sorted(self._interesting_dids))
+        else:
+            did = self._advance_sweep()
+        return bytes((ServiceId.READ_DATA_BY_IDENTIFIER,
+                      did >> 8, did & 0xFF))
 
     def _attack_write(self) -> bytes:
         """Boundary-length write to a DID worth attacking."""

@@ -1,0 +1,336 @@
+"""Scalar-vs-batch parity for the lockstep multi-world engine.
+
+The batch engine's whole contract is *bit-identical* results: the same
+seeds must produce the same ``FuzzResult.to_dict()`` whether a world
+runs through the scalar event kernel or the vectorised lockstep
+arrays, including every journal artefact (record stream, checkpoint
+file, result file) and every resume path.  These tests pin that
+contract across finding kinds, payload check modes, limit shapes,
+durability and the sharded runner's batched workers.
+"""
+
+import json
+import random
+import shutil
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fuzz.batch import BatchCampaign, run_shard_batch
+from repro.fuzz.campaign import CampaignLimits, FuzzCampaign, resume_campaign
+from repro.fuzz.config import FuzzConfig
+from repro.fuzz.durability import CampaignJournal, DirectoryStore, scan_records
+from repro.fuzz.generator import RandomFrameGenerator
+from repro.fuzz.oracle import AckMessageOracle, PhysicalStateOracle
+from repro.fuzz.parallel import ShardSpec, ShardedCampaign, derive_shard_seed
+from repro.sim.clock import MS
+from repro.testbench.bcm import STATUS_ID, UNLOCK_ACK_ID
+from repro.testbench.bench import UnlockTestbench
+from repro.testbench.factory import UnlockBenchFactory, _unlock_ack
+
+
+def build_world(kind, seed, mode="byte", max_frames=4000):
+    """One deterministic campaign world; call twice for twin copies."""
+    if kind == "factory":
+        factory = UnlockBenchFactory(check_mode=mode)
+        spec = ShardSpec(index=seed, shard_count=64, master_seed=7,
+                         seed=derive_shard_seed(7, seed),
+                         limits=CampaignLimits(max_frames=max_frames))
+        return factory(spec)
+    bench = UnlockTestbench(seed=seed, check_mode=mode)
+    bench.power_on(settle_seconds=0.5)
+    adapter = bench.attacker_adapter()
+    cfg_kw = dict(id_choices=(0x215, 0x3A5, 0x4F2, 0x100),
+                  dlc_min=0, dlc_max=8)
+    if kind == "narrow":
+        cfg_kw.update(byte_min=0x10, byte_max=0x6F)
+    generator = RandomFrameGenerator(FuzzConfig(**cfg_kw),
+                                     random.Random(seed * 977 + 3))
+    oracles = []
+    if kind in ("ack", "time", "narrow"):
+        oracles = [
+            AckMessageOracle(bench.bus, UNLOCK_ACK_ID,
+                             predicate=_unlock_ack,
+                             exclude_sender=adapter.controller.name,
+                             name="unlock-ack"),
+            PhysicalStateOracle(lambda: bench.bcm.led_on, expected=False,
+                                period=20 * MS, name="led"),
+        ]
+    elif kind == "led":
+        oracles = [PhysicalStateOracle(lambda: bench.bcm.led_on,
+                                       expected=False, period=20 * MS,
+                                       name="led")]
+    elif kind == "status":
+        oracles = [AckMessageOracle(
+            bench.bus, STATUS_ID,
+            predicate=lambda f: bool(f.data) and f.data[0] == 0x00,
+            name="status-watch")]
+    if kind == "time":
+        limits = CampaignLimits(max_duration=150 * MS)
+    else:
+        limits = CampaignLimits(max_frames=max_frames)
+    campaign = FuzzCampaign(bench.sim, adapter, generator, limits=limits,
+                            oracles=oracles, interval=1 * MS,
+                            name=f"{kind}-{mode}-{seed}")
+    campaign.bench = bench
+    return campaign
+
+
+class TestFreshParity:
+    # One case per finding kind / check mode / limit shape: ack
+    # finding, LED-only oracle, hot status watch, time limit, narrowed
+    # byte range, and the stock factory bench (full id range).
+    CASES = [("ack", 0, "byte"), ("ack", 1, "byte+dlc"),
+             ("ack", 2, "two-byte"), ("led", 0, "byte"),
+             ("status", 1, "byte"), ("time", 0, "byte"),
+             ("narrow", 2, "two-byte"), ("factory", 0, "byte")]
+
+    def test_results_bit_identical_across_kinds(self):
+        scalar = [build_world(*case).run().to_dict()
+                  for case in self.CASES]
+        batch = BatchCampaign([build_world(*case) for case in self.CASES])
+        batched = [result.to_dict() for result in batch.run()]
+        assert batch.fallback_reasons == {}
+        for case, want, got in zip(self.CASES, scalar, batched):
+            assert got == want, case
+
+    def test_results_come_back_in_input_order(self):
+        campaigns = [build_world("ack", seed) for seed in (3, 1)]
+        names = [campaign.name for campaign in campaigns]
+        results = BatchCampaign(campaigns).run()
+        assert [result.name for result in results] == names
+
+
+class TestScalarFallback:
+    def test_jittered_world_falls_back_and_still_matches_scalar(self):
+        def build(seed):
+            bench = UnlockTestbench(seed=seed)
+            bench.power_on(settle_seconds=0.5)
+            adapter = bench.attacker_adapter()
+            generator = RandomFrameGenerator(FuzzConfig(),
+                                             random.Random(seed))
+            campaign = FuzzCampaign(
+                bench.sim, adapter, generator,
+                limits=CampaignLimits(max_frames=500), interval=1 * MS,
+                interval_jitter=100, rng=random.Random(seed + 1),
+                name=f"jitter-{seed}")
+            campaign.bench = bench
+            return campaign
+
+        scalar = build(5).run().to_dict()
+        batch = BatchCampaign([build(5)])
+        assert batch.run()[0].to_dict() == scalar
+        assert 0 in batch.fallback_reasons
+        assert "jitter" in batch.fallback_reasons[0]
+
+    def test_mixed_eligible_and_fallback_worlds(self):
+        campaigns = [build_world("ack", 0)]
+        bench = UnlockTestbench(seed=9)
+        bench.power_on(settle_seconds=0.5)
+        adapter = bench.attacker_adapter()
+        odd = FuzzCampaign(bench.sim, adapter,
+                           RandomFrameGenerator(FuzzConfig(),
+                                                random.Random(9)),
+                           limits=CampaignLimits(max_frames=300),
+                           interval=1 * MS, interval_jitter=50,
+                           rng=random.Random(10), name="odd")
+        odd.bench = bench
+        campaigns.append(odd)
+        twins = [build_world("ack", 0).run().to_dict()]
+        bench2 = UnlockTestbench(seed=9)
+        bench2.power_on(settle_seconds=0.5)
+        adapter2 = bench2.attacker_adapter()
+        odd2 = FuzzCampaign(bench2.sim, adapter2,
+                            RandomFrameGenerator(FuzzConfig(),
+                                                 random.Random(9)),
+                            limits=CampaignLimits(max_frames=300),
+                            interval=1 * MS, interval_jitter=50,
+                            rng=random.Random(10), name="odd")
+        odd2.bench = bench2
+        twins.append(odd2.run().to_dict())
+        batch = BatchCampaign(campaigns)
+        results = [result.to_dict() for result in batch.run()]
+        assert results == twins
+        assert list(batch.fallback_reasons) == [1]
+
+
+def journal_spec(index, max_frames=1200):
+    return ShardSpec(index=index, shard_count=8, master_seed=3,
+                     seed=derive_shard_seed(3, index),
+                     limits=CampaignLimits(max_frames=max_frames))
+
+
+def journal_build(spec):
+    bench = UnlockTestbench(seed=spec.seed, check_mode="byte")
+    bench.power_on(settle_seconds=0.5)
+    adapter = bench.attacker_adapter()
+    config = FuzzConfig(id_choices=(0x215, 0x3A5, 0x100),
+                        dlc_min=0, dlc_max=8)
+    generator = RandomFrameGenerator(config,
+                                     random.Random(spec.seed * 31 + 5))
+    oracles = [
+        AckMessageOracle(bench.bus, UNLOCK_ACK_ID, predicate=_unlock_ack,
+                         exclude_sender=adapter.controller.name,
+                         name="unlock-ack"),
+        PhysicalStateOracle(lambda: bench.bcm.led_on, expected=False,
+                            period=20 * MS, name="led"),
+    ]
+    campaign = FuzzCampaign(bench.sim, adapter, generator,
+                            limits=spec.limits, oracles=oracles,
+                            interval=1 * MS, name=f"jp-{spec.index}")
+    campaign.bench = bench
+    return campaign
+
+
+def read_records(directory):
+    records, warnings = scan_records(DirectoryStore(str(directory)))
+    assert warnings == []
+    return records
+
+
+class TestJournalParity:
+    def test_record_streams_checkpoints_and_results_identical(
+            self, tmp_path):
+        specs = [journal_spec(i) for i in range(3)]
+        for spec in specs:
+            journal = CampaignJournal(DirectoryStore(
+                str(tmp_path / f"scalar/shard-{spec.index:04d}")))
+            FuzzCampaign.resume(journal, lambda spec=spec:
+                                journal_build(spec), checkpoint_every=500)
+        infos = [(None, str(tmp_path / f"batch/shard-{s.index:04d}"), 500)
+                 for s in specs]
+        run_shard_batch(journal_build, specs, journal_infos=infos)
+        for spec in specs:
+            scalar_dir = tmp_path / f"scalar/shard-{spec.index:04d}"
+            batch_dir = tmp_path / f"batch/shard-{spec.index:04d}"
+            assert read_records(scalar_dir) == read_records(batch_dir)
+            scalar_store = DirectoryStore(str(scalar_dir))
+            batch_store = DirectoryStore(str(batch_dir))
+            assert (json.loads(scalar_store.read(CampaignJournal.RESULT))
+                    == json.loads(batch_store.read(CampaignJournal.RESULT)))
+            if scalar_store.exists(CampaignJournal.CHECKPOINT):
+                assert (json.loads(
+                    scalar_store.read(CampaignJournal.CHECKPOINT))
+                    == json.loads(
+                        batch_store.read(CampaignJournal.CHECKPOINT)))
+
+    def test_kill_resume_matches_scalar_resume_both_ways(self, tmp_path):
+        # The resume contract: a batch resume of a surviving journal
+        # equals a *scalar resume* of the same journal (the protocol
+        # rebuilds the target fresh, so neither necessarily equals the
+        # uninterrupted run when commands preceded the checkpoint).
+        spec = journal_spec(0)
+        source = tmp_path / "full"
+        journal = CampaignJournal(DirectoryStore(str(source)))
+        FuzzCampaign.resume(journal, lambda: journal_build(spec),
+                            checkpoint_every=500)
+        assert DirectoryStore(str(source)).exists(
+            CampaignJournal.CHECKPOINT)
+        for tag in ("ctl", "bat"):
+            shutil.copytree(source, tmp_path / tag)
+            DirectoryStore(str(tmp_path / tag)).remove(
+                CampaignJournal.RESULT)
+        control = resume_campaign(
+            CampaignJournal(DirectoryStore(str(tmp_path / "ctl"))),
+            lambda: journal_build(spec), checkpoint_every=500)
+        pairs = run_shard_batch(
+            journal_build, [spec],
+            journal_infos=[(None, str(tmp_path / "bat"), 500)])
+        assert pairs[0][0].to_dict() == control.to_dict()
+        assert read_records(tmp_path / "bat") == read_records(
+            tmp_path / "ctl")
+        kinds = [record["type"] for record in read_records(tmp_path / "bat")]
+        assert kinds.count("resume") == 1
+        # A second batch resume of the now-completed batch journal
+        # short-circuits to the saved result.
+        again = run_shard_batch(
+            journal_build, [spec],
+            journal_infos=[(None, str(tmp_path / "bat"), 500)])
+        assert again[0][0].to_dict() == control.to_dict()
+
+
+class TestShardedBatching:
+    LIMITS = CampaignLimits(max_frames=4000)
+
+    def test_batched_run_fingerprints_like_serial(self):
+        serial = ShardedCampaign(UnlockBenchFactory(), shards=4,
+                                 limits=self.LIMITS,
+                                 master_seed=11, jobs=2).run_serial()
+        batched = ShardedCampaign(UnlockBenchFactory(), shards=4,
+                                  limits=self.LIMITS, master_seed=11,
+                                  jobs=2, batch_size=2).run()
+        assert batched.ok
+        assert batched.fingerprint() == serial.fingerprint()
+
+    def test_batched_journal_rerun_skips_completed(self, tmp_path):
+        first = ShardedCampaign(UnlockBenchFactory(), shards=4,
+                                limits=self.LIMITS, master_seed=11,
+                                jobs=2, batch_size=4,
+                                journal_dir=tmp_path / "journal").run()
+        assert first.ok
+        second = ShardedCampaign(UnlockBenchFactory(), shards=4,
+                                 limits=self.LIMITS, master_seed=11,
+                                 jobs=2, batch_size=4,
+                                 journal_dir=tmp_path / "journal").run()
+        assert second.ok
+        assert second.fingerprint() == first.fingerprint()
+        assert all("previous run" in warning for outcome in second.outcomes
+                   for warning in outcome.warnings)
+
+    def test_batch_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ShardedCampaign(UnlockBenchFactory(), shards=2,
+                            limits=self.LIMITS, batch_size=0)
+
+
+class TestHypothesisParity:
+    """Satellite: random seeds and limits through both kernels."""
+
+    @settings(max_examples=6, deadline=None)
+    @given(data=st.data())
+    def test_random_worlds_fingerprint_identically(self, data):
+        seeds = data.draw(st.lists(
+            st.integers(min_value=0, max_value=2**31 - 1),
+            min_size=2, max_size=4, unique=True))
+        max_frames = data.draw(st.integers(min_value=50, max_value=1500))
+        kind = data.draw(st.sampled_from(["ack", "led", "factory"]))
+        scalar = [build_world(kind, seed % 1000, max_frames=max_frames)
+                  .run().to_dict() for seed in seeds]
+        batch = BatchCampaign(
+            [build_world(kind, seed % 1000, max_frames=max_frames)
+             for seed in seeds])
+        batched = [result.to_dict() for result in batch.run()]
+        assert batch.fallback_reasons == {}
+        assert batched == scalar
+
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500),
+           checkpoint_every=st.integers(min_value=100, max_value=600))
+    def test_kill_resume_of_batched_run(self, tmp_path_factory, seed,
+                                        checkpoint_every):
+        # Run BATCHED with a journal, simulate a kill by dropping the
+        # final result, then resume -- batch and scalar resumes of the
+        # surviving journal must agree exactly.
+        tmp_path = tmp_path_factory.mktemp("batch-resume")
+        spec = ShardSpec(index=0, shard_count=4, master_seed=seed,
+                         seed=derive_shard_seed(seed, 0),
+                         limits=CampaignLimits(max_frames=1000))
+        batch_dir = tmp_path / "batch"
+        run_shard_batch(
+            journal_build, [spec],
+            journal_infos=[(None, str(batch_dir), checkpoint_every)])
+        store = DirectoryStore(str(batch_dir))
+        if not store.exists(CampaignJournal.CHECKPOINT):
+            return  # found a defect before the first checkpoint
+        shutil.copytree(batch_dir, tmp_path / "ctl")
+        store.remove(CampaignJournal.RESULT)
+        DirectoryStore(str(tmp_path / "ctl")).remove(CampaignJournal.RESULT)
+        control = resume_campaign(
+            CampaignJournal(DirectoryStore(str(tmp_path / "ctl"))),
+            lambda: journal_build(spec),
+            checkpoint_every=checkpoint_every)
+        resumed = run_shard_batch(
+            journal_build, [spec],
+            journal_infos=[(None, str(batch_dir), checkpoint_every)])
+        assert resumed[0][0].to_dict() == control.to_dict()
+        assert read_records(batch_dir) == read_records(tmp_path / "ctl")

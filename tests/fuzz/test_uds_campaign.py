@@ -22,7 +22,8 @@ from repro.uds.replay import (
     UdsSnapshotReplayer,
     confirm_uds_findings,
 )
-from repro.uds.server import BOOTLOADER_SCRATCH_DID, SCRATCH_BUFFER_SIZE
+from repro.uds.server import (BOOTLOADER_SCRATCH_DID, CALIBRATION_DUMP_DID,
+                              SCRATCH_BUFFER_SIZE)
 
 SEED = 0
 FACTORY = UdsBenchFactory()
@@ -69,6 +70,64 @@ class TestCampaignFindsTheOverflow:
         assert restored.to_dict() == hunt_result.to_dict()
         assert (restored.findings[0].recent_requests
                 == hunt_result.findings[0].recent_requests)
+
+
+class TestLearnedKeyAlgorithms:
+    """Targets keyed with the CRC/LFSR routines are still cracked --
+    the generator learns whichever algorithm the server ships -- and
+    the armed-state read probes surface the state-dependent-read
+    defect behind the calibration dump DID."""
+
+    CRC8_INDEX = 5
+    LFSR_INDEX = 6
+
+    @pytest.fixture(scope="class")
+    def crc8_result(self):
+        factory = UdsBenchFactory(key_algorithm=self.CRC8_INDEX)
+        return factory(make_spec(max_frames=2500)).run()
+
+    def test_crc8_key_is_learned(self, crc8_result):
+        health = crc8_result.health["uds"]
+        assert health["key_algorithm"] == "crc8-j1850"
+        assert health["key_algorithm_index"] == self.CRC8_INDEX
+
+    def test_read_defect_found_behind_crc8_lock(self, crc8_result):
+        # Seed 0 walks into the calibration dump read before the
+        # scratch overflow; the crashing request is a plain read, only
+        # reachable from an unlocked programming session.
+        assert crc8_result.findings
+        last = crc8_result.findings[0].recent_requests[-1]
+        assert last[0] == 0x22
+        assert (last[1] << 8) | last[2] == CALIBRATION_DUMP_DID
+
+    def test_read_defect_confirmed_on_clean_replay(self, crc8_result):
+        report = confirm_uds_findings(
+            crc8_result.findings,
+            UdsReplayFactory(seed=SEED, key_algorithm=self.CRC8_INDEX),
+            key_algorithm=self.CRC8_INDEX)
+        assert len(report.confirmed) == 1
+        assert report.rejected == []
+
+    def test_lfsr_key_is_learned(self):
+        factory = UdsBenchFactory(key_algorithm=self.LFSR_INDEX)
+        result = factory(make_spec(seed=1, max_frames=2500)).run()
+        health = result.health["uds"]
+        assert health["key_algorithm"] == "lfsr8-b8"
+        assert health["key_algorithm_index"] == self.LFSR_INDEX
+        assert result.findings  # still cracks through to a defect
+
+    def test_dump_read_denied_while_locked(self):
+        # The defect is state-dependent: the same read outside the
+        # armed state is just an access denial, not a crash.
+        from repro.testbench.diag import DiagTestbench
+
+        bench = DiagTestbench(seed=0)
+        bench.power_on()
+        response = bench.client.request(bytes((
+            0x22, CALIBRATION_DUMP_DID >> 8, CALIBRATION_DUMP_DID & 0xFF)))
+        assert not response.positive
+        assert response.nrc == 0x33
+        assert not bench.crashed()
 
 
 class TestConfirmAndMinimize:

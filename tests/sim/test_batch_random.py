@@ -1,0 +1,157 @@
+"""Bit-exactness of the lockstep MT19937 streams and frame rings.
+
+``BatchRandom`` is the subtlest piece of the batch engine: every draw
+must consume the exact 32-bit word stream CPython's ``random.Random``
+would, and ``getstate`` must round-trip back into a scalar ``Random``
+at *any* point, or batched checkpoints stop being interchangeable
+with scalar ones.  These tests pin the contract directly against the
+stdlib generator, across twist boundaries, rejection-heavy bounds and
+mixed per-world consumption rates.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.batch import BatchRandom, FrameRing, state_from_random
+
+
+def scalar_randbelow(rng, n):
+    """CPython's _randbelow_with_getrandbits, spelled out."""
+    k = n.bit_length()
+    r = rng.getrandbits(k)
+    while r >= n:
+        r = rng.getrandbits(k)
+    return r
+
+
+class TestStateFromRandom:
+    def test_accepts_plain_state(self):
+        rng = random.Random(1)
+        assert state_from_random(rng) == rng.getstate()
+
+    def test_rejects_buffered_gauss(self):
+        rng = random.Random(1)
+        rng.gauss(0, 1)
+        if rng.getstate()[2] is None:  # draw until a gauss is buffered
+            rng.gauss(0, 1)
+        with pytest.raises(ValueError):
+            state_from_random(rng)
+
+
+class TestBatchRandomParity:
+    def test_getrandbits32_matches_stdlib(self):
+        seeds = [0, 1, 7, 12345]
+        scalars = [random.Random(seed) for seed in seeds]
+        batch = BatchRandom.from_randoms(
+            [random.Random(seed) for seed in seeds])
+        idx = np.arange(len(seeds))
+        for _ in range(2000):  # crosses several 624-word twists
+            words = batch.next_words(idx)
+            for world, rng in enumerate(scalars):
+                assert int(words[world]) == rng.getrandbits(32)
+
+    def test_randbelow_matches_stdlib(self):
+        # 5 forces a ~38% rejection rate; 256 and 2048 are the
+        # power-of-two fast paths the campaign actually draws.
+        for bound in (5, 9, 256, 1000, 2048):
+            scalars = [random.Random(seed) for seed in range(6)]
+            batch = BatchRandom.from_randoms(
+                [random.Random(seed) for seed in range(6)])
+            idx = np.arange(6)
+            for _ in range(500):
+                values = batch.randbelow(idx, bound)
+                for world, rng in enumerate(scalars):
+                    assert int(values[world]) == scalar_randbelow(rng, bound)
+
+    def test_randbytes8_matches_stdlib(self):
+        scalars = [random.Random(seed) for seed in range(4)]
+        batch = BatchRandom.from_randoms(
+            [random.Random(seed) for seed in range(4)])
+        idx = np.arange(4)
+        lengths_cycle = [0, 1, 3, 4, 5, 8]
+        for step in range(300):
+            length = lengths_cycle[step % len(lengths_cycle)]
+            rows = batch.randbytes8(idx, np.full(4, length))
+            for world, rng in enumerate(scalars):
+                assert bytes(rows[world][:length]) == rng.randbytes(length)
+
+    def test_uneven_consumption_keeps_worlds_independent(self):
+        # World 0 draws 10x as often as world 1; each must still track
+        # its own scalar twin exactly.
+        scalars = [random.Random(3), random.Random(4)]
+        batch = BatchRandom.from_randoms(
+            [random.Random(3), random.Random(4)])
+        only0 = np.array([0])
+        both = np.arange(2)
+        for round_no in range(200):
+            for _ in range(9):
+                assert (int(batch.next_words(only0)[0])
+                        == scalars[0].getrandbits(32))
+            words = batch.next_words(both)
+            for world, rng in enumerate(scalars):
+                assert int(words[world]) == rng.getrandbits(32)
+
+    def test_transplant_mid_stream(self):
+        # A Random that has already consumed part of its word block
+        # (pos != 624) must continue, not restart.
+        rng = random.Random(99)
+        rng.getrandbits(32 * 100)
+        twin = random.Random(99)
+        twin.getrandbits(32 * 100)
+        batch = BatchRandom.from_randoms([rng])
+        idx = np.array([0])
+        for _ in range(1000):
+            assert int(batch.next_words(idx)[0]) == twin.getrandbits(32)
+
+
+class TestGetstateRoundtrip:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+           draws=st.integers(min_value=0, max_value=1500))
+    def test_exported_state_continues_scalar_stream(self, seed, draws):
+        batch = BatchRandom.from_randoms([random.Random(seed)])
+        reference = random.Random(seed)
+        idx = np.array([0])
+        for _ in range(draws):
+            batch.next_words(idx)
+            reference.getrandbits(32)
+        resumed = random.Random()
+        resumed.setstate(batch.getstate(0))
+        assert resumed.getrandbits(32 * 50) == reference.getrandbits(32 * 50)
+
+    def test_roundtrip_after_mixed_draw_kinds(self):
+        batch = BatchRandom.from_randoms([random.Random(5)])
+        reference = random.Random(5)
+        idx = np.array([0])
+        for _ in range(100):
+            batch.randbelow(idx, 5)
+            scalar_randbelow(reference, 5)
+            batch.randbytes8(idx, np.array([8]))
+            reference.randbytes(8)
+        assert batch.getstate(0) == reference.getstate()
+
+
+class TestFrameRing:
+    def test_window_returns_oldest_first(self):
+        ring = FrameRing(2, capacity=3)
+        for step in range(5):
+            ring.append(np.array([0]), np.array([step * 10]),
+                        np.array([0x100 + step]), np.array([2]),
+                        np.array([[step, step, 0, 0, 0, 0, 0, 0]],
+                                 dtype=np.uint8))
+        window = ring.window(0)
+        assert [row[0] for row in window] == [20, 30, 40]  # 0,10 evicted
+        assert window[-1] == (40, 0x104, 2, bytes((4, 4)))
+        assert ring.window(1) == []
+
+    def test_seed_then_append_behaves_like_one_stream(self):
+        ring = FrameRing(1, capacity=4)
+        ring.seed(0, [(1, 0x10, 1, b"\x0a"), (2, 0x20, 0, b"")])
+        ring.append(np.array([0]), np.array([3]), np.array([0x30]),
+                    np.array([1]),
+                    np.array([[7, 0, 0, 0, 0, 0, 0, 0]], dtype=np.uint8))
+        assert ring.window(0) == [(1, 0x10, 1, b"\x0a"), (2, 0x20, 0, b""),
+                                  (3, 0x30, 1, b"\x07")]

@@ -108,6 +108,37 @@ class TestRunUntilIdle:
         assert len(count) == 6  # t = 0, 10, 20, 30, 40, 50
         assert sim.now == 55
 
+    def test_drained_queue_still_lands_on_max_time(self, sim):
+        # Regression: the queue draining before max_time used to leave
+        # the clock at the last event, unlike run_until's contract.
+        fired = []
+        sim.call_after(10, lambda: fired.append(sim.now))
+        sim.run_until_idle(max_time=500)
+        assert fired == [10]
+        assert sim.now == 500
+
+    def test_empty_queue_advances_to_max_time(self, sim):
+        sim.run_until_idle(max_time=300)
+        assert sim.now == 300
+
+    def test_max_time_in_past_rejected(self, sim):
+        sim.run_for(100)
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_time=50)
+
+    def test_stop_leaves_clock_at_stop_point(self, sim):
+        # stop() wins over the land-on-max_time guarantee, matching
+        # run_until.
+        sim.call_after(10, sim.stop)
+        sim.call_after(20, lambda: None)
+        sim.run_until_idle(max_time=500)
+        assert sim.now == 10
+
+    def test_without_max_time_clock_stays_at_last_event(self, sim):
+        sim.call_after(10, lambda: None)
+        sim.run_until_idle()
+        assert sim.now == 10
+
 
 class TestStep:
     def test_step_returns_false_on_empty(self, sim):

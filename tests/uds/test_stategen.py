@@ -4,7 +4,8 @@ import random
 
 from repro.fuzz.coverage import ProtocolStateCoverage
 from repro.uds.client import UdsResponse
-from repro.uds.stategen import KEY_ALGORITHMS, UdsStateGenerator
+from repro.uds.stategen import (KEY_ALGORITHMS, UdsStateGenerator, crc8_key,
+                                lfsr8_key)
 
 
 def positive(*payload):
@@ -52,6 +53,54 @@ class TestProtocolStateCoverage:
         restored.load_state(coverage.state_dict())
         assert restored.state_digest() == coverage.state_digest()
         assert not restored.record(0x10, 0x03, 0, 0x01)  # still known
+
+
+class TestKeyAlgorithms:
+    def test_registry_is_append_only(self):
+        # Indices are persisted in checkpoints and finding metadata;
+        # the original five entries must keep their positions.
+        names = [name for name, _ in KEY_ALGORITHMS]
+        assert names[:5] == ["xor-a5", "identity", "complement",
+                            "plus-one", "swap-nibbles"]
+        assert names[5:] == ["crc8-j1850", "lfsr8-b8"]
+
+    def test_crc8_known_answers(self):
+        # CRC-8/SAE-J1850: poly 0x1D, init 0xFF, xorout 0xFF.
+        assert crc8_key(0x00) == 0x3B
+        assert crc8_key(0x5A) == 0x37
+        assert crc8_key(0xA5) == 0xF3
+        assert crc8_key(0xFF) == 0xFF
+
+    def test_crc8_matches_reference_bitwise_crc(self):
+        def reference(byte):
+            crc = 0xFF ^ byte
+            for _ in range(8):
+                crc = (((crc << 1) ^ 0x1D) if crc & 0x80
+                       else (crc << 1)) & 0xFF
+            return crc ^ 0xFF
+
+        assert all(crc8_key(s) == reference(s) for s in range(256))
+
+    def test_lfsr_known_answers(self):
+        assert lfsr8_key(0x5A) == 0x30
+        assert lfsr8_key(0xA5) == 0x13
+        assert lfsr8_key(0x31) == 0x5D
+
+    def test_lfsr_zero_seed_is_not_a_fixed_point(self):
+        # An all-zero LFSR state never leaves zero; the algorithm must
+        # substitute a non-zero state first.
+        assert lfsr8_key(0x00) != 0x00
+        assert lfsr8_key(0x00) == lfsr8_key(0xFF)  # both map via 0xFF
+
+    def test_lfsr_is_bijective_on_nonzero_seeds(self):
+        keys = {lfsr8_key(seed) for seed in range(1, 256)}
+        assert len(keys) == 255
+
+    def test_all_algorithms_emit_one_byte(self):
+        # The sendKey request carries the key as a single byte.
+        for name, algorithm in KEY_ALGORITHMS:
+            for seed in range(256):
+                assert 0 <= algorithm(seed) <= 0xFF, name
 
 
 class TestUdsStateGenerator:
