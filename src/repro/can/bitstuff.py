@@ -210,6 +210,74 @@ def _crc_and_stuff(value: int, width: int, data: bytes) -> tuple[int, int]:
     return register, stuffed
 
 
+def _header_crc_state(value: int, width: int) -> tuple[int, int, int]:
+    """``(crc15, stuff_state, stuff_bits)`` after the header bits alone.
+
+    The front half of :func:`_crc_and_stuff`, split out so a caller
+    transmitting many frames with the *same* header (fixed arbitration
+    id and DLC -- the diagnostic request/response pattern) can walk the
+    header once and resume per payload via :func:`_crc_and_stuff_from`.
+    """
+    crc_table = _CRC_TABLE
+    add_table = _STUFF_ADD
+    next_table = _STUFF_NEXT
+    lead = width % 8
+    lead_tables = _LEAD_TABLES.get(lead)
+    if lead_tables is not None:
+        lead_value = value >> (width - lead)
+        register = lead_tables[0][lead_value]
+        state = lead_tables[1][lead_value]
+        stuffed = lead_tables[2][lead_value]
+    else:
+        register = 0
+        run_value, run_length = 2, 0
+        stuffed = 0
+        for shift in range(width - 1, width - 1 - lead, -1):
+            bit = (value >> shift) & 1
+            msb = (register >> 14) & 1
+            register = (register << 1) & CRC15_MASK
+            if bit ^ msb:
+                register ^= CRC15_POLY
+            run_value, run_length, stuffed = _advance_bit(
+                run_value, run_length, stuffed, bit)
+        state = (run_value * 5 + run_length) * 256
+    remaining = width - lead
+    while remaining:
+        remaining -= 8
+        byte = (value >> remaining) & 0xFF
+        register = (((register << 8) & CRC15_MASK)
+                    ^ crc_table[((register >> 7) ^ byte) & 0xFF])
+        index = state + byte
+        stuffed += add_table[index]
+        state = next_table[index]
+    return register, state, stuffed
+
+
+def _crc_and_stuff_from(register: int, state: int, stuffed: int,
+                        data: bytes) -> tuple[int, int]:
+    """Finish :func:`_crc_and_stuff` from a header state.
+
+    The byte-walk and CRC-tail code deliberately mirrors the back half
+    of :func:`_crc_and_stuff` instead of being shared with it: this
+    pair runs once per analytically-transmitted frame, and an extra
+    call layer inside `_crc_and_stuff` would tax every scalar frame
+    too.
+    """
+    crc_table = _CRC_TABLE
+    add_table = _STUFF_ADD
+    next_table = _STUFF_NEXT
+    for byte in data:
+        register = (((register << 8) & CRC15_MASK)
+                    ^ crc_table[((register >> 7) ^ byte) & 0xFF])
+        index = state + byte
+        stuffed += add_table[index]
+        state = next_table[index]
+    index = (state >> 8) * 128 + (register >> 8)
+    stuffed += _TAIL_ADD[index]
+    stuffed += add_table[_TAIL_STATE[index] + (register & 0xFF)]
+    return register, stuffed
+
+
 def _classic_wire_bits(frame: CanFrame) -> int:
     """``frame_bit_length(frame, include_ifs=False)`` in one call.
 

@@ -313,6 +313,7 @@ def _run_sharded_bench(args: argparse.Namespace, channel_config) -> int:
                                supervise=channel_config is not None),
             shards=args.shards,
             jobs=args.jobs,
+            batch_size=args.batch_size,
             master_seed=args.seed,
             limits=CampaignLimits(
                 max_duration=round(args.max_seconds * SECOND)),
@@ -355,8 +356,12 @@ def _run_sharded_bench(args: argparse.Namespace, channel_config) -> int:
             "seed": args.seed,
             "check_mode": args.check_mode,
             "shards": args.shards,
+            "batch_size": args.batch_size,
             "ok": merged.ok,
             "findings": len(findings_with_seeds),
+            "fallback_reasons": {str(index): reason
+                                 for index, reason
+                                 in merged.fallback_reasons.items()},
         }
         if channel_config is not None:
             payload["channel"] = [list(row)
@@ -412,7 +417,9 @@ def _cmd_fuzz_uds(args: argparse.Namespace) -> int:
     factory = UdsBenchFactory()
     spec = ShardSpec(index=0, shard_count=1, master_seed=args.seed,
                      seed=args.seed,
-                     limits=CampaignLimits(max_frames=args.requests))
+                     limits=CampaignLimits(
+                         max_frames=args.requests,
+                         stop_on_finding=not args.keep_going))
     journal = None
     if args.journal:
         from repro.fuzz import CampaignJournal
@@ -481,6 +488,7 @@ def _cmd_fuzz_uds(args: argparse.Namespace) -> int:
             "seed": args.seed,
             "requests": args.requests,
             "result": result.to_dict(),
+            "fallback_reasons": list(result.fallback_reasons),
         }
         if confirmation is not None:
             payload["confirmation"] = confirmation.to_dict()
@@ -572,6 +580,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--jobs", type=int, default=None,
                        help="concurrent worker processes "
                             "(default min(shards, cpu count))")
+    bench.add_argument("--batch-size", type=int, default=1,
+                       metavar="K",
+                       help="shards per worker advanced in lockstep by "
+                            "the batch engine (1 = scalar kernel per "
+                            "shard); worlds the batch prover rejects "
+                            "fall back to the scalar kernel and their "
+                            "reasons are printed in the summary and "
+                            "recorded in --report")
     bench.add_argument("--minimize", action="store_true",
                        help="ddmin each finding's recorded window via "
                             "the snapshot replayer and print the "
@@ -618,6 +634,10 @@ def build_parser() -> argparse.ArgumentParser:
     uds.add_argument("--seed", type=int, default=0)
     uds.add_argument("--requests", type=int, default=1500,
                      help="request budget for the campaign")
+    uds.add_argument("--keep-going", action="store_true",
+                     help="hunt to the full request budget instead of "
+                          "stopping at the first finding (surfaces "
+                          "multiple seeded defects in one run)")
     uds.add_argument("--minimize", action="store_true",
                      help="ddmin each confirmed finding's request record "
                           "via the UDS snapshot replayer and print the "

@@ -17,32 +17,55 @@ worlds can advance in lockstep with one vectorised dispatch per tick:
   to an exact scalar episode handler whose timing arithmetic mirrors
   the discrete-event kernel tick for tick.
 
+The request-level counterpart is :class:`BatchUdsCampaign`: N
+:class:`~repro.fuzz.uds_campaign.UdsFuzzCampaign` worlds advance in
+lockstep at request/response granularity.  Each world keeps its real
+bench objects (generator, server, client, ECU, kernel); the engine
+replaces only the *transport walk* -- the poll loop and ISO-TP
+segmentation events between sending a request and taking its response
+-- with closed-form delivery arithmetic, while the application layer
+(the server's service handlers, the generator's belief machine, the
+campaign's probe/recover/checkpoint logic) runs unmodified.  The
+generators draw through :class:`~repro.sim.batch.BatchRandomView`
+facades over one shared :class:`~repro.sim.batch.BatchRandom`.
+
 The contract is **bit-identical per-world results**: for an eligible
-world, :meth:`BatchCampaign.run` returns the same
-:meth:`~repro.fuzz.session.FuzzResult.to_dict` payload the scalar
-campaign produces from the same seed, and writes the same journal
-record stream (start/progress/checkpoint/finding/end).  Worlds the
-engine cannot prove eligible fall back to the scalar kernel
-(``campaign._execute``), so ``BatchCampaign`` never changes results --
-only wall-clock.  The eligibility rules are documented on
-:func:`plan_world` and in DESIGN.md §15.
+world, :meth:`BatchCampaign.run` / :meth:`BatchUdsCampaign.run`
+returns the same :meth:`~repro.fuzz.session.FuzzResult.to_dict`
+payload the scalar campaign produces from the same seed, and writes
+the same journal record stream (start/progress/checkpoint/finding/
+end).  Worlds the engines cannot prove eligible fall back to the
+scalar kernel (``campaign._execute``), so neither batch runner ever
+changes results -- only wall-clock.  The eligibility rules are
+documented on :func:`plan_frame_world` / :func:`plan_uds_world` and in
+DESIGN.md §15-§16.
 """
 
 from __future__ import annotations
 
+import random
+
 import numpy as np
 
+from repro.can.bitstuff import (FRAME_TAIL_BITS, INTERFRAME_BITS,
+                                _crc_and_stuff_from, _header_crc_state)
 from repro.can.frame import trusted_frame
+from repro.ecu.base import EcuState
 from repro.fuzz.campaign import FuzzCampaign
 from repro.fuzz.durability import CampaignJournal, DirectoryStore
 from repro.fuzz.generator import (RandomFrameGenerator,
                                   TargetedFrameGenerator)
 from repro.fuzz.oracle import AckMessageOracle, Finding, PhysicalStateOracle
-from repro.fuzz.session import (FuzzResult, finding_to_dict, frame_from_dict,
+from repro.fuzz.session import (FALLBACK_WARNING_PREFIX, FuzzResult,
+                                finding_to_dict, frame_from_dict,
                                 frame_to_dict)
-from repro.sim.batch import BatchRandom, FrameRing, state_from_random
-from repro.sim.clock import MS
+from repro.fuzz.uds_campaign import UdsFuzzCampaign
+from repro.sim.batch import (BatchRandom, BatchRandomView, FrameRing,
+                             state_from_random)
+from repro.sim.clock import MS, SECOND
 from repro.sim.random import rng_state_from_json, rng_state_to_json
+from repro.uds.client import UdsResponse
+from repro.uds.stategen import UdsStateGenerator
 
 #: Step cap sentinel for worlds without a pending candidate finding.
 _NO_CAP = np.iinfo(np.int64).max
@@ -77,7 +100,7 @@ def _next_grid(base: int, period: int, after: int) -> int:
 class _WorldPlan:
     """Everything the engine precomputes about one eligible world.
 
-    A plain attribute bag (filled by :func:`plan_world`); the mutable
+    A plain attribute bag (filled by :func:`plan_frame_world`); the mutable
     run state (lock flag, ack counter, pending candidate) lives in
     :class:`_WorldState` so a plan could in principle be reused.
     """
@@ -114,8 +137,8 @@ class _WorldState:
         self.finished = False
 
 
-def plan_world(index: int, campaign: FuzzCampaign, bench,
-               resume_state: dict | None) -> _WorldPlan:
+def plan_frame_world(index: int, campaign: FuzzCampaign, bench,
+                     resume_state: dict | None) -> _WorldPlan:
     """Prove one campaign eligible for the lockstep engine, or raise.
 
     Eligibility is a *proof obligation*, not a heuristic: every rule
@@ -420,6 +443,230 @@ class _RestoredRng:
         return self._state
 
 
+#: Longest request the analytic ISO-TP model will segment itself.  The
+#: stock generator tops out at 259 bytes (a 256-byte attack write plus
+#: the service/DID header), so the cap only ever trips on bespoke
+#: generators or tests; a longer request drops its world back onto the
+#: real kernel mid-run, bit-identically.
+SAFE_UDS_REQUEST = 1024
+
+#: The flow-control payload both default endpoints emit: continue to
+#: send, block size 0 (no further FCs), STmin 1 ms.
+_UDS_FLOW_CONTROL = b"\x30\x00\x01"
+
+#: Post-CRC framing plus interframe space -- the unstuffed bits every
+#: classic frame pays beyond header/data/CRC.
+_FRAME_OVERHEAD_BITS = FRAME_TAIL_BITS + INTERFRAME_BITS
+
+
+#: Header CRC/stuffing states per (can_id, dlc): the engine's frames
+#: use a handful of fixed headers, so the 19 header bits are walked
+#: once each and every call resumes at the payload.
+_HEADER_STATES: dict[tuple[int, int], tuple[int, int, int]] = {}
+
+
+def _wire_ticks(can_id: int, data: bytes, bitrate: int) -> int:
+    """On-wire ticks of a classic standard-id data frame, with IFS.
+
+    Equals ``timing.frame_duration(trusted_frame(can_id, data))`` for
+    the frames the UDS engine synthesises (standard addressing is an
+    admission rule), minus the frame-object construction: the header
+    bits are assembled inline, their CRC/stuffing state memoised per
+    ``(can_id, dlc)``, and the table-driven stuffing walk resumes at
+    the payload bytes.  Used only behind the engine's duration memo,
+    so it runs about once per unique payload, not once per exchange.
+    """
+    dlc = len(data)
+    head = _HEADER_STATES.get((can_id, dlc))
+    if head is None:
+        head = _HEADER_STATES[(can_id, dlc)] = _header_crc_state(
+            (can_id << 7) | dlc, 19)
+    _, stuffed = _crc_and_stuff_from(head[0], head[1], head[2], data)
+    bits = 19 + dlc * 8 + 15 + stuffed + _FRAME_OVERHEAD_BITS
+    return -(-bits * SECOND // bitrate)  # ceiling division
+
+
+def plan_world(index: int, campaign, bench,
+               resume_state: dict | None):
+    """Prove one campaign eligible for its lockstep engine, or raise.
+
+    Dispatches on the campaign's layer: request-level
+    :class:`~repro.fuzz.uds_campaign.UdsFuzzCampaign` worlds are judged
+    by :func:`plan_uds_world`, frame-level :class:`FuzzCampaign` worlds
+    by :func:`plan_frame_world`.  Returns the frame plan (or ``None``
+    for UDS worlds, whose engine keeps no precomputed plan); raises
+    :class:`ScalarFallback` with the first violated rule otherwise.
+    """
+    if isinstance(campaign, UdsFuzzCampaign):
+        return plan_uds_world(index, campaign, bench, resume_state)
+    return plan_frame_world(index, campaign, bench, resume_state)
+
+
+def plan_uds_world(index: int, campaign: UdsFuzzCampaign, bench,
+                   resume_state: dict | None) -> None:
+    """Prove one UDS campaign eligible for the request-level engine.
+
+    Same philosophy as :func:`plan_frame_world`: every rule guards an
+    assumption the analytic exchange model makes, and any violation
+    raises :class:`ScalarFallback` so the world runs scalar instead --
+    the worst case is the old speed, never a wrong result.  The rules,
+    by layer:
+
+    campaign -- plain :class:`~repro.fuzz.uds_campaign.UdsFuzzCampaign`
+    with no reset-target hook, driving exactly the bench's own server
+    and client, with a settle window that covers a commanded reboot
+    (response + 10 ms reset delay + boot) so the event queue is always
+    drained at request boundaries.
+
+    generator -- exactly :class:`~repro.uds.stategen.UdsStateGenerator`
+    (its RNG call surface is covered by
+    :class:`~repro.sim.batch.BatchRandomView`) with a transplantable
+    MT19937 state.
+
+    target -- a plain :class:`~repro.ecu.base.Ecu` that is running,
+    carries no fault models, watchdog, cyclic tasks, receive guard or
+    limp-home filter, and dispatches frames to nothing but the UDS
+    endpoint.
+
+    transport -- both ISO-TP endpoints idle with default flow-control
+    parameters (block size 0, STmin 1 ms), a distinct request/response
+    id pair, and a client timeout that undercuts ISO-TP supervision
+    (so a transfer stuck by a dead target is always aborted by the
+    next request before its N_Bs timer fires) yet still covers the
+    worst-case segmented exchange the engine will ever model -- the
+    response can never race the deadline.
+
+    bus -- uninstrumented, idle, exactly the two diagnostic nodes.
+    """
+    from repro.ecu.base import Ecu
+    from repro.testbench.diag import DiagTestbench
+    from repro.uds.server import SCRATCH_BUFFER_SIZE
+
+    def fail(reason: str):
+        raise ScalarFallback(reason)
+
+    c = campaign
+    if type(c) is not UdsFuzzCampaign:
+        fail(f"campaign type {type(c).__name__} is not UdsFuzzCampaign")
+    if c._reset_target is not None:
+        fail("campaign has a reset-target hook")
+    generator = c.generator
+    if type(generator) is not UdsStateGenerator:
+        fail(f"generator type {type(generator).__name__} not modelled")
+    if not isinstance(bench, DiagTestbench):
+        fail(f"bench type {type(bench).__name__} is not DiagTestbench")
+    if bench.sim is not c.sim:
+        fail("campaign and bench disagree about the simulator")
+    if bench.server is not c.server or bench.client is not c.client:
+        fail("campaign endpoints are not the bench's")
+
+    server = c.server
+    client = c.client
+    ecu = server.ecu
+    if type(ecu) is not Ecu:
+        fail(f"target ECU type {type(ecu).__name__} is specialised")
+    if not ecu.running:
+        fail("target ECU is not running at admission")
+    if ecu.fault_model.vulnerabilities:
+        fail("target ECU carries latent fault models")
+    if ecu.watchdog is not None:
+        fail("target ECU has a watchdog")
+    if ecu._tasks:
+        fail("target ECU runs cyclic tasks")
+    if ecu._limp_ids is not None:
+        fail("target ECU is in limp-home mode")
+    if ecu.rx_guard is not None:
+        fail("target ECU has a receive guard installed")
+    if ecu._any_handlers:
+        fail("target ECU has wildcard receive handlers")
+
+    ce = client.endpoint
+    se = server.endpoint
+    handlers = ecu._handlers
+    if (list(handlers) != [server.rx_id]
+            or handlers[server.rx_id] != [se.handle_frame]):
+        fail("target ECU receive dispatch is not the lone UDS endpoint")
+    if ce.tx_id != se.rx_id or ce.rx_id != se.tx_id or ce.tx_id == ce.rx_id:
+        fail("endpoint ids are not a distinct request/response pair")
+    if ce.tx_id >= 0x800 or se.tx_id >= 0x800:
+        # The engine's wire-time arithmetic assembles 19-bit standard
+        # headers; 29-bit addressing would need the extended layout.
+        fail("endpoint ids are outside standard 11-bit addressing")
+    for label, endpoint in (("client", ce), ("server", se)):
+        if endpoint.block_size != 0:
+            fail(f"{label} endpoint advertises a flow-control block size")
+        if endpoint.st_min != 1 * MS:
+            fail(f"{label} endpoint advertises a non-default STmin")
+        if not endpoint.idle:
+            fail(f"{label} endpoint has an exchange in flight")
+    if client._responses:
+        fail("client holds undelivered responses")
+    if client.timeout >= min(ce.timeout, se.timeout):
+        fail("client timeout does not undercut ISO-TP supervision")
+
+    bus = bench.bus
+    if bus._busy or bus._channel is not None or bus.fault_injector is not None:
+        fail("bus is busy or instrumented")
+    if len(bus.nodes) != 2:
+        fail("unexpected extra node on the diagnostic bus")
+    for node in bus.nodes:
+        if node._tx_queue:
+            fail(f"controller {node.name!r} has queued transmissions")
+        if node.counters.bus_off_latched:
+            fail(f"controller {node.name!r} is bus-off")
+
+    # The worst-case exchange the engine will ever model -- a request
+    # at the segmentation cap answered by the longest response the
+    # server can build -- must land strictly inside the client timeout,
+    # so an analytic delivery can never race the scalar poll deadline.
+    dids = server.data_identifiers
+    if resume_state is not None:
+        saved = (resume_state.get("server") or {}).get("data_identifiers")
+        if saved is not None:
+            try:
+                dids = {int(key, 16): bytes.fromhex(value)
+                        for key, value in saved.items()}
+            except (AttributeError, TypeError, ValueError) as exc:
+                fail(f"resume state DID store unreadable: {exc!r}")
+    longest = max([len(v) for v in dids.values()] + [SCRATCH_BUFFER_SIZE])
+    worst = bus.timing.worst_case_duration(dlc=8, extended=False)
+    request_cfs = -(-(SAFE_UDS_REQUEST - 6) // 7)
+    response_cfs = max(1, -(-(3 + longest - 6) // 7))
+    exchange = ((3 * worst + (request_cfs - 1) * MS)
+                + (3 * worst + (response_cfs - 1) * MS))
+    if client.timeout <= exchange + MS:
+        fail("client timeout cannot absorb a worst-case segmented "
+             "exchange")
+    if c.reset_settle < 11 * MS + ecu.boot_time:
+        fail("reset settle does not cover a commanded reboot")
+
+    if resume_state is None and (c.requests_sent or c.timeouts
+                                 or c.positives or c.probes_sent
+                                 or c.nrc_counts or c._recent
+                                 or c._findings):
+        fail("campaign object is not pristine")
+    entries = c.sim.pending_entries()
+    if entries:
+        fail(f"event queue not quiescent: {entries!r}")
+
+    if resume_state is None:
+        try:
+            state_from_random(generator._rng)
+        except (AttributeError, ValueError) as exc:
+            fail(f"generator RNG not transplantable: {exc}")
+    else:
+        if resume_state.get("kind") != "uds":
+            fail("resume state comes from a non-UDS campaign")
+        rng_json = (resume_state.get("generator") or {}).get("rng")
+        if rng_json is None:
+            fail("resume state carries no generator RNG")
+        try:
+            state_from_random(_RestoredRng(rng_state_from_json(rng_json)))
+        except (KeyError, TypeError, ValueError) as exc:
+            fail(f"resumed RNG state not transplantable: {exc}")
+    return None
+
+
 class BatchCampaign:
     """Run many independent campaigns with one lockstep engine.
 
@@ -464,13 +711,15 @@ class BatchCampaign:
                 if bench is None:
                     raise ScalarFallback("campaign carries no bench "
                                          "reference")
-                plans.append(plan_world(index, campaign, bench,
-                                        self.resume_states[index]))
+                plans.append(plan_frame_world(index, campaign, bench,
+                                              self.resume_states[index]))
             except ScalarFallback as exc:
                 self.fallback_reasons[index] = str(exc)
         for index, reason in self.fallback_reasons.items():
-            results[index] = self.campaigns[index]._execute(
+            result = self.campaigns[index]._execute(
                 self.resume_states[index])
+            result.fallback_reasons = [reason]
+            results[index] = result
         groups: dict[tuple, list[_WorldPlan]] = {}
         for plan in plans:
             key = (plan.pool_ids.size, plan.pool_dlcs.size,
@@ -850,6 +1099,538 @@ class _GroupEngine:
         plan.journal.save_checkpoint(state)
 
 
+class BatchUdsCampaign:
+    """Run many independent UDS campaigns with one lockstep engine.
+
+    The request-level counterpart of :class:`BatchCampaign`: each world
+    keeps its real bench objects (generator, server, client, ECU,
+    kernel) and the campaign's own probe / recovery / checkpoint logic
+    runs unmodified; only the transport walk between sending a request
+    and taking its response is replaced by the closed-form delivery
+    arithmetic in :class:`_UdsEngine`.
+
+    Args:
+        campaigns: the worlds to run, each a fully built
+            :class:`~repro.fuzz.uds_campaign.UdsFuzzCampaign` (the
+            usual source is a
+            :class:`~repro.testbench.factory.UdsBenchFactory`, which
+            pins its bench on ``campaign.bench``).
+        benches: optional explicit bench per campaign; defaults to
+            each campaign's ``bench`` attribute.
+        resume_states: optional per-world checkpoint dicts (the
+            :meth:`UdsFuzzCampaign._state_dict` schema) for
+            kill-resume; ``None`` entries start from scratch.
+
+    :meth:`run` returns one :class:`FuzzResult` per campaign, in input
+    order, bit-identical to the scalar campaigns' -- results, journal
+    records, checkpoints and kill-resume all match.  Worlds that fail
+    the :func:`plan_uds_world` proof (or outgrow
+    :data:`SAFE_UDS_REQUEST` mid-run) run on the scalar kernel
+    transparently; :attr:`fallback_reasons` maps input index to the
+    violated rule.
+    """
+
+    def __init__(self, campaigns, *, benches=None, resume_states=None) -> None:
+        self.campaigns = list(campaigns)
+        if not self.campaigns:
+            raise ValueError("BatchUdsCampaign needs at least one campaign")
+        count = len(self.campaigns)
+        if benches is None:
+            benches = [getattr(c, "bench", None) for c in self.campaigns]
+        self.benches = list(benches)
+        if resume_states is None:
+            resume_states = [None] * count
+        self.resume_states = list(resume_states)
+        if len(self.benches) != count or len(self.resume_states) != count:
+            raise ValueError("benches/resume_states must match campaigns")
+        self.fallback_reasons: dict[int, str] = {}
+
+    def run(self) -> list[FuzzResult]:
+        results: list[FuzzResult | None] = [None] * len(self.campaigns)
+        admitted: list[int] = []
+        for index, campaign in enumerate(self.campaigns):
+            bench = self.benches[index]
+            try:
+                if bench is None:
+                    raise ScalarFallback("campaign carries no bench "
+                                         "reference")
+                plan_uds_world(index, campaign, bench,
+                               self.resume_states[index])
+                admitted.append(index)
+            except ScalarFallback as exc:
+                self.fallback_reasons[index] = str(exc)
+        for index, reason in self.fallback_reasons.items():
+            result = self.campaigns[index]._execute(
+                self.resume_states[index])
+            result.fallback_reasons = [reason]
+            results[index] = result
+        if admitted:
+            engine = _UdsEngine(self, admitted)
+            engine.run()
+            for slot, index in enumerate(admitted):
+                results[index] = engine.results[slot]
+            for index, reason in engine.bail_reasons.items():
+                self.fallback_reasons[index] = reason
+                results[index].fallback_reasons = [reason]
+        return results
+
+
+class _UdsWorld:
+    """One admitted world's live objects plus engine-side flags."""
+
+    __slots__ = ("index", "slot", "campaign", "client", "server", "ecu",
+                 "sim", "clock", "timing", "captured", "analytic", "done",
+                 "step")
+
+
+class _UdsEngine:
+    """The request-level lockstep loop over admitted UDS worlds.
+
+    Two instance attributes are patched per world: ``client.request``
+    becomes an analytic closure that mirrors the full ISO-TP exchange
+    (counters, segmentation residuals, clock) without queueing a single
+    kernel event, and ``server._respond`` becomes a capture list so the
+    handler's reply is read back instead of transmitted.  Everything
+    else -- the generator's belief machine, the server's service
+    handlers (including the seeded defects), the campaign's probe /
+    silence / recovery / checkpoint logic, the kernel clock itself --
+    is the real object graph, which is what makes bit-identical results
+    cheap to argue: the engine only ever *skips wire time*, it never
+    reimplements behaviour.
+
+    The derivation the closure relies on (validated against the
+    scalar transport): frames chain on the bus at exact delivery ticks
+    (arbitration of a queued frame happens inside the completion
+    callback), consecutive frames pace at the decoded STmin of 1 ms,
+    and the scalar client's poll loop returns at the first 1 ms
+    boundary at or after the response delivery.  Worlds whose requests
+    outgrow :data:`SAFE_UDS_REQUEST` are unpatched mid-run at a
+    request boundary -- where analytic and scalar state are exactly
+    equal -- and finish on the real kernel.
+    """
+
+    def __init__(self, owner: BatchUdsCampaign, indices: list[int]) -> None:
+        self.results: list[FuzzResult | None] = [None] * len(indices)
+        self.bail_reasons: dict[int, str] = {}
+        # Wire-time memos, shared between worlds whose timing and
+        # addressing agree (every world from one bench factory): common
+        # traffic -- probes, session sweeps, flow controls, NRC and
+        # seed responses -- is stuffed once for the whole batch.  Keyed
+        # by (bitrate, data_bitrate, client tx id, server tx id); the
+        # value triple is (single-frame request payload -> ticks,
+        # single-frame response message -> ticks, (id, frame data) ->
+        # ticks for multi-frame pieces).
+        self._dur_groups: dict[tuple, tuple[dict, dict, dict]] = {}
+        self.worlds: list[_UdsWorld] = []
+        for slot, index in enumerate(indices):
+            campaign = owner.campaigns[index]
+            world = _UdsWorld()
+            world.index = index
+            world.slot = slot
+            world.campaign = campaign
+            world.client = campaign.client
+            world.server = campaign.server
+            world.ecu = campaign.server.ecu
+            world.sim = campaign.sim
+            world.clock = campaign.sim.clock
+            world.timing = owner.benches[index].bus.timing
+            world.captured = []
+            world.analytic = True
+            world.done = False
+            self.worlds.append(world)
+        # Replicate _execute's prologue per world: the start/resume
+        # journal record and checkpoint restore happen before the RNG
+        # transplant because restoring calls the generator's own
+        # ``_rng.setstate``.
+        for world in self.worlds:
+            campaign = world.campaign
+            state = owner.resume_states[world.index]
+            journal = campaign.journal
+            if state is None:
+                campaign._started_at = campaign.sim.now
+                if journal is not None:
+                    journal.append({"type": "start", "name": campaign.name,
+                                    "kind": "uds",
+                                    "started_at": campaign._started_at})
+            else:
+                campaign._restore(state)
+                if journal is not None:
+                    journal.append({"type": "resume", "kind": "uds",
+                                    "requests_sent": campaign.requests_sent,
+                                    "generation": journal.generation})
+            campaign._stop_reason = ""
+        self.rng = BatchRandom([state_from_random(w.campaign.generator._rng)
+                                for w in self.worlds])
+        for world in self.worlds:
+            world.campaign.generator._rng = BatchRandomView(
+                self.rng, world.slot)
+            self._install(world)
+            world.step = self._make_step(world)
+
+    #: Requests each live world advances per scheduler turn.  Worlds
+    #: are independent, so the round-robin can be cache-blocked: one
+    #: world's whole object graph stays hot for a run of requests
+    #: instead of being evicted by 255 siblings between single steps.
+    #: The stride changes visit order only -- every per-world stream
+    #: (RNG, journal, checkpoints) is untouched by scheduling.
+    STRIDE = 64
+
+    def run(self) -> None:
+        live = list(self.worlds)
+        stride = self.STRIDE
+        while live:
+            for world in live:
+                step = world.step
+                for _ in range(stride):
+                    step()
+                    if world.done:
+                        break
+            done = [world for world in live if world.done]
+            for world in done:
+                live.remove(world)
+                self._finish(world)
+
+    # -- patch management ----------------------------------------------
+    def _install(self, world: _UdsWorld) -> None:
+        """Patch one world's ``client.request`` / ``server._respond``.
+
+        The replacement request function is a closure with every hot
+        collaborator pre-bound: at ~30 µs per whole analytic exchange,
+        the attribute walks (``world.campaign.sim.clock``...) and
+        property descriptors (``tx_idle``, ``running``) of a
+        straightforward transcription are themselves a measurable
+        fraction of the budget.  Binding happens after the restore
+        prologue, so rebound restore-time objects (the client's
+        response list is replaced by ``load_state``) are read fresh
+        per call instead.
+        """
+        captured = world.captured
+
+        def respond(message):
+            captured.append(bytes(message))
+
+        client = world.client
+        server = world.server
+        ce = client.endpoint
+        se = server.endpoint
+        ecu = world.ecu
+        sim = world.sim
+        clock = world.clock
+        queue = sim._queue
+        run_until = sim.run_until
+        on_request = server._on_request
+        on_response = client._on_response
+        take_matching = client._take_matching
+        ce_tx = ce.tx_id
+        se_tx = se.tx_id
+        timing = world.timing
+        bitrate = timing.bitrate
+        group_key = (bitrate, timing.data_bitrate, ce_tx, se_tx)
+        group = self._dur_groups.get(group_key)
+        if group is None:
+            group = self._dur_groups[group_key] = ({}, {}, {})
+        sf_request_ticks, sf_response_ticks, piece_ticks = group
+        fc_from_server = _wire_ticks(se_tx, _UDS_FLOW_CONTROL, bitrate)
+        fc_from_client = _wire_ticks(ce_tx, _UDS_FLOW_CONTROL, bitrate)
+        running = EcuState.RUNNING
+        ms = MS
+
+        def piece(can_id, data):
+            """Memoised wire time of one multi-frame piece."""
+            key = (can_id, data)
+            ticks = piece_ticks.get(key)
+            if ticks is None:
+                ticks = piece_ticks[key] = _wire_ticks(can_id, data,
+                                                       bitrate)
+            return ticks
+
+        def request(payload, timeout=None):
+            payload = bytes(payload)
+            if not payload:
+                raise ValueError("a UDS request needs at least the SID "
+                                 "byte")
+            if timeout is None:
+                timeout = client.timeout
+            t0 = clock._now
+            deadline = t0 + timeout
+            if ce._tx_payload is not None:  # not tx_idle
+                # A transfer stuck by a dead target: the scalar client
+                # aborts it before sending the next request.
+                ce.abort_tx()
+                client.aborted_requests += 1
+            stale = client._responses
+            if stale:
+                client.stale_responses += len(stale)
+                stale.clear()
+            sid = payload[0]
+            alive = ecu.state is running
+            length = len(payload)
+
+            # Request leg: single frame, or first frame / flow control
+            # / paced consecutive frames.  Only the terminal transport
+            # state is materialised; intermediate segmentation states
+            # are never observable at request boundaries.
+            if length <= 7:
+                ce.messages_sent += 1
+                ticks = sf_request_ticks.get(payload)
+                if ticks is None:
+                    ticks = sf_request_ticks[payload] = _wire_ticks(
+                        ce_tx, bytes((length,)) + payload, bitrate)
+                t_deliver = t0 + ticks
+            else:
+                first = bytes((0x10 | (length >> 8), length & 0xFF)) \
+                    + payload[:6]
+                t_deliver = t0 + piece(ce_tx, first)
+                if not alive:
+                    # The dead target drops the first frame: no flow
+                    # control arrives, the client stays stuck
+                    # mid-segmentation until the next request aborts it.
+                    ce._tx_payload = payload
+                    ce._tx_offset = 6
+                    ce._tx_sequence = 1
+                    if queue._heap:
+                        run_until(deadline)
+                    elif deadline > clock._now:
+                        clock._now = deadline
+                    return UdsResponse(None)
+                cf_count = -(-(length - 6) // 7)
+                t_control = t_deliver + fc_from_server
+                ce._peer_st_min = ms
+                ce._peer_block_size = 0
+                ce._tx_frames_until_fc = 0
+                last_cf = bytes((0x20 | (cf_count % 16),)) \
+                    + payload[6 + 7 * (cf_count - 1):]
+                ce.messages_sent += 1
+                ce._tx_payload = None
+                ce._tx_offset = length
+                ce._tx_sequence = (1 + cf_count) % 16
+                se._rx_buffer = bytearray(payload)
+                se._rx_expected = 0
+                se._rx_sequence = (1 + cf_count) % 16
+                se._rx_cfs_in_block = cf_count - 1
+                t_deliver = (t_control + (cf_count - 1) * ms
+                             + piece(ce_tx, last_cf))
+            if t_deliver > deadline:
+                raise RuntimeError(
+                    "analytic UDS request overran the client timeout; "
+                    "the plan_uds_world admission bound is unsound")
+
+            # Server leg: advance the real clock to the delivery tick
+            # first -- the handlers read ``sim.now`` (security seeds,
+            # the stall gate) and schedule real events (the commanded
+            # reset).  With an empty event heap ``run_until`` reduces
+            # to a clock assignment (no events fire, the fired counter
+            # gains zero), so the common case is a direct write.
+            t_response = None
+            if alive:
+                if queue._heap:
+                    run_until(t_deliver)
+                elif t_deliver > clock._now:
+                    clock._now = t_deliver
+                se.messages_received += 1
+                captured.clear()
+                on_request(payload)
+                for message in captured:
+                    if ecu.state is not running:
+                        # The handler crashed the ECU before its reply
+                        # left: the server-side send fails at the
+                        # controller.
+                        se.errors += 1
+                        continue
+                    rlen = len(message)
+                    if rlen <= 7:
+                        se.messages_sent += 1
+                        ticks = sf_response_ticks.get(message)
+                        if ticks is None:
+                            ticks = sf_response_ticks[message] = \
+                                _wire_ticks(se_tx,
+                                            bytes((rlen,)) + message,
+                                            bitrate)
+                        t_arrive = t_deliver + ticks
+                    else:
+                        first = bytes((0x10 | (rlen >> 8), rlen & 0xFF)) \
+                            + message[:6]
+                        t_first = t_deliver + piece(se_tx, first)
+                        t_control = t_first + fc_from_client
+                        cf_count = -(-(rlen - 6) // 7)
+                        last_cf = bytes((0x20 | (cf_count % 16),)) \
+                            + message[6 + 7 * (cf_count - 1):]
+                        se._peer_st_min = ms
+                        se._peer_block_size = 0
+                        se._tx_frames_until_fc = 0
+                        se.messages_sent += 1
+                        se._tx_payload = None
+                        se._tx_offset = rlen
+                        se._tx_sequence = (1 + cf_count) % 16
+                        ce._rx_buffer = bytearray(message)
+                        ce._rx_expected = 0
+                        ce._rx_sequence = (1 + cf_count) % 16
+                        ce._rx_cfs_in_block = cf_count - 1
+                        t_arrive = (t_control + (cf_count - 1) * ms
+                                    + piece(se_tx, last_cf))
+                    if t_arrive > deadline:
+                        raise RuntimeError(
+                            "analytic UDS response overran the client "
+                            "timeout; the plan_uds_world admission "
+                            "bound is unsound")
+                    ce.messages_received += 1
+                    on_response(message)  # respond() captured bytes
+                    if t_response is None:
+                        t_response = t_arrive
+
+            if t_response is None:
+                if queue._heap:
+                    run_until(deadline)
+                elif deadline > clock._now:
+                    clock._now = deadline
+                return UdsResponse(None)
+            # The scalar poll loop advances in 1 ms slices from t0 and
+            # takes the response at the first boundary at or past its
+            # delivery (the final slice may be shorter than 1 ms).
+            boundary = t0 - ms * ((t0 - t_response) // ms)
+            if boundary > deadline:
+                boundary = deadline
+            if queue._heap:
+                run_until(boundary)
+            elif boundary > clock._now:
+                clock._now = boundary
+            matched = take_matching(sid)
+            if matched is not None:
+                return UdsResponse(matched)
+            return UdsResponse(None)
+
+        world.server._respond = respond
+        world.client.request = request
+
+    def _release(self, world: _UdsWorld) -> None:
+        world.client.__dict__.pop("request", None)
+        world.server.__dict__.pop("_respond", None)
+        rng = random.Random()
+        rng.setstate(world.campaign.generator._rng.getstate())
+        world.campaign.generator._rng = rng
+
+    def _bail(self, world: _UdsWorld, reason: str) -> None:
+        self._release(world)
+        world.analytic = False
+        self.bail_reasons[world.index] = reason
+
+    def _finish(self, world: _UdsWorld) -> None:
+        campaign = world.campaign
+        if world.analytic:
+            self._release(world)
+        result = campaign._build_result()
+        journal = campaign.journal
+        if journal is not None:
+            journal.append({"type": "end",
+                            "requests_sent": campaign.requests_sent,
+                            "stop_reason": campaign._stop_reason})
+            journal.save_result(result.to_dict())
+        self.results[world.slot] = result
+
+    # -- the campaign step (UdsFuzzCampaign._execute's loop body) ------
+    def _make_step(self, world: _UdsWorld):
+        """Build one world's step closure.
+
+        The transcription of ``UdsFuzzCampaign._execute``'s loop body,
+        with the per-iteration constants pre-bound (admission pins the
+        exact campaign type, so inlining ``_limit_reached`` and the
+        response properties is faithful by construction).  Bound after
+        the restore prologue: everything captured here -- the recent
+        deque, the NRC counter dict, ``_started_at`` -- is only
+        mutated, never rebound, from then on.  ``client.request`` stays
+        a live attribute read so a mid-run bail (which unpatches it)
+        switches the same closure onto the real transport.
+        """
+        campaign = world.campaign
+        generator = campaign.generator
+        next_request = generator.next_request
+        observe = generator.observe
+        client = world.client
+        sim = world.sim
+        queue = sim._queue
+        run_until = sim.run_until
+        run_for = sim.run_for
+        clock = world.clock
+        recent_append = campaign._recent.append
+        probe_alive = campaign._probe_alive
+        record_silence = campaign._record_silence
+        recover_target = campaign._recover_target
+        # A journal is fixed at construction; without one the campaign's
+        # _maybe_checkpoint is a proven no-op, so the step can skip the
+        # call entirely.
+        maybe_checkpoint = (campaign._maybe_checkpoint
+                            if campaign.journal is not None else None)
+        nrc_counts = campaign.nrc_counts
+        nrc_counts_get = nrc_counts.get
+        limits = campaign.limits
+        max_frames = limits.max_frames
+        max_duration = limits.max_duration
+        stop_on_finding = limits.stop_on_finding
+        started_at = campaign._started_at
+        interval = campaign.interval
+        reset_settle = campaign.reset_settle
+        bail = self._bail
+
+        def step() -> None:
+            if max_frames is not None \
+                    and campaign.requests_sent >= max_frames:
+                campaign._stop_reason = "request limit reached"
+                world.done = True
+                return
+            if max_duration is not None \
+                    and clock._now - started_at >= max_duration:
+                campaign._stop_reason = "time limit reached"
+                world.done = True
+                return
+            request = next_request()
+            if world.analytic:
+                if len(request) > SAFE_UDS_REQUEST:
+                    bail(world, f"request of {len(request)} bytes "
+                                "exceeds the analytic segmentation cap")
+                elif queue._heap:
+                    bail(world, "pending kernel events at a request "
+                                "boundary")
+            sent_at = clock._now
+            response = client.request(request)
+            campaign.requests_sent += 1
+            recent_append((sent_at, request))
+            observe(request, response)
+            # The branches below read response.message once and
+            # reproduce the timed_out / positive / nrc properties
+            # inline.
+            message = response.message
+            if message is None:
+                campaign.timeouts += 1
+                if not probe_alive():
+                    record_silence(request)
+                    if stop_on_finding:
+                        campaign._stop_reason = ("finding from oracle "
+                                                 "'uds-liveness'")
+                        world.done = True
+                        return
+                    recover_target()
+            elif message and message[0] != 0x7F:
+                campaign.positives += 1
+                if request[0] == 0x11:
+                    run_for(reset_settle)
+            elif len(message) >= 3:
+                nrc = message[2]
+                nrc_counts[nrc] = nrc_counts_get(nrc, 0) + 1
+            if interval:
+                # run_until with an empty event heap reduces to a
+                # clock assignment (nothing fires), so pacing is a
+                # direct write unless a commanded reset or a bailed
+                # world's transport left real events pending.
+                if queue._heap:
+                    run_until(clock._now + interval)
+                else:
+                    clock._now = clock._now + interval
+            if maybe_checkpoint is not None:
+                maybe_checkpoint()
+
+        return step
+
+
 def run_shard_batch(factory, specs, *, journal_infos=None,
                     checkpoint_every: int | None = None):
     """Run one worker's batch of shard specs through the lockstep engine.
@@ -859,7 +1640,11 @@ def run_shard_batch(factory, specs, *, journal_infos=None,
     loadable checkpoint resumes (channel-era checkpoints replay from
     zero, matching :func:`~repro.fuzz.campaign.resume_campaign`), and
     everything else starts fresh -- then all live worlds advance in one
-    :class:`BatchCampaign`.
+    :class:`BatchCampaign` (frame-level shards) or
+    :class:`BatchUdsCampaign` (request-level UDS shards).  Worlds that
+    fell back to the scalar kernel carry a ``"scalar fallback: ..."``
+    warning so :class:`~repro.fuzz.parallel.ShardedResult` can surface
+    the reason.
 
     Args:
         factory: pickleable campaign factory (``spec -> FuzzCampaign``).
@@ -908,9 +1693,16 @@ def run_shard_batch(factory, specs, *, journal_infos=None,
         slots.append(slot)
         journals.append(journal)
     if campaigns:
-        batch = BatchCampaign(campaigns, resume_states=resume_states)
+        batch_class = (BatchUdsCampaign
+                       if isinstance(campaigns[0], UdsFuzzCampaign)
+                       else BatchCampaign)
+        batch = batch_class(campaigns, resume_states=resume_states)
         results = batch.run()
-        for slot, journal, result in zip(slots, journals, results):
+        for pos, (slot, journal, result) in enumerate(
+                zip(slots, journals, results)):
             warnings = list(journal.warnings) if journal is not None else []
+            reason = batch.fallback_reasons.get(pos)
+            if reason is not None:
+                warnings.append(f"{FALLBACK_WARNING_PREFIX}{reason}")
             out[slot] = (result, warnings)
     return out

@@ -21,6 +21,8 @@ import hashlib
 import json
 import math
 
+import numpy as np
+
 from repro.sim.clock import MS, SECOND
 
 
@@ -176,6 +178,47 @@ class ProtocolStateCoverage:
         previous = self._counts.get(key, 0)
         self._counts[key] = previous + 1
         return previous == 0
+
+    def record_batch(self, exchanges) -> list[bool]:
+        """Count many exchanges at once; one new-coverage flag each.
+
+        Semantically ``[self.record(*e) for e in exchanges]``, but the
+        tuple accounting is vectorised: the four small fields are
+        packed into one ``int64`` key per exchange (sub-function and
+        NRC are shifted by one so their ``-1`` sentinels pack as
+        unsigned digits) and deduplicated in a single ``np.unique``
+        pass.  An exchange is new coverage iff its key is absent from
+        the map *and* it is the first occurrence of that key within
+        the batch -- exactly what the sequential loop reports.  The
+        loop survives as :meth:`_reference_record_batch`, the parity
+        oracle and benchmark baseline.
+        """
+        rows = np.asarray([[int(s), int(f), int(n), int(x)]
+                           for s, f, n, x in exchanges], dtype=np.int64)
+        if rows.size == 0:
+            return []
+        packed = ((((rows[:, 0] << 9) | (rows[:, 1] + 1)) << 9
+                   | (rows[:, 2] + 1)) << 8) | rows[:, 3]
+        values, first, inverse, counts = np.unique(
+            packed, return_index=True, return_inverse=True,
+            return_counts=True)
+        known = np.fromiter(
+            ((int(rows[i, 0]), int(rows[i, 1]), int(rows[i, 2]),
+              int(rows[i, 3])) in self._counts for i in first),
+            dtype=bool, count=values.size)
+        flags = (np.arange(packed.size) == first[inverse]) \
+            & ~known[inverse]
+        for j, i in enumerate(first):
+            key = (int(rows[i, 0]), int(rows[i, 1]), int(rows[i, 2]),
+                   int(rows[i, 3]))
+            self._counts[key] = self._counts.get(key, 0) + int(counts[j])
+        return [bool(flag) for flag in flags]
+
+    def _reference_record_batch(self, exchanges) -> list[bool]:
+        """Pre-vectorisation implementation of :meth:`record_batch`,
+        kept as the equivalence oracle and benchmark baseline."""
+        return [self.record(service, sub_function, nrc, session)
+                for service, sub_function, nrc, session in exchanges]
 
     @property
     def tuples_seen(self) -> int:

@@ -50,6 +50,8 @@ from repro.fuzz.campaign import CampaignLimits, FuzzCampaign
 from repro.fuzz.durability import (CampaignJournal, DirectoryStore,
                                    scan_records)
 from repro.fuzz.oracle import Finding
+from repro.fuzz.session import (FALLBACK_WARNING_PREFIX
+                                as _FALLBACK_WARNING_PREFIX)
 from repro.fuzz.session import FuzzResult
 
 
@@ -281,6 +283,18 @@ class ShardedResult:
         """Durability warnings across all shards."""
         return sum(len(o.warnings) for o in self.outcomes)
 
+    @property
+    def fallback_reasons(self) -> dict[int, str]:
+        """Shard index -> why the batch engine ran it on the scalar
+        kernel, parsed from the ``"scalar fallback: ..."`` warnings
+        :func:`repro.fuzz.batch.run_shard_batch` attaches.  Empty for
+        unbatched runs and for batches every world was admitted to."""
+        prefix = _FALLBACK_WARNING_PREFIX
+        return {outcome.index: warning[len(prefix):]
+                for outcome in self.outcomes
+                for warning in outcome.warnings
+                if warning.startswith(prefix)}
+
     def fingerprint(self) -> str:
         """Deterministic digest of the merged payload.
 
@@ -301,11 +315,20 @@ class ShardedResult:
             f"{len(self.findings)} finding(s), "
             f"{self.fault_count} worker fault(s)",
         ]
-        if self.warning_count:
-            lines.append(f"  {self.warning_count} durability warning(s):")
+        fallbacks = self.fallback_reasons
+        if fallbacks:
+            lines.append(f"  {len(fallbacks)} scalar-fallback shard(s) "
+                         f"(ran outside the lockstep batch):")
+            for index, reason in sorted(fallbacks.items()):
+                lines.append(f"    [shard {index}] {reason}")
+        durability = self.warning_count - len(fallbacks)
+        if durability:
+            lines.append(f"  {durability} durability warning(s):")
             for outcome in self.outcomes:
                 for warning in outcome.warnings:
-                    lines.append(f"    [shard {outcome.index}] {warning}")
+                    if not warning.startswith(_FALLBACK_WARNING_PREFIX):
+                        lines.append(
+                            f"    [shard {outcome.index}] {warning}")
         for index, finding in self.findings[:10]:
             lines.append(f"  [shard {index}] {finding.oracle}: "
                          f"{finding.description}")

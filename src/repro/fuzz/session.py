@@ -85,6 +85,12 @@ def _finding_from_dict(item: dict) -> Finding:
 finding_to_dict = _finding_to_dict
 finding_from_dict = _finding_from_dict
 
+#: Warning prefix the batch engine attaches to worlds it degraded to
+#: the scalar kernel.  Shared by the producers (``run_shard_batch``)
+#: and the consumers (``ShardedResult.fallback_reasons``, CLI reports)
+#: so the reason survives the warning round-trip intact.
+FALLBACK_WARNING_PREFIX = "scalar fallback: "
+
 
 @dataclass
 class FuzzResult:
@@ -104,6 +110,11 @@ class FuzzResult:
     #: Health telemetry keyed by oracle name (bus-down events, backoff
     #: and quarantine counters) from oracles exposing ``health_dict``.
     health: dict = field(default_factory=dict)
+    #: Why a batch engine ran this world on the scalar kernel instead
+    #: (empty when the world was admitted or never batched).  Run-side
+    #: diagnostics only: deliberately excluded from :meth:`to_dict` so
+    #: batched and scalar runs keep identical fingerprints.
+    fallback_reasons: list = field(default_factory=list)
 
     @property
     def duration_seconds(self) -> float:
@@ -141,6 +152,8 @@ class FuzzResult:
                          f"{finding.description}")
         if len(self.findings) > 10:
             lines.append(f"  ... and {len(self.findings) - 10} more")
+        for reason in self.fallback_reasons:
+            lines.append(f"  {FALLBACK_WARNING_PREFIX}{reason}")
         return "\n".join(lines)
 
     # ------------------------------------------------------------------

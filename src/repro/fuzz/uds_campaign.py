@@ -251,6 +251,9 @@ class UdsFuzzCampaign:
             self.server.ecu.power_cycle()
             self.server._pending_seed = None
             self.server.failed_key_attempts = 0
+            # A power cycle also unwedges the NRC-path hang: the stall
+            # is an application-task deadlock, not persistent state.
+            self.server._stalled_until = 0
             self.sim.run_for(self.reset_settle)
         notify = getattr(self.generator, "notify_target_reset", None)
         if notify is not None:

@@ -240,6 +240,178 @@ class BatchRandom:
         return (PY_STATE_VERSION, key + (pos,), None)
 
 
+class BatchRandomView:
+    """A ``random.Random``-compatible facade over one world's stream.
+
+    The frame-level engine consumes :class:`BatchRandom` words through
+    vectorised bulk calls; the request-level UDS engine instead hands
+    each world's *generator object* a view of its own stream, so the
+    scalar generator code runs unmodified while the words still come
+    from (and are accounted against) the shared lockstep state.  Every
+    method reproduces CPython's word consumption exactly -- including
+    ``getrandbits(0)`` drawing nothing and ``_randbelow`` rejection
+    redraws -- so :meth:`getstate` stays exportable at any boundary and
+    a ``random.Random`` seeded with it continues bit-identically.
+
+    The view owns its world's position while installed: the buffered
+    block is mirrored once into a plain Python list and words are
+    served by list index (numpy scalar indexing per draw costs more
+    than the whole analytic exchange it feeds), with the position
+    flushed back to the shared state on :meth:`getstate` and on every
+    refill.  A world driven through a view must therefore not also be
+    drawn through the vectorised bulk calls.
+    """
+
+    __slots__ = ("_batch", "_world", "_words", "_pos", "_end")
+
+    def __init__(self, batch: BatchRandom, world: int) -> None:
+        self._batch = batch
+        self._world = world
+        self._words = batch._buf[world, :batch._buf_len[world]].tolist()
+        self._pos = int(batch._buf_pos[world])
+        self._end = len(self._words)
+
+    def _word(self) -> int:
+        pos = self._pos
+        if pos >= self._end:
+            return self._word_slow()
+        self._pos = pos + 1
+        return self._words[pos]
+
+    def _word_slow(self) -> int:
+        batch, world = self._batch, self._world
+        batch._buf_pos[world] = self._pos
+        value = batch._draw_one(world)      # refills the shared buffer
+        self._words = batch._buf[world, :batch._buf_len[world]].tolist()
+        self._pos = int(batch._buf_pos[world])
+        self._end = len(self._words)
+        return value
+
+    def random(self) -> float:
+        """CPython ``genrand_res53``: 53 bits from two raw words."""
+        pos = self._pos
+        if pos + 2 <= self._end:
+            words = self._words
+            a = words[pos]
+            b = words[pos + 1]
+            self._pos = pos + 2
+        else:
+            a = self._word()
+            b = self._word()
+        return ((a >> 5) * 67108864.0 + (b >> 6)) \
+            * (1.0 / 9007199254740992.0)
+
+    def getrandbits(self, k: int) -> int:
+        if 0 < k <= 32:
+            pos = self._pos
+            if pos < self._end:
+                self._pos = pos + 1
+                return self._words[pos] >> (32 - k)
+            return self._word_slow() >> (32 - k)
+        if k < 0:
+            raise ValueError("number of bits must be non-negative")
+        if k == 0:
+            return 0
+        # Little-endian 32-bit digits, the last one truncated -- the
+        # exact assembly order of _randommodule.c.  When the buffer
+        # covers the whole request (the usual case for randbytes
+        # payload draws), consume it as one slice.
+        count = (k + 31) >> 5
+        pos = self._pos
+        if pos + count <= self._end:
+            words = self._words[pos:pos + count]
+            self._pos = pos + count
+            last = words[-1]
+            remainder = k & 31
+            if remainder:
+                last >>= 32 - remainder
+            result = last
+            for word in reversed(words[:-1]):
+                result = (result << 32) | word
+            return result
+        result = 0
+        shift = 0
+        while k > 0:
+            word = self._word()
+            if k < 32:
+                word >>= 32 - k
+            result |= word << shift
+            shift += 32
+            k -= 32
+        return result
+
+    def randbytes(self, n: int) -> bytes:
+        return self.getrandbits(n * 8).to_bytes(n, "little")
+
+    def _randbelow(self, n: int) -> int:
+        k = n.bit_length()
+        if k > 32:
+            r = self.getrandbits(k)
+            while r >= n:
+                r = self.getrandbits(k)
+            return r
+        # The ubiquitous case (choice/randrange over small pools):
+        # one buffered word per try, consumed without a method call.
+        shift = 32 - k
+        while True:
+            pos = self._pos
+            if pos < self._end:
+                self._pos = pos + 1
+                r = self._words[pos] >> shift
+            else:
+                r = self._word_slow() >> shift
+            if r < n:
+                return r
+
+    def randrange(self, start: int, stop: int | None = None,
+                  step: int = 1) -> int:
+        if step != 1:
+            raise NotImplementedError(
+                "BatchRandomView supports only step 1")
+        if stop is None:
+            start, stop = 0, start
+        width = stop - start
+        if width <= 0:
+            raise ValueError(f"empty range ({start}, {stop})")
+        if width >> 32:
+            return start + self._randbelow(width)
+        # _randbelow's small-pool loop, inlined at the call site.
+        shift = 32 - width.bit_length()
+        while True:
+            pos = self._pos
+            if pos < self._end:
+                self._pos = pos + 1
+                r = self._words[pos] >> shift
+            else:
+                r = self._word_slow() >> shift
+            if r < width:
+                return start + r
+
+    def randint(self, a: int, b: int) -> int:
+        return self.randrange(a, b + 1)
+
+    def choice(self, seq):
+        n = len(seq)
+        if not n:
+            raise IndexError("cannot choose from an empty sequence")
+        if n >> 32:
+            return seq[self._randbelow(n)]
+        shift = 32 - n.bit_length()
+        while True:
+            pos = self._pos
+            if pos < self._end:
+                self._pos = pos + 1
+                r = self._words[pos] >> shift
+            else:
+                r = self._word_slow() >> shift
+            if r < n:
+                return seq[r]
+
+    def getstate(self) -> tuple:
+        self._batch._buf_pos[self._world] = self._pos
+        return self._batch.getstate(self._world)
+
+
 class FrameRing:
     """Struct-of-arrays ring buffers for per-world recent-frame windows.
 

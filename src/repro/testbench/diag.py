@@ -60,3 +60,22 @@ class DiagTestbench:
     def crashed(self) -> bool:
         """Replay verdict: did the target go down?"""
         return self.ecu.state is EcuState.CRASHED
+
+    def hung(self) -> bool:
+        """Replay verdict: is the running target ignoring requests?
+
+        True while the server application is wedged in the seeded
+        NRC-path hang -- the ECU looks alive on the bus (frames are
+        acknowledged, ISO-TP flow control still answers) but no request
+        ever gets a response.
+        """
+        return self.sim.now < self.server._stalled_until
+
+    def failed(self) -> bool:
+        """Combined replay verdict: crashed *or* hung.
+
+        The probe :class:`repro.testbench.factory.UdsReplayFactory`
+        hands to replayers -- either loss mode confirms a liveness
+        finding.
+        """
+        return self.crashed() or self.hung()

@@ -10,7 +10,7 @@ under any start method and two workers can never share bench state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.can.channel import AdversarialChannel, ChannelConfig
 from repro.can.frame import CanFrame
@@ -142,11 +142,21 @@ class UdsBenchFactory:
         generator = UdsStateGenerator(
             bench.streams.stream("uds-fuzzer"),
             seed_label=f"uds-state-{spec.seed}")
-        return UdsFuzzCampaign(
+        limits = spec.limits
+        if not self.stop_on_finding and limits.stop_on_finding:
+            # The factory-level keep-going override: hunt to the full
+            # request budget even after a finding fires.
+            limits = replace(limits, stop_on_finding=False)
+        campaign = UdsFuzzCampaign(
             bench.sim, bench.client, bench.server, generator,
-            limits=spec.limits, interval=self.interval,
+            limits=limits, interval=self.interval,
             recent_window=self.recent_window,
             name=f"uds-shard{spec.index}")
+        # Pin the bench on the campaign: it keeps the world alive for
+        # the campaign's lifetime and lets the batched lockstep engine
+        # (repro.fuzz.batch) prove the world it must model.
+        campaign.bench = bench
+        return campaign
 
 
 @dataclass(frozen=True)
@@ -178,7 +188,9 @@ class UdsReplayFactory:
                               key_algorithm=algorithm)
         bench.power_on(settle_seconds=self.settle_seconds)
         # The bound method pins the bench for the probe's lifetime.
-        return bench.sim, bench.client, bench.crashed
+        # ``failed`` covers both loss modes a liveness finding can
+        # record: a crashed target and one wedged in the NRC-path hang.
+        return bench.sim, bench.client, bench.failed
 
 
 @dataclass(frozen=True)

@@ -20,6 +20,7 @@ import json
 
 from repro.ecu.base import Ecu, EcuState
 from repro.ecu.modes import ModeTransitionError, OperatingMode
+from repro.sim.clock import SECOND
 from repro.uds.isotp import IsoTpEndpoint
 from repro.uds.services import (
     NegativeResponse,
@@ -47,6 +48,24 @@ SCRATCH_BUFFER_SIZE = 16
 #: dump handler walks a calibration pointer table that reprogramming
 #: mode leaves unmapped.  Locked testers just see 0x33.
 CALIBRATION_DUMP_DID = 0xF1A5
+
+#: The DiagnosticSessionControl sub-function whose negative-response
+#: path hangs the server (the seeded NRC-path hang defect): instead of
+#: transmitting subFunctionNotSupported, the handler deadlocks against
+#: the session task and the server ignores every request until the
+#: stall clears.
+HANG_SESSION_SUB = 0x04
+#: How long the defective NRC path wedges the server -- far past any
+#: client timeout, so the tester sees pure silence from a running ECU.
+HANG_STALL_TICKS = 1 * SECOND
+
+#: Session sub-function to operating mode, bound once at import: the
+#: session-control handler runs for a large share of campaign traffic.
+_SESSION_TARGETS = {
+    SESSION_DEFAULT: OperatingMode.NORMAL,
+    SESSION_EXTENDED: OperatingMode.DIAGNOSTIC,
+    SESSION_PROGRAMMING: OperatingMode.PROGRAMMING,
+}
 
 #: XOR secret for the toy seed/key security algorithm.
 SECURITY_XOR_SECRET = 0xA5
@@ -84,11 +103,24 @@ class UdsServer:
         self._pending_seed: int | None = None
         self.failed_key_attempts = 0
         self.requests_handled = 0
+        #: Simulation tick until which the application task is wedged
+        #: in the defective NRC path (0 = not stalled).
+        self._stalled_until = 0
         #: Readable data identifiers (VIN-style examples).
         self.data_identifiers: dict[int, bytes] = {
             0xF190: b"REPRO-VIN-0123456",      # VIN
             0xF18C: b"ECU-SN-000042",          # serial number
             0xF195: b"SW v1.2.3",              # software version
+        }
+        # Service dispatch, bound once: request handling runs for every
+        # exchange of a fuzz campaign.
+        self._service_handlers = {
+            ServiceId.DIAGNOSTIC_SESSION_CONTROL: self._session_control,
+            ServiceId.ECU_RESET: self._ecu_reset,
+            ServiceId.READ_DATA_BY_IDENTIFIER: self._read_did,
+            ServiceId.SECURITY_ACCESS: self._security_access,
+            ServiceId.WRITE_DATA_BY_IDENTIFIER: self._write_did,
+            ServiceId.TESTER_PRESENT: self._tester_present,
         }
 
     # ------------------------------------------------------------------
@@ -97,17 +129,13 @@ class UdsServer:
     def _on_request(self, request: bytes) -> None:
         if not self.ecu.running or not request:
             return
+        if self.ecu.sim.now < self._stalled_until:
+            # Wedged in the defective NRC path: the transport still
+            # reassembles requests, but none reach the application.
+            return
         self.requests_handled += 1
         sid = request[0]
-        handlers = {
-            ServiceId.DIAGNOSTIC_SESSION_CONTROL: self._session_control,
-            ServiceId.ECU_RESET: self._ecu_reset,
-            ServiceId.READ_DATA_BY_IDENTIFIER: self._read_did,
-            ServiceId.SECURITY_ACCESS: self._security_access,
-            ServiceId.WRITE_DATA_BY_IDENTIFIER: self._write_did,
-            ServiceId.TESTER_PRESENT: self._tester_present,
-        }
-        handler = handlers.get(sid)
+        handler = self._service_handlers.get(sid)
         if handler is None:
             self._respond(negative_response(
                 sid, NegativeResponse.SERVICE_NOT_SUPPORTED))
@@ -122,17 +150,20 @@ class UdsServer:
     # ------------------------------------------------------------------
     # Services
     # ------------------------------------------------------------------
-    def _session_control(self, request: bytes) -> bytes:
+    def _session_control(self, request: bytes) -> bytes | None:
         sid = request[0]
         if len(request) != 2:
             return negative_response(
                 sid, NegativeResponse.INCORRECT_MESSAGE_LENGTH)
-        targets = {
-            SESSION_DEFAULT: OperatingMode.NORMAL,
-            SESSION_EXTENDED: OperatingMode.DIAGNOSTIC,
-            SESSION_PROGRAMMING: OperatingMode.PROGRAMMING,
-        }
-        target = targets.get(request[1])
+        if request[1] == HANG_SESSION_SUB:
+            # THE SEEDED DEFECT (NRC-path hang): the rejection branch
+            # for this sub-function waits on a lock the session task
+            # holds, so the subFunctionNotSupported NRC is never
+            # transmitted and the server ignores all traffic until the
+            # watchdog path gives up a full second later.
+            self._stalled_until = self.ecu.sim.now + HANG_STALL_TICKS
+            return None
+        target = _SESSION_TARGETS.get(request[1])
         if target is None:
             return negative_response(
                 sid, NegativeResponse.SUB_FUNCTION_NOT_SUPPORTED)
@@ -167,6 +198,7 @@ class UdsServer:
         self.ecu.power_cycle()
         self._pending_seed = None
         self.failed_key_attempts = 0
+        self._stalled_until = 0
 
     def _read_did(self, request: bytes) -> bytes:
         sid = request[0]
@@ -282,6 +314,7 @@ class UdsServer:
             "pending_seed": self._pending_seed,
             "failed_key_attempts": self.failed_key_attempts,
             "requests_handled": self.requests_handled,
+            "stalled_until": self._stalled_until,
             "data_identifiers": {
                 f"{did:04x}": value.hex()
                 for did, value in sorted(self.data_identifiers.items())},
@@ -303,6 +336,7 @@ class UdsServer:
         self._pending_seed = None if pending is None else int(pending)
         self.failed_key_attempts = int(state.get("failed_key_attempts", 0))
         self.requests_handled = int(state.get("requests_handled", 0))
+        self._stalled_until = int(state.get("stalled_until", 0))
         dids = state.get("data_identifiers")
         if dids is not None:
             self.data_identifiers = {

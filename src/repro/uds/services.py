@@ -49,14 +49,30 @@ SECURITY_REQUEST_SEED = 0x01
 SECURITY_SEND_KEY = 0x02
 
 
+# Response construction runs for every exchange of a fuzz campaign;
+# the small closed domains (256 echo bytes, a few dozen sid/NRC pairs)
+# make both builders table- or memo-backed.
+_POSITIVE_PREFIX = tuple(bytes((sid + POSITIVE_RESPONSE_OFFSET,))
+                         for sid in range(0x100 - POSITIVE_RESPONSE_OFFSET))
+_NEGATIVE_MEMO: dict[tuple[int, int], bytes] = {}
+
+
 def positive_response(sid: int, payload: bytes = b"") -> bytes:
     """Build a positive-response message for ``sid``."""
+    if 0 <= sid < len(_POSITIVE_PREFIX):
+        return _POSITIVE_PREFIX[sid] + payload
+    # Out-of-range echo byte: raise exactly as the direct construction
+    # always has.
     return bytes((sid + POSITIVE_RESPONSE_OFFSET,)) + payload
 
 
 def negative_response(sid: int, nrc: NegativeResponse) -> bytes:
     """Build a negative-response message for ``sid``."""
-    return bytes((NEGATIVE_RESPONSE_SID, sid, nrc))
+    message = _NEGATIVE_MEMO.get((sid, nrc))
+    if message is None:
+        message = _NEGATIVE_MEMO[(sid, nrc)] = \
+            bytes((NEGATIVE_RESPONSE_SID, sid, nrc))
+    return message
 
 
 def is_negative(message: bytes) -> bool:

@@ -12,9 +12,12 @@ strategies:
   (unlocked programming session) and, once there, attack writable
   data identifiers with boundary-length records;
 - **protocol moves** probe the diagnostic surface: a deterministic
-  sweep of the ISO 14229 identification DID block (0xF180-0xF1FF)
-  plus random reads/writes/session requests.  Write probes while
-  locked are the discriminating oracle: a protected DID answers
+  sweep of the ISO 14229 identification DID block (0xF180-0xF1FF),
+  random reads/writes, and a deterministic sweep of all 256
+  DiagnosticSessionControl sub-functions (so every NRC rejection
+  path is probed -- the probe that finds a sub whose negative
+  response path hangs the server).  Write probes while locked are
+  the discriminating oracle: a protected DID answers
   securityAccessDenied (0x33) where an unmapped one answers
   requestOutOfRange (0x31);
 - **corpus mutations** replay byte-mutated copies of requests that
@@ -112,6 +115,17 @@ SWEEP_LAST_DID = 0xF1FF
 GARBAGE_SIDS = (0x10, 0x11, 0x22, 0x27, 0x2E, 0x31, 0x3E, 0x19, 0x28, 0x85)
 GARBAGE_LENGTHS = (0, 1, 2, 3, 7, 8, 15, 16, 17, 32, 63, 64, 128)
 
+# Fixed requests the state walk re-emits constantly, built once
+# (bytes are immutable, so sharing one object is safe).
+_REQ_HARD_RESET = bytes((ServiceId.ECU_RESET, 0x01))
+_REQ_SESSION_EXTENDED = bytes((ServiceId.DIAGNOSTIC_SESSION_CONTROL,
+                               SESSION_EXTENDED))
+_REQ_SESSION_PROGRAMMING = bytes((ServiceId.DIAGNOSTIC_SESSION_CONTROL,
+                                  SESSION_PROGRAMMING))
+_REQ_REQUEST_SEED = bytes((ServiceId.SECURITY_ACCESS,
+                           SECURITY_REQUEST_SEED))
+_REQ_TESTER_PRESENT = bytes((ServiceId.TESTER_PRESENT, 0x00))
+
 
 class UdsStateGenerator:
     """Generates UDS requests guided by protocol-state coverage.
@@ -144,7 +158,11 @@ class UdsStateGenerator:
         #: Confirmed seed-to-key algorithm index, once learned.
         self.key_algorithm: int | None = None
         self._interesting_dids: set[int] = set()
+        # Lazily re-sorted mirror of the set: attack moves draw from
+        # the sorted order every time, while additions are rare.
+        self._interesting_sorted: list[int] | None = []
         self._sweep_did = SWEEP_FIRST_DID
+        self._session_sweep_sub = 0
         self._corpus: list[bytes] = []
 
     # ------------------------------------------------------------------
@@ -166,14 +184,12 @@ class UdsStateGenerator:
         """One step toward -- or an attack from -- the armed state."""
         if self._locked_out:
             # Only a hard reset clears the attempt counter.
-            return bytes((ServiceId.ECU_RESET, 0x01))
+            return _REQ_HARD_RESET
         if self._session == SESSION_DEFAULT:
-            return bytes((ServiceId.DIAGNOSTIC_SESSION_CONTROL,
-                          SESSION_EXTENDED))
+            return _REQ_SESSION_EXTENDED
         if not self._unlocked:
             if self._seed is None:
-                return bytes((ServiceId.SECURITY_ACCESS,
-                              SECURITY_REQUEST_SEED))
+                return _REQ_REQUEST_SEED
             index = self.key_algorithm
             if index is None:
                 index = self._rng.randrange(len(KEY_ALGORITHMS))
@@ -182,8 +198,7 @@ class UdsStateGenerator:
             return bytes((ServiceId.SECURITY_ACCESS, SECURITY_SEND_KEY,
                           key))
         if self._session != SESSION_PROGRAMMING:
-            return bytes((ServiceId.DIAGNOSTIC_SESSION_CONTROL,
-                          SESSION_PROGRAMMING))
+            return _REQ_SESSION_PROGRAMMING
         if self._rng.random() < 0.2:
             # Armed-state read probe: some defects fire on *reading*
             # protected data mid-reprogram, which attack writes alone
@@ -195,7 +210,11 @@ class UdsStateGenerator:
         """Read a DID worth attacking from the armed state."""
         rng = self._rng
         if self._interesting_dids and rng.random() < 0.7:
-            did = rng.choice(sorted(self._interesting_dids))
+            dids = self._interesting_sorted
+            if dids is None:
+                dids = self._interesting_sorted = \
+                    sorted(self._interesting_dids)
+            did = rng.choice(dids)
         else:
             did = self._advance_sweep()
         return bytes((ServiceId.READ_DATA_BY_IDENTIFIER,
@@ -205,7 +224,11 @@ class UdsStateGenerator:
         """Boundary-length write to a DID worth attacking."""
         rng = self._rng
         if self._interesting_dids and rng.random() < 0.7:
-            did = rng.choice(sorted(self._interesting_dids))
+            dids = self._interesting_sorted
+            if dids is None:
+                dids = self._interesting_sorted = \
+                    sorted(self._interesting_dids)
+            did = rng.choice(dids)
         else:
             did = self._advance_sweep()
         length = rng.choice(ATTACK_LENGTHS)
@@ -230,9 +253,15 @@ class UdsStateGenerator:
             return bytes((ServiceId.READ_DATA_BY_IDENTIFIER,
                           did >> 8, did & 0xFF))
         if roll < 0.90:
+            # Sub-function sweep: a deterministic walk of all 256
+            # DiagnosticSessionControl sub-functions.  Random draws
+            # revisit popular values while whole regions stay cold; the
+            # sweep guarantees every NRC rejection path -- including a
+            # sub whose *negative* response path is defective -- is
+            # probed within 256 session moves.
             return bytes((ServiceId.DIAGNOSTIC_SESSION_CONTROL,
-                          rng.randrange(256)))
-        return bytes((ServiceId.TESTER_PRESENT, 0x00))
+                          self._advance_session_sweep()))
+        return _REQ_TESTER_PRESENT
 
     def _advance_sweep(self) -> int:
         did = self._sweep_did
@@ -240,6 +269,11 @@ class UdsStateGenerator:
         if self._sweep_did > SWEEP_LAST_DID:
             self._sweep_did = SWEEP_FIRST_DID
         return did
+
+    def _advance_session_sweep(self) -> int:
+        sub = self._session_sweep_sub
+        self._session_sweep_sub = (sub + 1) & 0xFF
+        return sub
 
     def _mutate_move(self) -> bytes:
         """Byte-level mutation of a coverage-producing request."""
@@ -288,13 +322,17 @@ class UdsStateGenerator:
         sub = request[1] if len(request) >= 2 and sid in SUB_FUNCTION_SIDS \
             else NO_SUB
         session_at_send = self._session
-        if response.timed_out:
+        # One read of response.message, with the timed_out / positive /
+        # nrc property logic applied inline -- observe runs once per
+        # exchange in every engine, scalar or batched.
+        message = response.message
+        if message is None:
             nrc = NRC_TIMEOUT
-        elif response.positive:
+        elif message and message[0] != 0x7F:
             nrc = NRC_POSITIVE
-            self._digest_positive(sid, sub, request, response.message)
+            self._digest_positive(sid, sub, request, message)
         else:
-            nrc = response.nrc if response.nrc is not None else NRC_MALFORMED
+            nrc = message[2] if len(message) >= 3 else NRC_MALFORMED
             self._digest_negative(sid, nrc, request)
         new_coverage = self.coverage.record(sid, sub, nrc, session_at_send)
         if new_coverage and nrc != NRC_TIMEOUT:
@@ -328,6 +366,7 @@ class UdsStateGenerator:
                      ServiceId.WRITE_DATA_BY_IDENTIFIER) \
                 and len(request) >= 3:
             self._interesting_dids.add((request[1] << 8) | request[2])
+            self._interesting_sorted = None
 
     def _digest_negative(self, sid: int, nrc: int, request: bytes) -> None:
         if nrc == NegativeResponse.EXCEEDED_NUMBER_OF_ATTEMPTS:
@@ -341,6 +380,7 @@ class UdsStateGenerator:
                 and len(request) >= 3:
             # Protected data: exactly what an attack write wants.
             self._interesting_dids.add((request[1] << 8) | request[2])
+            self._interesting_sorted = None
         elif nrc == NegativeResponse.CONDITIONS_NOT_CORRECT:
             if sid == ServiceId.SECURITY_ACCESS:
                 # Seed refused: we are not in a diagnostic session.
@@ -414,6 +454,7 @@ class UdsStateGenerator:
             "key_algorithm": self.key_algorithm,
             "interesting_dids": sorted(self._interesting_dids),
             "sweep_did": self._sweep_did,
+            "session_sweep": self._session_sweep_sub,
             "corpus": [entry.hex() for entry in self._corpus],
             "rng": rng_state_to_json(self._rng.getstate()),
             "coverage": self.coverage.state_dict(),
@@ -432,7 +473,9 @@ class UdsStateGenerator:
         self.key_algorithm = None if learned is None else int(learned)
         self._interesting_dids = {int(d) for d in
                                   state.get("interesting_dids", ())}
+        self._interesting_sorted = None
         self._sweep_did = int(state.get("sweep_did", SWEEP_FIRST_DID))
+        self._session_sweep_sub = int(state.get("session_sweep", 0))
         self._corpus = [bytes.fromhex(entry)
                         for entry in state.get("corpus", ())]
         rng_state = state.get("rng")

@@ -1,0 +1,315 @@
+"""Scalar-vs-batch parity for the request-level UDS lockstep engine.
+
+The contract is the same one :mod:`tests.fuzz.test_batch` pins for
+frame-level worlds, lifted to request/response granularity: a
+:class:`~repro.fuzz.uds_campaign.UdsFuzzCampaign` world must produce
+bit-identical results, journal records, checkpoints and resume
+behaviour whether it runs on the scalar event kernel or inside
+:class:`~repro.fuzz.batch.BatchUdsCampaign` -- and any world the
+two-track admission prover cannot prove eligible must fall back to the
+scalar kernel with a recorded reason, never a wrong result.
+"""
+
+import json
+import shutil
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fuzz.batch import (BatchUdsCampaign, ScalarFallback, plan_world,
+                              plan_uds_world, run_shard_batch)
+from repro.fuzz.campaign import CampaignLimits, resume_campaign
+from repro.fuzz.coverage import ProtocolStateCoverage
+from repro.fuzz.durability import CampaignJournal, DirectoryStore, scan_records
+from repro.fuzz.parallel import ShardSpec, ShardedCampaign, derive_shard_seed
+from repro.fuzz.uds_campaign import UdsFuzzCampaign
+from repro.testbench.factory import UdsBenchFactory, UnlockBenchFactory
+
+#: stop_on_finding=False: worlds hunt the full budget, which exercises
+#: the recovery path (power cycle + settle) inside the lockstep engine.
+KEEP_GOING = UdsBenchFactory(stop_on_finding=False)
+FIRST_FINDING = UdsBenchFactory()
+
+
+def uds_spec(index, max_frames=250, master=3):
+    return ShardSpec(index=index, shard_count=8, master_seed=master,
+                     seed=derive_shard_seed(master, index),
+                     limits=CampaignLimits(max_frames=max_frames))
+
+
+def fingerprint(campaign, result):
+    """Result plus end-of-run generator and server state: a world that
+    drifted anywhere -- belief state, latches, DID stores -- shows up
+    here even when the findings happen to agree."""
+    return {
+        "result": result.to_dict(),
+        "generator": campaign.generator.state_digest(),
+        "server": campaign.bench.server.state_digest(),
+    }
+
+
+def run_scalar(factory, spec):
+    campaign = factory(spec)
+    result = campaign.run()
+    return fingerprint(campaign, result)
+
+
+def run_batch(factory, specs):
+    campaigns = [factory(spec) for spec in specs]
+    batch = BatchUdsCampaign(campaigns)
+    results = batch.run()
+    prints = [fingerprint(campaign, result)
+              for campaign, result in zip(campaigns, results)]
+    return prints, batch
+
+
+class TestFreshParity:
+    def test_keep_going_worlds_bit_identical(self):
+        specs = [uds_spec(i, max_frames=300) for i in range(4)]
+        scalar = [run_scalar(KEEP_GOING, spec) for spec in specs]
+        batched, batch = run_batch(KEEP_GOING, specs)
+        assert batch.fallback_reasons == {}
+        assert batched == scalar
+
+    def test_stop_on_finding_worlds_bit_identical(self):
+        specs = [uds_spec(i, max_frames=250) for i in range(3)]
+        scalar = [run_scalar(FIRST_FINDING, spec) for spec in specs]
+        batched, batch = run_batch(FIRST_FINDING, specs)
+        assert batch.fallback_reasons == {}
+        assert batched == scalar
+
+    def test_results_come_back_in_input_order(self):
+        specs = [uds_spec(i, max_frames=120) for i in (2, 0)]
+        campaigns = [FIRST_FINDING(spec) for spec in specs]
+        names = [campaign.name for campaign in campaigns]
+        results = BatchUdsCampaign(campaigns).run()
+        assert [result.name for result in results] == names
+
+
+class TestProver:
+    def test_dispatcher_routes_by_campaign_layer(self):
+        uds = FIRST_FINDING(uds_spec(0, max_frames=50))
+        assert plan_world(0, uds, uds.bench, None) is None
+        frame = UnlockBenchFactory()(ShardSpec(
+            index=0, shard_count=1, master_seed=0, seed=0,
+            limits=CampaignLimits(max_frames=100)))
+        assert plan_world(0, frame, frame.bench, None) is not None
+
+    @pytest.mark.parametrize("mutate, reason", [
+        (lambda c: setattr(c, "_reset_target", lambda: None),
+         "reset-target hook"),
+        (lambda c: setattr(c.server.ecu, "watchdog", object()),
+         "has a watchdog"),
+        (lambda c: c.server.ecu._tasks.append(object()),
+         "cyclic tasks"),
+        (lambda c: setattr(c, "requests_sent", 1),
+         "not pristine"),
+        (lambda c: setattr(c.client.endpoint, "block_size", 4),
+         "flow-control block size"),
+    ])
+    def test_violated_rules_name_the_violation(self, mutate, reason):
+        campaign = FIRST_FINDING(uds_spec(0, max_frames=50))
+        mutate(campaign)
+        with pytest.raises(ScalarFallback, match=reason):
+            plan_uds_world(0, campaign, campaign.bench, None)
+
+    def test_fallback_world_still_matches_its_scalar_twin(self):
+        # With stop_on_finding the recovery hook never fires, so the
+        # hooked twin behaves exactly like the scalar baseline -- the
+        # engine must reject it (unmodelled hook) yet return the same
+        # bits via the scalar kernel, alongside an admitted world.
+        def hooked(spec):
+            campaign = FIRST_FINDING(spec)
+            campaign._reset_target = lambda: None
+            return campaign
+
+        specs = [uds_spec(0, max_frames=200), uds_spec(1, max_frames=200)]
+        twins = [run_scalar(hooked, specs[0]),
+                 run_scalar(FIRST_FINDING, specs[1])]
+        campaigns = [hooked(specs[0]), FIRST_FINDING(specs[1])]
+        batch = BatchUdsCampaign(campaigns)
+        results = batch.run()
+        assert list(batch.fallback_reasons) == [0]
+        assert "reset-target" in batch.fallback_reasons[0]
+        prints = [fingerprint(campaign, result)
+                  for campaign, result in zip(campaigns, results)]
+        assert prints == twins
+
+
+def read_records(directory):
+    records, warnings = scan_records(DirectoryStore(str(directory)))
+    assert warnings == []
+    return records
+
+
+class TestJournalParity:
+    def test_record_streams_checkpoints_and_results_identical(
+            self, tmp_path):
+        specs = [uds_spec(i, max_frames=300) for i in range(3)]
+        for spec in specs:
+            journal = CampaignJournal(DirectoryStore(
+                str(tmp_path / f"scalar/shard-{spec.index:04d}")))
+            UdsFuzzCampaign.resume(journal, lambda spec=spec:
+                                   KEEP_GOING(spec), checkpoint_every=100)
+        infos = [(None, str(tmp_path / f"batch/shard-{s.index:04d}"), 100)
+                 for s in specs]
+        run_shard_batch(KEEP_GOING, specs, journal_infos=infos)
+        for spec in specs:
+            scalar_dir = tmp_path / f"scalar/shard-{spec.index:04d}"
+            batch_dir = tmp_path / f"batch/shard-{spec.index:04d}"
+            assert read_records(scalar_dir) == read_records(batch_dir)
+            scalar_store = DirectoryStore(str(scalar_dir))
+            batch_store = DirectoryStore(str(batch_dir))
+            assert (json.loads(scalar_store.read(CampaignJournal.RESULT))
+                    == json.loads(batch_store.read(CampaignJournal.RESULT)))
+            assert (json.loads(
+                scalar_store.read(CampaignJournal.CHECKPOINT))
+                == json.loads(
+                    batch_store.read(CampaignJournal.CHECKPOINT)))
+
+    def kill(self, directory):
+        """Turn a completed journal into a mid-flight casualty."""
+        DirectoryStore(str(directory)).remove(CampaignJournal.RESULT)
+
+    def test_batch_killed_run_resumes_identically_on_both_engines(
+            self, tmp_path):
+        spec = uds_spec(0, max_frames=300)
+        batch_dir = tmp_path / "bat"
+        run_shard_batch(KEEP_GOING, [spec],
+                        journal_infos=[(None, str(batch_dir), 100)])
+        assert DirectoryStore(str(batch_dir)).exists(
+            CampaignJournal.CHECKPOINT)
+        shutil.copytree(batch_dir, tmp_path / "ctl")
+        self.kill(batch_dir)
+        self.kill(tmp_path / "ctl")
+        control = resume_campaign(
+            CampaignJournal(DirectoryStore(str(tmp_path / "ctl"))),
+            lambda: KEEP_GOING(spec), checkpoint_every=100)
+        resumed = run_shard_batch(
+            KEEP_GOING, [spec],
+            journal_infos=[(None, str(batch_dir), 100)])
+        assert resumed[0][0].to_dict() == control.to_dict()
+        assert read_records(batch_dir) == read_records(tmp_path / "ctl")
+        kinds = [record["type"] for record in read_records(batch_dir)]
+        assert kinds.count("resume") == 1
+
+    def test_scalar_killed_run_resumes_identically_on_both_engines(
+            self, tmp_path):
+        spec = uds_spec(1, max_frames=300)
+        scalar_dir = tmp_path / "ctl"
+        journal = CampaignJournal(DirectoryStore(str(scalar_dir)))
+        UdsFuzzCampaign.resume(journal, lambda: KEEP_GOING(spec),
+                               checkpoint_every=100)
+        assert DirectoryStore(str(scalar_dir)).exists(
+            CampaignJournal.CHECKPOINT)
+        shutil.copytree(scalar_dir, tmp_path / "bat")
+        self.kill(scalar_dir)
+        self.kill(tmp_path / "bat")
+        control = resume_campaign(
+            CampaignJournal(DirectoryStore(str(scalar_dir))),
+            lambda: KEEP_GOING(spec), checkpoint_every=100)
+        resumed = run_shard_batch(
+            KEEP_GOING, [spec],
+            journal_infos=[(None, str(tmp_path / "bat"), 100)])
+        assert resumed[0][0].to_dict() == control.to_dict()
+        assert read_records(tmp_path / "bat") == read_records(scalar_dir)
+
+    def test_completed_journal_short_circuits(self, tmp_path):
+        spec = uds_spec(0, max_frames=200)
+        info = [(None, str(tmp_path / "done"), 100)]
+        first = run_shard_batch(KEEP_GOING, [spec], journal_infos=info)
+        again = run_shard_batch(KEEP_GOING, [spec], journal_infos=info)
+        assert again[0][0].to_dict() == first[0][0].to_dict()
+
+
+class TestShardedBatching:
+    LIMITS = CampaignLimits(max_frames=250)
+
+    def test_batched_uds_run_fingerprints_like_serial(self):
+        serial = ShardedCampaign(UdsBenchFactory(), shards=4,
+                                 limits=self.LIMITS,
+                                 master_seed=11, jobs=2).run_serial()
+        batched = ShardedCampaign(UdsBenchFactory(), shards=4,
+                                  limits=self.LIMITS, master_seed=11,
+                                  jobs=2, batch_size=2).run()
+        assert batched.ok
+        assert batched.fingerprint() == serial.fingerprint()
+        assert batched.fallback_reasons == {}
+
+
+class TestCoverageVectorisation:
+    """Satellite: the np-backed tuple accounting against its oracle."""
+
+    EXCHANGE = st.tuples(
+        st.integers(min_value=0, max_value=0xFF),
+        st.integers(min_value=-1, max_value=0xFF),
+        st.integers(min_value=-1, max_value=0xFF),
+        st.integers(min_value=0, max_value=0x7F))
+
+    @settings(max_examples=50, deadline=None)
+    @given(batches=st.lists(st.lists(EXCHANGE, max_size=30), max_size=4))
+    def test_record_batch_matches_reference(self, batches):
+        fast = ProtocolStateCoverage()
+        slow = ProtocolStateCoverage()
+        for batch in batches:
+            assert (fast.record_batch(batch)
+                    == slow._reference_record_batch(batch))
+        assert fast.state_digest() == slow.state_digest()
+        assert fast.tuples_seen == slow.tuples_seen
+        assert fast.exchanges_recorded == slow.exchanges_recorded
+
+    def test_duplicates_within_one_batch_count_once(self):
+        coverage = ProtocolStateCoverage()
+        flags = coverage.record_batch(
+            [(0x10, 1, 0, 1), (0x10, 1, 0, 1), (0x22, -1, 0x31, 1)])
+        assert flags == [True, False, True]
+        assert coverage.count(0x10, 1, 0, 1) == 2
+
+
+class TestHypothesisParity:
+    """Satellite: random seeds and limits through both kernels."""
+
+    @settings(max_examples=5, deadline=None)
+    @given(data=st.data())
+    def test_random_uds_worlds_fingerprint_identically(self, data):
+        indexes = data.draw(st.lists(
+            st.integers(min_value=0, max_value=63),
+            min_size=2, max_size=3, unique=True))
+        max_frames = data.draw(st.integers(min_value=40, max_value=350))
+        master = data.draw(st.integers(min_value=0, max_value=2**31 - 1))
+        factory = data.draw(st.sampled_from([KEEP_GOING, FIRST_FINDING]))
+        specs = [uds_spec(i, max_frames=max_frames, master=master)
+                 for i in indexes]
+        scalar = [run_scalar(factory, spec) for spec in specs]
+        batched, batch = run_batch(factory, specs)
+        assert batch.fallback_reasons == {}
+        assert batched == scalar
+
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500),
+           checkpoint_every=st.integers(min_value=40, max_value=200))
+    def test_kill_resume_parity_both_directions(self, tmp_path_factory,
+                                                seed, checkpoint_every):
+        # One full batched journalled run, killed by dropping the saved
+        # result, then resumed by BOTH engines from identical copies:
+        # the scalar resume is the specification the batch resume must
+        # reproduce byte-for-byte, records included.
+        tmp_path = tmp_path_factory.mktemp("uds-resume")
+        spec = uds_spec(0, max_frames=300, master=seed)
+        batch_dir = tmp_path / "bat"
+        run_shard_batch(
+            KEEP_GOING, [spec],
+            journal_infos=[(None, str(batch_dir), checkpoint_every)])
+        store = DirectoryStore(str(batch_dir))
+        assert store.exists(CampaignJournal.CHECKPOINT)
+        shutil.copytree(batch_dir, tmp_path / "ctl")
+        store.remove(CampaignJournal.RESULT)
+        DirectoryStore(str(tmp_path / "ctl")).remove(CampaignJournal.RESULT)
+        control = resume_campaign(
+            CampaignJournal(DirectoryStore(str(tmp_path / "ctl"))),
+            lambda: KEEP_GOING(spec), checkpoint_every=checkpoint_every)
+        resumed = run_shard_batch(
+            KEEP_GOING, [spec],
+            journal_infos=[(None, str(batch_dir), checkpoint_every)])
+        assert resumed[0][0].to_dict() == control.to_dict()
+        assert read_records(batch_dir) == read_records(tmp_path / "ctl")

@@ -1,11 +1,13 @@
 """End-to-end tests for the stateful UDS fuzz campaign.
 
 The acceptance path of the subsystem: a seeded, journalled campaign
-finds the programming-session bootloader-scratch overflow through
-coverage-guided state fuzzing, kill-resumes bit-identically
-mid-campaign, confirms the finding by clean replay, and minimises the
-witness record to the minimal session-control / security-access /
-oversized-write sequence.
+finds the NRC-path session-control hang through the generator's
+deterministic sub-function sweep, keeps going to the programming
+session bootloader-scratch overflow, kill-resumes bit-identically
+mid-campaign, confirms both findings by clean replay, and minimises
+each witness record -- the hang to its single request, the overflow to
+the minimal session-control / security-access / oversized-write
+sequence.
 """
 
 import pytest
@@ -29,9 +31,10 @@ SEED = 0
 FACTORY = UdsBenchFactory()
 
 
-def make_spec(seed=SEED, max_frames=1500):
+def make_spec(seed=SEED, max_frames=1500, stop_on_finding=True):
     return ShardSpec(index=0, shard_count=1, master_seed=seed, seed=seed,
-                     limits=CampaignLimits(max_frames=max_frames))
+                     limits=CampaignLimits(max_frames=max_frames,
+                                           stop_on_finding=stop_on_finding))
 
 
 @pytest.fixture(scope="module")
@@ -40,18 +43,46 @@ def hunt_result():
     return FACTORY(make_spec()).run()
 
 
-class TestCampaignFindsTheOverflow:
-    def test_overflow_found_and_recorded(self, hunt_result):
+@pytest.fixture(scope="module")
+def deep_result():
+    """A keep-going hunt past the hang: exactly the three seed-0
+    defect witnesses (hang, calibration read, scratch overflow)."""
+    return FACTORY(make_spec(max_frames=300, stop_on_finding=False)).run()
+
+
+def overflow_finding(result):
+    """The first scratch-overflow witness of a keep-going hunt."""
+    for finding in result.findings:
+        last = finding.recent_requests[-1]
+        if last[0] == 0x2E:
+            return finding
+    raise AssertionError("no overflow finding recorded")
+
+
+class TestCampaignFindsTheDefects:
+    def test_hang_found_first_and_recorded(self, hunt_result):
+        # The deterministic session-sub sweep walks into the NRC-path
+        # hang (sub-function 0x04) before anything crashes; with the
+        # default stop-on-finding limits the campaign ends there.
         assert len(hunt_result.findings) == 1
         finding = hunt_result.findings[0]
         assert finding.oracle == "uds-liveness"
-        # The crashing request is an oversized write to the scratch DID.
-        last = finding.recent_requests[-1]
+        assert finding.recent_requests[-1] == bytes((0x10, 0x04))
+
+    def test_keep_going_reaches_the_overflow(self, deep_result):
+        assert [f.oracle for f in deep_result.findings] \
+            == ["uds-liveness"] * 3
+        # First the hang, then the armed-state calibration read, then
+        # the oversized write to the scratch DID.
+        assert deep_result.findings[0].recent_requests[-1] \
+            == bytes((0x10, 0x04))
+        read = deep_result.findings[1].recent_requests[-1]
+        assert read[0] == 0x22
+        assert (read[1] << 8) | read[2] == CALIBRATION_DUMP_DID
+        last = overflow_finding(deep_result).recent_requests[-1]
         assert last[0] == 0x2E
         assert (last[1] << 8) | last[2] == BOOTLOADER_SCRATCH_DID
         assert len(last) - 3 > SCRATCH_BUFFER_SIZE
-        # The witness prefix re-establishes the armed state.
-        assert finding.recent_requests[0] == bytes((0x10, 0x03))
 
     def test_health_reports_coverage_and_key_algorithm(self, hunt_result):
         health = hunt_result.health["uds"]
@@ -84,7 +115,17 @@ class TestLearnedKeyAlgorithms:
     @pytest.fixture(scope="class")
     def crc8_result(self):
         factory = UdsBenchFactory(key_algorithm=self.CRC8_INDEX)
-        return factory(make_spec(max_frames=2500)).run()
+        return factory(make_spec(max_frames=2500,
+                                 stop_on_finding=False)).run()
+
+    @staticmethod
+    def read_finding(result):
+        for finding in result.findings:
+            last = finding.recent_requests[-1]
+            if (last[0] == 0x22
+                    and (last[1] << 8) | last[2] == CALIBRATION_DUMP_DID):
+                return finding
+        raise AssertionError("no calibration-read finding recorded")
 
     def test_crc8_key_is_learned(self, crc8_result):
         health = crc8_result.health["uds"]
@@ -92,17 +133,15 @@ class TestLearnedKeyAlgorithms:
         assert health["key_algorithm_index"] == self.CRC8_INDEX
 
     def test_read_defect_found_behind_crc8_lock(self, crc8_result):
-        # Seed 0 walks into the calibration dump read before the
-        # scratch overflow; the crashing request is a plain read, only
-        # reachable from an unlocked programming session.
-        assert crc8_result.findings
-        last = crc8_result.findings[0].recent_requests[-1]
-        assert last[0] == 0x22
-        assert (last[1] << 8) | last[2] == CALIBRATION_DUMP_DID
+        # A keep-going hunt walks into the calibration dump read; the
+        # crashing request is a plain read, only reachable from an
+        # unlocked programming session.
+        finding = self.read_finding(crc8_result)
+        assert finding.oracle == "uds-liveness"
 
     def test_read_defect_confirmed_on_clean_replay(self, crc8_result):
         report = confirm_uds_findings(
-            crc8_result.findings,
+            [self.read_finding(crc8_result)],
             UdsReplayFactory(seed=SEED, key_algorithm=self.CRC8_INDEX),
             key_algorithm=self.CRC8_INDEX)
         assert len(report.confirmed) == 1
@@ -131,7 +170,9 @@ class TestLearnedKeyAlgorithms:
 
 
 class TestConfirmAndMinimize:
-    def test_finding_confirmed_on_clean_replay(self, hunt_result):
+    def test_hang_confirmed_on_clean_replay(self, hunt_result):
+        # The hang leaves the target running but deaf, so the combined
+        # crashed-or-hung probe is what confirms it.
         health = hunt_result.health["uds"]
         report = confirm_uds_findings(
             hunt_result.findings, UdsReplayFactory(seed=SEED),
@@ -139,9 +180,19 @@ class TestConfirmAndMinimize:
         assert len(report.confirmed) == 1
         assert report.rejected == []
 
-    def test_minimises_to_the_five_request_sequence(self, hunt_result):
+    def test_hang_minimises_to_the_single_request(self, hunt_result):
+        # No session, no unlock: the defective sub-function alone
+        # wedges the server, so ddmin strips the witness to one line.
         finding = hunt_result.findings[0]
         algorithm = hunt_result.health["uds"]["key_algorithm_index"]
+        replayer = UdsReplayer(UdsReplayFactory(seed=SEED),
+                               key_algorithm=algorithm)
+        assert replayer.minimize(finding.recent_requests) \
+            == [bytes((0x10, 0x04))]
+
+    def test_minimises_to_the_five_request_sequence(self, deep_result):
+        finding = overflow_finding(deep_result)
+        algorithm = deep_result.health["uds"]["key_algorithm_index"]
         replayer = UdsReplayer(UdsReplayFactory(seed=SEED),
                                key_algorithm=algorithm)
         stats = MinimizeStats()
@@ -156,9 +207,9 @@ class TestConfirmAndMinimize:
         assert len(minimal[-1]) - 3 > SCRATCH_BUFFER_SIZE
         assert stats.tests_used <= 200
 
-    def test_snapshot_replayer_minimises_identically(self, hunt_result):
-        finding = hunt_result.findings[0]
-        algorithm = hunt_result.health["uds"]["key_algorithm_index"]
+    def test_snapshot_replayer_minimises_identically(self, deep_result):
+        finding = overflow_finding(deep_result)
+        algorithm = deep_result.health["uds"]["key_algorithm_index"]
         fresh = UdsReplayer(UdsReplayFactory(seed=SEED),
                             key_algorithm=algorithm)
         snap = UdsSnapshotReplayer(UdsReplayFactory(seed=SEED),
@@ -171,10 +222,12 @@ class TestConfirmAndMinimize:
         # came from checkpoints instead of being simulated.
         assert stats["requests_restored"] > 0
 
-    def test_stale_recorded_key_fails_without_rewriting(self, hunt_result):
+    def test_stale_recorded_key_fails_without_rewriting(self, deep_result):
         """The recorded key byte answers the original run's seed; a
-        verbatim replay (no key algorithm) must not reproduce."""
-        finding = hunt_result.findings[0]
+        verbatim replay (no key algorithm) must not reproduce.  (The
+        overflow witness is the interesting one here -- the hang needs
+        no unlock, so it replays even verbatim.)"""
+        finding = overflow_finding(deep_result)
         replayer = UdsReplayer(UdsReplayFactory(seed=SEED))
         assert not replayer.probe_finding(finding)
 

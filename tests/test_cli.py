@@ -149,11 +149,39 @@ class TestFuzzUds:
         assert payload["mode"] == "uds"
         assert payload["result"]["findings"]
         assert payload["confirmation"]["confirmed"] == 1
+        # A scalar run never degraded from a batch, so the report's
+        # fallback block is present but empty.
+        assert payload["fallback_reasons"] == []
         record = payload["minimized"][0]
         assert record["reproduced"]
-        # The minimal sequence: session walk, handshake, fatal write.
-        assert len(record["minimized_requests"]) == 5
-        assert record["minimized_requests"][-1].startswith("2ef1a0")
+        # The hunt stops at its first finding: the NRC-path hang, a
+        # single session-control request into the stalled sub-function.
+        assert record["minimized_requests"] == ["1004"]
+
+    def test_keep_going_surfaces_all_three_defects(self, capsys,
+                                                   tmp_path):
+        report = tmp_path / "uds-keep-going.json"
+        assert main(["fuzz-uds", "--seed", "0", "--requests", "300",
+                     "--keep-going", "--minimize",
+                     "--report", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "3 confirmed" in out
+        import json
+
+        payload = json.loads(report.read_text())
+        assert len(payload["result"]["findings"]) == 3
+        assert payload["confirmation"]["confirmed"] == 3
+        tails = [record["minimized_requests"][-1]
+                 for record in payload["minimized"]]
+        # One run, all three seeded defects: the NRC-path hang (one
+        # request), the armed calibration-dump read that crashes the
+        # ECU, and the bootloader-scratch overflow (each a session
+        # walk, handshake, then the fatal request).
+        assert tails[0] == "1004"
+        assert tails[1] == "22f1a5"
+        assert tails[2].startswith("2ef1a0")
+        assert len(payload["minimized"][1]["minimized_requests"]) == 5
+        assert len(payload["minimized"][2]["minimized_requests"]) == 5
 
     def test_resume_of_finished_run_returns_saved_result(self, capsys,
                                                          tmp_path):

@@ -173,3 +173,56 @@ class TestTimeouts:
         client = UdsClient(sim, bus, timeout=50 * MS)
         response = client.tester_present()  # no server on the bus
         assert response.timed_out
+
+
+class TestNrcPathHang:
+    """The seeded NRC-path hang: session-control sub-function 0x04
+    wedges the server application while the ECU stays on the bus.
+
+    The tester here times out after 200 ms (as the campaign bench
+    does) so several exchanges fit inside the 1 s stall window."""
+
+    @pytest.fixture
+    def hang_rig(self, sim, bus):
+        ecu = Ecu(sim, bus, "diag-target", boot_time=10 * MS)
+        server = UdsServer(ecu)
+        ecu.power_on()
+        sim.run_for(50 * MS)
+        client = UdsClient(sim, bus, timeout=200 * MS)
+        return ecu, server, client
+
+    def test_hang_sub_stalls_the_server(self, hang_rig):
+        ecu, server, client = hang_rig
+        response = client.request(b"\x10\x04")
+        assert response.timed_out          # the defect: no answer at all
+        assert ecu.state is EcuState.RUNNING
+        # Every request inside the stall window is swallowed too --
+        # including the in-band ECU reset that could clear it.
+        assert client.tester_present().timed_out
+        assert client.request(b"\x11\x01").timed_out
+
+    def test_stall_expires_on_its_own(self, hang_rig):
+        ecu, server, client = hang_rig
+        client.request(b"\x10\x04")
+        ecu.sim.run_for(server._stalled_until - ecu.sim.now)
+        assert client.tester_present().positive
+
+    def test_out_of_band_reset_clears_the_stall(self, hang_rig):
+        # The campaign's recovery path: a bench-side hard reset (the
+        # UDS reset handler's own callback) reinitialises the wedged
+        # application.
+        ecu, server, client = hang_rig
+        client.request(b"\x10\x04")
+        server._do_reset()
+        assert server._stalled_until == 0
+        ecu.sim.run_for(50 * MS)
+        assert client.tester_present().positive
+
+    def test_stall_rides_checkpoints(self, hang_rig):
+        ecu, server, client = hang_rig
+        client.request(b"\x10\x04")
+        state = server.state_dict()
+        assert state["stalled_until"] == server._stalled_until > 0
+        other = UdsServer(ecu)
+        other.load_state(state)
+        assert other._stalled_until == server._stalled_until

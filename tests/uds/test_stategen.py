@@ -55,6 +55,46 @@ class TestProtocolStateCoverage:
         assert not restored.record(0x10, 0x03, 0, 0x01)  # still known
 
 
+class TestRecordBatch:
+    """The vectorised tuple accounting against its loop oracle."""
+
+    @staticmethod
+    def random_exchanges(rng, count):
+        # Narrow field ranges force plenty of duplicates, and the -1
+        # sentinels (no sub-function / timeout) are always in play.
+        return [(rng.choice((0x10, 0x22, 0x27, 0x3E)),
+                 rng.choice((-1, 0x01, 0x02, 0x03)),
+                 rng.choice((-1, 0x00, 0x11, 0x33, 0x7F)),
+                 rng.choice((0x01, 0x02, 0x03)))
+                for _ in range(count)]
+
+    def test_empty_batch(self):
+        assert ProtocolStateCoverage().record_batch([]) == []
+
+    def test_matches_the_loop_oracle(self):
+        rng = random.Random(20180625)
+        fast, slow = ProtocolStateCoverage(), ProtocolStateCoverage()
+        for _ in range(20):
+            batch = self.random_exchanges(rng, rng.randrange(0, 40))
+            assert (fast.record_batch(batch)
+                    == slow._reference_record_batch(batch))
+            assert fast.state_digest() == slow.state_digest()
+        assert fast.exchanges_recorded == slow.exchanges_recorded
+        assert fast.tuples_seen == slow.tuples_seen
+
+    def test_first_occurrence_within_batch_is_the_new_one(self):
+        coverage = ProtocolStateCoverage()
+        flags = coverage.record_batch([
+            (0x10, 0x03, 0, 0x01),
+            (0x10, 0x03, 0, 0x01),   # duplicate inside the batch
+            (0x22, -1, 0x31, 0x01),
+        ])
+        assert flags == [True, False, True]
+        assert coverage.count(0x10, 0x03, 0, 0x01) == 2
+        # A later batch sees the map, not just itself.
+        assert coverage.record_batch([(0x22, -1, 0x31, 0x01)]) == [False]
+
+
 class TestKeyAlgorithms:
     def test_registry_is_append_only(self):
         # Indices are persisted in checkpoints and finding metadata;
@@ -179,3 +219,39 @@ class TestUdsStateGenerator:
         b.load_state(a.state_dict())
         assert b.state_digest() == a.state_digest()
         assert self.drive(a, 100) == self.drive(b, 100)
+
+
+class TestSessionSweep:
+    """The deterministic session sub-function sweep: protocol moves
+    walk DiagnosticSessionControl through every sub byte in order, so
+    the NRC-path hang (sub 0x04) is found without luck."""
+
+    def test_sweep_emits_every_sub_in_order(self):
+        generator = UdsStateGenerator(random.Random(0))
+        subs = [generator._advance_session_sweep() for _ in range(258)]
+        assert subs[:256] == list(range(256))
+        assert subs[256:] == [0, 1]        # wraps
+
+    def test_protocol_moves_drive_the_sweep(self):
+        # Within the protocol-probe move, session-control requests
+        # come exclusively from the sweep, so the subs appear in
+        # counter order from zero -- 0x04, the probe that exposes the
+        # hang, among the first few.
+        generator = UdsStateGenerator(random.Random(0))
+        seen = []
+        for _ in range(500):
+            request = generator._protocol_move()
+            if request[0] == 0x10:
+                seen.append(request[1])
+        assert seen == list(range(len(seen)))
+        assert 0x04 in seen
+
+    def test_sweep_position_rides_checkpoints(self):
+        a = UdsStateGenerator(random.Random(7))
+        for _ in range(10):
+            a._advance_session_sweep()
+        state = a.state_dict()
+        assert state["session_sweep"] == 10
+        b = UdsStateGenerator(random.Random(0))
+        b.load_state(state)
+        assert b._advance_session_sweep() == 10
