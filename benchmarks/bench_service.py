@@ -1,0 +1,161 @@
+"""Service benchmark: job throughput through the campaign orchestrator.
+
+Submits a batch of identical-budget UDS campaign jobs to the
+fuzzing-as-a-service stack (durable :class:`JobQueue` + leased worker
+processes under the :class:`Orchestrator`) and reports what the
+service machinery costs next to running the same campaigns directly in
+one process: journalling every lifecycle event, spawning workers,
+heartbeating leases, and checkpointing progress.
+
+One correctness gate rides along (the benchmark exits 1 if it fails;
+the overhead ratio is reported, never gated): every job's result
+fingerprint must be bit-identical to its direct, service-free run --
+the equality the chaos tests rely on.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --jobs 8 --workers 4 --output BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.service.orchestrator import (Orchestrator, build_factory,
+                                        shard_spec_for)
+from repro.service.queue import JobQueue, JobSpec, result_fingerprint
+
+BASE_SEED = 20180625
+
+
+def job_fields(index: int, max_frames: int) -> dict:
+    return {
+        "job_id": f"bench-{index:03d}",
+        "seed": BASE_SEED + index * 31,
+        "max_frames": max_frames,
+        "stop_on_finding": False,  # uniform work per job
+    }
+
+
+def run_direct(specs: list[JobSpec]) -> dict:
+    """Every campaign run back-to-back in this process: the floor."""
+    started = time.perf_counter()
+    fingerprints = {}
+    requests = 0
+    for spec in specs:
+        factory = build_factory(spec)
+        result = factory(shard_spec_for(spec)).run().to_dict()
+        fingerprints[spec.job_id] = result_fingerprint(result)
+        requests += result.get("requests_sent",
+                               result.get("frames_sent", 0))
+    wall = time.perf_counter() - started
+    return {"wall_seconds": wall, "requests": requests,
+            "fingerprints": fingerprints}
+
+
+def run_service(specs: list[JobSpec], workers: int,
+                checkpoint_every: int) -> dict:
+    """The same campaigns through submit -> lease -> worker -> result."""
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as root:
+        queue = JobQueue(root)
+        for spec in specs:
+            queue.submit(spec)
+        orch = Orchestrator(queue, workers=workers,
+                            checkpoint_every=checkpoint_every,
+                            poll_interval=0.01)
+        started = time.perf_counter()
+        orch.run_until_idle(timeout=600.0)
+        wall = time.perf_counter() - started
+        fingerprints = {}
+        requests = 0
+        for spec in specs:
+            job = queue.get(spec.job_id)
+            if job.state != "completed":
+                raise AssertionError(
+                    f"{spec.job_id} ended {job.state}: {job.faults}")
+            fingerprints[spec.job_id] = job.fingerprint
+            requests += (job.result_summary or {}).get("frames_sent", 0)
+        counters = queue.counters()
+    return {"wall_seconds": wall, "requests": requests,
+            "fingerprints": fingerprints,
+            "retries": counters["total_retries"],
+            "duplicates": counters["duplicate_completions"]}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=8,
+                        help="campaign jobs to submit (default 8)")
+    parser.add_argument("--max-frames", type=int, default=2000,
+                        help="request budget per job (default 2000)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="orchestrator worker slots (default 4)")
+    parser.add_argument("--checkpoint-every", type=int, default=200,
+                        help="checkpoint/heartbeat cadence (default 200)")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_service.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+    if args.jobs <= 0 or args.max_frames <= 0 or args.workers <= 0:
+        parser.error("--jobs, --max-frames and --workers must be positive")
+
+    specs = [JobSpec(**job_fields(i, args.max_frames))
+             for i in range(args.jobs)]
+    print(f"{args.jobs} jobs x {args.max_frames} requests, "
+          f"{args.workers} workers")
+
+    direct = run_direct(specs)
+    print(f"direct:  {direct['wall_seconds']:.3f} s wall, "
+          f"{direct['requests'] / direct['wall_seconds']:,.0f} req/s")
+
+    service = run_service(specs, args.workers, args.checkpoint_every)
+    jobs_per_second = args.jobs / service["wall_seconds"]
+    print(f"service: {service['wall_seconds']:.3f} s wall, "
+          f"{service['requests'] / service['wall_seconds']:,.0f} req/s, "
+          f"{jobs_per_second:.2f} jobs/s "
+          f"({service['retries']} retries, "
+          f"{service['duplicates']} duplicate completions)")
+    overhead = service["wall_seconds"] / direct["wall_seconds"]
+    print(f"service overhead: {overhead:.2f}x serial direct "
+          f"({overhead * args.workers:.2f}x the "
+          f"{args.workers}-worker ideal)")
+
+    # Gate: the service changes where campaigns run, never what they
+    # compute.
+    mismatched = [job_id for job_id, fp in direct["fingerprints"].items()
+                  if service["fingerprints"].get(job_id) != fp]
+    if mismatched:
+        print(f"ERROR: service results diverged from direct runs: "
+              f"{mismatched}", file=sys.stderr)
+        return 1
+
+    for run in (direct, service):
+        del run["fingerprints"]  # gate output, not report material
+    report = {
+        "benchmark": "campaign service job throughput",
+        "jobs": args.jobs,
+        "max_frames": args.max_frames,
+        "workers": args.workers,
+        "checkpoint_every": args.checkpoint_every,
+        "direct": direct,
+        "service": service,
+        "jobs_per_second": jobs_per_second,
+        "service_overhead_wall": overhead,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,7 @@ Subcommands:
 - ``byte-stats``   Fig 4/5 byte-position statistics,
 - ``coverage``     the §V combinatorial-explosion arithmetic,
 - ``fuzz-bench``   one blind-fuzz campaign against the unlock bench,
+- ``fuzz-serve``   run the lease-based campaign job service over HTTP,
 - ``table5``       a full Table V row (N trials),
 - ``obd-scan``     scan the car's OBD PIDs and stored DTCs.
 
@@ -362,6 +363,7 @@ def _run_sharded_bench(args: argparse.Namespace, channel_config) -> int:
             "fallback_reasons": {str(index): reason
                                  for index, reason
                                  in merged.fallback_reasons.items()},
+            "retries": merged.retry_report(),
         }
         if channel_config is not None:
             payload["channel"] = [list(row)
@@ -496,6 +498,59 @@ def _cmd_fuzz_uds(args: argparse.Namespace) -> int:
             payload["minimized"] = minimized
         _write_report(args.report, payload)
     return 0 if findings else 1
+
+
+def _cmd_fuzz_serve(args: argparse.Namespace) -> int:
+    """Run the fuzzing-as-a-service orchestrator until SIGINT/SIGTERM.
+
+    Jobs arrive over the HTTP API, run under heartbeat-renewed leases
+    on worker processes, and survive crashes of workers *and* of this
+    process: the queue journals every lifecycle event into
+    ``--data-dir``, so restarting the service on the same directory
+    resumes exactly where the dead one durably got to.
+    """
+    import asyncio
+    import signal
+
+    from repro.fuzz.durability import RetryPolicy
+    from repro.service import JobQueue, Orchestrator, ServiceApi
+
+    queue = JobQueue(args.data_dir)
+    orchestrator = Orchestrator(
+        queue,
+        workers=args.workers,
+        lease_duration=args.lease_seconds,
+        checkpoint_every=args.checkpoint_every,
+        quarantine_after=args.quarantine_after,
+        backoff=RetryPolicy(attempts=1, backoff=args.retry_backoff,
+                            jitter=0.5, seed=0))
+    api = ServiceApi(queue, orchestrator, rate=args.rate,
+                     burst=args.burst,
+                     max_active_per_tenant=args.max_active_per_tenant)
+
+    async def serve() -> None:
+        host, port = await api.start(args.host, args.port)
+        print(f"fuzz service listening on http://{host}:{port}",
+              flush=True)
+        print(f"data dir: {queue.root}", flush=True)
+        for warning in queue.warnings:
+            print(f"durability: {warning}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, ValueError):
+                pass
+        try:
+            await orchestrator.run(stop)
+        finally:
+            await api.close()
+
+    asyncio.run(serve())
+    print("fuzz service stopped; jobs requeued for the next start",
+          flush=True)
+    return 0
 
 
 def _cmd_table5(args: argparse.Namespace) -> int:
@@ -658,6 +713,46 @@ def build_parser() -> argparse.ArgumentParser:
                      help="requests between durable checkpoints "
                           "(default 200)")
     uds.set_defaults(func=_cmd_fuzz_uds)
+
+    serve = sub.add_parser("fuzz-serve",
+                           help="run the campaign job service: HTTP "
+                                "submit/status/findings, lease-based "
+                                "workers, crash-safe queue")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8650,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--data-dir", required=True, metavar="DIR",
+                       help="service state root: the queue journal and "
+                            "per-job campaign journals live here, and "
+                            "restarting on the same directory resumes "
+                            "interrupted jobs")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent worker processes")
+    serve.add_argument("--lease-seconds", type=float, default=30.0,
+                       help="heartbeat deadline before a silent "
+                            "worker's job is re-granted")
+    serve.add_argument("--checkpoint-every", type=int, default=200,
+                       metavar="FRAMES",
+                       help="frames between a job's durable "
+                            "checkpoints (also its heartbeat cadence)")
+    serve.add_argument("--quarantine-after", type=int, default=3,
+                       metavar="N",
+                       help="faults before a repeat-crashing job is "
+                            "quarantined instead of retried")
+    serve.add_argument("--retry-backoff", type=float, default=0.25,
+                       metavar="SECONDS",
+                       help="base of the jittered exponential backoff "
+                            "between a job's fault and its re-grant")
+    serve.add_argument("--rate", type=float, default=10.0,
+                       help="per-tenant sustained requests/second "
+                            "before 429 load shedding")
+    serve.add_argument("--burst", type=float, default=20.0,
+                       help="per-tenant token-bucket burst capacity")
+    serve.add_argument("--max-active-per-tenant", type=int, default=8,
+                       metavar="N",
+                       help="live jobs one tenant may hold; submits "
+                            "beyond it are shed with 429")
+    serve.set_defaults(func=_cmd_fuzz_serve)
 
     table5 = sub.add_parser("table5", help="run a Table V row")
     table5.add_argument("--check-mode", default="byte",

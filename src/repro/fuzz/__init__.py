@@ -67,6 +67,7 @@ from repro.fuzz.parallel import (
     ShardSpec,
     derive_shard_seed,
     slice_limits,
+    terminate_and_reap,
 )
 from repro.fuzz.replay import Replayer, SnapshotReplayer
 from repro.fuzz.oracle import (
@@ -128,6 +129,7 @@ __all__ = [
     "ShardSpec",
     "derive_shard_seed",
     "slice_limits",
+    "terminate_and_reap",
     "CampaignJournal",
     "DirectoryStore",
     "FaultyStore",

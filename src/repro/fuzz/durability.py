@@ -249,20 +249,48 @@ class FaultyStore:
 class RetryPolicy:
     """Bounded retry with exponential backoff for store operations.
 
-    ``attempts`` is the total number of tries; waits are ``backoff *
-    2**i`` seconds between them.  Only :class:`OSError` is retried --
-    anything else is a bug, not weather.
+    ``attempts`` is the total number of tries; the base wait between
+    them is ``backoff * 2**i`` seconds.  With ``jitter`` set, each wait
+    is stretched by up to that fraction of itself, drawn from a private
+    :class:`random.Random` seeded with ``seed`` -- many shards or lease
+    holders retrying against one shared store then spread out instead
+    of thundering back in lockstep, while any single policy's wait
+    sequence stays exactly reproducible from its seed.  Only
+    :class:`OSError` is retried -- anything else is a bug, not weather.
     """
 
     attempts: int = 3
     backoff: float = 0.05
     sleep: Callable[[float], None] = time.sleep
+    #: Fraction of the base wait added as seeded noise: attempt ``i``
+    #: waits ``backoff * 2**i * (1 + jitter * u)`` with ``u`` drawn
+    #: uniformly from [0, 1).  Zero keeps the historical fixed ladder.
+    jitter: float = 0.0
+    #: Seed of the jitter stream; two policies with equal seeds produce
+    #: identical wait sequences (give concurrent holders distinct ones).
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.attempts < 1:
             raise ValueError("attempts must be >= 1")
         if self.backoff < 0:
             raise ValueError("backoff must be >= 0")
+        if not 0.0 <= self.jitter:
+            raise ValueError("jitter must be >= 0")
+        self._jitter_rng = random.Random(self.seed)
+
+    def delay(self, attempt: int) -> float:
+        """The wait before retry ``attempt`` (0-based), jitter included.
+
+        Consumes one draw from the jitter stream when jitter is on, so
+        successive calls walk the seeded sequence deterministically.
+        Shared by :meth:`run` and by callers pacing their own retry
+        loops (the service orchestrator's lease re-grants).
+        """
+        base = self.backoff * (2 ** attempt)
+        if not self.jitter:
+            return base
+        return base * (1.0 + self.jitter * self._jitter_rng.random())
 
     def run(self, op: Callable[[], None]) -> None:
         for i in range(self.attempts):
@@ -271,7 +299,7 @@ class RetryPolicy:
             except OSError as exc:
                 last = exc
                 if i + 1 < self.attempts and self.backoff:
-                    self.sleep(self.backoff * (2 ** i))
+                    self.sleep(self.delay(i))
         raise last
 
 

@@ -55,6 +55,27 @@ from repro.fuzz.session import (FALLBACK_WARNING_PREFIX
 from repro.fuzz.session import FuzzResult
 
 
+def terminate_and_reap(process, *, grace: float = 5.0) -> str | None:
+    """Stop a worker process, escalating to SIGKILL when ignored.
+
+    SIGTERM first; a worker that is still alive after ``grace`` seconds
+    gets SIGKILL and is reaped.  Returns a description of the
+    escalation (for fault logs) or ``None`` when plain terminate was
+    enough.  Shared by :class:`ShardedCampaign` and the campaign
+    service's orchestrator, so no layer silently leaks a wedged
+    process.
+    """
+    process.terminate()
+    process.join(timeout=grace)
+    if not process.is_alive():
+        return None
+    process.kill()
+    process.join()
+    return (f"worker ignored SIGTERM for {grace:.1f} s; "
+            f"escalated to SIGKILL and reaped "
+            f"(exit code {process.exitcode})")
+
+
 def derive_shard_seed(master_seed: int, shard_index: int,
                       attempt: int = 0) -> int:
     """Deterministic per-shard seed, the sharding analogue of
@@ -279,6 +300,44 @@ class ShardedResult:
                 + sum(len(f.faults) for f in self.failures))
 
     @property
+    def shard_retries(self) -> dict[int, int]:
+        """Shard index -> faulted attempts before it settled.
+
+        Every recorded fault cost one attempt, so the count is exact
+        without parsing ``fault_log`` strings.  Shards that succeeded
+        first try (and ran no retries) are omitted; permanently failed
+        shards report their full fault count.
+        """
+        counts = {o.index: len(o.faults) for o in self.outcomes
+                  if o.faults}
+        counts.update({f.index: len(f.faults) for f in self.failures})
+        return counts
+
+    @property
+    def shard_attempts(self) -> dict[int, int]:
+        """Shard index -> the attempt number its result came from.
+
+        Journalled retries resume under attempt 0 (same seed); only the
+        non-journalled fresh-seed path bumps this.
+        """
+        return {o.index: o.attempt for o in self.outcomes}
+
+    @property
+    def total_retries(self) -> int:
+        """Faulted attempts across every shard, failures included."""
+        return sum(self.shard_retries.values())
+
+    def retry_report(self) -> dict:
+        """JSON-ready retry/attempt accounting for ``--report``."""
+        return {
+            "total_retries": self.total_retries,
+            "shard_retries": {str(index): count for index, count
+                              in sorted(self.shard_retries.items())},
+            "shard_attempts": {str(index): attempt for index, attempt
+                               in sorted(self.shard_attempts.items())},
+        }
+
+    @property
     def warning_count(self) -> int:
         """Durability warnings across all shards."""
         return sum(len(o.warnings) for o in self.outcomes)
@@ -419,7 +478,8 @@ class ShardedCampaign:
                  journal_dir: str | os.PathLike | None = None,
                  checkpoint_every: int = 5000,
                  store_factory: Callable[[str], object] | None = None,
-                 batch_size: int = 1) -> None:
+                 batch_size: int = 1,
+                 terminate_grace: float = 5.0) -> None:
         if shards <= 0:
             raise ValueError("shards must be positive")
         if jobs is not None and jobs <= 0:
@@ -432,7 +492,10 @@ class ShardedCampaign:
             raise ValueError("checkpoint_every must be >= 1")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if terminate_grace < 0:
+            raise ValueError("terminate_grace must be >= 0")
         self.batch_size = batch_size
+        self.terminate_grace = terminate_grace
         self.factory = factory
         self.shards = shards
         self.master_seed = master_seed
@@ -630,7 +693,7 @@ class ShardedCampaign:
                     self._reap(worker, outcomes, fault_log, pending,
                                failures, retries)
                 elif now >= worker.deadline:
-                    self._kill(worker)
+                    escalation = self._kill(worker)
                     budget = self.shard_timeout * len(worker.specs)
                     for spec in worker.specs:
                         self._record_fault(
@@ -639,7 +702,8 @@ class ShardedCampaign:
                             f"{budget:.0f} s, killed "
                             f"(exit code {worker.process.exitcode}, "
                             f"{now - worker.started:.1f} s wall"
-                            f"{self._journal_progress_note(spec)})",
+                            f"{self._journal_progress_note(spec)})"
+                            + (f"; {escalation}" if escalation else ""),
                             fault_log, pending, failures, retries)
                 else:
                     still_running.append(worker)
@@ -730,13 +794,14 @@ class ShardedCampaign:
                     spec, payload + self._journal_progress_note(spec),
                     fault_log, pending, failures, retries)
 
-    def _kill(self, worker: _Worker) -> None:
-        worker.process.terminate()
-        worker.process.join(timeout=5.0)
-        if worker.process.is_alive():  # pragma: no cover - SIGTERM ignored
-            worker.process.kill()
-            worker.process.join()
+    def _kill(self, worker: _Worker) -> str | None:
+        """Stop one worker; returns the escalation note when SIGTERM
+        was not enough (recorded in the shard fault log -- a wedged
+        process must never be leaked silently)."""
+        note = terminate_and_reap(worker.process,
+                                  grace=self.terminate_grace)
         worker.conn.close()
+        return note
 
     def _record_fault(self, spec: ShardSpec, description: str,
                       fault_log: dict, pending: deque,

@@ -1,0 +1,46 @@
+"""Fuzzing-as-a-service: a lease-based campaign orchestrator.
+
+Turns the CLI's one-shot campaigns into a long-lived job service with
+the same durability spine the campaigns themselves use:
+
+- :mod:`~repro.service.queue` -- a job queue persisted through the
+  campaign journal machinery, so the orchestrator kill-resumes.
+- :mod:`~repro.service.lease` -- time-bounded leases renewed by worker
+  heartbeats; a silent worker's job is re-granted.
+- :mod:`~repro.service.orchestrator` -- the control loop leasing jobs
+  onto worker processes, with jittered-backoff retries, quarantine of
+  repeat-crashers, and graceful degradation.
+- :mod:`~repro.service.api` -- a stdlib HTTP/JSON API with per-tenant
+  quotas and token-bucket load shedding.
+
+The execution contract, end to end: at-least-once execution (crashes
+and lost leases re-run the job), exactly-once results (re-execution is
+bit-identical by determinism, and completions deduplicate by result
+fingerprint).
+"""
+
+from repro.service.api import ServiceApi, TokenBucket
+from repro.service.lease import Lease, LeaseError, LeaseManager
+from repro.service.orchestrator import (JOB_KINDS, Orchestrator,
+                                        build_factory,
+                                        register_job_kind,
+                                        shard_spec_for)
+from repro.service.queue import (Job, JobQueue, JobSpec,
+                                 result_fingerprint)
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "result_fingerprint",
+    "Lease",
+    "LeaseError",
+    "LeaseManager",
+    "Orchestrator",
+    "JOB_KINDS",
+    "register_job_kind",
+    "build_factory",
+    "shard_spec_for",
+    "ServiceApi",
+    "TokenBucket",
+]

@@ -1,0 +1,172 @@
+"""Time-bounded job leases renewed by heartbeats.
+
+The at-least-once half of the service's execution contract lives
+here: a worker may only run a job while it holds the job's lease, and
+a lease only stays alive while the worker keeps heartbeating.  A
+worker that is SIGKILLed, wedged, or partitioned simply stops
+renewing; its lease expires and the orchestrator re-grants the job to
+another worker.  Because the job's seed/attempt bookkeeping and its
+durable journal survive the holder, the re-granted execution is
+bit-identical -- the exactly-once half of the contract is then just
+fingerprint deduplication at completion time.
+
+Everything is driven by an injectable monotonic clock, so the tests
+walk lease lifetimes deterministically instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class LeaseError(Exception):
+    """A lease operation that violates the state machine.
+
+    Raised on granting an already-leased job, renewing or releasing a
+    lease the caller does not hold, or renewing one that has already
+    expired (the job may already be running elsewhere -- the late
+    holder must stop, not continue).
+    """
+
+
+@dataclass
+class Lease:
+    """One worker's time-bounded claim on one job."""
+
+    job_id: str
+    worker_id: str
+    granted_at: float
+    expires_at: float
+    renewals: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "worker_id": self.worker_id,
+            "granted_at": self.granted_at,
+            "expires_at": self.expires_at,
+            "renewals": self.renewals,
+        }
+
+
+@dataclass
+class LeaseManager:
+    """Grant, renew, expire, and release job leases.
+
+    Args:
+        duration: seconds a lease lives without a heartbeat.
+        clock: monotonic time source (tests inject a fake).
+    """
+
+    duration: float = 30.0
+    clock: Callable[[], float] = time.monotonic
+    #: Lifetime counters for service telemetry.
+    granted: int = 0
+    renewed: int = 0
+    expired_total: int = 0
+    released: int = 0
+    _active: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("lease duration must be positive")
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+    def grant(self, job_id: str, worker_id: str) -> Lease:
+        """Claim ``job_id`` for ``worker_id`` until the lease expires."""
+        existing = self._active.get(job_id)
+        if existing is not None and not self._is_expired(existing):
+            raise LeaseError(
+                f"job {job_id} is already leased to "
+                f"{existing.worker_id} until {existing.expires_at:.3f}")
+        now = self.clock()
+        lease = Lease(job_id=job_id, worker_id=worker_id,
+                      granted_at=now, expires_at=now + self.duration)
+        self._active[job_id] = lease
+        self.granted += 1
+        return lease
+
+    def renew(self, job_id: str, worker_id: str) -> Lease:
+        """Heartbeat: push the expiry out another full duration.
+
+        Only the current holder may renew, and only while the lease is
+        still alive -- a heartbeat that arrives after expiry is the
+        signature of a wedged worker waking up late, and accepting it
+        would let two holders run the job concurrently against one
+        journal.
+        """
+        lease = self._require(job_id, worker_id)
+        if self._is_expired(lease):
+            raise LeaseError(
+                f"lease on {job_id} expired at {lease.expires_at:.3f}; "
+                f"late heartbeat from {worker_id} refused")
+        lease.expires_at = self.clock() + self.duration
+        lease.renewals += 1
+        self.renewed += 1
+        return lease
+
+    def release(self, job_id: str, worker_id: str) -> None:
+        """The holder is done with the job (completed or faulted)."""
+        self._require(job_id, worker_id)
+        del self._active[job_id]
+        self.released += 1
+
+    def expire(self) -> list[Lease]:
+        """Pop and return every lease past its expiry.
+
+        The orchestrator calls this each tick; the returned jobs are
+        no longer leased and may be re-granted immediately.
+        """
+        now = self.clock()
+        dead = [lease for lease in self._active.values()
+                if lease.expires_at <= now]
+        for lease in dead:
+            del self._active[lease.job_id]
+        self.expired_total += len(dead)
+        return dead
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def holder(self, job_id: str) -> str | None:
+        lease = self._active.get(job_id)
+        return lease.worker_id if lease is not None else None
+
+    def active(self) -> list[Lease]:
+        return list(self._active.values())
+
+    def remaining(self, job_id: str) -> float | None:
+        """Seconds of life left on a job's lease (None when unleased)."""
+        lease = self._active.get(job_id)
+        if lease is None:
+            return None
+        return max(0.0, lease.expires_at - self.clock())
+
+    def stats(self) -> dict:
+        return {
+            "active": len(self._active),
+            "granted": self.granted,
+            "renewed": self.renewed,
+            "expired": self.expired_total,
+            "released": self.released,
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _is_expired(self, lease: Lease) -> bool:
+        return lease.expires_at <= self.clock()
+
+    def _require(self, job_id: str, worker_id: str) -> Lease:
+        lease = self._active.get(job_id)
+        if lease is None:
+            raise LeaseError(f"job {job_id} holds no lease")
+        if lease.worker_id != worker_id:
+            raise LeaseError(
+                f"lease on {job_id} belongs to {lease.worker_id}, "
+                f"not {worker_id}")
+        return lease

@@ -197,6 +197,39 @@ class TestRetryPolicy:
                         sleep=_no_sleep).run(buggy)
         assert len(attempts) == 1
 
+    def test_jitter_is_bounded_and_seed_deterministic(self):
+        def waits(seed):
+            policy = RetryPolicy(attempts=4, backoff=0.01, jitter=0.5,
+                                 seed=seed, sleep=_no_sleep)
+            return [policy.delay(i) for i in range(3)]
+
+        first, again = waits(7), waits(7)
+        assert first == again  # reproducible from the seed alone
+        assert first != waits(8)  # distinct holders spread out
+        for i, wait in enumerate(first):
+            base = 0.01 * 2 ** i
+            assert base <= wait <= base * 1.5  # within the jitter band
+
+    def test_zero_jitter_keeps_the_fixed_ladder(self):
+        sleeps = []
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError("transient")
+
+        RetryPolicy(attempts=3, backoff=0.01, jitter=0.5, seed=3,
+                    sleep=sleeps.append).run(flaky)
+        assert len(sleeps) == 2
+        assert sleeps[0] >= 0.01 and sleeps[1] >= 0.02
+        # And with jitter off the historical exact ladder survives.
+        assert RetryPolicy(backoff=0.01).delay(2) == 0.04
+
+    def test_invalid_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
 
 class TestFaultyStore:
     def test_deterministic_fault_schedule(self, tmp_path):

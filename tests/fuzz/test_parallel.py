@@ -2,6 +2,7 @@
 
 import os
 import random
+import signal
 import time
 from dataclasses import dataclass
 
@@ -77,6 +78,18 @@ class HangOnceFactory:
 
     def __call__(self, spec: ShardSpec) -> FuzzCampaign:
         if spec.index == 0 and spec.attempt == 0:
+            time.sleep(60)
+        return TinyFactory()(spec)
+
+
+@dataclass(frozen=True)
+class StubbornHangFactory:
+    """Shard 0's first attempt ignores SIGTERM *and* hangs -- the
+    worker a plain terminate cannot reap."""
+
+    def __call__(self, spec: ShardSpec) -> FuzzCampaign:
+        if spec.index == 0 and spec.attempt == 0:
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
             time.sleep(60)
         return TinyFactory()(spec)
 
@@ -263,3 +276,52 @@ class TestFaultHandling:
         text = merged.summary()
         assert "FAILED" in text
         assert "1/2 shards" in text
+
+    def test_sigterm_ignoring_worker_escalates_to_sigkill(self):
+        runner = ShardedCampaign(StubbornHangFactory(), shards=2, jobs=2,
+                                 master_seed=1, limits=SMALL,
+                                 shard_timeout=1.0, terminate_grace=0.5)
+        started = time.monotonic()
+        merged = runner.run()
+        assert time.monotonic() - started < 30
+        assert merged.ok
+        shard0 = merged.outcomes[0]
+        # The fault log records the escalation: SIGTERM was ignored,
+        # SIGKILL reaped the worker, nothing leaked.
+        assert any("escalated to SIGKILL" in fault
+                   for fault in shard0.faults)
+        assert any("ignored SIGTERM" in fault for fault in shard0.faults)
+
+    def test_negative_terminate_grace_rejected(self):
+        with pytest.raises(ValueError, match="terminate_grace"):
+            ShardedCampaign(TinyFactory(), shards=1, limits=SMALL,
+                            terminate_grace=-1.0)
+
+
+class TestRetryReport:
+    def test_counts_attempts_and_retries_per_shard(self):
+        merged = ShardedCampaign(CrashOnceFactory(), shards=2, jobs=2,
+                                 master_seed=1, limits=SMALL).run()
+        assert merged.total_retries == 1
+        assert merged.shard_retries == {0: 1}
+        assert merged.shard_attempts == {0: 1, 1: 0}
+        report = merged.retry_report()
+        assert report["total_retries"] == 1
+        assert report["shard_retries"] == {"0": 1}
+        assert report["shard_attempts"] == {"0": 1, "1": 0}
+
+    def test_clean_run_reports_zero_retries(self):
+        merged = ShardedCampaign(TinyFactory(), shards=2, jobs=2,
+                                 master_seed=1, limits=SMALL).run()
+        assert merged.total_retries == 0
+        assert merged.retry_report() == {
+            "total_retries": 0, "shard_retries": {},
+            "shard_attempts": {"0": 0, "1": 0}}
+
+    def test_permanent_failures_count_their_faults(self):
+        merged = ShardedCampaign(AlwaysRaiseFactory(), shards=2, jobs=2,
+                                 master_seed=1, limits=SMALL,
+                                 max_retries=1).run()
+        report = merged.retry_report()
+        assert report["shard_retries"]["0"] == 2  # initial + 1 retry
+        assert report["total_retries"] == 2

@@ -1,0 +1,115 @@
+"""Lease state machine: grants, heartbeats, expiry, two-holder safety."""
+
+import pytest
+
+from repro.service.lease import LeaseError, LeaseManager
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def leases(clock):
+    return LeaseManager(duration=10.0, clock=clock)
+
+
+class TestGrant:
+    def test_grant_claims_job_until_expiry(self, leases, clock):
+        lease = leases.grant("job-1", "w1")
+        assert lease.expires_at == clock.now + 10.0
+        assert leases.holder("job-1") == "w1"
+        assert leases.remaining("job-1") == 10.0
+
+    def test_double_grant_refused_while_alive(self, leases):
+        leases.grant("job-1", "w1")
+        with pytest.raises(LeaseError, match="already leased"):
+            leases.grant("job-1", "w2")
+
+    def test_expired_lease_can_be_regranted(self, leases, clock):
+        leases.grant("job-1", "w1")
+        clock.advance(10.0)
+        lease = leases.grant("job-1", "w2")
+        assert lease.worker_id == "w2"
+
+    def test_invalid_duration_rejected(self, clock):
+        with pytest.raises(ValueError):
+            LeaseManager(duration=0.0, clock=clock)
+
+
+class TestRenew:
+    def test_heartbeat_extends_expiry(self, leases, clock):
+        leases.grant("job-1", "w1")
+        clock.advance(6.0)
+        lease = leases.renew("job-1", "w1")
+        assert lease.expires_at == clock.now + 10.0
+        assert lease.renewals == 1
+        clock.advance(9.0)  # would be past the original expiry
+        assert leases.expire() == []
+
+    def test_only_the_holder_may_renew(self, leases):
+        leases.grant("job-1", "w1")
+        with pytest.raises(LeaseError, match="belongs to w1"):
+            leases.renew("job-1", "w2")
+
+    def test_late_heartbeat_refused_after_expiry(self, leases, clock):
+        # The two-holder guard: a wedged worker waking up after its
+        # lease lapsed must not resurrect the claim -- the job may
+        # already be running elsewhere.
+        leases.grant("job-1", "w1")
+        clock.advance(11.0)
+        with pytest.raises(LeaseError, match="late heartbeat"):
+            leases.renew("job-1", "w1")
+
+    def test_renewing_unleased_job_fails(self, leases):
+        with pytest.raises(LeaseError, match="holds no lease"):
+            leases.renew("job-1", "w1")
+
+
+class TestExpireAndRelease:
+    def test_expire_pops_only_overdue_leases(self, leases, clock):
+        leases.grant("job-1", "w1")
+        clock.advance(5.0)
+        leases.grant("job-2", "w2")
+        clock.advance(5.0)  # job-1 at expiry, job-2 halfway
+        dead = leases.expire()
+        assert [lease.job_id for lease in dead] == ["job-1"]
+        assert leases.holder("job-1") is None
+        assert leases.holder("job-2") == "w2"
+
+    def test_release_frees_the_job(self, leases):
+        leases.grant("job-1", "w1")
+        leases.release("job-1", "w1")
+        assert leases.holder("job-1") is None
+        leases.grant("job-1", "w2")  # immediately re-grantable
+
+    def test_release_checks_the_holder(self, leases):
+        leases.grant("job-1", "w1")
+        with pytest.raises(LeaseError, match="belongs to w1"):
+            leases.release("job-1", "w2")
+
+    def test_stats_count_the_lifecycle(self, leases, clock):
+        leases.grant("job-1", "w1")
+        leases.renew("job-1", "w1")
+        leases.release("job-1", "w1")
+        leases.grant("job-2", "w2")
+        clock.advance(11.0)
+        leases.expire()
+        assert leases.stats() == {"active": 0, "granted": 2,
+                                  "renewed": 1, "expired": 1,
+                                  "released": 1}
+
+    def test_remaining_is_none_when_unleased(self, leases):
+        assert leases.remaining("job-1") is None
