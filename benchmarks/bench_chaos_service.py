@@ -1,0 +1,164 @@
+"""Chaos-drill benchmark: the cost of surviving cross-layer faults.
+
+Runs the same batch of UDS campaign jobs through the service stack
+twice -- once undisturbed (live orchestrator + HTTP API, no faults)
+and once under a seeded :class:`~repro.chaos.ChaosSchedule` arming all
+four injector layers (storage faults, worker kills/stops, clock
+skew+jumps, network mangling) -- and reports the wall-clock tax the
+chaos run pays for retries, lease takeovers and connection replays.
+
+Two correctness gates ride along (the benchmark exits 1 if either
+fails; the overhead ratio is reported, never gated):
+
+- **invariants**: the chaos drill must hold every standing invariant
+  (all jobs completed exactly once, fingerprints bit-identical to
+  direct runs, reopened queue state consistent) -- the same checks
+  the chaos test suite enforces;
+- **determinism**: two drills from the same ``(seed, schedule)`` must
+  agree on every job fingerprint -- a violation would mean the replay
+  pair printed by a failing drill does not actually reproduce it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_chaos_service.py \
+        --seed 7 --jobs 3 --output BENCH_chaos_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.chaos import ChaosSchedule, run_chaos_drill
+
+
+def run_drill(seed: int, jobs: int, max_frames: int, duration: float,
+              intensity: float, schedule: ChaosSchedule | None):
+    with tempfile.TemporaryDirectory(prefix="bench-chaos-") as root:
+        started = time.perf_counter()
+        report = run_chaos_drill(seed, root, jobs=jobs,
+                                 max_frames=max_frames,
+                                 duration=duration,
+                                 intensity=intensity,
+                                 schedule=schedule)
+        wall = time.perf_counter() - started
+    return report, wall
+
+
+def fired_events(report) -> list[str]:
+    return [record.get("action", f"jump+{record.get('jump', 0):.2f}s")
+            for record in report.controller["fired"]
+            if not record.get("skipped")]
+
+
+def summarise(report, wall: float) -> dict:
+    return {
+        "wall_seconds": wall,
+        "jobs_completed": sum(job["state"] == "completed"
+                              for job in report.jobs),
+        "retries": report.counters["total_retries"],
+        "events_fired": fired_events(report),
+        "proxy_connections":
+            report.controller["network"]["connections"],
+        "proxy_behaviours":
+            report.controller["network"]["behaviours"],
+        "api_shed": report.api["shed"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=7,
+                        help="schedule seed (default 7)")
+    parser.add_argument("--jobs", type=int, default=3,
+                        help="campaign jobs per run (default 3)")
+    parser.add_argument("--max-frames", type=int, default=100,
+                        help="request budget per job (default 100)")
+    parser.add_argument("--duration", type=float, default=6.0,
+                        help="schedule duration seconds (default 6)")
+    parser.add_argument("--intensity", type=float, default=0.6,
+                        help="fault intensity 0..1 (default 0.6)")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_chaos_service.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+    if args.jobs <= 0 or args.max_frames <= 0:
+        parser.error("--jobs and --max-frames must be positive")
+
+    plan = ChaosSchedule.generate(args.seed, duration=args.duration,
+                                  intensity=args.intensity)
+    calm = ChaosSchedule(seed=args.seed, duration=args.duration)
+
+    print(f"{args.jobs} jobs x {args.max_frames} requests, "
+          f"schedule seed {args.seed} intensity {args.intensity}")
+
+    undisturbed, calm_wall = run_drill(
+        args.seed, args.jobs, args.max_frames, args.duration,
+        args.intensity, calm)
+    print(f"undisturbed: {calm_wall:.3f} s wall, "
+          f"{sum(job['state'] == 'completed' for job in undisturbed.jobs)}"
+          f"/{args.jobs} completed")
+
+    chaos, chaos_wall = run_drill(
+        args.seed, args.jobs, args.max_frames, args.duration,
+        args.intensity, plan)
+    fired = fired_events(chaos)
+    print(f"chaos:       {chaos_wall:.3f} s wall, "
+          f"{sum(job['state'] == 'completed' for job in chaos.jobs)}"
+          f"/{args.jobs} completed, "
+          f"{chaos.counters['total_retries']} retries, "
+          f"events fired: {fired or 'none'}")
+    overhead = chaos_wall / calm_wall
+    print(f"chaos tax: {overhead:.2f}x undisturbed wall")
+
+    # Gate 1: both runs must hold every standing invariant.
+    for label, report in (("undisturbed", undisturbed),
+                          ("chaos", chaos)):
+        if not report.ok:
+            print(f"ERROR: {label} drill violated invariants: "
+                  f"{report.violations}\nreplay: {report.repro}",
+                  file=sys.stderr)
+            return 1
+
+    # Gate 2: the replay pair reproduces -- same (seed, schedule),
+    # same fingerprints.
+    replay, _ = run_drill(args.seed, args.jobs, args.max_frames,
+                          args.duration, args.intensity, plan)
+    first = {job["job_id"]: job.get("fingerprint")
+             for job in chaos.jobs}
+    second = {job["job_id"]: job.get("fingerprint")
+              for job in replay.jobs}
+    if first != second:
+        diverged = sorted(job_id for job_id in first
+                          if second.get(job_id) != first[job_id])
+        print(f"ERROR: replayed drill diverged on {diverged}",
+              file=sys.stderr)
+        return 1
+
+    report = {
+        "benchmark": "cross-layer chaos drill overhead",
+        "seed": args.seed,
+        "jobs": args.jobs,
+        "max_frames": args.max_frames,
+        "duration": args.duration,
+        "intensity": args.intensity,
+        "schedule": plan.to_dict(),
+        "undisturbed": summarise(undisturbed, calm_wall),
+        "chaos": summarise(chaos, chaos_wall),
+        "chaos_tax_wall": overhead,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""A skewable, jumpable monotonic clock for chaos runs.
+
+The lease manager, token buckets, and orchestrator backoffs all read
+an injectable clock.  :class:`SkewedClock` gives the chaos controller
+a handle on that time axis: it runs at ``rate`` times real speed and
+can be stepped forward by arbitrary jumps mid-run (an NTP slew, a VM
+migration pause, a hypervisor hiccup).  It never runs backwards --
+backwards regression is a *clock bug*, modelled separately by the
+lease manager's high-water clamp, not something a schedule injects.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+
+class SkewedClock:
+    """Monotonic clock with a rate multiplier and forward jumps.
+
+    ``now() = (real_elapsed * rate) + sum(jumps)`` -- strictly
+    monotonic for any positive rate.  Thread-safe: the orchestrator
+    reads it from the event loop while the controller jumps it from a
+    separate task.
+    """
+
+    def __init__(self, *, rate: float = 1.0,
+                 source: Callable[[], float] = time.monotonic) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+        self._source = source
+        self._origin = source()
+        self._offset = 0.0
+        self._lock = threading.Lock()
+        self.jumps = 0
+        self.jumped_seconds = 0.0
+
+    def __call__(self) -> float:
+        with self._lock:
+            return ((self._source() - self._origin) * self.rate
+                    + self._offset)
+
+    def jump(self, seconds: float) -> float:
+        """Step time forward by ``seconds``; returns the new reading."""
+        if seconds < 0:
+            raise ValueError("jumps must be forward")
+        with self._lock:
+            self._offset += seconds
+            self.jumps += 1
+            self.jumped_seconds += seconds
+        return self()
+
+    def stats(self) -> dict:
+        return {"rate": self.rate, "jumps": self.jumps,
+                "jumped_seconds": round(self.jumped_seconds, 3)}

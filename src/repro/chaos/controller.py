@@ -1,0 +1,143 @@
+"""The chaos controller: one schedule, every layer.
+
+:class:`ChaosController` owns the *active* half of a chaos run -- the
+clock jumps and the worker signals that a :class:`ChaosSchedule`
+prescribes at absolute drill times.  The *passive* injectors (the
+seeded :class:`~repro.chaos.storage.ChaosStoreFactory` under every job
+journal and the :class:`~repro.chaos.network.ChaosProxy` in front of
+the API) are wired in by the drill runner at construction time and
+need no driving; the controller simply reports their stats alongside
+its own fired-event log.
+
+Process events pick their victim deterministically: the running
+worker with the lexicographically-first job id at the moment the
+event fires.  SIGKILL exercises the crash-handoff path; SIGSTOP
+wedges the worker silently so the lease must expire before the
+orchestrator SIGKILLs and re-grants -- the two distinct failure modes
+of the paper's long-running fuzzing hosts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import time
+
+from repro.chaos.clock import SkewedClock
+from repro.chaos.network import ChaosProxy
+from repro.chaos.schedule import ChaosSchedule
+from repro.service.orchestrator import Orchestrator
+
+
+class ChaosController:
+    """Fire a schedule's clock and process events against a live
+    orchestrator.
+
+    Args:
+        schedule: the seeded event plan.
+        orchestrator: victim pool for process events (its
+            ``worker_pids()`` is the hit list).
+        clock: the drill's :class:`SkewedClock`, target of clock
+            events (optional -- schedules without clock events run
+            against an honest clock).
+        proxy: included in :meth:`stats` when present.
+        tick: polling period for due events.
+    """
+
+    def __init__(self, schedule: ChaosSchedule,
+                 orchestrator: Orchestrator, *,
+                 clock: SkewedClock | None = None,
+                 proxy: ChaosProxy | None = None,
+                 tick: float = 0.05) -> None:
+        if tick <= 0:
+            raise ValueError("tick must be positive")
+        self.schedule = schedule
+        self.orchestrator = orchestrator
+        self.clock = clock
+        self.proxy = proxy
+        self.tick = tick
+        #: Chronological log of every event actually fired (or
+        #: skipped for want of a victim), for the drill report.
+        self.fired: list[dict] = []
+        self._stopped: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    async def run(self, stop: asyncio.Event) -> None:
+        """Fire due events until all are spent or ``stop`` is set.
+
+        Any SIGSTOPped worker still wedged at exit gets SIGCONT so the
+        orchestrator's SIGTERM can reach it during shutdown.
+        """
+        start = time.monotonic()
+        pending = (
+            [("clock", dict(e)) for e in self.schedule.clock_events]
+            + [("process", dict(e))
+               for e in self.schedule.process_events])
+        pending.sort(key=lambda item: item[1]["at"])
+        try:
+            while pending and not stop.is_set():
+                elapsed = time.monotonic() - start
+                while pending and pending[0][1]["at"] <= elapsed:
+                    layer, event = pending.pop(0)
+                    self._fire(layer, event, elapsed)
+                await asyncio.sleep(self.tick)
+        finally:
+            self._resume_stopped()
+
+    def _fire(self, layer: str, event: dict, elapsed: float) -> None:
+        record = {"layer": layer, "at": event["at"],
+                  "fired_at": round(elapsed, 3)}
+        if layer == "clock":
+            if self.clock is not None:
+                self.clock.jump(event["jump"])
+                record["jump"] = event["jump"]
+            else:
+                record["skipped"] = "no chaos clock wired"
+        else:
+            record["action"] = event["action"]
+            victim = self._pick_victim()
+            if victim is None:
+                record["skipped"] = "no running worker to signal"
+            else:
+                job_id, pid = victim
+                record["job_id"] = job_id
+                record["pid"] = pid
+                try:
+                    if event["action"] == "kill":
+                        os.kill(pid, signal.SIGKILL)
+                    else:
+                        os.kill(pid, signal.SIGSTOP)
+                        self._stopped.append(pid)
+                except (ProcessLookupError, PermissionError) as exc:
+                    record["skipped"] = f"signal failed: {exc}"
+        self.fired.append(record)
+
+    def _pick_victim(self) -> tuple[str, int] | None:
+        pids = self.orchestrator.worker_pids()
+        if not pids:
+            return None
+        job_id = sorted(pids)[0]
+        return job_id, pids[job_id]
+
+    def _resume_stopped(self) -> None:
+        for pid in self._stopped:
+            try:
+                os.kill(pid, signal.SIGCONT)
+            except (ProcessLookupError, PermissionError):
+                pass
+        self._stopped.clear()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        out: dict = {"schedule": self.schedule.to_dict(),
+                     "fired": list(self.fired)}
+        if self.clock is not None:
+            out["clock"] = self.clock.stats()
+        if self.proxy is not None:
+            out["network"] = self.proxy.stats()
+        return out

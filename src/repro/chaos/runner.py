@@ -1,0 +1,281 @@
+"""The cross-layer chaos drill: every injector at once, invariants on.
+
+:func:`run_chaos_drill` stands up a *live* service stack -- durable
+:class:`~repro.service.queue.JobQueue`, asyncio
+:class:`~repro.service.orchestrator.Orchestrator` with real worker
+processes, HTTP :class:`~repro.service.api.ServiceApi` -- and attacks
+all four layers simultaneously from one seeded
+:class:`~repro.chaos.schedule.ChaosSchedule`:
+
+- storage: every job journal runs over a seeded ``FaultyStore``;
+- process: workers are SIGKILLed and SIGSTOPped mid-run;
+- clock: the shared service clock skews and jumps forward;
+- network: every client byte passes a mangling :class:`ChaosProxy`.
+
+Jobs are submitted and polled **through the hostile proxy** with a
+retrying client (idempotent by fixed job id).  When the dust settles
+the drill checks the standing invariants and reports violations, each
+reproducible from the ``(seed, schedule)`` pair in the report:
+
+1. every job completed (at-least-once execution survived the chaos);
+2. every result fingerprint is bit-identical to an undisturbed direct
+   run of the same spec (exactly-once, deterministic results);
+3. a queue reopened from disk replays to the same terminal states and
+   fingerprints (recovered state is a consistent prefix);
+4. no divergent duplicate completions were recorded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.chaos.clock import SkewedClock
+from repro.chaos.controller import ChaosController
+from repro.chaos.network import ChaosProxy
+from repro.chaos.schedule import ChaosSchedule
+from repro.chaos.storage import ChaosStoreFactory
+from repro.chaos.workload import register_chaos_kinds
+from repro.fuzz.durability import RetryPolicy
+from repro.service.api import ServiceApi
+from repro.service.orchestrator import Orchestrator, shard_spec_for
+from repro.service.queue import JobQueue, result_fingerprint
+from repro.testbench.factory import UdsBenchFactory
+
+
+@dataclass
+class ChaosReport:
+    """Everything a failing run needs to be replayed and diagnosed."""
+
+    seed: int
+    schedule: dict
+    jobs: list[dict] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+    controller: dict = field(default_factory=dict)
+    api: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+    elapsed: float = 0.0
+    repro: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "schedule": self.schedule,
+            "jobs": self.jobs,
+            "violations": self.violations,
+            "controller": self.controller,
+            "api": self.api,
+            "counters": self.counters,
+            "elapsed": round(self.elapsed, 3),
+            "repro": self.repro,
+        }
+
+
+async def _roundtrip(host: str, port: int, raw: bytes, *,
+                     timeout: float = 5.0) -> tuple[int, dict]:
+    """One HTTP exchange through the (hostile) proxy.
+
+    Raises on connection mangling -- the caller retries; idempotent
+    submits make retry-on-anything safe.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(raw)
+        await writer.drain()
+        data = await asyncio.wait_for(reader.read(1 << 20), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head, _, body = data.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].split(b" ")
+    if len(status_line) < 2:
+        raise ConnectionError("no status line in response")
+    status = int(status_line[1])
+    try:
+        payload = json.loads(body) if body else {}
+    except ValueError:
+        payload = {}
+    return status, payload
+
+
+async def _submit_job(host: str, port: int, job: dict, *,
+                      attempts: int = 60) -> None:
+    """Submit through the proxy until acknowledged.
+
+    201 is success; 400 mentioning the job id means a previous attempt
+    landed but its response was mangled -- also success.  Anything
+    else (resets, stalls, 408s from our own truncated bytes) retries.
+    """
+    body = json.dumps(job).encode("utf-8")
+    raw = (f"POST /jobs HTTP/1.1\r\nContent-Length: {len(body)}"
+           f"\r\n\r\n").encode("ascii") + body
+    last = "no attempt made"
+    for _ in range(attempts):
+        try:
+            status, payload = await _roundtrip(host, port, raw)
+        except (ConnectionError, OSError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError) as exc:
+            last = f"connection mangled: {exc!r}"
+            await asyncio.sleep(0.05)
+            continue
+        if status == 201:
+            return
+        if status == 400 and job["job_id"] in str(payload.get("error")):
+            return  # a lost-response duplicate: already submitted
+        last = f"HTTP {status}: {payload.get('error')}"
+        await asyncio.sleep(0.05)
+    raise RuntimeError(
+        f"could not submit {job['job_id']} after {attempts} "
+        f"attempts through the chaos proxy (last: {last})")
+
+
+async def _drill(schedule: ChaosSchedule, root, *, jobs: int,
+                 max_frames: int, deadline: float) -> ChaosReport:
+    register_chaos_kinds()
+    clock = SkewedClock(rate=schedule.clock_rate)
+    queue = JobQueue(root)
+    orchestrator = Orchestrator(
+        queue, workers=2, lease_duration=2.0, checkpoint_every=20,
+        quarantine_after=50,
+        backoff=RetryPolicy(attempts=1, backoff=0.05, jitter=0.25,
+                            seed=schedule.seed),
+        poll_interval=0.02, terminate_grace=0.5, clock=clock,
+        store_factory=ChaosStoreFactory(
+            seed=schedule.seed,
+            fail_rate=float(schedule.storage.get("fail_rate", 0.0)),
+            torn_rate=float(schedule.storage.get("torn_rate", 0.0)),
+            latency=float(schedule.storage.get("latency", 0.0))),
+        job_quota_bytes=64 << 20)
+    api = ServiceApi(queue, orchestrator, rate=1000.0, burst=1000.0,
+                     max_active_per_tenant=max(8, jobs), clock=clock,
+                     header_timeout=0.4, body_timeout=0.4)
+    api_host, api_port = await api.start()
+    proxy = ChaosProxy((api_host, api_port),
+                       seed=schedule.seed ^ 0x5EED,
+                       rates=schedule.network)
+    proxy_host, proxy_port = await proxy.start()
+    controller = ChaosController(schedule, orchestrator, clock=clock,
+                                 proxy=proxy)
+
+    stop = asyncio.Event()
+    orch_task = asyncio.ensure_future(orchestrator.run(stop))
+    chaos_task = asyncio.ensure_future(controller.run(stop))
+
+    report = ChaosReport(seed=schedule.seed,
+                         schedule=schedule.to_dict(),
+                         repro=schedule.repro_command())
+    started = time.monotonic()
+    specs = [{
+        "job_id": f"chaos-{index:03d}",
+        "tenant": "chaos",
+        "kind": "slow-uds",
+        "seed": schedule.seed * 1000 + index,
+        "max_frames": max_frames,
+        "params": {"delay": 0.01},
+    } for index in range(jobs)]
+    try:
+        for spec in specs:
+            await _submit_job(proxy_host, proxy_port, spec)
+        while time.monotonic() - started < deadline:
+            if all(job.terminal for job in queue.in_order()):
+                break
+            # Exercise the read path through the proxy as we wait.
+            try:
+                await _roundtrip(
+                    proxy_host, proxy_port,
+                    f"GET /jobs/{specs[0]['job_id']} HTTP/1.1\r\n\r\n"
+                    .encode("ascii"), timeout=2.0)
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                pass
+            await asyncio.sleep(0.1)
+    finally:
+        stop.set()
+        await asyncio.gather(orch_task, chaos_task,
+                             return_exceptions=True)
+        await proxy.close()
+        await api.close()
+
+    report.elapsed = time.monotonic() - started
+    report.controller = controller.stats()
+    report.api = {"requests": api.requests, "shed": dict(api.shed),
+                  "rejected": api.rejected}
+    report.counters = queue.counters()
+
+    # Invariant 1 + 2: all jobs completed, fingerprints bit-identical
+    # to an undisturbed direct execution of the same spec.
+    for spec in specs:
+        job = queue.get(spec["job_id"])
+        entry = {"job_id": spec["job_id"],
+                 "state": None if job is None else job.state,
+                 "faults": 0 if job is None else len(job.faults)}
+        if job is None or job.state != "completed":
+            report.violations.append(
+                f"{spec['job_id']} did not complete (state: "
+                f"{entry['state']})")
+            report.jobs.append(entry)
+            continue
+        baseline = UdsBenchFactory(
+            stop_on_finding=job.spec.stop_on_finding)(
+            shard_spec_for(job.spec)).run().to_dict()
+        expected = result_fingerprint(baseline)
+        entry["fingerprint"] = job.fingerprint
+        entry["expected"] = expected
+        entry["match"] = job.fingerprint == expected
+        if not entry["match"]:
+            report.violations.append(
+                f"{spec['job_id']}: fingerprint "
+                f"{job.fingerprint} != undisturbed "
+                f"{expected}")
+        report.jobs.append(entry)
+
+    # Invariant 3: reopened state replays to the same terminal view.
+    reopened = JobQueue(root)
+    for spec in specs:
+        live, replay = queue.get(spec["job_id"]), \
+            reopened.get(spec["job_id"])
+        if replay is None or live is None:
+            report.violations.append(
+                f"{spec['job_id']} missing after reopen")
+        elif (replay.state, replay.fingerprint) != \
+                (live.state, live.fingerprint):
+            report.violations.append(
+                f"{spec['job_id']}: reopened state "
+                f"({replay.state}, {replay.fingerprint}) != "
+                f"live ({live.state}, {live.fingerprint})")
+
+    # Invariant 4: duplicates were absorbed, never divergent.
+    if queue.divergent_completions:
+        report.violations.append(
+            f"{queue.divergent_completions} divergent duplicate "
+            f"completion(s): determinism violation")
+    return report
+
+
+def run_chaos_drill(seed: int, root, *, jobs: int = 3,
+                    max_frames: int = 120, duration: float = 8.0,
+                    intensity: float = 0.5,
+                    schedule: ChaosSchedule | None = None,
+                    deadline: float = 120.0) -> ChaosReport:
+    """Run one full cross-layer chaos drill; see the module docstring.
+
+    ``schedule`` overrides generation (replaying a serialised
+    schedule); otherwise one is generated from ``(seed, duration,
+    intensity)``.  Synchronous wrapper -- owns its own event loop.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    plan = schedule or ChaosSchedule.generate(
+        seed, duration=duration, intensity=intensity)
+    return asyncio.run(_drill(plan, root, jobs=jobs,
+                              max_frames=max_frames,
+                              deadline=deadline))

@@ -1,0 +1,171 @@
+"""Seeded cross-layer chaos schedules.
+
+One :class:`ChaosSchedule` is the single source of truth for an entire
+chaos run: which storage faults the job journals see, how the service
+clock skews and jumps, when workers are killed or stopped, and how the
+network proxy mangles client connections.  Everything is derived
+deterministically from one integer seed, serialises to JSON, and
+round-trips exactly -- so any invariant violation observed under a
+schedule is reproducible from the ``(seed, schedule)`` pair alone.
+
+The split between *seed* and *schedule* matters: the schedule captures
+what the controller will do and when; the seed additionally pins the
+per-connection draws inside the network proxy and the per-operation
+draws inside the storage fault injector, which consume their own
+deterministic streams derived from it.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A complete, seeded description of one chaos run.
+
+    Attributes:
+        seed: master seed; every injector derives its stream from it.
+        duration: seconds of active chaos (events all land inside it).
+        storage: ``FaultyStore`` parameters for job journals
+            (``fail_rate``, ``torn_rate``, ``latency``).
+        network: per-connection behaviour weights for the proxy
+            (``reset``, ``partial``, ``stall``, ``garbage``; the
+            remaining mass passes connections through untouched).
+        clock_rate: multiplier on real elapsed time for the service
+            clock (1.0 = honest, 1.3 = fast-running clock).
+        clock_events: ``({"at": s, "jump": s}, ...)`` forward jumps
+            applied to the service clock at ``at`` seconds of drill
+            wall time.
+        process_events: ``({"at": s, "action": "kill"|"stop"}, ...)``
+            signals delivered to a running worker at ``at`` seconds.
+    """
+
+    seed: int
+    duration: float = 8.0
+    storage: dict = field(default_factory=dict)
+    network: dict = field(default_factory=dict)
+    clock_rate: float = 1.0
+    clock_events: tuple = ()
+    process_events: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.clock_rate <= 0:
+            raise ValueError("clock_rate must be positive (the service "
+                             "clock must keep moving forward)")
+        for event in self.clock_events:
+            if event.get("jump", 0.0) < 0:
+                raise ValueError("clock jumps must be forward; a "
+                                 "backwards service clock is modelled "
+                                 "by the lease manager's regression "
+                                 "clamp, not by the schedule")
+        for event in self.process_events:
+            if event.get("action") not in ("kill", "stop"):
+                raise ValueError(
+                    f"unknown process action {event.get('action')!r}")
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(cls, seed: int, *, duration: float = 8.0,
+                 intensity: float = 0.5) -> "ChaosSchedule":
+        """Draw a randomized-but-reproducible schedule from ``seed``.
+
+        ``intensity`` in [0, 1] scales every fault rate and event
+        count; the same ``(seed, duration, intensity)`` triple always
+        yields the identical schedule.
+        """
+        if not 0.0 <= intensity <= 1.0:
+            raise ValueError("intensity must be in [0, 1]")
+        rng = random.Random(seed)
+        storage = {
+            "fail_rate": round(rng.uniform(0.0, 0.04) * intensity, 4),
+            "torn_rate": round(rng.uniform(0.0, 0.04) * intensity, 4),
+            "latency": round(rng.uniform(0.0, 0.002) * intensity, 5),
+        }
+        network = {
+            "reset": round(rng.uniform(0.05, 0.15) * intensity, 3),
+            "partial": round(rng.uniform(0.05, 0.15) * intensity, 3),
+            "stall": round(rng.uniform(0.03, 0.10) * intensity, 3),
+            "garbage": round(rng.uniform(0.05, 0.15) * intensity, 3),
+        }
+        clock_rate = round(1.0 + rng.uniform(-0.2, 0.4) * intensity, 3)
+        clock_rate = max(0.5, clock_rate)
+        clock_events = tuple(sorted(
+            ({"at": round(rng.uniform(0.5, duration - 0.5), 3),
+              "jump": round(rng.uniform(0.2, 2.0), 3)}
+             for _ in range(rng.randint(1, 1 + int(3 * intensity)))),
+            key=lambda e: e["at"]))
+        process_events = tuple(sorted(
+            ({"at": round(rng.uniform(0.5, duration - 0.5), 3),
+              "action": rng.choice(["kill", "kill", "stop"])}
+             for _ in range(rng.randint(1, 1 + int(3 * intensity)))),
+            key=lambda e: e["at"]))
+        return cls(seed=seed, duration=duration, storage=storage,
+                   network=network, clock_rate=clock_rate,
+                   clock_events=clock_events,
+                   process_events=process_events)
+
+    # ------------------------------------------------------------------
+    # Serialisation (exact round-trip: the replay contract)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["clock_events"] = [dict(e) for e in self.clock_events]
+        data["process_events"] = [dict(e) for e in self.process_events]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosSchedule":
+        return cls(
+            seed=int(data["seed"]),
+            duration=float(data.get("duration", 8.0)),
+            storage=dict(data.get("storage", {})),
+            network=dict(data.get("network", {})),
+            clock_rate=float(data.get("clock_rate", 1.0)),
+            clock_events=tuple(dict(e)
+                               for e in data.get("clock_events", ())),
+            process_events=tuple(dict(e)
+                                 for e in data.get("process_events", ())),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosSchedule":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Human surface
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One paragraph a failing test prints next to the repro
+        command."""
+        lines = [
+            f"chaos schedule seed={self.seed} "
+            f"duration={self.duration:.1f}s",
+            f"  storage: fail={self.storage.get('fail_rate', 0)} "
+            f"torn={self.storage.get('torn_rate', 0)} "
+            f"latency={self.storage.get('latency', 0)}s",
+            f"  network: " + " ".join(
+                f"{k}={self.network.get(k, 0)}"
+                for k in ("reset", "partial", "stall", "garbage")),
+            f"  clock: rate={self.clock_rate} jumps=" + (", ".join(
+                f"+{e['jump']}s@{e['at']}s"
+                for e in self.clock_events) or "none"),
+            f"  process: " + (", ".join(
+                f"{e['action']}@{e['at']}s"
+                for e in self.process_events) or "none"),
+        ]
+        return "\n".join(lines)
+
+    def repro_command(self) -> str:
+        """The exact CLI invocation that replays this schedule."""
+        return (f"PYTHONPATH=src python -m repro.cli fuzz-chaos "
+                f"--seed {self.seed} --duration {self.duration}")

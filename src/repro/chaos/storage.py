@@ -1,0 +1,42 @@
+"""Pickleable storage-chaos factory for job journals.
+
+The orchestrator passes its ``store_factory`` into worker processes,
+so the factory must pickle.  :class:`ChaosStoreFactory` is a frozen
+module-level dataclass that builds a seeded
+:class:`~repro.fuzz.durability.FaultyStore` over the real
+:class:`~repro.fuzz.durability.DirectoryStore` for each journal path.
+The per-path seed is derived from the schedule seed and the path, so
+every job (and every re-execution of the same job) sees its own
+reproducible fault stream.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.fuzz.durability import DirectoryStore, FaultyStore
+
+
+@dataclass(frozen=True)
+class ChaosStoreFactory:
+    """``store_factory`` injecting seeded IO faults per journal path.
+
+    Args mirror :class:`~repro.fuzz.durability.FaultyStore`; the
+    factory is what crosses the process boundary, the store it builds
+    never does.
+    """
+
+    seed: int
+    fail_rate: float = 0.0
+    torn_rate: float = 0.0
+    latency: float = 0.0
+    error: str = "EIO"
+
+    def __call__(self, path: str) -> FaultyStore:
+        derived = (self.seed ^ zlib.crc32(str(path).encode("utf-8"))) \
+            & 0xFFFFFFFF
+        return FaultyStore(
+            DirectoryStore(path), seed=derived,
+            fail_rate=self.fail_rate, torn_rate=self.torn_rate,
+            latency=self.latency, error=self.error)

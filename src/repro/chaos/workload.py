@@ -1,0 +1,186 @@
+"""Chaos-friendly service workloads.
+
+A chaos drill needs jobs that are *slow in wall-clock but untouched in
+simulated time*: the delays widen the window in which a SIGKILL, a
+lease expiry, or a clock jump can land mid-run, while every result
+byte stays bit-identical to an undisturbed execution -- which is
+exactly the property the drill's fingerprint gate checks.
+
+Everything here is module-level and pickleable so the factories
+survive the trip into worker processes under any multiprocessing
+start method.  The service test-suite imports these too (they began
+life as test helpers and were promoted when the chaos engine needed
+them from the CLI).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.fuzz.parallel import ShardSpec
+from repro.service.orchestrator import register_job_kind
+from repro.service.queue import JobSpec
+from repro.testbench.factory import UdsBenchFactory
+
+
+class _ThrottledUdsGenerator:
+    """Wraps a UDS generator with wall-clock-only behaviours.
+
+    ``delay`` seconds per request keeps the campaign slow enough to
+    interrupt; ``hang_at``/``crash_at`` (guarded by a marker file so
+    they fire exactly once across retries) simulate a wedged and a
+    dying worker mid-run.  ``state_dict``/``load_state`` pass through,
+    so journalled resume is bit-identical.
+    """
+
+    def __init__(self, inner, *, delay: float, marker: str | None,
+                 hang_at: int | None, crash_at: int | None) -> None:
+        self._inner = inner
+        self._delay = delay
+        self._marker = marker
+        self._hang_at = hang_at
+        self._crash_at = crash_at
+        self._count = 0
+
+    def _armed(self) -> bool:
+        return self._marker is not None and not os.path.exists(self._marker)
+
+    def _trip_marker(self) -> None:
+        open(self._marker, "w").close()
+
+    def next_request(self) -> bytes:
+        self._count += 1
+        if self._crash_at is not None and self._count == self._crash_at \
+                and self._armed():
+            self._trip_marker()
+            os._exit(9)
+        if self._hang_at is not None and self._count == self._hang_at \
+                and self._armed():
+            self._trip_marker()
+            time.sleep(300)  # until the lease expiry SIGTERMs us
+        if self._delay:
+            time.sleep(self._delay)
+        return self._inner.next_request()
+
+    def observe(self, request, response) -> None:
+        self._inner.observe(request, response)
+
+    def state_dict(self) -> dict:
+        return self._inner.state_dict()
+
+    def load_state(self, state: dict) -> None:
+        self._inner.load_state(state)
+
+    def __getattr__(self, item):
+        return getattr(self._inner, item)
+
+
+@dataclass(frozen=True)
+class ThrottledUdsFactory:
+    """A real UDS campaign, slowed (and optionally booby-trapped) in
+    wall-clock only."""
+
+    delay: float = 0.002
+    marker: str | None = None
+    hang_at: int | None = None
+    crash_at: int | None = None
+    stop_on_finding: bool = True
+
+    def __call__(self, spec: ShardSpec):
+        campaign = UdsBenchFactory(
+            stop_on_finding=self.stop_on_finding)(spec)
+        campaign.generator = _ThrottledUdsGenerator(
+            campaign.generator, delay=self.delay, marker=self.marker,
+            hang_at=self.hang_at, crash_at=self.crash_at)
+        return campaign
+
+
+def build_slow_uds(spec: JobSpec) -> ThrottledUdsFactory:
+    return ThrottledUdsFactory(
+        delay=float(spec.params.get("delay", 0.002)),
+        marker=spec.params.get("marker"),
+        hang_at=spec.params.get("hang_at"),
+        crash_at=spec.params.get("crash_at"),
+        stop_on_finding=spec.stop_on_finding)
+
+
+@dataclass(frozen=True)
+class ExplodingFactory:
+    """A job kind whose every execution dies at build time."""
+
+    def __call__(self, spec: ShardSpec):
+        os._exit(7)
+
+
+def build_always_crash(spec: JobSpec) -> ExplodingFactory:
+    return ExplodingFactory()
+
+
+@dataclass(frozen=True)
+class HogFactory:
+    """A job kind that deliberately abuses one resource.
+
+    ``mode="disk"`` floods its own journal with oversized records
+    (tripping the per-job disk quota); ``mode="memory"`` allocates
+    without bound (tripping RLIMIT_AS); ``mode="cpu"`` spins
+    (tripping RLIMIT_CPU).  Exists so resource-guard tests and drills
+    have a deterministic villain.
+    """
+
+    mode: str = "disk"
+
+    def __call__(self, spec: ShardSpec):
+        campaign = UdsBenchFactory()(spec)
+        campaign.generator = _HogGenerator(campaign.generator,
+                                           mode=self.mode)
+        return campaign
+
+
+class _HogGenerator:
+    """Delegating generator that misbehaves on its first request."""
+
+    def __init__(self, inner, *, mode: str) -> None:
+        self._inner = inner
+        self._mode = mode
+
+    def next_request(self) -> bytes:
+        if self._mode == "memory":
+            hoard = []
+            while True:
+                hoard.append(bytearray(16 << 20))
+        if self._mode == "cpu":
+            while True:
+                sum(range(1 << 16))
+        return self._inner.next_request()
+
+    def state_dict(self) -> dict:
+        if self._mode == "disk":
+            # A checkpoint far past any sane per-job quota: the quota
+            # store refuses the write and the breach propagates as a
+            # fault strike.
+            return {"hoard": "x" * (1 << 20)}
+        return self._inner.state_dict()
+
+    def observe(self, request, response) -> None:
+        self._inner.observe(request, response)
+
+    def load_state(self, state: dict) -> None:
+        if self._mode != "disk":
+            self._inner.load_state(state)
+
+    def __getattr__(self, item):
+        return getattr(self._inner, item)
+
+
+def build_hog(spec: JobSpec) -> HogFactory:
+    return HogFactory(mode=str(spec.params.get("mode", "disk")))
+
+
+def register_chaos_kinds() -> None:
+    """Install the chaos job kinds (idempotent; parent process only --
+    the returned factories are what cross into workers)."""
+    register_job_kind("slow-uds", build_slow_uds)
+    register_job_kind("always-crash", build_always_crash)
+    register_job_kind("hog", build_hog)

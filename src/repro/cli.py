@@ -12,6 +12,9 @@ Subcommands:
 - ``coverage``     the §V combinatorial-explosion arithmetic,
 - ``fuzz-bench``   one blind-fuzz campaign against the unlock bench,
 - ``fuzz-serve``   run the lease-based campaign job service over HTTP,
+- ``fuzz-chaos``   seeded cross-layer chaos drill against a live
+  service stack (storage/process/clock/network faults, invariants
+  checked, reproducible from ``(seed, schedule)``),
 - ``table5``       a full Table V row (N trials),
 - ``obd-scan``     scan the car's OBD PIDs and stored DTCs.
 
@@ -524,9 +527,22 @@ def _cmd_fuzz_serve(args: argparse.Namespace) -> int:
         quarantine_after=args.quarantine_after,
         backoff=RetryPolicy(attempts=1, backoff=args.retry_backoff,
                             jitter=0.5, seed=0))
+    guards = None
+    if args.worker_cpu_seconds or args.worker_memory_mb:
+        from repro.fuzz.parallel import ResourceGuards
+        guards = ResourceGuards(
+            cpu_seconds=args.worker_cpu_seconds or None,
+            address_space_bytes=(args.worker_memory_mb << 20
+                                 if args.worker_memory_mb else None))
+        orchestrator.resource_guards = guards
+    if args.job_quota_mb:
+        orchestrator.job_quota_bytes = args.job_quota_mb << 20
     api = ServiceApi(queue, orchestrator, rate=args.rate,
                      burst=args.burst,
-                     max_active_per_tenant=args.max_active_per_tenant)
+                     max_active_per_tenant=args.max_active_per_tenant,
+                     header_timeout=args.header_timeout,
+                     body_timeout=args.body_timeout,
+                     max_body_bytes=args.max_body_kb << 10)
 
     async def serve() -> None:
         host, port = await api.start(args.host, args.port)
@@ -551,6 +567,65 @@ def _cmd_fuzz_serve(args: argparse.Namespace) -> int:
     print("fuzz service stopped; jobs requeued for the next start",
           flush=True)
     return 0
+
+
+def _cmd_fuzz_chaos(args: argparse.Namespace) -> int:
+    """Run one seeded cross-layer chaos drill and report the verdict.
+
+    Exit 0 when every invariant held (all jobs completed, fingerprints
+    bit-identical to undisturbed runs, reopened state consistent);
+    exit 1 with the violations and the exact ``(seed, schedule)``
+    replay pair otherwise.
+    """
+    import tempfile
+
+    from repro.chaos import ChaosSchedule, run_chaos_drill
+
+    schedule = None
+    if args.schedule:
+        text = args.schedule
+        if text.startswith("@"):
+            with open(text[1:], "r", encoding="utf-8") as handle:
+                text = handle.read()
+        schedule = ChaosSchedule.from_json(text)
+
+    def drill(root: str):
+        return run_chaos_drill(
+            args.seed, root, jobs=args.jobs,
+            max_frames=args.max_frames, duration=args.duration,
+            intensity=args.intensity, schedule=schedule)
+
+    if args.data_dir:
+        report = drill(args.data_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="fuzz-chaos-") as root:
+            report = drill(root)
+
+    plan = ChaosSchedule.from_dict(report.schedule)
+    print(plan.describe())
+    fired = report.controller.get("fired", [])
+    network = report.controller.get("network", {})
+    print(f"fired {len(fired)} scheduled event(s); proxy saw "
+          f"{network.get('connections', 0)} connection(s) "
+          f"{network.get('behaviours')}")
+    print(f"api shed: {report.api.get('shed')}")
+    for job in report.jobs:
+        mark = "ok " if job.get("match") else "BAD"
+        print(f"  [{mark}] {job['job_id']}: {job.get('state')} "
+              f"after {job.get('faults', 0)} fault strike(s)")
+    if args.report:
+        _write_report(args.report, report.to_dict())
+    if report.ok:
+        print(f"chaos drill passed in {report.elapsed:.1f}s "
+              f"({len(report.jobs)} job(s) bit-identical to "
+              f"undisturbed runs)")
+        return 0
+    print("chaos drill FAILED:")
+    for violation in report.violations:
+        print(f"  - {violation}")
+    print(f"replay with: {report.repro}")
+    print(f"or exact schedule: --schedule '{plan.to_json()}'")
+    return 1
 
 
 def _cmd_table5(args: argparse.Namespace) -> int:
@@ -752,7 +827,59 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="live jobs one tenant may hold; submits "
                             "beyond it are shed with 429")
+    serve.add_argument("--header-timeout", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="slow-loris deadline on the request head "
+                            "(shed with 408)")
+    serve.add_argument("--body-timeout", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="deadline on the declared request body "
+                            "(shed with 408)")
+    serve.add_argument("--max-body-kb", type=int, default=1024,
+                       metavar="KB",
+                       help="Content-Length cap; larger declarations "
+                            "are shed with 413 before reading")
+    serve.add_argument("--worker-cpu-seconds", type=int, default=0,
+                       metavar="SECONDS",
+                       help="RLIMIT_CPU per worker (0 = unlimited); a "
+                            "breach dies by SIGXCPU and is recorded "
+                            "as a fault strike")
+    serve.add_argument("--worker-memory-mb", type=int, default=0,
+                       metavar="MB",
+                       help="RLIMIT_AS per worker (0 = unlimited); a "
+                            "breach raises MemoryError in the worker")
+    serve.add_argument("--job-quota-mb", type=int, default=0,
+                       metavar="MB",
+                       help="disk quota on each jobs/<id>/ directory "
+                            "(0 = unlimited); a breach is a fault "
+                            "strike, never a hang")
     serve.set_defaults(func=_cmd_fuzz_serve)
+
+    chaos = sub.add_parser(
+        "fuzz-chaos",
+        help="run the seeded cross-layer chaos drill: storage, "
+             "process, clock and network faults against a live "
+             "service, invariants checked")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="master seed; the whole run is "
+                            "reproducible from it")
+    chaos.add_argument("--jobs", type=int, default=3,
+                       help="jobs submitted through the hostile proxy")
+    chaos.add_argument("--max-frames", type=int, default=120,
+                       help="per-job campaign budget")
+    chaos.add_argument("--duration", type=float, default=8.0,
+                       help="seconds of scheduled chaos activity")
+    chaos.add_argument("--intensity", type=float, default=0.5,
+                       help="fault-rate scale in [0, 1]")
+    chaos.add_argument("--schedule", metavar="JSON",
+                       help="replay an explicit schedule (JSON string "
+                            "or @file), overriding generation")
+    chaos.add_argument("--data-dir", metavar="DIR",
+                       help="service state root (default: a fresh "
+                            "temporary directory)")
+    chaos.add_argument("--report", metavar="FILE",
+                       help="write the full chaos report as JSON")
+    chaos.set_defaults(func=_cmd_fuzz_chaos)
 
     table5 = sub.add_parser("table5", help="run a Table V row")
     table5.add_argument("--check-mode", default="byte",

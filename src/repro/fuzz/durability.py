@@ -241,6 +241,115 @@ class FaultyStore:
             fail_ops=self.fail_ops, sleep=self._sleep)
 
 
+class DiskQuotaExceeded(RuntimeError):
+    """A job wrote past its per-job disk quota.
+
+    Deliberately *not* an :class:`OSError`: the journal's retry/degrade
+    machinery treats ``OSError`` as weather (retry, then keep running
+    in memory), but blowing a quota is the job's own behaviour and must
+    not be absorbed silently.  Raising a ``RuntimeError`` lets it
+    propagate out of the campaign, so the worker reports an error and
+    the orchestrator records a fault strike -- a quota-breaching job is
+    quarantined deterministically instead of quietly filling the disk
+    or degrading to memory-only.
+    """
+
+
+class QuotaStore:
+    """Byte-budget enforcement wrapper over any store.
+
+    Tracks bytes written through ``append``/``replace`` plus what is
+    already on disk at attach time, and raises
+    :class:`DiskQuotaExceeded` *before* a write that would cross the
+    budget.  Shared mutable accounting (`_usage` is a one-element list)
+    spans :meth:`sub`-derived children, so the budget covers the whole
+    ``jobs/<id>/`` tree, not each subdirectory separately.
+    """
+
+    def __init__(self, inner, *, quota_bytes: int,
+                 _usage: list[int] | None = None) -> None:
+        if quota_bytes < 1:
+            raise ValueError("quota_bytes must be >= 1")
+        self.inner = inner
+        self.quota_bytes = quota_bytes
+        if _usage is None:
+            _usage = [self._on_disk(inner)]
+        self._usage = _usage
+
+    @staticmethod
+    def _on_disk(inner) -> int:
+        try:
+            root = Path(inner.path(""))
+        except (AttributeError, OSError):
+            return 0
+        if not root.is_dir():
+            return 0
+        return sum(p.stat().st_size for p in root.rglob("*")
+                   if p.is_file())
+
+    @property
+    def used_bytes(self) -> int:
+        return self._usage[0]
+
+    def _charge(self, delta: int, op: str, name: str) -> None:
+        if self._usage[0] + delta > self.quota_bytes:
+            raise DiskQuotaExceeded(
+                f"{op} of {delta} byte(s) to {name!r} would take usage "
+                f"to {self._usage[0] + delta} of a "
+                f"{self.quota_bytes} byte quota")
+        self._usage[0] += delta
+
+    def append(self, name: str, data: bytes) -> None:
+        self._charge(len(data), "append", name)
+        self.inner.append(name, data)
+
+    def replace(self, name: str, data: bytes) -> None:
+        # Replacement frees the old content; only charge the growth.
+        old = 0
+        try:
+            if self.inner.exists(name):
+                old = len(self.inner.read(name))
+        except OSError:
+            old = 0
+        self._charge(max(0, len(data) - old), "replace", name)
+        self.inner.replace(name, data)
+
+    def read(self, name: str) -> bytes:
+        return self.inner.read(name)
+
+    def exists(self, name: str) -> bool:
+        return self.inner.exists(name)
+
+    def remove(self, name: str) -> None:
+        try:
+            if self.inner.exists(name):
+                self._usage[0] = max(
+                    0, self._usage[0] - len(self.inner.read(name)))
+        except OSError:
+            pass
+        self.inner.remove(name)
+
+    def truncate(self, name: str, size: int) -> None:
+        try:
+            old = len(self.inner.read(name))
+        except OSError:
+            old = size
+        self.inner.truncate(name, size)
+        self._usage[0] = max(0, self._usage[0] - max(0, old - size))
+
+    def list(self) -> list[str]:
+        return self.inner.list()
+
+    def path(self, name: str):
+        return self.inner.path(name)
+
+    def sub(self, name: str) -> "QuotaStore":
+        """A child sharing this store's budget and usage accounting."""
+        return QuotaStore(self.inner.sub(name),
+                         quota_bytes=self.quota_bytes,
+                         _usage=self._usage)
+
+
 # ----------------------------------------------------------------------
 # Retry with exponential backoff
 # ----------------------------------------------------------------------

@@ -76,6 +76,71 @@ def terminate_and_reap(process, *, grace: float = 5.0) -> str | None:
             f"(exit code {process.exitcode})")
 
 
+@dataclass(frozen=True)
+class ResourceGuards:
+    """OS-level resource limits applied inside a worker process.
+
+    Crosses the process boundary by pickle and is applied via
+    :meth:`apply` as the first thing a worker does.  Each guard turns
+    a runaway job into a *visible, bounded* failure instead of a hang
+    or a host-wide outage: blowing the CPU budget delivers SIGXCPU
+    (the worker dies, the parent records a fault strike), blowing the
+    address-space budget turns allocations into ``MemoryError`` (an
+    error strike), and the per-job disk quota is enforced separately
+    by :class:`repro.fuzz.durability.QuotaStore`.
+
+    ``rlimit`` is POSIX-only; on platforms without the :mod:`resource`
+    module ``apply`` is a silent no-op, recorded in the returned note.
+    """
+
+    cpu_seconds: int | None = None
+    address_space_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.cpu_seconds is not None and self.cpu_seconds < 1:
+            raise ValueError("cpu_seconds must be >= 1")
+        if (self.address_space_bytes is not None
+                and self.address_space_bytes < 1 << 20):
+            raise ValueError("address_space_bytes must be >= 1 MiB")
+
+    def apply(self) -> list[str]:
+        """Install the limits on the calling process.
+
+        Returns notes describing what was (or could not be) applied.
+        Never raises: a guard that cannot be installed must not stop
+        the job it was meant to protect.
+        """
+        notes: list[str] = []
+        try:
+            import resource
+        except ImportError:
+            if self.cpu_seconds or self.address_space_bytes:
+                notes.append("resource module unavailable; "
+                             "rlimit guards skipped")
+            return notes
+        if self.cpu_seconds is not None:
+            try:
+                soft, hard = resource.getrlimit(resource.RLIMIT_CPU)
+                limit = self.cpu_seconds
+                if hard != resource.RLIM_INFINITY:
+                    limit = min(limit, hard)
+                resource.setrlimit(resource.RLIMIT_CPU, (limit, hard))
+                notes.append(f"RLIMIT_CPU={limit}s")
+            except (OSError, ValueError) as exc:
+                notes.append(f"RLIMIT_CPU not applied: {exc}")
+        if self.address_space_bytes is not None:
+            try:
+                soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+                limit = self.address_space_bytes
+                if hard != resource.RLIM_INFINITY:
+                    limit = min(limit, hard)
+                resource.setrlimit(resource.RLIMIT_AS, (limit, hard))
+                notes.append(f"RLIMIT_AS={limit}B")
+            except (OSError, ValueError) as exc:
+                notes.append(f"RLIMIT_AS not applied: {exc}")
+        return notes
+
+
 def derive_shard_seed(master_seed: int, shard_index: int,
                       attempt: int = 0) -> int:
     """Deterministic per-shard seed, the sharding analogue of

@@ -15,6 +15,16 @@ Routes::
     GET  /jobs/<id>/findings    findings streamed so far (live, deduped)
     GET  /jobs/<id>/artefacts   full result + findings + fingerprint
     GET  /status                orchestrator/queue/lease telemetry
+
+The parser is hostile-client-proof by construction: the request head
+and body are both read under a timeout (slow-loris gets ``408``, not a
+wedged handler task), a declared ``Content-Length`` above the cap is
+shed with ``413`` before a single body byte is read, and every
+malformed shape -- garbage request line, non-numeric length, a body
+shorter than declared -- gets an explicit ``400``.  Shed connections
+are counted per cause and surfaced through ``/status``, so a chaos
+run (or a real attack) is visible in telemetry instead of only in
+stack traces.
 """
 
 from __future__ import annotations
@@ -50,8 +60,11 @@ class TokenBucket:
         """Consume one token; returns ``None`` when admitted, else the
         seconds until a token will exist (the ``Retry-After`` value)."""
         now = self.clock()
+        # A clock that jumps backwards (chaos, NTP step) must not mint
+        # negative refills that eat the bucket; clamp elapsed at zero.
+        elapsed = max(0.0, now - self._updated)
         self.tokens = min(float(self.burst),
-                          self.tokens + (now - self._updated) * self.rate)
+                          self.tokens + elapsed * self.rate)
         self._updated = now
         if self.tokens >= 1.0:
             self.tokens -= 1.0
@@ -71,25 +84,42 @@ class ServiceApi:
         max_active_per_tenant: live (pending+leased) jobs one tenant
             may hold; submits beyond it are shed with 429.
         clock: time source for the buckets (tests inject a fake).
+        header_timeout: seconds a client gets to finish the request
+            head before the connection is shed with 408.
+        body_timeout: seconds a client gets to deliver the declared
+            body once the head arrived (slow-loris bodies get 408).
+        max_body_bytes: declared Content-Length above this is shed
+            with 413 before a single body byte is read.
     """
 
     def __init__(self, queue: JobQueue, orchestrator: Orchestrator, *,
                  rate: float = 10.0, burst: float = 20.0,
                  max_active_per_tenant: int = 8,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 header_timeout: float = 10.0,
+                 body_timeout: float = 10.0,
+                 max_body_bytes: int = 1 << 20) -> None:
         if max_active_per_tenant < 1:
             raise ValueError("max_active_per_tenant must be >= 1")
+        if header_timeout <= 0 or body_timeout <= 0:
+            raise ValueError("timeouts must be > 0")
+        if max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1")
         self.queue = queue
         self.orchestrator = orchestrator
         self.rate = rate
         self.burst = burst
         self.max_active_per_tenant = max_active_per_tenant
         self.clock = clock
+        self.header_timeout = header_timeout
+        self.body_timeout = body_timeout
+        self.max_body_bytes = max_body_bytes
         self._buckets: dict[str, TokenBucket] = {}
         self._server: asyncio.AbstractServer | None = None
         self.address: tuple[str, int] | None = None
         self.requests = 0
         self.rejected = 0
+        self.shed = {"slow": 0, "malformed": 0, "oversized": 0}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -122,6 +152,8 @@ class ServiceApi:
         body = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
         reasons = {200: "OK", 201: "Created", 400: "Bad Request",
                    404: "Not Found", 405: "Method Not Allowed",
+                   408: "Request Timeout",
+                   413: "Payload Too Large",
                    429: "Too Many Requests",
                    500: "Internal Server Error"}
         head = [f"HTTP/1.1 {status} {reasons.get(status, 'OK')}",
@@ -145,13 +177,18 @@ class ServiceApi:
     async def _serve(self, reader) -> tuple[int, dict, dict]:
         try:
             raw = await asyncio.wait_for(
-                reader.readuntil(b"\r\n\r\n"), timeout=10.0)
-        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
-                asyncio.TimeoutError):
+                reader.readuntil(b"\r\n\r\n"),
+                timeout=self.header_timeout)
+        except asyncio.TimeoutError:
+            self.shed["slow"] += 1
+            return 408, {"error": "timed out reading request head"}, {}
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            self.shed["malformed"] += 1
             return 400, {"error": "malformed request head"}, {}
         lines = raw.decode("latin-1", "replace").split("\r\n")
         parts = lines[0].split(" ")
         if len(parts) < 2:
+            self.shed["malformed"] += 1
             return 400, {"error": "malformed request line"}, {}
         method, target = parts[0].upper(), parts[1]
         headers = {}
@@ -163,9 +200,28 @@ class ServiceApi:
         length = headers.get("content-length")
         if length is not None:
             try:
-                body = await reader.readexactly(int(length))
-            except (ValueError, asyncio.IncompleteReadError):
-                return 400, {"error": "bad request body"}, {}
+                declared = int(length)
+                if declared < 0:
+                    raise ValueError
+            except ValueError:
+                self.shed["malformed"] += 1
+                return 400, {"error": f"bad Content-Length {length!r}"}, {}
+            if declared > self.max_body_bytes:
+                self.shed["oversized"] += 1
+                return 413, {
+                    "error": f"declared body of {declared} bytes exceeds "
+                             f"the {self.max_body_bytes} byte cap",
+                }, {}
+            try:
+                body = await asyncio.wait_for(
+                    reader.readexactly(declared),
+                    timeout=self.body_timeout)
+            except asyncio.TimeoutError:
+                self.shed["slow"] += 1
+                return 408, {"error": "timed out reading request body"}, {}
+            except asyncio.IncompleteReadError:
+                self.shed["malformed"] += 1
+                return 400, {"error": "body shorter than declared"}, {}
         self.requests += 1
         return self._route(method, target, headers, body)
 
@@ -250,17 +306,22 @@ class ServiceApi:
         if not rest:
             return 200, job.status_dict(), {}
         if rest == ["findings"]:
+            findings = self.queue.job_findings(job_id)
             return 200, {
                 "job_id": job_id,
                 "state": job.state,
-                "findings": self.queue.job_findings(job_id),
+                "findings": findings,
+                "warnings": self.queue.warnings_for_job(job_id),
             }, {}
         if rest == ["artefacts"]:
+            result = self.queue.load_result(job_id)
+            findings = self.queue.job_findings(job_id)
             return 200, {
                 "job_id": job_id,
                 "status": job.status_dict(),
-                "result": self.queue.load_result(job_id),
-                "findings": self.queue.job_findings(job_id),
+                "result": result,
+                "findings": findings,
+                "warnings": self.queue.warnings_for_job(job_id),
             }, {}
         return 404, {"error": f"no such job resource {'/'.join(rest)!r}"}, {}
 
@@ -269,6 +330,7 @@ class ServiceApi:
         status["api"] = {
             "requests": self.requests,
             "rejected": self.rejected,
+            "shed": dict(self.shed),
             "tenants": {
                 tenant: {"tokens": round(bucket.tokens, 2),
                          "shed": bucket.shed,

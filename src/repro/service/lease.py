@@ -11,7 +11,11 @@ bit-identical -- the exactly-once half of the contract is then just
 fingerprint deduplication at completion time.
 
 Everything is driven by an injectable monotonic clock, so the tests
-walk lease lifetimes deterministically instead of sleeping.
+walk lease lifetimes deterministically instead of sleeping.  The
+manager assumes that clock never runs backwards; when it does anyway
+(a buggy injected clock, or chaos testing), the regression is clamped
+-- time holds still rather than rewinding lease expiries -- and
+counted in :meth:`LeaseManager.stats` as ``clock_regressions``.
 """
 
 from __future__ import annotations
@@ -67,11 +71,28 @@ class LeaseManager:
     renewed: int = 0
     expired_total: int = 0
     released: int = 0
+    clock_regressions: int = 0
     _active: dict = field(default_factory=dict)
+    _high_water: float = field(init=False, default=float("-inf"))
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
             raise ValueError("lease duration must be positive")
+
+    def _now(self) -> float:
+        """The clock, clamped monotonic.
+
+        A backwards step would silently stretch every active lease
+        (expiries are absolute times); holding at the high-water mark
+        keeps lease arithmetic sane and makes the misbehaviour visible
+        in stats instead.
+        """
+        now = self.clock()
+        if now < self._high_water:
+            self.clock_regressions += 1
+            return self._high_water
+        self._high_water = now
+        return now
 
     # ------------------------------------------------------------------
     # State machine
@@ -83,7 +104,7 @@ class LeaseManager:
             raise LeaseError(
                 f"job {job_id} is already leased to "
                 f"{existing.worker_id} until {existing.expires_at:.3f}")
-        now = self.clock()
+        now = self._now()
         lease = Lease(job_id=job_id, worker_id=worker_id,
                       granted_at=now, expires_at=now + self.duration)
         self._active[job_id] = lease
@@ -104,7 +125,7 @@ class LeaseManager:
             raise LeaseError(
                 f"lease on {job_id} expired at {lease.expires_at:.3f}; "
                 f"late heartbeat from {worker_id} refused")
-        lease.expires_at = self.clock() + self.duration
+        lease.expires_at = self._now() + self.duration
         lease.renewals += 1
         self.renewed += 1
         return lease
@@ -121,7 +142,7 @@ class LeaseManager:
         The orchestrator calls this each tick; the returned jobs are
         no longer leased and may be re-granted immediately.
         """
-        now = self.clock()
+        now = self._now()
         dead = [lease for lease in self._active.values()
                 if lease.expires_at <= now]
         for lease in dead:
@@ -144,7 +165,7 @@ class LeaseManager:
         lease = self._active.get(job_id)
         if lease is None:
             return None
-        return max(0.0, lease.expires_at - self.clock())
+        return max(0.0, lease.expires_at - self._now())
 
     def stats(self) -> dict:
         return {
@@ -153,13 +174,14 @@ class LeaseManager:
             "renewed": self.renewed,
             "expired": self.expired_total,
             "released": self.released,
+            "clock_regressions": self.clock_regressions,
         }
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _is_expired(self, lease: Lease) -> bool:
-        return lease.expires_at <= self.clock()
+        return lease.expires_at <= self._now()
 
     def _require(self, job_id: str, worker_id: str) -> Lease:
         lease = self._active.get(job_id)

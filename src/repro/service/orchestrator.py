@@ -33,8 +33,9 @@ from typing import Callable
 
 from repro.fuzz.campaign import CampaignLimits, resume_campaign
 from repro.fuzz.durability import (CampaignJournal, DirectoryStore,
-                                   RetryPolicy)
-from repro.fuzz.parallel import ShardSpec, terminate_and_reap
+                                   QuotaStore, RetryPolicy)
+from repro.fuzz.parallel import (ResourceGuards, ShardSpec,
+                                 terminate_and_reap)
 from repro.service.lease import LeaseError, LeaseManager
 from repro.service.queue import JobQueue, JobSpec
 from repro.sim.clock import SECOND
@@ -154,12 +155,29 @@ class _HeartbeatJournal(CampaignJournal):
 
 
 def _job_worker(factory, spec: ShardSpec, conn, journal_dir: str,
-                checkpoint_every: int, store_factory=None) -> None:
-    """Worker process entry: resume the job's journal and run it out."""
+                checkpoint_every: int, store_factory=None,
+                guards: ResourceGuards | None = None,
+                quota_bytes: int | None = None) -> None:
+    """Worker process entry: resume the job's journal and run it out.
+
+    Resource guards are installed before any campaign code runs:
+    rlimits bound the worker itself (CPU blow-out dies by SIGXCPU and
+    surfaces as a crash strike in the parent; address-space blow-out
+    turns into ``MemoryError``, an error strike), and ``quota_bytes``
+    wraps the job's journal store in a :class:`QuotaStore` so disk
+    abuse raises :class:`~repro.fuzz.durability.DiskQuotaExceeded`
+    through the campaign -- a journalled fault strike, never a hang.
+    """
     try:
-        journal = _HeartbeatJournal(
-            (store_factory or DirectoryStore)(journal_dir), conn)
-        _send(conn, ("heartbeat", {"phase": "building"}))
+        guard_notes = guards.apply() if guards is not None else []
+        store = (store_factory or DirectoryStore)(journal_dir)
+        if quota_bytes is not None:
+            store = QuotaStore(store, quota_bytes=quota_bytes)
+        journal = _HeartbeatJournal(store, conn)
+        payload = {"phase": "building"}
+        if guard_notes:
+            payload["guard_notes"] = guard_notes
+        _send(conn, ("heartbeat", payload))
         result = resume_campaign(journal, lambda: factory(spec),
                                  checkpoint_every=checkpoint_every)
         _send(conn, ("ok", result.to_dict(), list(journal.warnings)))
@@ -210,6 +228,13 @@ class Orchestrator:
             lease lifetimes deterministically).
         store_factory: journal backend for *job* journals (chaos tests
             inject :class:`~repro.fuzz.durability.FaultyStore`).
+        resource_guards: OS rlimits installed in every worker process
+            (see :class:`~repro.fuzz.parallel.ResourceGuards`).  Not
+            applied to inline degraded execution -- rlimits there
+            would bound the orchestrator itself.
+        job_quota_bytes: per-job disk budget for ``jobs/<id>/``; a
+            breach raises through the campaign and is recorded as a
+            fault strike.
     """
 
     def __init__(self, queue: JobQueue, *, workers: int = 2,
@@ -222,6 +247,8 @@ class Orchestrator:
                  mp_context=None,
                  clock: Callable[[], float] = time.monotonic,
                  store_factory: Callable[[str], object] | None = None,
+                 resource_guards: ResourceGuards | None = None,
+                 job_quota_bytes: int | None = None,
                  ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -243,8 +270,12 @@ class Orchestrator:
         self.quarantine_after = quarantine_after
         self.poll_interval = poll_interval
         self.terminate_grace = terminate_grace
+        if job_quota_bytes is not None and job_quota_bytes < 1:
+            raise ValueError("job_quota_bytes must be >= 1")
         self.clock = clock
         self.store_factory = store_factory
+        self.resource_guards = resource_guards
+        self.job_quota_bytes = job_quota_bytes
         self._ctx = mp_context or multiprocessing.get_context()
         self._handles: dict[str, _Handle] = {}
         #: Per-job earliest re-grant time (jittered backoff after a
@@ -339,6 +370,7 @@ class Orchestrator:
             "inline_completions": self.inline_completions,
             "notes": list(self.notes),
             "journal_warnings": self.queue.warnings,
+            "artefact_warnings": list(self.queue.artefact_warnings),
         }
 
     # ------------------------------------------------------------------
@@ -469,7 +501,8 @@ class Orchestrator:
                 target=_job_worker,
                 args=(factory, shard_spec_for(spec), child_conn,
                       journal_dir, self.checkpoint_every,
-                      self.store_factory),
+                      self.store_factory, self.resource_guards,
+                      self.job_quota_bytes),
                 name=f"fuzz-job-{spec.job_id}", daemon=True)
             process.start()
         except OSError:
@@ -508,9 +541,11 @@ class Orchestrator:
             f"worker spawn failed at one slot; running {spec.job_id} "
             f"inline")
         self.queue.mark_leased(spec.job_id, "inline")
-        journal = CampaignJournal(
-            (self.store_factory or DirectoryStore)(
-                str(self.queue.job_dir(spec.job_id))))
+        store = (self.store_factory or DirectoryStore)(
+            str(self.queue.job_dir(spec.job_id)))
+        if self.job_quota_bytes is not None:
+            store = QuotaStore(store, quota_bytes=self.job_quota_bytes)
+        journal = CampaignJournal(store)
         factory = build_factory(spec)
         try:
             result = resume_campaign(

@@ -179,6 +179,8 @@ class JobQueue:
         self.jobs: dict[str, Job] = {}
         self._order: list[str] = []
         self.divergent_completions = 0
+        self.artefact_warnings: list[str] = []
+        self._artefact_warned: set[str] = set()
         for record in self.journal.records:
             self._apply(record)
 
@@ -379,18 +381,50 @@ class JobQueue:
     def job_dir(self, job_id: str) -> Path:
         return self.root / self.JOBS_DIR / job_id
 
+    def warnings_for_job(self, job_id: str) -> list[str]:
+        """Artefact warnings recorded for one job (corrupt/truncated
+        files seen while serving its findings or results)."""
+        prefix = f"job {job_id}: "
+        return [w for w in self.artefact_warnings
+                if w.startswith(prefix)]
+
+    def _warn_artefact(self, job_id: str, message: str) -> None:
+        """Record one artefact-corruption warning, deduplicated, so a
+        corrupt file degrades to telemetry instead of a raised error
+        on every read."""
+        text = f"job {job_id}: {message}"
+        if text in self._artefact_warned:
+            return
+        self._artefact_warned.add(text)
+        self.artefact_warnings.append(text)
+
     def load_result(self, job_id: str) -> dict | None:
-        """The job's full campaign result from its own journal dir."""
+        """The job's full campaign result from its own journal dir.
+
+        A missing file is the normal not-finished-yet case and stays
+        silent; a file that exists but is corrupt (unreadable, invalid
+        JSON, wrong shape) records a warning and returns ``None`` --
+        the API must never 500 because a disk bit flipped.
+        """
+        path = self.job_dir(job_id) / CampaignJournal.RESULT
         try:
-            data = (self.job_dir(job_id)
-                    / CampaignJournal.RESULT).read_bytes()
-        except OSError:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            self._warn_artefact(job_id, f"unreadable result file: {exc}")
             return None
         try:
             payload = json.loads(data)
         except ValueError:
+            self._warn_artefact(
+                job_id, f"corrupt result file ({len(data)} bytes of "
+                        f"invalid JSON)")
             return None
-        return payload if isinstance(payload, dict) else None
+        if not isinstance(payload, dict):
+            self._warn_artefact(job_id, "result file is not a JSON object")
+            return None
+        return payload
 
     def job_findings(self, job_id: str) -> list[dict]:
         """Findings streamed so far, deduplicated by fingerprint.
@@ -399,15 +433,20 @@ class JobQueue:
         recovery scan, so it works mid-run from another process.  A
         from-zero re-execution appends the same findings again; the
         fingerprint dedup collapses them -- at-least-once execution,
-        exactly-once findings.
+        exactly-once findings.  Torn or corrupt journal records are
+        surfaced as recorded warnings, never raised to the caller.
         """
         directory = self.job_dir(job_id)
         if not directory.is_dir():
             return []
         try:
-            records, _ = scan_records(DirectoryStore(directory))
-        except OSError:
+            records, scan_warnings = scan_records(
+                DirectoryStore(directory))
+        except OSError as exc:
+            self._warn_artefact(job_id, f"unreadable journal: {exc}")
             return []
+        for warning in scan_warnings:
+            self._warn_artefact(job_id, warning)
         seen: set[str] = set()
         findings: list[dict] = []
         for record in records:

@@ -1,0 +1,84 @@
+"""The chaos controller: event firing, victim picking, bookkeeping."""
+
+import asyncio
+
+from repro.chaos import ChaosController, ChaosSchedule, SkewedClock
+from repro.service.orchestrator import Orchestrator
+from repro.service.queue import JobQueue
+
+
+def drive(controller, *, timeout=3.0):
+    async def run():
+        stop = asyncio.Event()
+        task = asyncio.ensure_future(controller.run(stop))
+        try:
+            await asyncio.wait_for(task, timeout)
+        finally:
+            stop.set()
+
+    asyncio.run(run())
+
+
+class TestClockEvents:
+    def test_jump_fires_on_the_wired_clock(self, tmp_path):
+        schedule = ChaosSchedule(
+            seed=0, duration=1.0,
+            clock_events=({"at": 0.0, "jump": 2.5},))
+        clock = SkewedClock()
+        queue = JobQueue(tmp_path)
+        controller = ChaosController(schedule, Orchestrator(queue),
+                                     clock=clock, tick=0.01)
+        drive(controller)
+        assert clock.jumps == 1
+        assert clock.jumped_seconds == 2.5
+        assert controller.fired[0]["layer"] == "clock"
+        assert controller.fired[0]["jump"] == 2.5
+
+    def test_jump_without_clock_is_logged_as_skipped(self, tmp_path):
+        schedule = ChaosSchedule(
+            seed=0, clock_events=({"at": 0.0, "jump": 1.0},))
+        queue = JobQueue(tmp_path)
+        controller = ChaosController(schedule, Orchestrator(queue),
+                                     tick=0.01)
+        drive(controller)
+        assert "skipped" in controller.fired[0]
+
+
+class TestProcessEvents:
+    def test_no_victim_is_logged_not_raised(self, tmp_path):
+        schedule = ChaosSchedule(
+            seed=0, process_events=({"at": 0.0, "action": "kill"},))
+        queue = JobQueue(tmp_path)
+        controller = ChaosController(schedule, Orchestrator(queue),
+                                     tick=0.01)
+        drive(controller)
+        assert controller.fired[0]["layer"] == "process"
+        assert controller.fired[0]["skipped"] \
+            == "no running worker to signal"
+
+    def test_events_fire_in_schedule_order(self, tmp_path):
+        schedule = ChaosSchedule(
+            seed=0, duration=2.0,
+            clock_events=({"at": 0.15, "jump": 1.0},),
+            process_events=({"at": 0.0, "action": "kill"},))
+        queue = JobQueue(tmp_path)
+        controller = ChaosController(schedule, Orchestrator(queue),
+                                     clock=SkewedClock(), tick=0.01)
+        drive(controller)
+        assert [f["layer"] for f in controller.fired] \
+            == ["process", "clock"]
+
+
+class TestStats:
+    def test_stats_bundle_schedule_and_fired_log(self, tmp_path):
+        schedule = ChaosSchedule(
+            seed=6, clock_events=({"at": 0.0, "jump": 0.5},))
+        clock = SkewedClock()
+        queue = JobQueue(tmp_path)
+        controller = ChaosController(schedule, Orchestrator(queue),
+                                     clock=clock, tick=0.01)
+        drive(controller)
+        stats = controller.stats()
+        assert stats["schedule"]["seed"] == 6
+        assert len(stats["fired"]) == 1
+        assert stats["clock"]["jumps"] == 1

@@ -1,0 +1,115 @@
+"""The chaos proxy against a live API: every behaviour, one socket."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.chaos import ChaosProxy
+from repro.service.api import ServiceApi
+from repro.service.orchestrator import Orchestrator
+from repro.service.queue import JobQueue
+
+SUBMIT_BODY = json.dumps({"job_id": "a", "seed": 7,
+                          "max_frames": 100}).encode()
+SUBMIT = (f"POST /jobs HTTP/1.1\r\nContent-Length: "
+          f"{len(SUBMIT_BODY)}\r\n\r\n").encode() + SUBMIT_BODY
+STATUS = b"GET /status HTTP/1.1\r\n\r\n"
+
+
+def run_through_proxy(tmp_path, behaviour_rates, requests,
+                      *, body_timeout=0.3, seed=1):
+    """Stand up api+proxy, push ``requests`` through, return statuses.
+
+    A mangled connection that yields no response records ``None``.
+    """
+
+    async def drive():
+        queue = JobQueue(tmp_path)
+        api = ServiceApi(queue, Orchestrator(queue),
+                         header_timeout=body_timeout,
+                         body_timeout=body_timeout)
+        host, port = await api.start()
+        proxy = ChaosProxy((host, port), seed=seed,
+                           rates=behaviour_rates)
+        phost, pport = await proxy.start()
+        statuses = []
+        for raw in requests:
+            try:
+                reader, writer = await asyncio.open_connection(phost,
+                                                               pport)
+                writer.write(raw)
+                await writer.drain()
+                data = await asyncio.wait_for(reader.read(), timeout=3.0)
+                writer.close()
+                statuses.append(int(data.split(b" ")[1])
+                                if data else None)
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                statuses.append(None)
+        await proxy.close()
+        await api.close()
+        return statuses, proxy.stats(), dict(api.shed)
+
+    return asyncio.run(drive())
+
+
+class TestBehaviours:
+    def test_pass_through_is_transparent(self, tmp_path):
+        statuses, stats, shed = run_through_proxy(
+            tmp_path, {}, [SUBMIT, STATUS])
+        assert statuses == [201, 200]
+        assert stats["behaviours"]["pass"] == 2
+        assert shed == {"slow": 0, "malformed": 0, "oversized": 0}
+
+    def test_reset_drops_the_client(self, tmp_path):
+        statuses, stats, shed = run_through_proxy(
+            tmp_path, {"reset": 1.0}, [SUBMIT])
+        assert statuses == [None]
+        assert stats["behaviours"]["reset"] == 1
+        # The server never saw the connection.
+        assert shed == {"slow": 0, "malformed": 0, "oversized": 0}
+
+    def test_partial_bytes_get_400_not_500(self, tmp_path):
+        statuses, _stats, shed = run_through_proxy(
+            tmp_path, {"partial": 1.0}, [SUBMIT])
+        assert statuses == [400]
+        assert shed["malformed"] == 1
+
+    def test_stalled_body_gets_408(self, tmp_path):
+        statuses, _stats, shed = run_through_proxy(
+            tmp_path, {"stall": 1.0}, [SUBMIT])
+        assert statuses == [408]
+        assert shed["slow"] == 1
+
+    def test_garbage_prefix_gets_400(self, tmp_path):
+        statuses, _stats, shed = run_through_proxy(
+            tmp_path, {"garbage": 1.0}, [SUBMIT])
+        assert statuses == [400]
+        assert shed["malformed"] == 1
+
+    def test_server_stays_serviceable_after_mangling(self, tmp_path):
+        # Chaos on five connections, then a clean one: still 200.
+        statuses, _stats, _shed = run_through_proxy(
+            tmp_path, {"garbage": 0.5, "partial": 0.5},
+            [SUBMIT] * 5 + [STATUS], seed=3)
+        assert statuses[-1] in (200, 400)  # 400 only if mangled too
+        clean, _s, _h = run_through_proxy(tmp_path, {}, [STATUS])
+        assert clean == [200]
+
+
+class TestDeterminism:
+    def test_same_seed_same_behaviour_sequence(self, tmp_path):
+        rates = {"reset": 0.3, "garbage": 0.3}
+        first = run_through_proxy(tmp_path / "a", rates,
+                                  [STATUS] * 8, seed=9)
+        second = run_through_proxy(tmp_path / "b", rates,
+                                   [STATUS] * 8, seed=9)
+        assert first[0] == second[0]
+        assert first[1]["behaviours"] == second[1]["behaviours"]
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError, match="unknown"):
+            ChaosProxy(("h", 1), seed=0, rates={"melt": 0.5})
+        with pytest.raises(ValueError, match="sum"):
+            ChaosProxy(("h", 1), seed=0,
+                       rates={"reset": 0.6, "stall": 0.6})

@@ -1,0 +1,77 @@
+"""Chaos schedules: seeded generation, exact round-trip, validation."""
+
+import pytest
+
+from repro.chaos import ChaosSchedule
+
+
+class TestGeneration:
+    def test_same_seed_same_schedule(self):
+        a = ChaosSchedule.generate(123, duration=6.0, intensity=0.7)
+        b = ChaosSchedule.generate(123, duration=6.0, intensity=0.7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert ChaosSchedule.generate(1) != ChaosSchedule.generate(2)
+
+    def test_every_layer_is_armed(self):
+        plan = ChaosSchedule.generate(9, intensity=1.0)
+        assert any(plan.network.values())
+        assert plan.clock_events and plan.process_events
+        assert plan.clock_rate > 0
+
+    def test_events_land_inside_the_duration(self):
+        for seed in range(20):
+            plan = ChaosSchedule.generate(seed, duration=5.0)
+            for event in plan.clock_events + plan.process_events:
+                assert 0.0 < event["at"] < 5.0
+
+    def test_events_are_time_sorted(self):
+        plan = ChaosSchedule.generate(33, intensity=1.0)
+        ats = [e["at"] for e in plan.clock_events]
+        assert ats == sorted(ats)
+
+    def test_intensity_bounds_are_checked(self):
+        with pytest.raises(ValueError, match="intensity"):
+            ChaosSchedule.generate(0, intensity=1.5)
+
+
+class TestRoundTrip:
+    def test_json_roundtrip_is_exact(self):
+        plan = ChaosSchedule.generate(77, duration=9.0, intensity=0.9)
+        assert ChaosSchedule.from_json(plan.to_json()) == plan
+
+    def test_dict_roundtrip_is_exact(self):
+        plan = ChaosSchedule.generate(5)
+        assert ChaosSchedule.from_dict(plan.to_dict()) == plan
+
+    def test_defaults_fill_missing_keys(self):
+        plan = ChaosSchedule.from_dict({"seed": 4})
+        assert plan.seed == 4
+        assert plan.clock_rate == 1.0
+        assert plan.process_events == ()
+
+
+class TestValidation:
+    def test_backwards_jump_is_refused(self):
+        with pytest.raises(ValueError, match="forward"):
+            ChaosSchedule(seed=0, clock_events=({"at": 1, "jump": -2},))
+
+    def test_unknown_process_action_is_refused(self):
+        with pytest.raises(ValueError, match="unknown process action"):
+            ChaosSchedule(seed=0,
+                          process_events=({"at": 1, "action": "melt"},))
+
+    def test_zero_clock_rate_is_refused(self):
+        with pytest.raises(ValueError, match="clock_rate"):
+            ChaosSchedule(seed=0, clock_rate=0.0)
+
+
+class TestHumanSurface:
+    def test_describe_names_every_layer(self):
+        text = ChaosSchedule.generate(3, intensity=1.0).describe()
+        for word in ("storage", "network", "clock", "process", "seed=3"):
+            assert word in text
+
+    def test_repro_command_carries_the_seed(self):
+        assert "--seed 42" in ChaosSchedule.generate(42).repro_command()

@@ -1,119 +1,27 @@
 """Shared chaos fixtures for the service tests.
 
-Everything is module-level and pickleable so the factories survive the
-trip into worker processes under any multiprocessing start method, and
-importable as ``service.helpers`` from the subprocess chaos runner
-(tests dir on ``PYTHONPATH``, mirroring ``fuzz.test_kill_resume``).
-
-The throttled UDS job is the workhorse: wall-clock delays widen the
-window in which a SIGKILL or a lease expiry can land mid-run, while
-simulated time -- and therefore every result byte -- stays untouched.
+The throttled/booby-trapped job kinds were promoted into
+:mod:`repro.chaos.workload` when the chaos engine needed them from
+the CLI; this module keeps the historical import surface
+(``service.helpers``) for the test-suite and the subprocess chaos
+runner (tests dir on ``PYTHONPATH``, mirroring
+``fuzz.test_kill_resume``).
 """
 
 from __future__ import annotations
 
-import os
-import time
-from dataclasses import dataclass
+from repro.chaos.workload import (ExplodingFactory, ThrottledUdsFactory,
+                                  build_always_crash, build_slow_uds,
+                                  register_chaos_kinds)
 
-from repro.fuzz.parallel import ShardSpec
-from repro.service.orchestrator import register_job_kind
-from repro.service.queue import JobSpec
-from repro.testbench.factory import UdsBenchFactory
+__all__ = [
+    "ExplodingFactory",
+    "ThrottledUdsFactory",
+    "build_always_crash",
+    "build_slow_uds",
+    "register_test_kinds",
+]
 
-
-class _ThrottledUdsGenerator:
-    """Wraps a UDS generator with wall-clock-only behaviours.
-
-    ``delay`` seconds per request keeps the campaign slow enough to
-    interrupt; ``hang_at``/``crash_at`` (guarded by a marker file so
-    they fire exactly once across retries) simulate a wedged and a
-    dying worker mid-run.  ``state_dict``/``load_state`` pass through,
-    so journalled resume is bit-identical.
-    """
-
-    def __init__(self, inner, *, delay: float, marker: str | None,
-                 hang_at: int | None, crash_at: int | None) -> None:
-        self._inner = inner
-        self._delay = delay
-        self._marker = marker
-        self._hang_at = hang_at
-        self._crash_at = crash_at
-        self._count = 0
-
-    def _armed(self) -> bool:
-        return self._marker is not None and not os.path.exists(self._marker)
-
-    def _trip_marker(self) -> None:
-        open(self._marker, "w").close()
-
-    def next_request(self) -> bytes:
-        self._count += 1
-        if self._crash_at is not None and self._count == self._crash_at \
-                and self._armed():
-            self._trip_marker()
-            os._exit(9)
-        if self._hang_at is not None and self._count == self._hang_at \
-                and self._armed():
-            self._trip_marker()
-            time.sleep(300)  # until the lease expiry SIGTERMs us
-        if self._delay:
-            time.sleep(self._delay)
-        return self._inner.next_request()
-
-    def observe(self, request, response) -> None:
-        self._inner.observe(request, response)
-
-    def state_dict(self) -> dict:
-        return self._inner.state_dict()
-
-    def load_state(self, state: dict) -> None:
-        self._inner.load_state(state)
-
-    def __getattr__(self, item):
-        return getattr(self._inner, item)
-
-
-@dataclass(frozen=True)
-class ThrottledUdsFactory:
-    """A real UDS campaign, slowed (and optionally booby-trapped) in
-    wall-clock only."""
-
-    delay: float = 0.002
-    marker: str | None = None
-    hang_at: int | None = None
-    crash_at: int | None = None
-
-    def __call__(self, spec: ShardSpec):
-        campaign = UdsBenchFactory()(spec)
-        campaign.generator = _ThrottledUdsGenerator(
-            campaign.generator, delay=self.delay, marker=self.marker,
-            hang_at=self.hang_at, crash_at=self.crash_at)
-        return campaign
-
-
-def build_slow_uds(spec: JobSpec) -> ThrottledUdsFactory:
-    return ThrottledUdsFactory(
-        delay=float(spec.params.get("delay", 0.002)),
-        marker=spec.params.get("marker"),
-        hang_at=spec.params.get("hang_at"),
-        crash_at=spec.params.get("crash_at"))
-
-
-@dataclass(frozen=True)
-class ExplodingFactory:
-    """A job kind whose every execution dies at build time."""
-
-    def __call__(self, spec: ShardSpec):
-        os._exit(7)
-
-
-def build_always_crash(spec: JobSpec) -> ExplodingFactory:
-    return ExplodingFactory()
-
-
-def register_test_kinds() -> None:
-    """Install the chaos job kinds (idempotent; parent process only --
-    the returned factories are what cross into workers)."""
-    register_job_kind("slow-uds", build_slow_uds)
-    register_job_kind("always-crash", build_always_crash)
+#: Historical name: the service tests call this; it now installs the
+#: full chaos kind set (slow-uds, always-crash, hog).
+register_test_kinds = register_chaos_kinds

@@ -109,7 +109,34 @@ class TestExpireAndRelease:
         leases.expire()
         assert leases.stats() == {"active": 0, "granted": 2,
                                   "renewed": 1, "expired": 1,
-                                  "released": 1}
+                                  "released": 1,
+                                  "clock_regressions": 0}
 
     def test_remaining_is_none_when_unleased(self, leases):
         assert leases.remaining("job-1") is None
+
+
+class TestClockRegression:
+    """A clock that jumps backwards must not resurrect expired leases
+    or double-grant: the manager clamps to its high-water mark."""
+
+    def test_backwards_clock_is_clamped(self, leases, clock):
+        leases.grant("job-1", "w1")
+        clock.advance(5.0)
+        assert leases.remaining("job-1") == 5.0
+        clock.now -= 30.0  # chaos: the clock regresses
+        # Remaining time is frozen at the high-water mark, not
+        # inflated back to a full lease.
+        assert leases.remaining("job-1") == 5.0
+        assert leases.stats()["clock_regressions"] >= 1
+
+    def test_regression_cannot_unexpire_a_lease(self, leases, clock):
+        leases.grant("job-1", "w1")
+        clock.advance(10.0)
+        assert [lease.job_id for lease in leases.expire()] == ["job-1"]
+        clock.now -= 50.0
+        # The lapsed holder still cannot heartbeat its way back in.
+        with pytest.raises(LeaseError, match="holds no lease"):
+            leases.renew("job-1", "w1")
+        leases.grant("job-1", "w2")  # and the job is re-grantable
+        assert leases.holder("job-1") == "w2"
